@@ -1,0 +1,164 @@
+// Experiment L3-L14: regenerates every listing of the paper's Sections 4-6
+// — the table views at 8:13/8:21, the Tumble/Hop TVF outputs, and all four
+// materialization-control renderings — then times the Q7 pipeline on the
+// paper dataset with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace onesql {
+namespace bench {
+namespace {
+
+Engine MakeEngine() {
+  Engine engine;
+  Status st = engine.RegisterStream("Bid", PaperBidSchema());
+  if (!st.ok()) std::abort();
+  return engine;
+}
+
+ContinuousQuery* Run(Engine* engine, const std::string& sql) {
+  auto q = engine->Execute(sql);
+  if (!q.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", q.status().ToString().c_str());
+    std::abort();
+  }
+  Status st = engine->Feed(PaperDataset());
+  if (!st.ok()) std::abort();
+  st = engine->AdvanceTo(T(8, 21));
+  if (!st.ok()) std::abort();
+  return *q;
+}
+
+void PrintListings() {
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(&engine, PaperQ7());
+    PrintSection("Listing 3: 8:21> SELECT ... (table view, full dataset)");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 21)))
+                          .c_str());
+    PrintSection("Listing 4: 8:13> SELECT ... (table view, partial dataset)");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 13)))
+                          .c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(
+        &engine,
+        "SELECT * FROM Tumble(data => TABLE(Bid), "
+        "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+        "offset => INTERVAL '0' MINUTES) t");
+    PrintSection("Listing 5: applying the Tumble TVF");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 21)))
+                          .c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(
+        &engine,
+        "SELECT wstart, wend, MAX(price) AS maxPrice "
+        "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+        "dur => INTERVAL '10' MINUTES) t GROUP BY wend");
+    PrintSection("Listing 6: Tumble combined with GROUP BY");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 21)))
+                          .c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(
+        &engine,
+        "SELECT * FROM Hop(data => TABLE(Bid), "
+        "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+        "hopsize => INTERVAL '5' MINUTES) t");
+    PrintSection("Listing 7: applying the Hop TVF (dur 10m, hop 5m)");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 21)))
+                          .c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(
+        &engine,
+        "SELECT wstart, wend, MAX(price) AS maxPrice "
+        "FROM Hop(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+        "dur => INTERVAL '10' MINUTES, hopsize => INTERVAL '5' MINUTES) t "
+        "GROUP BY wend");
+    PrintSection("Listing 8: Hop combined with GROUP BY");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 21)))
+                          .c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(&engine, PaperQ7("EMIT STREAM"));
+    PrintSection("Listing 9: 8:21> SELECT ... EMIT STREAM");
+    std::printf("%s", RenderStream(*q).c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(&engine, PaperQ7("EMIT AFTER WATERMARK"));
+    PrintSection("Listing 10: 8:13> SELECT ... EMIT AFTER WATERMARK");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 13)))
+                          .c_str());
+    PrintSection("Listing 11: 8:16> SELECT ... EMIT AFTER WATERMARK");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 16)))
+                          .c_str());
+    PrintSection("Listing 12: 8:21> SELECT ... EMIT AFTER WATERMARK");
+    std::printf("%s", RenderRows(q->output_schema(),
+                                 *q->SnapshotAt(T(8, 21)))
+                          .c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(&engine, PaperQ7("EMIT STREAM AFTER WATERMARK"));
+    PrintSection("Listing 13: 8:08> SELECT ... EMIT STREAM AFTER WATERMARK");
+    std::printf("%s", RenderStream(*q).c_str());
+  }
+  {
+    Engine engine = MakeEngine();
+    ContinuousQuery* q = Run(
+        &engine, PaperQ7("EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES"));
+    PrintSection(
+        "Listing 14: 8:08> SELECT ... EMIT STREAM AFTER DELAY "
+        "INTERVAL '6' MINUTES");
+    std::printf("%s", RenderStream(*q).c_str());
+  }
+}
+
+void BM_PaperQ7FullPipeline(benchmark::State& state) {
+  const auto feed = PaperDataset();
+  for (auto _ : state) {
+    Engine engine = MakeEngine();
+    auto q = engine.Execute(PaperQ7("EMIT STREAM"));
+    if (!q.ok()) std::abort();
+    benchmark::DoNotOptimize(engine.Feed(feed));
+    benchmark::DoNotOptimize((*q)->Emissions().size());
+  }
+}
+BENCHMARK(BM_PaperQ7FullPipeline);
+
+void BM_PaperQ7CompileOnly(benchmark::State& state) {
+  Engine engine = MakeEngine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Plan(PaperQ7()));
+  }
+}
+BENCHMARK(BM_PaperQ7CompileOnly);
+
+}  // namespace
+}  // namespace bench
+}  // namespace onesql
+
+int main(int argc, char** argv) {
+  onesql::bench::PrintListings();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

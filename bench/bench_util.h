@@ -1,0 +1,103 @@
+#ifndef ONESQL_BENCH_BENCH_UTIL_H_
+#define ONESQL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "engine/engine.h"
+
+namespace onesql {
+namespace bench {
+
+inline Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+inline Schema PaperBidSchema() {
+  return Schema({{"bidtime", DataType::kTimestamp, true},
+                 {"price", DataType::kBigint},
+                 {"item", DataType::kVarchar}});
+}
+
+/// The paper's Section 4 example dataset.
+inline std::vector<FeedEvent> PaperDataset() {
+  std::vector<FeedEvent> feed;
+  auto bid = [&](int ph, int pm, int eh, int em, int64_t price,
+                 const char* item) {
+    FeedEvent e;
+    e.kind = FeedEvent::Kind::kInsert;
+    e.source = "Bid";
+    e.ptime = T(ph, pm);
+    e.row = {Value::Time(T(eh, em)), Value::Int64(price),
+             Value::String(item)};
+    feed.push_back(std::move(e));
+  };
+  auto wm = [&](int ph, int pm, int eh, int em) {
+    FeedEvent e;
+    e.kind = FeedEvent::Kind::kWatermark;
+    e.source = "Bid";
+    e.ptime = T(ph, pm);
+    e.watermark = T(eh, em);
+    feed.push_back(std::move(e));
+  };
+  wm(8, 7, 8, 5);
+  bid(8, 8, 8, 7, 2, "A");
+  bid(8, 12, 8, 11, 3, "B");
+  bid(8, 13, 8, 5, 4, "C");
+  wm(8, 14, 8, 8);
+  bid(8, 15, 8, 9, 5, "D");
+  wm(8, 16, 8, 12);
+  bid(8, 17, 8, 13, 1, "E");
+  bid(8, 18, 8, 17, 6, "F");
+  wm(8, 21, 8, 20);
+  return feed;
+}
+
+/// The paper's Q7 (Listing 2), over the (bidtime, price, item) Bid schema.
+inline std::string PaperQ7(const std::string& emit = "") {
+  return R"(
+    SELECT MaxBid.wstart, MaxBid.wend,
+           Bid.bidtime, Bid.price, Bid.item
+    FROM
+      Bid,
+      (SELECT MAX(TumbleBid.price) maxPrice,
+              TumbleBid.wstart wstart, TumbleBid.wend wend
+       FROM Tumble(data    => TABLE(Bid),
+                   timecol => DESCRIPTOR(bidtime),
+                   dur     => INTERVAL '10' MINUTE) TumbleBid
+       GROUP BY TumbleBid.wend) MaxBid
+    WHERE Bid.price = MaxBid.maxPrice AND
+          Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE AND
+          Bid.bidtime < MaxBid.wend
+  )" + emit;
+}
+
+/// Renders a snapshot in the paper's table style.
+inline std::string RenderRows(const Schema& schema,
+                              const std::vector<Row>& rows,
+                              const std::vector<std::string>& dollar = {
+                                  "price", "maxPrice"}) {
+  TablePrinter printer(schema);
+  for (const std::string& col : dollar) printer.MarkDollarColumn(col);
+  printer.AddRows(rows);
+  return printer.ToString();
+}
+
+/// Renders a query's stream view (Listing 9 style).
+inline std::string RenderStream(const ContinuousQuery& query,
+                                const std::vector<std::string>& dollar = {
+                                    "price", "maxPrice"}) {
+  TablePrinter printer(query.StreamSchema());
+  for (const std::string& col : dollar) printer.MarkDollarColumn(col);
+  printer.AddRows(query.StreamRows());
+  return printer.ToString();
+}
+
+inline void PrintSection(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace onesql
+
+#endif  // ONESQL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Auction monitor: the paper's notification use case (Section 6.5.2).
+//
+// "The most common example of delayed stream materialization is notification
+// use cases, where polling the contents of an eventually consistent relation
+// is infeasible. In this case, it's more useful to consume the relation as a
+// stream which contains only aggregates whose input data is known to be
+// complete."
+//
+// Runs NEXMark Q7 over a generated auction workload with EMIT STREAM AFTER
+// WATERMARK, and prints one notification per window the moment its result is
+// final — alongside the eventually-consistent dashboard view (EMIT STREAM)
+// to show the difference in update volume.
+//
+//   ./auction_monitor [num_events]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nexmark/nexmark.h"
+
+namespace {
+
+using onesql::ContinuousQuery;
+using onesql::Engine;
+using onesql::Interval;
+using onesql::Timestamp;
+using namespace onesql::nexmark;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_events = argc > 1 ? std::atoi(argv[1]) : 3000;
+
+  Engine engine;
+  auto st = RegisterNexmark(&engine);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The notification feed: only final, complete windows.
+  auto notifications = engine.Execute(Q7("EMIT STREAM AFTER WATERMARK"));
+  // The live dashboard: every speculative update.
+  auto dashboard = engine.Execute(Q7("EMIT STREAM"));
+  if (!notifications.ok() || !dashboard.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 notifications.status().ToString().c_str());
+    return 1;
+  }
+
+  GeneratorConfig config;
+  config.seed = 2026;
+  config.num_events = num_events;
+  config.max_disorder = 20;
+  config.mean_event_gap = Interval::Millis(1500);
+  config.watermark_strategy = WatermarkStrategy::kHeuristic;
+  config.heuristic_slack = Interval::Seconds(45);
+  Generator generator(config);
+  const auto feed = generator.Generate();
+
+  // Drive the feed event by event, printing each notification as it
+  // materializes (push semantics — no polling).
+  size_t delivered = 0;
+  for (const onesql::FeedEvent& event : feed) {
+    switch (event.kind) {
+      case onesql::FeedEvent::Kind::kInsert:
+        st = engine.Insert(event.source, event.ptime, event.row);
+        break;
+      case onesql::FeedEvent::Kind::kDelete:
+        st = engine.Delete(event.source, event.ptime, event.row);
+        break;
+      case onesql::FeedEvent::Kind::kWatermark:
+        st = engine.AdvanceWatermark(event.source, event.ptime,
+                                     event.watermark);
+        break;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const auto& emissions = (*notifications)->Emissions();
+    for (; delivered < emissions.size(); ++delivered) {
+      const auto& e = emissions[delivered];
+      std::printf(
+          "[%s] NOTIFY window %s-%s closed: winning bid $%lld on auction "
+          "%lld (placed %s)\n",
+          e.ptime.ToString().c_str(), e.row[0].ToString().c_str(),
+          e.row[1].ToString().c_str(),
+          static_cast<long long>(e.row[3].AsInt64()),
+          static_cast<long long>(e.row[4].AsInt64()),
+          e.row[2].ToString().c_str());
+    }
+  }
+
+  std::printf(
+      "\n%d events -> %zu final notifications; the eventually-consistent\n"
+      "dashboard view of the same query produced %zu speculative updates\n"
+      "(%.1fx more), and %lld late bids were dropped per Extension 2.\n",
+      num_events, (*notifications)->Emissions().size(),
+      (*dashboard)->Emissions().size(),
+      static_cast<double>((*dashboard)->Emissions().size()) /
+          static_cast<double>(
+              std::max<size_t>(1, (*notifications)->Emissions().size())),
+      static_cast<long long>([&] {
+        int64_t drops = 0;
+        for (const auto* agg : (*notifications)->dataflow().aggregates()) {
+          drops += agg->late_drops();
+        }
+        return drops;
+      }()));
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Clickstream analytics with rate-limited materialization.
+//
+// A high-volume clickstream feeds a hopping-window page-view counter. A
+// human-facing dashboard does not need every intermediate count — the paper
+// (Sections 3.3.2, 6.5.2) proposes EMIT AFTER DELAY to cap the update
+// frequency. This example runs the same query at three delay settings and
+// shows the rendered dashboard plus the number of updates each consumer had
+// to process.
+//
+//   ./clickstream_sessions [num_clicks]
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "common/table_printer.h"
+#include "engine/engine.h"
+
+namespace {
+
+using onesql::DataType;
+using onesql::Engine;
+using onesql::FeedEvent;
+using onesql::Interval;
+using onesql::Row;
+using onesql::Schema;
+using onesql::TablePrinter;
+using onesql::Timestamp;
+using onesql::Value;
+
+constexpr const char* kQuery =
+    "SELECT wstart, wend, page, COUNT(*) AS views "
+    "FROM Hop(data => TABLE(Clicks), timecol => DESCRIPTOR(ts), "
+    "dur => INTERVAL '2' MINUTES, hopsize => INTERVAL '1' MINUTE) c "
+    "GROUP BY wend, page";
+
+std::vector<FeedEvent> MakeClicks(int n) {
+  static const char* const kPages[] = {"/home", "/search", "/item",
+                                       "/cart", "/checkout"};
+  std::mt19937 rng(11);
+  std::vector<FeedEvent> feed;
+  int64_t event_ms = Timestamp::FromHMS(12, 0).millis();
+  Timestamp ptime = Timestamp::FromHMS(12, 0);
+  Timestamp max_seen = Timestamp::Min();
+  for (int i = 0; i < n; ++i) {
+    event_ms += 1 + static_cast<int64_t>(rng() % 1200);
+    ptime = ptime + Interval::Millis(40);
+    max_seen = std::max(max_seen, Timestamp(event_ms));
+    FeedEvent e;
+    e.kind = FeedEvent::Kind::kInsert;
+    e.source = "Clicks";
+    e.ptime = ptime;
+    e.row = {Value::Time(Timestamp(event_ms)),
+             Value::String(kPages[rng() % 5]),
+             Value::Int64(static_cast<int64_t>(rng() % 500))};
+    feed.push_back(std::move(e));
+    if (i % 25 == 24) {
+      FeedEvent w;
+      w.kind = FeedEvent::Kind::kWatermark;
+      w.source = "Clicks";
+      w.ptime = ptime + Interval::Millis(1);
+      w.watermark = max_seen - Interval::Seconds(5);
+      feed.push_back(std::move(w));
+    }
+  }
+  return feed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_clicks = argc > 1 ? std::atoi(argv[1]) : 4000;
+  const auto feed = MakeClicks(num_clicks);
+
+  struct Variant {
+    const char* label;
+    std::string emit;
+    size_t updates = 0;
+  } variants[] = {
+      {"instantaneous (EMIT STREAM)", " EMIT STREAM"},
+      {"rate-limited 1s (EMIT STREAM AFTER DELAY)",
+       " EMIT STREAM AFTER DELAY INTERVAL '1' SECOND"},
+      {"rate-limited 10s + final (DELAY AND AFTER WATERMARK)",
+       " EMIT STREAM AFTER DELAY INTERVAL '10' SECONDS AND AFTER WATERMARK"},
+  };
+
+  Engine engine;
+  auto st = engine.RegisterStream(
+      "Clicks", Schema({{"ts", DataType::kTimestamp, true},
+                        {"page", DataType::kVarchar},
+                        {"user_id", DataType::kBigint}}));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<onesql::ContinuousQuery*> queries;
+  for (const Variant& v : variants) {
+    auto q = engine.Execute(std::string(kQuery) + v.emit);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s: %s\n", v.label,
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*q);
+  }
+
+  st = engine.Feed(feed);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  (void)engine.AdvanceTo(feed.back().ptime + Interval::Minutes(5));
+
+  // The dashboard itself: current per-window page-view counts (every
+  // variant converges to the same table; they differ in update volume).
+  auto snapshot = queries[0]->CurrentSnapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Dashboard (hopping 2-minute windows, 1-minute hop):\n");
+  TablePrinter printer(queries[0]->output_schema());
+  size_t shown = 0;
+  for (const Row& row : *snapshot) {
+    if (++shown > 15) break;  // keep the demo short
+    printer.AddRow(row);
+  }
+  std::printf("%s", printer.ToString().c_str());
+  if (snapshot->size() > 15) {
+    std::printf("... (%zu rows total)\n", snapshot->size());
+  }
+
+  std::printf("\nUpdates pushed to each consumer for %d clicks:\n",
+              num_clicks);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("  %-55s %6zu updates\n", variants[i].label,
+                queries[i]->Emissions().size());
+  }
+  std::printf(
+      "\nAll three are the same time-varying relation; the EMIT clause only\n"
+      "controls *when* its changes materialize (Extensions 6-7).\n");
+
+  // --- Part 2: data-driven session windows (the paper's Section 8 future
+  // work, implemented here): per-user sessions of contiguous activity with a
+  // 90-second inactivity gap, aggregated with ordinary GROUP BY.
+  auto sessions = engine.Execute(
+      "SELECT user_id, wstart, wend, COUNT(*) AS clicks "
+      "FROM Session(data => TABLE(Clicks), timecol => DESCRIPTOR(ts), "
+      "gap => INTERVAL '90' SECONDS, key => DESCRIPTOR(user_id)) s "
+      "GROUP BY user_id, wend ORDER BY wstart LIMIT 10");
+  if (!sessions.ok()) {
+    std::fprintf(stderr, "%s\n", sessions.status().ToString().c_str());
+    return 1;
+  }
+  auto session_rows = (*sessions)->CurrentSnapshot();
+  if (!session_rows.ok()) return 1;
+  std::printf("\nPer-user activity sessions (90s inactivity gap), first 10:\n");
+  TablePrinter session_printer((*sessions)->output_schema());
+  session_printer.AddRows(*session_rows);
+  std::printf("%s", session_printer.ToString().c_str());
+
+  // --- Part 3: the tail of the stream via a time-progressing expression
+  // (Section 8): clicks of the last 2 minutes, counted live.
+  auto tail = engine.Execute(
+      "SELECT COUNT(*) AS recent_clicks FROM Clicks "
+      "WHERE ts > CURRENT_TIME - INTERVAL '2' MINUTES");
+  if (!tail.ok()) {
+    std::fprintf(stderr, "%s\n", tail.status().ToString().c_str());
+    return 1;
+  }
+  auto tail_rows = (*tail)->CurrentSnapshot();
+  if (tail_rows.ok() && !tail_rows->empty()) {
+    std::printf(
+        "\nClicks in the last 2 minutes of event time (CURRENT_TIME "
+        "progresses with the watermark): %s\n",
+        (*tail_rows)[0][0].ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "common/changelog.h"
+
+#include <map>
+
+namespace onesql {
+
+const char* ChangeKindToString(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kInsert:
+      return "INSERT";
+    case ChangeKind::kDelete:
+      return "DELETE";
+    case ChangeKind::kUpsert:
+      return "UPSERT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Change::ToString() const {
+  std::string out = ChangeKindToString(kind);
+  out += " ";
+  out += RowToString(row);
+  out += " @";
+  out += ptime.ToString();
+  return out;
+}
+
+std::vector<Row> SnapshotOf(const Changelog& log, Timestamp as_of) {
+  // Multiset semantics: a relation may contain duplicate rows; DELETE
+  // removes a single instance.
+  std::map<Row, int64_t, RowLess> bag;
+  for (const Change& change : log) {
+    if (change.ptime > as_of) continue;
+    if (change.kind == ChangeKind::kInsert) {
+      bag[change.row] += 1;
+    } else if (change.kind == ChangeKind::kDelete) {
+      auto it = bag.find(change.row);
+      if (it != bag.end()) {
+        if (--it->second == 0) bag.erase(it);
+      }
+    }
+  }
+  std::vector<Row> out;
+  for (const auto& [row, count] : bag) {
+    for (int64_t i = 0; i < count; ++i) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace onesql

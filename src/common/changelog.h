@@ -1,0 +1,49 @@
+#ifndef ONESQL_COMMON_CHANGELOG_H_
+#define ONESQL_COMMON_CHANGELOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/timestamp.h"
+
+namespace onesql {
+
+/// The kind of a changelog entry. A TVR changelog (Section 3.3.1) encodes the
+/// evolution of a relation as a sequence of INSERT and DELETE operations;
+/// UPSERT is the keyed encoding described in Appendix B.2.3.
+enum class ChangeKind {
+  kInsert = 0,
+  kDelete,
+  kUpsert,  // Only produced by the upsert changelog encoding.
+};
+
+const char* ChangeKindToString(ChangeKind kind);
+
+/// One element of a TVR changelog: a row added to or retracted from the
+/// relation at a given processing time.
+struct Change {
+  ChangeKind kind = ChangeKind::kInsert;
+  Row row;
+  /// Processing time at which the change was applied/materialized.
+  Timestamp ptime;
+
+  bool operator==(const Change& o) const {
+    return kind == o.kind && RowsEqual(row, o.row) && ptime == o.ptime;
+  }
+
+  std::string ToString() const;
+};
+
+/// A changelog: the stream encoding of a TVR.
+using Changelog = std::vector<Change>;
+
+/// Applies a changelog prefix (entries with ptime <= `as_of`) to an initially
+/// empty bag and returns the resulting multiset of rows — the snapshot
+/// (instantaneous relation) of the TVR at processing time `as_of`. Entries
+/// must be INSERT/DELETE (not UPSERT).
+std::vector<Row> SnapshotOf(const Changelog& log, Timestamp as_of);
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_CHANGELOG_H_

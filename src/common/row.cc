@@ -1,0 +1,42 @@
+#include "common/row.h"
+
+namespace onesql {
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x345678;
+  for (const Value& v : row) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h ^ row.size();
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace onesql

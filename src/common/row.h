@@ -1,0 +1,41 @@
+#ifndef ONESQL_COMMON_ROW_H_
+#define ONESQL_COMMON_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace onesql {
+
+/// A row is an ordered tuple of values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// Structural equality of rows.
+bool RowsEqual(const Row& a, const Row& b);
+
+/// Lexicographic total order over rows (using Value::Compare).
+int CompareRows(const Row& a, const Row& b);
+
+/// Combines the hashes of every value in the row.
+size_t HashRow(const Row& row);
+
+/// "(v1, v2, ...)" rendering for logs and test failure messages.
+std::string RowToString(const Row& row);
+
+/// Functors for using Row as a hash-map key.
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+};
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareRows(a, b) < 0;
+  }
+};
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_ROW_H_

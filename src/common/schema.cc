@@ -1,0 +1,69 @@
+#include "common/schema.h"
+
+#include <cctype>
+
+namespace onesql {
+
+bool IdentEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Field::ToString() const {
+  std::string out = name;
+  out += " ";
+  out += DataTypeToString(type);
+  if (is_event_time) out += " *EVENT_TIME*";
+  return out;
+}
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (IdentEquals(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::FirstEventTimeIndex() const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].is_event_time) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> Schema::EventTimeIndexes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].is_event_time) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Schema::AddField(Field field) {
+  fields_.push_back(std::move(field));
+  return fields_.size() - 1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace onesql

@@ -1,0 +1,79 @@
+#ifndef ONESQL_COMMON_SCHEMA_H_
+#define ONESQL_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace onesql {
+
+/// Marks columns produced by a windowing TVF (Extension 3). The pair of
+/// wstart/wend columns is functionally dependent: grouping by either yields
+/// the same groups, which the binder exploits, and the sink uses the
+/// window-end column to reason about completeness and row versioning.
+enum class WindowRole { kNone = 0, kStart, kEnd };
+
+/// A column of a relation. Implements the paper's Extension 1: a column of
+/// type TIMESTAMP may be distinguished as an *event time column*, in which
+/// case the system maintains an associated watermark for the relation.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+  /// True if this is a watermarked event time column (Extension 1). Only
+  /// meaningful for TIMESTAMP columns.
+  bool is_event_time = false;
+  /// kStart/kEnd when this column is a windowing TVF's wstart/wend output.
+  WindowRole window_role = WindowRole::kNone;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type &&
+           is_event_time == o.is_event_time && window_role == o.window_role;
+  }
+
+  /// "name TIMESTAMP *EVENT_TIME*" style rendering.
+  std::string ToString() const;
+};
+
+/// An ordered collection of fields describing the rows of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Case-insensitive lookup; returns the column index.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// Index of the first event time column, if any.
+  std::optional<size_t> FirstEventTimeIndex() const;
+
+  /// Indexes of every event time column. The paper notes (Section 5) that a
+  /// TVR may carry more than one event time attribute, e.g. after a join.
+  std::vector<size_t> EventTimeIndexes() const;
+
+  /// Appends a field and returns its index.
+  size_t AddField(Field field);
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Case-insensitive ASCII string equality, used for SQL identifiers.
+bool IdentEquals(const std::string& a, const std::string& b);
+
+/// Lowercases an ASCII identifier.
+std::string ToLower(const std::string& s);
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_SCHEMA_H_

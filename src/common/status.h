@@ -1,0 +1,111 @@
+#ifndef ONESQL_COMMON_STATUS_H_
+#define ONESQL_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace onesql {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of returning rich status objects instead of throwing across
+/// API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kBindError,
+  kPlanError,
+  kExecutionError,
+  kNotImplemented,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "ParseError".
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encodes the success or failure of an operation. The OK status
+/// carries no allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // nullptr means OK.
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define ONESQL_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::onesql::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace onesql {
+
+void TablePrinter::MarkDollarColumn(const std::string& name) {
+  dollar_columns_.push_back(ToLower(name));
+}
+
+void TablePrinter::AddRow(const Row& row) { rows_.push_back(row); }
+
+void TablePrinter::AddRows(const std::vector<Row>& rows) {
+  rows_.insert(rows_.end(), rows.begin(), rows.end());
+}
+
+std::string TablePrinter::FormatCell(const Value& value, size_t column) const {
+  if (value.is_null()) return "";
+  const std::string& name = schema_.field(column).name;
+  const bool dollar =
+      std::find(dollar_columns_.begin(), dollar_columns_.end(),
+                ToLower(name)) != dollar_columns_.end();
+  if (dollar && value.type() == DataType::kBigint) {
+    return "$" + value.ToString();
+  }
+  return value.ToString();
+}
+
+std::string TablePrinter::ToString() const {
+  const size_t ncols = schema_.num_fields();
+  std::vector<size_t> widths(ncols);
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (size_t c = 0; c < ncols; ++c) {
+    widths[c] = schema_.field(c).name.size();
+  }
+  for (const Row& row : rows_) {
+    std::vector<std::string> line(ncols);
+    for (size_t c = 0; c < ncols && c < row.size(); ++c) {
+      line[c] = FormatCell(row[c], c);
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto emit_line = [&](const std::vector<std::string>& line) {
+    std::string out = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      out += " ";
+      const std::string& cell = c < line.size() ? line[c] : std::string();
+      out += cell;
+      out += std::string(widths[c] - cell.size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::vector<std::string> header(ncols);
+  for (size_t c = 0; c < ncols; ++c) header[c] = schema_.field(c).name;
+
+  std::string out = emit_line(header);
+  size_t total = 1;
+  for (size_t c = 0; c < ncols; ++c) total += widths[c] + 3;
+  out += std::string(total, '-');
+  out += "\n";
+  for (const auto& line : cells) out += emit_line(line);
+  return out;
+}
+
+}  // namespace onesql

@@ -1,0 +1,43 @@
+#ifndef ONESQL_COMMON_TABLE_PRINTER_H_
+#define ONESQL_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace onesql {
+
+/// Renders rows in the ASCII-table style used by the paper's listings:
+///
+/// | wstart | wend | bidtime | price | item |
+/// -------------------------------------------
+/// | 8:00   | 8:10 | 8:09    | $5    | D    |
+///
+/// Columns whose (lowercased) name appears in `dollar_columns` render BIGINT
+/// values with a leading '$', matching the paper's price formatting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(const Schema& schema) : schema_(schema) {}
+
+  /// Marks a column to be rendered as a dollar amount.
+  void MarkDollarColumn(const std::string& name);
+
+  void AddRow(const Row& row);
+  void AddRows(const std::vector<Row>& rows);
+
+  /// Produces the complete table text (header, rule, data rows).
+  std::string ToString() const;
+
+ private:
+  std::string FormatCell(const Value& value, size_t column) const;
+
+  Schema schema_;
+  std::vector<std::string> dollar_columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_TABLE_PRINTER_H_

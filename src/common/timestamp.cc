@@ -1,0 +1,90 @@
+#include "common/timestamp.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace onesql {
+
+std::string Interval::ToString() const {
+  int64_t ms = millis_;
+  std::string out;
+  if (ms < 0) {
+    out += "-";
+    ms = -ms;
+  }
+  const int64_t hours = ms / 3'600'000;
+  ms %= 3'600'000;
+  const int64_t minutes = ms / 60'000;
+  ms %= 60'000;
+  const int64_t seconds = ms / 1000;
+  ms %= 1000;
+  bool wrote = false;
+  char buf[32];
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldh", static_cast<long long>(hours));
+    out += buf;
+    wrote = true;
+  }
+  if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldm", static_cast<long long>(minutes));
+    out += buf;
+    wrote = true;
+  }
+  if (seconds > 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(seconds));
+    out += buf;
+    wrote = true;
+  }
+  if (ms > 0 || !wrote) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ms));
+    out += buf;
+  }
+  return out;
+}
+
+Result<Timestamp> Timestamp::Parse(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty timestamp literal");
+  }
+  // "H:MM" or "H:MM:SS" forms.
+  if (text.find(':') != std::string::npos) {
+    int h = 0, m = 0, s = 0;
+    const int n = std::sscanf(text.c_str(), "%d:%d:%d", &h, &m, &s);
+    if (n < 2 || h < 0 || m < 0 || m > 59 || s < 0 || s > 59) {
+      return Status::InvalidArgument("malformed timestamp literal: " + text);
+    }
+    return Timestamp::FromHMS(h, m, s);
+  }
+  // Raw millisecond count.
+  char* end = nullptr;
+  const long long ms = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("malformed timestamp literal: " + text);
+  }
+  return Timestamp(ms);
+}
+
+std::string Timestamp::ToString() const {
+  if (*this == Min()) return "-inf";
+  if (*this == Max()) return "+inf";
+  const int64_t day_ms = 24LL * 60 * 60 * 1000;
+  if (millis_ >= 0 && millis_ < day_ms) {
+    const int64_t total_seconds = millis_ / 1000;
+    const int h = static_cast<int>(total_seconds / 3600);
+    const int m = static_cast<int>((total_seconds / 60) % 60);
+    const int s = static_cast<int>(total_seconds % 60);
+    const int ms = static_cast<int>(millis_ % 1000);
+    char buf[32];
+    if (s == 0 && ms == 0) {
+      std::snprintf(buf, sizeof(buf), "%d:%02d", h, m);
+    } else if (ms == 0) {
+      std::snprintf(buf, sizeof(buf), "%d:%02d:%02d", h, m, s);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d:%02d:%02d.%03d", h, m, s, ms);
+    }
+    return buf;
+  }
+  return std::to_string(millis_);
+}
+
+}  // namespace onesql

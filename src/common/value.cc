@@ -1,0 +1,182 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace onesql {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+    case DataType::kBigint:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kVarchar:
+      return "VARCHAR";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kInterval:
+      return "INTERVAL";
+  }
+  return "UNKNOWN";
+}
+
+bool IsImplicitlyCoercible(DataType from, DataType to) {
+  if (from == to) return true;
+  if (from == DataType::kNull) return true;
+  if (from == DataType::kBigint && to == DataType::kDouble) return true;
+  return false;
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBoolean;
+    case 2:
+      return DataType::kBigint;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kVarchar;
+    case 5:
+      return DataType::kTimestamp;
+    case 6:
+      return DataType::kInterval;
+  }
+  return DataType::kNull;
+}
+
+Result<double> Value::ToNumeric() const {
+  switch (type()) {
+    case DataType::kBigint:
+      return static_cast<double>(AsInt64());
+    case DataType::kDouble:
+      return AsDouble();
+    default:
+      return Status::InvalidArgument(std::string("value of type ") +
+                                     DataTypeToString(type()) +
+                                     " is not numeric");
+  }
+}
+
+namespace {
+
+int CompareScalar(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& o) const {
+  const DataType lt = type();
+  const DataType rt = o.type();
+  // NULL sorts before everything.
+  if (lt == DataType::kNull || rt == DataType::kNull) {
+    if (lt == rt) return 0;
+    return lt == DataType::kNull ? -1 : 1;
+  }
+  // Numeric types compare with each other.
+  const bool lnum = lt == DataType::kBigint || lt == DataType::kDouble;
+  const bool rnum = rt == DataType::kBigint || rt == DataType::kDouble;
+  if (lnum && rnum) {
+    if (lt == DataType::kBigint && rt == DataType::kBigint) {
+      const int64_t a = AsInt64();
+      const int64_t b = o.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return CompareScalar(*ToNumeric(), *o.ToNumeric());
+  }
+  if (lt != rt) {
+    return static_cast<int>(lt) < static_cast<int>(rt) ? -1 : 1;
+  }
+  switch (lt) {
+    case DataType::kBoolean:
+      return static_cast<int>(AsBool()) - static_cast<int>(o.AsBool());
+    case DataType::kVarchar: {
+      const int c = AsString().compare(o.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case DataType::kTimestamp: {
+      const auto a = AsTimestamp().millis();
+      const auto b = o.AsTimestamp().millis();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kInterval: {
+      const auto a = AsInterval().millis();
+      const auto b = o.AsInterval().millis();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  const size_t tag = data_.index();
+  size_t h = 0;
+  switch (type()) {
+    case DataType::kNull:
+      h = 0;
+      break;
+    case DataType::kBoolean:
+      h = std::hash<bool>()(AsBool());
+      break;
+    case DataType::kBigint:
+      h = std::hash<int64_t>()(AsInt64());
+      break;
+    case DataType::kDouble:
+      h = std::hash<double>()(AsDouble());
+      break;
+    case DataType::kVarchar:
+      h = std::hash<std::string>()(AsString());
+      break;
+    case DataType::kTimestamp:
+      h = std::hash<int64_t>()(AsTimestamp().millis());
+      break;
+    case DataType::kInterval:
+      h = std::hash<int64_t>()(AsInterval().millis());
+      break;
+  }
+  return h ^ (tag * 0x9e3779b97f4a7c15ULL);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBoolean:
+      return AsBool() ? "TRUE" : "FALSE";
+    case DataType::kBigint:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      const double d = AsDouble();
+      if (std::isfinite(d) && d == std::floor(d) &&
+          std::fabs(d) < 1e15) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+        return buf;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case DataType::kVarchar:
+      return AsString();
+    case DataType::kTimestamp:
+      return AsTimestamp().ToString();
+    case DataType::kInterval:
+      return AsInterval().ToString();
+  }
+  return "?";
+}
+
+}  // namespace onesql

@@ -1,0 +1,88 @@
+#ifndef ONESQL_COMMON_VALUE_H_
+#define ONESQL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/timestamp.h"
+
+namespace onesql {
+
+/// SQL data types supported by the engine.
+enum class DataType {
+  kNull = 0,   // Type of the NULL literal before coercion.
+  kBoolean,
+  kBigint,
+  kDouble,
+  kVarchar,
+  kTimestamp,
+  kInterval,
+};
+
+/// Returns the SQL spelling of a type, e.g. "BIGINT".
+const char* DataTypeToString(DataType type);
+
+/// Returns true if values of `from` may be implicitly widened to `to`
+/// (identity, NULL to anything, or BIGINT to DOUBLE).
+bool IsImplicitlyCoercible(DataType from, DataType to);
+
+/// A runtime SQL value: a tagged union over the supported data types.
+/// Values are cheap to copy for all types except VARCHAR.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int64(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Time(Timestamp t) { return Value(Payload(t)); }
+  static Value Duration(Interval i) { return Value(Payload(i)); }
+
+  DataType type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (checked by assert in debug builds).
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  Timestamp AsTimestamp() const { return std::get<Timestamp>(data_); }
+  Interval AsInterval() const { return std::get<Interval>(data_); }
+
+  /// Numeric value as double, widening BIGINT; error for other types.
+  Result<double> ToNumeric() const;
+
+  /// Equality: same type and same payload. NULL equals NULL here (this is
+  /// *identity* equality used for grouping and changelog matching; SQL
+  /// ternary-logic equality lives in the expression evaluator).
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+
+  /// Total order used for grouping/sorting: NULL first, then by type tag,
+  /// then by payload; BIGINT and DOUBLE compare numerically with each other.
+  int Compare(const Value& o) const;
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Stable hash for group keys.
+  size_t Hash() const;
+
+  /// Display rendering: "NULL", "TRUE", "42", "3.5", "abc", "8:07", "10m".
+  std::string ToString() const;
+
+ private:
+  using Payload = std::variant<std::monostate, bool, int64_t, double,
+                               std::string, Timestamp, Interval>;
+  explicit Value(Payload payload) : data_(std::move(payload)) {}
+
+  Payload data_;
+};
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_VALUE_H_

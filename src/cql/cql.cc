@@ -1,0 +1,170 @@
+#include "cql/cql.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace onesql {
+namespace cql {
+
+void HeartbeatBuffer::Add(Timestamp ts, Row row) {
+  buffer_.emplace(ts, std::move(row));
+}
+
+std::vector<TimestampedRow> HeartbeatBuffer::AdvanceHeartbeat(
+    Timestamp heartbeat) {
+  if (heartbeat > heartbeat_) heartbeat_ = heartbeat;
+  std::vector<TimestampedRow> released;
+  auto it = buffer_.begin();
+  while (it != buffer_.end() && it->first <= heartbeat_) {
+    released.push_back(TimestampedRow{it->first, std::move(it->second)});
+    it = buffer_.erase(it);
+  }
+  return released;
+}
+
+namespace {
+
+int64_t FloorAlign(int64_t t, int64_t step) {
+  int64_t q = t / step;
+  if (t % step != 0 && t < 0) --q;
+  return q * step;
+}
+
+}  // namespace
+
+std::vector<InstantRelation> SlidingWindow(
+    const std::vector<TimestampedRow>& stream, Interval range, Interval slide,
+    Timestamp end) {
+  std::vector<InstantRelation> out;
+  if (stream.empty()) return out;
+  // First boundary strictly after the first timestamp.
+  const int64_t first_ts = stream.front().ts.millis();
+  int64_t tau = FloorAlign(first_ts, slide.millis()) + slide.millis();
+  for (; tau <= end.millis(); tau += slide.millis()) {
+    InstantRelation rel;
+    rel.tau = Timestamp(tau);
+    const int64_t lo = tau - range.millis();
+    for (const TimestampedRow& tr : stream) {
+      if (tr.ts.millis() >= lo && tr.ts.millis() < tau) {
+        rel.rows.push_back(tr.row);
+      }
+      if (tr.ts.millis() >= tau) break;  // stream is in order
+    }
+    out.push_back(std::move(rel));
+  }
+  return out;
+}
+
+namespace {
+
+std::map<Row, int64_t, RowLess> ToBag(const std::vector<Row>& rows) {
+  std::map<Row, int64_t, RowLess> bag;
+  for (const Row& r : rows) bag[r] += 1;
+  return bag;
+}
+
+}  // namespace
+
+std::vector<TimestampedRow> Istream(const std::vector<InstantRelation>& rels) {
+  std::vector<TimestampedRow> out;
+  std::map<Row, int64_t, RowLess> previous;
+  for (const InstantRelation& rel : rels) {
+    auto current = ToBag(rel.rows);
+    for (const auto& [row, count] : current) {
+      auto it = previous.find(row);
+      const int64_t prev = it == previous.end() ? 0 : it->second;
+      for (int64_t i = prev; i < count; ++i) {
+        out.push_back(TimestampedRow{rel.tau, row});
+      }
+    }
+    previous = std::move(current);
+  }
+  return out;
+}
+
+std::vector<TimestampedRow> Dstream(const std::vector<InstantRelation>& rels) {
+  std::vector<TimestampedRow> out;
+  std::map<Row, int64_t, RowLess> previous;
+  for (const InstantRelation& rel : rels) {
+    auto current = ToBag(rel.rows);
+    for (const auto& [row, count] : previous) {
+      auto it = current.find(row);
+      const int64_t cur = it == current.end() ? 0 : it->second;
+      for (int64_t i = cur; i < count; ++i) {
+        out.push_back(TimestampedRow{rel.tau, row});
+      }
+    }
+    previous = std::move(current);
+  }
+  return out;
+}
+
+std::vector<TimestampedRow> Rstream(const std::vector<InstantRelation>& rels) {
+  std::vector<TimestampedRow> out;
+  for (const InstantRelation& rel : rels) {
+    for (const Row& row : rel.rows) {
+      out.push_back(TimestampedRow{rel.tau, row});
+    }
+  }
+  return out;
+}
+
+void CqlQuery7::OnBid(Timestamp ptime, Timestamp bidtime, int64_t price,
+                      const std::string& item) {
+  (void)ptime;
+  buffer_.Add(bidtime,
+              Row{Value::Time(bidtime), Value::Int64(price),
+                  Value::String(item)});
+}
+
+std::vector<CqlQuery7::Output> CqlQuery7::AdvanceHeartbeat(
+    Timestamp ptime, Timestamp heartbeat) {
+  std::vector<Output> outputs;
+  for (TimestampedRow& tr : buffer_.AdvanceHeartbeat(heartbeat)) {
+    if (!started_) {
+      started_ = true;
+      next_boundary_ =
+          Timestamp(FloorAlign(tr.ts.millis(), range_.millis()) +
+                    range_.millis());
+    }
+    window_.push_back(std::move(tr));
+  }
+  if (!started_) return outputs;
+
+  // Emit every boundary the heartbeat has passed. With SLIDE == RANGE the
+  // windows tumble: each boundary consumes the rows below it. The walk is
+  // capped by the buffered data: once every released row is consumed, later
+  // (empty) boundaries emit nothing, so a far-future heartbeat (e.g. +inf
+  // at end of input) terminates after the last data boundary.
+  while (next_boundary_ <= heartbeat && !window_.empty()) {
+    const Timestamp tau = next_boundary_;
+    int64_t max_price = std::numeric_limits<int64_t>::min();
+    for (const TimestampedRow& tr : window_) {
+      if (tr.ts < tau) {
+        max_price = std::max(max_price, tr.row[1].AsInt64());
+      }
+    }
+    for (const TimestampedRow& tr : window_) {
+      if (tr.ts < tau && tr.row[1].AsInt64() == max_price) {
+        Output out;
+        out.window_end = tau;
+        out.bidtime = tr.ts;
+        out.price = max_price;
+        out.item = tr.row[2].AsString();
+        out.ptime = ptime;
+        outputs.push_back(std::move(out));
+      }
+    }
+    // Tumbling: drop the consumed rows.
+    window_.erase(std::remove_if(window_.begin(), window_.end(),
+                                 [&](const TimestampedRow& tr) {
+                                   return tr.ts < tau;
+                                 }),
+                  window_.end());
+    next_boundary_ = tau + range_;
+  }
+  return outputs;
+}
+
+}  // namespace cql
+}  // namespace onesql

@@ -1,0 +1,136 @@
+#ifndef ONESQL_CQL_CQL_H_
+#define ONESQL_CQL_CQL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/timestamp.h"
+
+namespace onesql {
+namespace cql {
+
+/// The CQL / STREAM baseline the paper contrasts its proposal against
+/// (Sections 2.1, 4). CQL separates three operator classes:
+/// stream-to-relation (windows), relation-to-relation (SQL), and
+/// relation-to-stream (Istream/Dstream/Rstream). Time is implicit metadata,
+/// and out-of-order input is handled by *heartbeat buffering*: rows are held
+/// back and fed to the query processor in timestamp order, introducing
+/// latency proportional to the disorder.
+
+/// One element of a CQL stream: payload plus its (implicit) timestamp.
+struct TimestampedRow {
+  Timestamp ts;
+  Row row;
+
+  bool operator==(const TimestampedRow& o) const {
+    return ts == o.ts && RowsEqual(row, o.row);
+  }
+};
+
+/// STREAM-style in-order buffer: arrivals are held until a heartbeat
+/// guarantees no earlier timestamp can arrive, then released in timestamp
+/// order. This is the paper's Section 3.2 contrast to watermarks — the
+/// query processor downstream only ever sees in-order data.
+class HeartbeatBuffer {
+ public:
+  /// Buffers one (possibly out-of-order) arrival.
+  void Add(Timestamp ts, Row row);
+
+  /// Advances the heartbeat and releases all rows with ts <= heartbeat,
+  /// sorted by timestamp. Heartbeats must be monotonic.
+  std::vector<TimestampedRow> AdvanceHeartbeat(Timestamp heartbeat);
+
+  /// Rows currently held (the buffering cost of the in-order approach).
+  size_t buffered() const { return buffer_.size(); }
+
+  Timestamp heartbeat() const { return heartbeat_; }
+
+ private:
+  std::multimap<Timestamp, Row> buffer_;
+  Timestamp heartbeat_ = Timestamp::Min();
+};
+
+/// An instantaneous relation: the contents of a CQL relation at logical
+/// time tau (CQL's R(tau)).
+struct InstantRelation {
+  Timestamp tau;
+  std::vector<Row> rows;
+};
+
+/// Stream-to-relation: [RANGE range SLIDE slide]. Evaluates the sequence of
+/// instantaneous relations at slide boundaries tau (aligned to the epoch),
+/// where R(tau) holds the rows with ts in [tau - range, tau). The stream
+/// must be in timestamp order. Relations are produced for every boundary
+/// tau with first_ts < tau <= end.
+std::vector<InstantRelation> SlidingWindow(
+    const std::vector<TimestampedRow>& stream, Interval range, Interval slide,
+    Timestamp end);
+
+/// Relation-to-relation: applies `fn` pointwise to each instantaneous
+/// relation (this is where ordinary SQL evaluation plugs in).
+template <typename Fn>
+std::vector<InstantRelation> MapRelation(std::vector<InstantRelation> input,
+                                         Fn fn) {
+  for (InstantRelation& r : input) {
+    r.rows = fn(r.rows);
+  }
+  return input;
+}
+
+/// Relation-to-stream operators (Section 2.1.1):
+/// Istream(R) = rows in R(tau) but not R(tau-1).
+std::vector<TimestampedRow> Istream(const std::vector<InstantRelation>& rels);
+/// Dstream(R) = rows in R(tau-1) but not R(tau).
+std::vector<TimestampedRow> Dstream(const std::vector<InstantRelation>& rels);
+/// Rstream(R) = all rows of R(tau), at every tau.
+std::vector<TimestampedRow> Rstream(const std::vector<InstantRelation>& rels);
+
+/// The CQL formulation of NEXMark Query 7 (the paper's Listing 1):
+///
+///   SELECT Rstream(B.price, B.itemid)
+///   FROM Bid [RANGE 10 MINUTE SLIDE 10 MINUTE] B
+///   WHERE B.price = (SELECT MAX(B1.price) FROM Bid
+///                    [RANGE 10 MINUTE SLIDE 10 MINUTE] B1);
+///
+/// evaluated incrementally over out-of-order arrivals with heartbeat
+/// buffering. Emits one batch of results per window boundary, once the
+/// heartbeat passes it.
+class CqlQuery7 {
+ public:
+  explicit CqlQuery7(Interval range) : range_(range) {}
+
+  struct Output {
+    Timestamp window_end;  // the boundary tau
+    Timestamp bidtime;
+    int64_t price = 0;
+    std::string item;
+    Timestamp ptime;  // processing time of emission
+  };
+
+  /// Buffers one bid arrival (out-of-order allowed).
+  void OnBid(Timestamp ptime, Timestamp bidtime, int64_t price,
+             const std::string& item);
+
+  /// Advances the heartbeat; evaluates and returns the Rstream outputs of
+  /// every window boundary now known complete.
+  std::vector<Output> AdvanceHeartbeat(Timestamp ptime, Timestamp heartbeat);
+
+  /// Rows currently held in the in-order buffer.
+  size_t buffered() const { return buffer_.buffered(); }
+  /// Rows released in-order but waiting for their window boundary.
+  size_t window_pending() const { return window_.size(); }
+
+ private:
+  Interval range_;
+  HeartbeatBuffer buffer_;
+  std::vector<TimestampedRow> window_;  // in-order rows of open windows
+  Timestamp next_boundary_ = Timestamp::Min();
+  bool started_ = false;
+};
+
+}  // namespace cql
+}  // namespace onesql
+
+#endif  // ONESQL_CQL_CQL_H_

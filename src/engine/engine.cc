@@ -1,0 +1,310 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "exec/expr_eval.h"
+#include "plan/binder.h"
+#include "plan/optimizer.h"
+#include "sql/parser.h"
+#include "tvr/tvr.h"
+
+namespace onesql {
+
+// ---------------------------------------------------------------------------
+// ContinuousQuery
+// ---------------------------------------------------------------------------
+
+Schema ContinuousQuery::StreamSchema() const {
+  Schema schema = output_schema();
+  schema.AddField(Field{"undo", DataType::kVarchar, false});
+  schema.AddField(Field{"ptime", DataType::kTimestamp, false});
+  schema.AddField(Field{"ver", DataType::kBigint, false});
+  return schema;
+}
+
+std::vector<Row> ContinuousQuery::StreamRows() const {
+  std::vector<Row> rows;
+  rows.reserve(Emissions().size());
+  for (const exec::Emission& e : Emissions()) {
+    Row row = e.row;
+    row.push_back(e.undo ? Value::String("undo") : Value::String(""));
+    row.push_back(Value::Time(e.ptime));
+    row.push_back(Value::Int64(e.ver));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Change>> ContinuousQuery::UpsertStream() const {
+  const auto& keys = flow_->plan().version_key_columns;
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "the upsert rendering requires a grouping key (aggregate or "
+        "windowed query)");
+  }
+  Changelog retractions;
+  retractions.reserve(Emissions().size());
+  for (const exec::Emission& e : Emissions()) {
+    retractions.push_back(Change{
+        e.undo ? ChangeKind::kDelete : ChangeKind::kInsert, e.row, e.ptime});
+  }
+  return tvr::EncodeUpsertStream(retractions, keys);
+}
+
+Result<std::vector<Row>> ContinuousQuery::Present(
+    std::vector<Row> rows) const {
+  const plan::QueryPlan& qp = flow_->plan();
+  if (!qp.order_by.empty()) {
+    // Precompute sort keys.
+    std::vector<std::pair<Row, Row>> keyed;  // (sort key, row)
+    keyed.reserve(rows.size());
+    for (Row& row : rows) {
+      Row key;
+      key.reserve(qp.order_by.size());
+      for (const auto& [expr, desc] : qp.order_by) {
+        (void)desc;
+        ONESQL_ASSIGN_OR_RETURN(Value v, exec::EvalExpr(*expr, row));
+        key.push_back(std::move(v));
+      }
+      keyed.emplace_back(std::move(key), std::move(row));
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t i = 0; i < qp.order_by.size(); ++i) {
+                         const int c = a.first[i].Compare(b.first[i]);
+                         if (c == 0) continue;
+                         return qp.order_by[i].second ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    rows.clear();
+    for (auto& [key, row] : keyed) {
+      (void)key;
+      rows.push_back(std::move(row));
+    }
+  }
+  if (qp.limit.has_value() &&
+      rows.size() > static_cast<size_t>(*qp.limit)) {
+    rows.resize(static_cast<size_t>(*qp.limit));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> ContinuousQuery::SnapshotAt(Timestamp ptime) {
+  ONESQL_RETURN_NOT_OK(flow_->AdvanceTo(ptime));
+  return Present(flow_->sink().SnapshotAt(ptime));
+}
+
+Result<std::vector<Row>> ContinuousQuery::CurrentSnapshot() {
+  ONESQL_RETURN_NOT_OK(flow_->AdvanceTo(last_ptime_));
+  return Present(flow_->sink().CurrentSnapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Status Engine::RegisterStream(const std::string& name, Schema schema) {
+  return catalog_.Register(
+      plan::TableDef{name, std::move(schema), /*unbounded=*/true});
+}
+
+Status Engine::RegisterTable(const std::string& name, Schema schema,
+                             std::vector<Row> rows) {
+  const size_t width = schema.num_fields();
+  for (const Row& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("table row arity mismatch for '" + name +
+                                     "'");
+    }
+  }
+  ONESQL_RETURN_NOT_OK(catalog_.Register(
+      plan::TableDef{name, std::move(schema), /*unbounded=*/false}));
+  table_rows_[ToLower(name)] = std::move(rows);
+  return Status::OK();
+}
+
+Result<plan::QueryPlan> Engine::Plan(const std::string& sql) const {
+  ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                          sql::Parser::Parse(sql));
+  plan::Binder binder(&catalog_);
+  ONESQL_ASSIGN_OR_RETURN(plan::QueryPlan plan, binder.Bind(*stmt));
+  ONESQL_RETURN_NOT_OK(plan::Optimizer::Optimize(&plan));
+  return plan;
+}
+
+Result<ContinuousQuery*> Engine::Execute(const std::string& sql) {
+  return Execute(sql, ExecutionOptions{});
+}
+
+Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
+                                         const ExecutionOptions& options) {
+  ONESQL_ASSIGN_OR_RETURN(plan::QueryPlan plan, Plan(sql));
+  if (options.allowed_lateness.millis() < 0) {
+    return Status::InvalidArgument("allowed lateness must be non-negative");
+  }
+  plan.allowed_lateness = options.allowed_lateness;
+  ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Dataflow> flow,
+                          exec::Dataflow::Build(std::move(plan)));
+
+  auto query = std::unique_ptr<ContinuousQuery>(
+      new ContinuousQuery(std::move(flow)));
+
+  // Feed static tables: contents at the beginning of time, then a +inf
+  // watermark (a bounded relation is a TVR that never changes again).
+  for (const auto& [name, rows] : table_rows_) {
+    if (!query->flow_->ReadsSource(name)) continue;
+    for (const Row& row : rows) {
+      ONESQL_RETURN_NOT_OK(
+          query->flow_->PushRow(name, Timestamp::Min(), row));
+    }
+    ONESQL_RETURN_NOT_OK(query->flow_->PushWatermark(name, Timestamp::Min(),
+                                                     Timestamp::Max()));
+  }
+
+  // Replay recorded history so the new query reflects all data so far.
+  for (const FeedEvent& event : history_) {
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        ONESQL_RETURN_NOT_OK(
+            query->flow_->PushRow(event.source, event.ptime, event.row));
+        break;
+      case FeedEvent::Kind::kDelete:
+        ONESQL_RETURN_NOT_OK(
+            query->flow_->PushDelete(event.source, event.ptime, event.row));
+        break;
+      case FeedEvent::Kind::kWatermark:
+        ONESQL_RETURN_NOT_OK(query->flow_->PushWatermark(
+            event.source, event.ptime, event.watermark));
+        break;
+    }
+  }
+  query->last_ptime_ = last_ptime_;
+
+  ContinuousQuery* out = query.get();
+  queries_.push_back(std::move(query));
+  return out;
+}
+
+Status Engine::ValidateRow(const std::string& stream, const Row& row) const {
+  ONESQL_ASSIGN_OR_RETURN(const plan::TableDef* def, catalog_.Lookup(stream));
+  if (!def->unbounded) {
+    return Status::InvalidArgument("cannot feed events into static table '" +
+                                   stream + "'");
+  }
+  if (row.size() != def->schema.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch for stream '" + stream +
+                                   "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!IsImplicitlyCoercible(row[i].type(), def->schema.field(i).type)) {
+      return Status::InvalidArgument(
+          "type mismatch for column '" + def->schema.field(i).name + "' of '" +
+          stream + "': expected " +
+          DataTypeToString(def->schema.field(i).type) + ", got " +
+          DataTypeToString(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::Dispatch(const FeedEvent& event) {
+  if (event.ptime < last_ptime_) {
+    return Status::InvalidArgument(
+        "feed events must arrive in processing-time order (got " +
+        event.ptime.ToString() + " after " + last_ptime_.ToString() + ")");
+  }
+  last_ptime_ = event.ptime;
+  history_.push_back(event);
+  for (auto& query : queries_) {
+    query->last_ptime_ = event.ptime;
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        ONESQL_RETURN_NOT_OK(
+            query->flow_->PushRow(event.source, event.ptime, event.row));
+        break;
+      case FeedEvent::Kind::kDelete:
+        ONESQL_RETURN_NOT_OK(
+            query->flow_->PushDelete(event.source, event.ptime, event.row));
+        break;
+      case FeedEvent::Kind::kWatermark:
+        ONESQL_RETURN_NOT_OK(query->flow_->PushWatermark(
+            event.source, event.ptime, event.watermark));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::Insert(const std::string& stream, Timestamp ptime, Row row) {
+  ONESQL_RETURN_NOT_OK(ValidateRow(stream, row));
+  FeedEvent event;
+  event.kind = FeedEvent::Kind::kInsert;
+  event.source = stream;
+  event.ptime = ptime;
+  event.row = std::move(row);
+  return Dispatch(event);
+}
+
+Status Engine::Delete(const std::string& stream, Timestamp ptime, Row row) {
+  ONESQL_RETURN_NOT_OK(ValidateRow(stream, row));
+  FeedEvent event;
+  event.kind = FeedEvent::Kind::kDelete;
+  event.source = stream;
+  event.ptime = ptime;
+  event.row = std::move(row);
+  return Dispatch(event);
+}
+
+Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
+                                Timestamp watermark) {
+  ONESQL_ASSIGN_OR_RETURN(const plan::TableDef* def, catalog_.Lookup(stream));
+  if (!def->unbounded) {
+    return Status::InvalidArgument("static table '" + stream +
+                                   "' has no watermark to advance");
+  }
+  Timestamp& current = stream_watermarks_[ToLower(stream)];
+  if (watermark < current) {
+    return Status::InvalidArgument("watermark for '" + stream +
+                                   "' must be monotonic");
+  }
+  current = watermark;
+  FeedEvent event;
+  event.kind = FeedEvent::Kind::kWatermark;
+  event.source = stream;
+  event.ptime = ptime;
+  event.watermark = watermark;
+  return Dispatch(event);
+}
+
+Status Engine::Feed(const std::vector<FeedEvent>& events) {
+  for (const FeedEvent& event : events) {
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        ONESQL_RETURN_NOT_OK(Insert(event.source, event.ptime, event.row));
+        break;
+      case FeedEvent::Kind::kDelete:
+        ONESQL_RETURN_NOT_OK(Delete(event.source, event.ptime, event.row));
+        break;
+      case FeedEvent::Kind::kWatermark:
+        ONESQL_RETURN_NOT_OK(
+            AdvanceWatermark(event.source, event.ptime, event.watermark));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::AdvanceTo(Timestamp ptime) {
+  if (ptime < last_ptime_) {
+    return Status::InvalidArgument("cannot advance the clock backwards");
+  }
+  last_ptime_ = ptime;
+  for (auto& query : queries_) {
+    query->last_ptime_ = ptime;
+    ONESQL_RETURN_NOT_OK(query->flow_->AdvanceTo(ptime));
+  }
+  return Status::OK();
+}
+
+}  // namespace onesql

@@ -1,0 +1,146 @@
+#ifndef ONESQL_ENGINE_ENGINE_H_
+#define ONESQL_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "exec/dataflow.h"
+#include "plan/catalog.h"
+
+namespace onesql {
+
+/// One event of a processing-time-ordered feed: exactly the shape of the
+/// paper's Section 4 example dataset — INSERTs and watermark advances, each
+/// tagged with the processing time at which the system became aware of them.
+struct FeedEvent {
+  enum class Kind { kInsert, kDelete, kWatermark };
+  Kind kind = Kind::kInsert;
+  std::string source;
+  Timestamp ptime;
+  Row row;              // kInsert / kDelete
+  Timestamp watermark;  // kWatermark
+};
+
+/// Per-query execution options that are not part of the SQL text.
+struct ExecutionOptions {
+  /// Extension 2's "configurable amount of allowed lateness": groupings
+  /// accept late inputs (emitting corrections — the late pane) until the
+  /// watermark passes their event-time key by this much. Default zero
+  /// reproduces the paper's strict drop semantics.
+  Interval allowed_lateness{0};
+};
+
+/// A running continuous query: both renderings of its result TVR are
+/// observable at any processing time — the table (snapshot) and the stream
+/// (changelog with undo/ptime/ver metadata columns, Extension 4).
+class ContinuousQuery {
+ public:
+  const Schema& output_schema() const { return flow_->plan().output_schema; }
+  const plan::QueryPlan& plan() const { return flow_->plan(); }
+
+  /// Stream rendering: the materialized changes so far.
+  const std::vector<exec::Emission>& Emissions() const {
+    return flow_->sink().emissions();
+  }
+
+  /// Schema of the stream rendering: output columns plus undo/ptime/ver.
+  Schema StreamSchema() const;
+
+  /// Stream rendering as rows of StreamSchema() (Listing 9 format).
+  std::vector<Row> StreamRows() const;
+
+  /// The upsert-stream rendering (Appendix B.2.3 / Section 8 "streaming
+  /// changelog options"): the result changelog re-encoded as UPSERT/DELETE
+  /// records keyed by the query's event-time grouping key. Requires the
+  /// grouping key to be a unique key of the result (true for aggregations);
+  /// fails otherwise.
+  Result<std::vector<Change>> UpsertStream() const;
+
+  /// Table rendering at processing time `ptime` (fires due timers first),
+  /// with ORDER BY / LIMIT applied.
+  Result<std::vector<Row>> SnapshotAt(Timestamp ptime);
+
+  /// Table rendering as of all input consumed so far.
+  Result<std::vector<Row>> CurrentSnapshot();
+
+  /// Current watermark as observed at the query result.
+  Timestamp watermark() const { return flow_->sink().watermark(); }
+
+  /// State held by this query's operators, in bytes.
+  size_t StateBytes() const { return flow_->StateBytes(); }
+
+  const exec::Dataflow& dataflow() const { return *flow_; }
+
+ private:
+  friend class Engine;
+  explicit ContinuousQuery(std::unique_ptr<exec::Dataflow> flow)
+      : flow_(std::move(flow)) {}
+
+  Result<std::vector<Row>> Present(std::vector<Row> rows) const;
+
+  std::unique_ptr<exec::Dataflow> flow_;
+  Timestamp last_ptime_ = Timestamp::Min();
+};
+
+/// The engine: a catalog of streams and tables, a set of running continuous
+/// queries, and a recorded event history so that queries issued later replay
+/// the full feed (which is how the paper's "8:13>" vs "8:21>" point-in-time
+/// SELECTs are reproduced).
+class Engine {
+ public:
+  /// Registers an unbounded relation (stream).
+  Status RegisterStream(const std::string& name, Schema schema);
+
+  /// Registers a bounded relation (classic table) with static contents.
+  Status RegisterTable(const std::string& name, Schema schema,
+                       std::vector<Row> rows);
+
+  /// Parses, binds, optimizes, and starts a continuous query. The recorded
+  /// history is replayed into it, so its result reflects all data so far.
+  /// The returned pointer remains owned by the engine.
+  Result<ContinuousQuery*> Execute(const std::string& sql);
+  Result<ContinuousQuery*> Execute(const std::string& sql,
+                                   const ExecutionOptions& options);
+
+  /// Compiles a query without starting it (plan inspection).
+  Result<plan::QueryPlan> Plan(const std::string& sql) const;
+
+  /// Feeds one insertion into a stream at processing time `ptime`.
+  /// Processing times must be non-decreasing across all feed calls.
+  Status Insert(const std::string& stream, Timestamp ptime, Row row);
+
+  /// Feeds one retraction.
+  Status Delete(const std::string& stream, Timestamp ptime, Row row);
+
+  /// Advances a stream's watermark (must be monotonic per stream).
+  Status AdvanceWatermark(const std::string& stream, Timestamp ptime,
+                          Timestamp watermark);
+
+  /// Feeds a whole recorded dataset.
+  Status Feed(const std::vector<FeedEvent>& events);
+
+  /// Advances the processing-time clock of every query (fires AFTER DELAY
+  /// timers); call before observing results at `ptime`.
+  Status AdvanceTo(Timestamp ptime);
+
+  const plan::Catalog& catalog() const { return catalog_; }
+
+ private:
+  Status ValidateRow(const std::string& stream, const Row& row) const;
+  Status Dispatch(const FeedEvent& event);
+
+  plan::Catalog catalog_;
+  std::vector<std::unique_ptr<ContinuousQuery>> queries_;
+  std::vector<FeedEvent> history_;
+  std::unordered_map<std::string, std::vector<Row>> table_rows_;
+  std::unordered_map<std::string, Timestamp> stream_watermarks_;
+  Timestamp last_ptime_ = Timestamp::Min();
+};
+
+}  // namespace onesql
+
+#endif  // ONESQL_ENGINE_ENGINE_H_

@@ -1,0 +1,45 @@
+#ifndef ONESQL_EXEC_ACCUMULATOR_H_
+#define ONESQL_EXEC_ACCUMULATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "plan/bound_expr.h"
+
+namespace onesql {
+namespace exec {
+
+/// A retractable aggregate accumulator. Because TVR changelogs carry DELETEs
+/// as well as INSERTs (Section 3.3.1), every aggregate must support exact
+/// retraction: SUM/COUNT/AVG invert arithmetically; MIN/MAX maintain an
+/// ordered multiset of inputs.
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+
+  /// Folds one input value in. NULL inputs are ignored (SQL semantics),
+  /// except for COUNT(*) which has no argument.
+  virtual Status Add(const Value& v) = 0;
+
+  /// Removes one previously added value.
+  virtual Status Retract(const Value& v) = 0;
+
+  /// Current aggregate value; NULL when no non-null input remains (0 for
+  /// COUNT/COUNT(*)).
+  virtual Value Current() const = 0;
+
+  /// Bytes of state held (approximate), for the state-size benchmarks.
+  virtual size_t StateBytes() const = 0;
+};
+
+using AccumulatorPtr = std::unique_ptr<Accumulator>;
+
+/// Creates an accumulator for the given call. DISTINCT is supported for
+/// every function by wrapping the base accumulator behind a value-count map.
+Result<AccumulatorPtr> MakeAccumulator(const plan::AggregateCall& call);
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_ACCUMULATOR_H_

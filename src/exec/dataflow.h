@@ -1,0 +1,75 @@
+#ifndef ONESQL_EXEC_DATAFLOW_H_
+#define ONESQL_EXEC_DATAFLOW_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/sink.h"
+#include "plan/logical_plan.h"
+
+namespace onesql {
+namespace exec {
+
+/// An executable continuous query: the physical operator graph compiled from
+/// a QueryPlan, driven by pushing source changes and watermarks in
+/// processing-time order. Owns the plan (operators reference its bound
+/// expressions).
+class Dataflow {
+ public:
+  /// Compiles the plan. Fails with NotImplemented for plan shapes the
+  /// streaming runtime does not support (e.g. LEFT JOIN).
+  static Result<std::unique_ptr<Dataflow>> Build(plan::QueryPlan plan);
+
+  /// Pushes an insertion into relation `source` at processing time `ptime`.
+  /// Pushes must arrive in non-decreasing ptime order. Unknown sources are
+  /// ignored (the query does not read them).
+  Status PushRow(const std::string& source, Timestamp ptime, Row row);
+
+  /// Pushes a retraction of a previously inserted row.
+  Status PushDelete(const std::string& source, Timestamp ptime, Row row);
+
+  /// Advances relation `source`'s watermark at processing time `ptime`.
+  Status PushWatermark(const std::string& source, Timestamp ptime,
+                       Timestamp watermark);
+
+  /// Advances the processing-time clock to `ptime`, firing all AFTER DELAY
+  /// timers due at or before it. Call before observing results at `ptime`.
+  Status AdvanceTo(Timestamp ptime);
+
+  /// True if this query reads `source`.
+  bool ReadsSource(const std::string& source) const;
+
+  const MaterializationSink& sink() const { return *sink_; }
+  const plan::QueryPlan& plan() const { return plan_; }
+
+  /// Total bytes of operator state (aggregations, joins, sink), for the
+  /// state-size benchmarks.
+  size_t StateBytes() const;
+
+  /// Introspection for tests and benchmarks.
+  const std::vector<AggregateOperator*>& aggregates() const {
+    return aggregates_;
+  }
+  const std::vector<JoinOperator*>& joins() const { return joins_; }
+
+ private:
+  Dataflow() = default;
+
+  Status BuildNode(const plan::LogicalNode& node, Operator* out, int port);
+  Status PushChange(const std::string& source, const Change& change);
+
+  plan::QueryPlan plan_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  MaterializationSink* sink_ = nullptr;
+  std::unordered_map<std::string, std::vector<SourceOperator*>> sources_;
+  std::vector<AggregateOperator*> aggregates_;
+  std::vector<JoinOperator*> joins_;
+};
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_DATAFLOW_H_

@@ -1,0 +1,310 @@
+#include "exec/expr_eval.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace onesql {
+namespace exec {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::ScalarOp;
+
+bool BothNumeric(const Value& a, const Value& b) {
+  auto numeric = [](const Value& v) {
+    return v.type() == DataType::kBigint || v.type() == DataType::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+bool EitherDouble(const Value& a, const Value& b) {
+  return a.type() == DataType::kDouble || b.type() == DataType::kDouble;
+}
+
+Result<Value> EvalArithmetic(ScalarOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  const DataType lt = l.type();
+  const DataType rt = r.type();
+
+  switch (op) {
+    case ScalarOp::kAdd:
+      if (BothNumeric(l, r)) {
+        if (EitherDouble(l, r)) return Value::Double(*l.ToNumeric() + *r.ToNumeric());
+        return Value::Int64(l.AsInt64() + r.AsInt64());
+      }
+      if (lt == DataType::kTimestamp && rt == DataType::kInterval) {
+        return Value::Time(l.AsTimestamp() + r.AsInterval());
+      }
+      if (lt == DataType::kInterval && rt == DataType::kTimestamp) {
+        return Value::Time(r.AsTimestamp() + l.AsInterval());
+      }
+      if (lt == DataType::kInterval && rt == DataType::kInterval) {
+        return Value::Duration(l.AsInterval() + r.AsInterval());
+      }
+      break;
+    case ScalarOp::kSub:
+      if (BothNumeric(l, r)) {
+        if (EitherDouble(l, r)) return Value::Double(*l.ToNumeric() - *r.ToNumeric());
+        return Value::Int64(l.AsInt64() - r.AsInt64());
+      }
+      if (lt == DataType::kTimestamp && rt == DataType::kInterval) {
+        return Value::Time(l.AsTimestamp() - r.AsInterval());
+      }
+      if (lt == DataType::kTimestamp && rt == DataType::kTimestamp) {
+        return Value::Duration(l.AsTimestamp() - r.AsTimestamp());
+      }
+      if (lt == DataType::kInterval && rt == DataType::kInterval) {
+        return Value::Duration(l.AsInterval() - r.AsInterval());
+      }
+      break;
+    case ScalarOp::kMul:
+      if (BothNumeric(l, r)) {
+        if (EitherDouble(l, r)) return Value::Double(*l.ToNumeric() * *r.ToNumeric());
+        return Value::Int64(l.AsInt64() * r.AsInt64());
+      }
+      if (lt == DataType::kInterval && rt == DataType::kBigint) {
+        return Value::Duration(l.AsInterval() * r.AsInt64());
+      }
+      if (lt == DataType::kBigint && rt == DataType::kInterval) {
+        return Value::Duration(r.AsInterval() * l.AsInt64());
+      }
+      break;
+    case ScalarOp::kDiv:
+      if (BothNumeric(l, r)) {
+        if (EitherDouble(l, r)) {
+          const double d = *r.ToNumeric();
+          if (d == 0.0) return Status::ExecutionError("division by zero");
+          return Value::Double(*l.ToNumeric() / d);
+        }
+        if (r.AsInt64() == 0) {
+          return Status::ExecutionError("division by zero");
+        }
+        return Value::Int64(l.AsInt64() / r.AsInt64());
+      }
+      if (lt == DataType::kInterval && rt == DataType::kBigint) {
+        if (r.AsInt64() == 0) {
+          return Status::ExecutionError("division by zero");
+        }
+        return Value::Duration(Interval(l.AsInterval().millis() / r.AsInt64()));
+      }
+      break;
+    case ScalarOp::kMod:
+      if (lt == DataType::kBigint && rt == DataType::kBigint) {
+        if (r.AsInt64() == 0) {
+          return Status::ExecutionError("division by zero");
+        }
+        return Value::Int64(l.AsInt64() % r.AsInt64());
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::ExecutionError(std::string("cannot apply ") +
+                                plan::ScalarOpToString(op) + " to " +
+                                DataTypeToString(lt) + " and " +
+                                DataTypeToString(rt));
+}
+
+Result<Value> EvalComparison(ScalarOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const int c = l.Compare(r);
+  bool result = false;
+  switch (op) {
+    case ScalarOp::kEq: result = c == 0; break;
+    case ScalarOp::kNeq: result = c != 0; break;
+    case ScalarOp::kLt: result = c < 0; break;
+    case ScalarOp::kLe: result = c <= 0; break;
+    case ScalarOp::kGt: result = c > 0; break;
+    case ScalarOp::kGe: result = c >= 0; break;
+    default:
+      return Status::Internal("not a comparison op");
+  }
+  return Value::Bool(result);
+}
+
+Result<Value> EvalCast(const Value& v, DataType target) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() == target) return v;
+  switch (target) {
+    case DataType::kVarchar:
+      return Value::String(v.ToString());
+    case DataType::kBigint:
+      if (v.type() == DataType::kDouble) {
+        return Value::Int64(static_cast<int64_t>(v.AsDouble()));
+      }
+      break;
+    case DataType::kDouble:
+      if (v.type() == DataType::kBigint) {
+        return Value::Double(static_cast<double>(v.AsInt64()));
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::ExecutionError(std::string("cannot cast ") +
+                                DataTypeToString(v.type()) + " to " +
+                                DataTypeToString(target));
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const BoundExpr& expr, const Row& row) {
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return expr.literal;
+    case BoundExpr::Kind::kInputRef:
+      if (expr.input_index >= row.size()) {
+        return Status::Internal("input reference out of range");
+      }
+      return row[expr.input_index];
+    case BoundExpr::Kind::kOp:
+      break;
+  }
+
+  switch (expr.op) {
+    case ScalarOp::kAdd:
+    case ScalarOp::kSub:
+    case ScalarOp::kMul:
+    case ScalarOp::kDiv:
+    case ScalarOp::kMod: {
+      ONESQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      ONESQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      return EvalArithmetic(expr.op, l, r);
+    }
+    case ScalarOp::kNeg: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      switch (v.type()) {
+        case DataType::kBigint:
+          return Value::Int64(-v.AsInt64());
+        case DataType::kDouble:
+          return Value::Double(-v.AsDouble());
+        case DataType::kInterval:
+          return Value::Duration(-v.AsInterval());
+        default:
+          return Status::ExecutionError("cannot negate " +
+                                        std::string(DataTypeToString(v.type())));
+      }
+    }
+    case ScalarOp::kEq:
+    case ScalarOp::kNeq:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe: {
+      ONESQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      ONESQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      return EvalComparison(expr.op, l, r);
+    }
+    case ScalarOp::kAnd: {
+      // Three-valued logic with short-circuit: FALSE dominates NULL.
+      ONESQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      if (!l.is_null() && !l.AsBool()) return Value::Bool(false);
+      ONESQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      if (!r.is_null() && !r.AsBool()) return Value::Bool(false);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    case ScalarOp::kOr: {
+      ONESQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      if (!l.is_null() && l.AsBool()) return Value::Bool(true);
+      ONESQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      if (!r.is_null() && r.AsBool()) return Value::Bool(true);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
+    case ScalarOp::kNot: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.AsBool());
+    }
+    case ScalarOp::kIsNull: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      return Value::Bool(v.is_null());
+    }
+    case ScalarOp::kIsNotNull: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      return Value::Bool(!v.is_null());
+    }
+    case ScalarOp::kCase: {
+      const size_t pairs = expr.children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        ONESQL_ASSIGN_OR_RETURN(Value cond,
+                                EvalExpr(*expr.children[2 * i], row));
+        if (!cond.is_null() && cond.AsBool()) {
+          return EvalExpr(*expr.children[2 * i + 1], row);
+        }
+      }
+      if (expr.children.size() % 2 == 1) {
+        return EvalExpr(*expr.children.back(), row);
+      }
+      return Value::Null();
+    }
+    case ScalarOp::kCast: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      return EvalCast(v, expr.type);
+    }
+    case ScalarOp::kLower:
+    case ScalarOp::kUpper: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      std::string s = v.AsString();
+      for (char& c : s) {
+        c = expr.op == ScalarOp::kLower
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return Value::String(std::move(s));
+    }
+    case ScalarOp::kCharLength: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      return Value::Int64(static_cast<int64_t>(v.AsString().size()));
+    }
+    case ScalarOp::kAbs: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kBigint) {
+        return Value::Int64(std::llabs(v.AsInt64()));
+      }
+      return Value::Double(std::fabs(v.AsDouble()));
+    }
+    case ScalarOp::kFloor:
+    case ScalarOp::kCeil: {
+      ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kBigint) return v;
+      return Value::Double(expr.op == ScalarOp::kFloor
+                               ? std::floor(v.AsDouble())
+                               : std::ceil(v.AsDouble()));
+    }
+    case ScalarOp::kConcat: {
+      std::string out;
+      for (const auto& child : expr.children) {
+        ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*child, row));
+        if (v.is_null()) return Value::Null();
+        out += v.type() == DataType::kVarchar ? v.AsString() : v.ToString();
+      }
+      return Value::String(std::move(out));
+    }
+    case ScalarOp::kCoalesce: {
+      for (const auto& child : expr.children) {
+        ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*child, row));
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+  }
+  return Status::Internal("unreachable scalar op");
+}
+
+Result<bool> EvalPredicate(const plan::BoundExpr& expr, const Row& row) {
+  ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
+  return !v.is_null() && v.AsBool();
+}
+
+}  // namespace exec
+}  // namespace onesql

@@ -1,0 +1,24 @@
+#ifndef ONESQL_EXEC_EXPR_EVAL_H_
+#define ONESQL_EXEC_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "common/row.h"
+#include "plan/bound_expr.h"
+
+namespace onesql {
+namespace exec {
+
+/// Evaluates a bound expression against a row, following SQL semantics:
+/// ternary logic for comparisons and boolean connectives (NULL operands
+/// yield NULL, except IS [NOT] NULL), NULL-propagating arithmetic, and
+/// errors on division by zero or malformed casts.
+Result<Value> EvalExpr(const plan::BoundExpr& expr, const Row& row);
+
+/// Evaluates a predicate: returns true only when the expression evaluates
+/// to TRUE (NULL and FALSE both reject the row).
+Result<bool> EvalPredicate(const plan::BoundExpr& expr, const Row& row);
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_EXPR_EVAL_H_

@@ -1,0 +1,86 @@
+#ifndef ONESQL_EXEC_OPERATOR_H_
+#define ONESQL_EXEC_OPERATOR_H_
+
+#include <vector>
+
+#include "common/changelog.h"
+#include "common/result.h"
+
+namespace onesql {
+namespace exec {
+
+/// Base class for push-based dataflow operators. Each operator consumes a
+/// changelog (INSERT/DELETE changes interleaved with watermark advances) on
+/// one or more input ports and produces a changelog on its single output.
+///
+/// This is the execution model of Appendix B.2.3: "a mechanism to encode and
+/// propagate arbitrary changes of input, intermediate, or result relations"
+/// plus "implementations for relational operators that consume changing
+/// input relations and update their output relation correspondingly".
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Wires this operator's output into `out` at `port`.
+  void SetOutput(Operator* out, int port) {
+    out_ = out;
+    out_port_ = port;
+  }
+
+  /// Processes one changelog entry arriving on `port`.
+  virtual Status OnElement(int port, const Change& change) = 0;
+
+  /// Processes a watermark advance on `port`. Watermarks are monotonic per
+  /// port; multi-input operators forward the minimum across ports.
+  virtual Status OnWatermark(int port, Timestamp watermark,
+                             Timestamp ptime) = 0;
+
+  /// Approximate bytes of operator state (for the state-size benchmarks).
+  virtual size_t StateBytes() const { return 0; }
+
+ protected:
+  Status EmitElement(const Change& change) {
+    return out_ != nullptr ? out_->OnElement(out_port_, change) : Status::OK();
+  }
+  Status EmitWatermark(Timestamp watermark, Timestamp ptime) {
+    return out_ != nullptr ? out_->OnWatermark(out_port_, watermark, ptime)
+                           : Status::OK();
+  }
+
+ private:
+  Operator* out_ = nullptr;
+  int out_port_ = 0;
+};
+
+/// Helper for operators with `n` input ports: tracks per-port watermarks and
+/// reports when the combined (minimum) watermark advances.
+class WatermarkMerger {
+ public:
+  explicit WatermarkMerger(int ports)
+      : marks_(ports, Timestamp::Min()), combined_(Timestamp::Min()) {}
+
+  /// Updates `port` and returns true if the combined watermark advanced.
+  bool Update(int port, Timestamp watermark) {
+    if (watermark > marks_[port]) marks_[port] = watermark;
+    Timestamp min = marks_[0];
+    for (const Timestamp& m : marks_) {
+      if (m < min) min = m;
+    }
+    if (min > combined_) {
+      combined_ = min;
+      return true;
+    }
+    return false;
+  }
+
+  Timestamp combined() const { return combined_; }
+
+ private:
+  std::vector<Timestamp> marks_;
+  Timestamp combined_;
+};
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_OPERATOR_H_

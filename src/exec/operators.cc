@@ -1,0 +1,679 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "exec/expr_eval.h"
+
+namespace onesql {
+namespace exec {
+
+// ---------------------------------------------------------------------------
+// Source
+// ---------------------------------------------------------------------------
+
+Status SourceOperator::OnElement(int, const Change& change) {
+  return EmitElement(change);
+}
+
+Status SourceOperator::OnWatermark(int, Timestamp watermark,
+                                   Timestamp ptime) {
+  return EmitWatermark(watermark, ptime);
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+Status FilterOperator::OnElement(int, const Change& change) {
+  ONESQL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, change.row));
+  if (pass) return EmitElement(change);
+  return Status::OK();
+}
+
+Status FilterOperator::OnWatermark(int, Timestamp watermark,
+                                   Timestamp ptime) {
+  return EmitWatermark(watermark, ptime);
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+Status ProjectOperator::OnElement(int, const Change& change) {
+  Change out;
+  out.kind = change.kind;
+  out.ptime = change.ptime;
+  out.row.reserve(exprs_->size());
+  for (const auto& e : *exprs_) {
+    ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, change.row));
+    out.row.push_back(std::move(v));
+  }
+  return EmitElement(out);
+}
+
+Status ProjectOperator::OnWatermark(int, Timestamp watermark,
+                                   Timestamp ptime) {
+  return EmitWatermark(watermark, ptime);
+}
+
+// ---------------------------------------------------------------------------
+// Window
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Largest multiple of `step` (shifted by `offset`) that is <= t.
+int64_t FloorAlign(int64_t t, int64_t step, int64_t offset) {
+  const int64_t shifted = t - offset;
+  int64_t q = shifted / step;
+  if (shifted % step != 0 && shifted < 0) --q;
+  return q * step + offset;
+}
+
+}  // namespace
+
+std::vector<Timestamp> WindowOperator::AssignWindows(Timestamp t, Interval dur,
+                                                     Interval hop,
+                                                     Interval offset) {
+  std::vector<Timestamp> starts;
+  const int64_t last_start =
+      FloorAlign(t.millis(), hop.millis(), offset.millis());
+  // Walk backwards over hop-aligned starts whose window still covers t.
+  for (int64_t s = last_start; s + dur.millis() > t.millis();
+       s -= hop.millis()) {
+    starts.push_back(Timestamp(s));
+  }
+  std::reverse(starts.begin(), starts.end());
+  return starts;
+}
+
+Status WindowOperator::OnElement(int, const Change& change) {
+  const Value& tv = change.row[node_->timecol()];
+  if (tv.is_null()) {
+    return Status::ExecutionError(
+        "NULL event timestamp in windowing column '" +
+        node_->input().schema().field(node_->timecol()).name + "'");
+  }
+  const Timestamp t = tv.AsTimestamp();
+  for (Timestamp start :
+       AssignWindows(t, node_->dur(), node_->hop(), node_->offset())) {
+    Change out;
+    out.kind = change.kind;
+    out.ptime = change.ptime;
+    out.row = change.row;
+    out.row.push_back(Value::Time(start));
+    out.row.push_back(Value::Time(start + node_->dur()));
+    ONESQL_RETURN_NOT_OK(EmitElement(out));
+  }
+  return Status::OK();
+}
+
+Status WindowOperator::OnWatermark(int, Timestamp watermark,
+                                   Timestamp ptime) {
+  return EmitWatermark(watermark, ptime);
+}
+
+// ---------------------------------------------------------------------------
+// Temporal filter (time-progressing predicate)
+// ---------------------------------------------------------------------------
+
+Status TemporalFilterOperator::OnElement(int, const Change& change) {
+  if (change.kind == ChangeKind::kUpsert) {
+    return Status::ExecutionError("temporal filter cannot consume UPSERTs");
+  }
+  const Value& tv = change.row[node_->et_col()];
+  if (tv.is_null()) {
+    return Status::ExecutionError(
+        "NULL event timestamp in CURRENT_TIME predicate column");
+  }
+  const Timestamp t = tv.AsTimestamp();
+  // Rows already outside the horizon never enter the output; matching
+  // DELETEs for rows expired earlier are swallowed the same way (the output
+  // already retracted them).
+  if (t + node_->horizon() <= watermark_) {
+    return Status::OK();
+  }
+  if (change.kind == ChangeKind::kInsert) {
+    live_.emplace(t.millis(), change.row);
+    return EmitElement(change);
+  }
+  auto range = live_.equal_range(t.millis());
+  for (auto it = range.first; it != range.second; ++it) {
+    if (RowsEqual(it->second, change.row)) {
+      live_.erase(it);
+      return EmitElement(change);
+    }
+  }
+  return Status::ExecutionError(
+      "temporal filter received a DELETE for a row that was never inserted");
+}
+
+Status TemporalFilterOperator::OnWatermark(int, Timestamp watermark,
+                                           Timestamp ptime) {
+  if (watermark > watermark_) {
+    watermark_ = watermark;
+    // CURRENT_TIME progressed: retract rows that fell out of the horizon.
+    const int64_t cutoff = watermark_.millis() - node_->horizon().millis();
+    while (!live_.empty() && live_.begin()->first <= cutoff) {
+      Change retract;
+      retract.kind = ChangeKind::kDelete;
+      retract.row = std::move(live_.begin()->second);
+      retract.ptime = ptime;
+      live_.erase(live_.begin());
+      ++expired_;
+      ONESQL_RETURN_NOT_OK(EmitElement(retract));
+    }
+  }
+  return EmitWatermark(watermark, ptime);
+}
+
+size_t TemporalFilterOperator::StateBytes() const {
+  size_t total = 0;
+  for (const auto& [t, row] : live_) {
+    (void)t;
+    total += row.size() * sizeof(Value) + 48;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Session windows
+// ---------------------------------------------------------------------------
+
+Row SessionOperator::KeyOf(const Row& row) const {
+  if (!node_->session_key().has_value()) return Row{};
+  return Row{row[*node_->session_key()]};
+}
+
+Status SessionOperator::EmitRow(ChangeKind kind, const Row& row,
+                                Timestamp wstart, Timestamp wend,
+                                Timestamp ptime) {
+  Change out;
+  out.kind = kind;
+  out.ptime = ptime;
+  out.row = row;
+  out.row.push_back(Value::Time(wstart));
+  out.row.push_back(Value::Time(wend));
+  return EmitElement(out);
+}
+
+Status SessionOperator::HandleInsert(KeyState* ks, const Row& row,
+                                     Timestamp t, Timestamp ptime) {
+  const Interval gap = node_->dur();
+  Timestamp new_start = t;
+  Timestamp new_end = t + gap;
+
+  // Absorb every existing session whose interval overlaps [t, t + gap),
+  // growing the merged interval as we go (absorbing one session can bring
+  // later sessions into range). Keep each absorbed session intact so its
+  // rows can be retracted under their old bounds.
+  std::vector<Session> absorbed;
+  auto it = ks->sessions.lower_bound(new_start);
+  if (it != ks->sessions.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > t) it = prev;
+  }
+  while (it != ks->sessions.end() && it->second.start < new_end) {
+    if (it->second.end <= new_start) {
+      ++it;
+      continue;
+    }
+    new_start = std::min(new_start, it->second.start);
+    new_end = std::max(new_end, it->second.end);
+    absorbed.push_back(std::move(it->second));
+    it = ks->sessions.erase(it);
+  }
+
+  Session merged;
+  merged.start = new_start;
+  merged.end = new_end;
+  for (Session& old : absorbed) {
+    const bool bounds_changed =
+        !(old.start == new_start && old.end == new_end);
+    for (auto& [rt, r] : old.rows) {
+      if (bounds_changed) {
+        ONESQL_RETURN_NOT_OK(
+            EmitRow(ChangeKind::kDelete, r, old.start, old.end, ptime));
+        ONESQL_RETURN_NOT_OK(
+            EmitRow(ChangeKind::kInsert, r, new_start, new_end, ptime));
+      }
+      merged.rows.emplace(rt, std::move(r));
+    }
+  }
+  merged.rows.emplace(t, row);
+  ks->sessions.emplace(merged.start, std::move(merged));
+  return EmitRow(ChangeKind::kInsert, row, new_start, new_end, ptime);
+}
+
+Status SessionOperator::HandleDelete(KeyState* ks, const Row& row,
+                                     Timestamp t, Timestamp ptime) {
+  const Interval gap = node_->dur();
+  // Locate the session containing t.
+  auto it = ks->sessions.upper_bound(t);
+  if (it != ks->sessions.begin()) --it;
+  if (it == ks->sessions.end() || it->second.start > t ||
+      it->second.end <= t) {
+    return Status::ExecutionError(
+        "session window received a DELETE for a row that was never inserted");
+  }
+  Session session = std::move(it->second);
+  ks->sessions.erase(it);
+
+  // Remove one occurrence of the row.
+  bool removed = false;
+  auto range = session.rows.equal_range(t);
+  for (auto rit = range.first; rit != range.second; ++rit) {
+    if (RowsEqual(rit->second, row)) {
+      session.rows.erase(rit);
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) {
+    return Status::ExecutionError(
+        "session window received a DELETE for a row that was never inserted");
+  }
+  ONESQL_RETURN_NOT_OK(
+      EmitRow(ChangeKind::kDelete, row, session.start, session.end, ptime));
+  if (session.rows.empty()) return Status::OK();
+
+  // Re-partition the survivors into gap-connected runs (the deletion may
+  // have split the session or shrunk its bounds).
+  std::vector<Session> runs;
+  for (auto& [rt, r] : session.rows) {
+    if (runs.empty() || rt >= runs.back().end) {
+      Session s;
+      s.start = rt;
+      s.end = rt + gap;
+      runs.push_back(std::move(s));
+    } else {
+      runs.back().end = std::max(runs.back().end, rt + gap);
+    }
+    runs.back().rows.emplace(rt, std::move(r));
+  }
+  for (Session& run : runs) {
+    if (!(run.start == session.start && run.end == session.end)) {
+      // Bounds changed: retract and re-emit every member.
+      for (const auto& [rt, r] : run.rows) {
+        (void)rt;
+        ONESQL_RETURN_NOT_OK(EmitRow(ChangeKind::kDelete, r, session.start,
+                                     session.end, ptime));
+        ONESQL_RETURN_NOT_OK(
+            EmitRow(ChangeKind::kInsert, r, run.start, run.end, ptime));
+      }
+    }
+    const Timestamp start = run.start;
+    ks->sessions.emplace(start, std::move(run));
+  }
+  return Status::OK();
+}
+
+Status SessionOperator::OnElement(int, const Change& change) {
+  const Value& tv = change.row[node_->timecol()];
+  if (tv.is_null()) {
+    return Status::ExecutionError(
+        "NULL event timestamp in session windowing column");
+  }
+  const Timestamp t = tv.AsTimestamp();
+  // A row that cannot connect to any live session (its candidate interval
+  // lies entirely below the watermark, minus the allowed lateness) is late:
+  // its session was finalized.
+  if (t + node_->dur() + allowed_lateness_ <= watermark_) {
+    ++late_drops_;
+    return Status::OK();
+  }
+  KeyState& ks = keys_[KeyOf(change.row)];
+  if (change.kind == ChangeKind::kInsert) {
+    return HandleInsert(&ks, change.row, t, change.ptime);
+  }
+  if (change.kind == ChangeKind::kDelete) {
+    return HandleDelete(&ks, change.row, t, change.ptime);
+  }
+  return Status::ExecutionError("session window cannot consume UPSERTs");
+}
+
+Status SessionOperator::OnWatermark(int, Timestamp watermark,
+                                   Timestamp ptime) {
+  if (watermark > watermark_) {
+    watermark_ = watermark;
+    // Sessions ending at or below the watermark (minus allowed lateness)
+    // are final: any future event time is > watermark >= end, so no merge
+    // can reach them.
+    for (auto& [key, ks] : keys_) {
+      (void)key;
+      for (auto it = ks.sessions.begin(); it != ks.sessions.end();) {
+        if (it->second.end + allowed_lateness_ <= watermark_) {
+          it = ks.sessions.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return EmitWatermark(watermark, ptime);
+}
+
+size_t SessionOperator::NumSessions() const {
+  size_t n = 0;
+  for (const auto& [key, ks] : keys_) {
+    (void)key;
+    n += ks.sessions.size();
+  }
+  return n;
+}
+
+size_t SessionOperator::StateBytes() const {
+  size_t total = 0;
+  for (const auto& [key, ks] : keys_) {
+    total += key.size() * sizeof(Value) + 64;
+    for (const auto& [start, session] : ks.sessions) {
+      (void)start;
+      total += 2 * sizeof(Timestamp) + 48;
+      for (const auto& [rt, r] : session.rows) {
+        (void)rt;
+        total += r.size() * sizeof(Value) + 48;
+      }
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+// ---------------------------------------------------------------------------
+
+AggregateOperator::AggregateOperator(const plan::AggregateNode* node,
+                                     Interval allowed_lateness)
+    : node_(node), allowed_lateness_(allowed_lateness) {}
+
+Result<Row> AggregateOperator::EvalKey(const Row& input) const {
+  Row key;
+  key.reserve(node_->keys().size());
+  for (const auto& k : node_->keys()) {
+    ONESQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, input));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+bool AggregateOperator::IsComplete(const Row& key, Timestamp watermark) const {
+  if (node_->event_time_key_indexes().empty()) return false;
+  // With allowed lateness, a group stays open (correctable) until the
+  // watermark passes its event-time key by the lateness budget.
+  const Timestamp effective = watermark - allowed_lateness_;
+  for (size_t i : node_->event_time_key_indexes()) {
+    const Value& v = key[i];
+    if (v.is_null()) continue;
+    if (v.AsTimestamp() > effective) return false;
+  }
+  return true;
+}
+
+Status AggregateOperator::EmitGroupUpdate(GroupState* state, const Row& key,
+                                          Timestamp ptime) {
+  // Build the new output row (or none when the group emptied).
+  bool has_new = state->row_count > 0;
+  Row new_output;
+  if (has_new) {
+    new_output = key;
+    for (const auto& acc : state->accumulators) {
+      new_output.push_back(acc->Current());
+    }
+  }
+  const bool unchanged = state->has_output == has_new &&
+                         (!has_new || RowsEqual(state->last_output, new_output));
+  if (unchanged) return Status::OK();
+
+  if (state->has_output) {
+    Change retract;
+    retract.kind = ChangeKind::kDelete;
+    retract.row = state->last_output;
+    retract.ptime = ptime;
+    ONESQL_RETURN_NOT_OK(EmitElement(retract));
+  }
+  if (has_new) {
+    Change insert;
+    insert.kind = ChangeKind::kInsert;
+    insert.row = new_output;
+    insert.ptime = ptime;
+    ONESQL_RETURN_NOT_OK(EmitElement(insert));
+  }
+  state->has_output = has_new;
+  state->last_output = std::move(new_output);
+  return Status::OK();
+}
+
+Status AggregateOperator::OnElement(int, const Change& change) {
+  if (change.kind == ChangeKind::kUpsert) {
+    return Status::ExecutionError("aggregate cannot consume UPSERT changes");
+  }
+  ONESQL_ASSIGN_OR_RETURN(Row key, EvalKey(change.row));
+
+  // Extension 2: inputs for already-complete groups are dropped.
+  if (IsComplete(key, watermark_)) {
+    ++late_drops_;
+    return Status::OK();
+  }
+
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.accumulators.reserve(node_->aggs().size());
+    for (const auto& call : node_->aggs()) {
+      ONESQL_ASSIGN_OR_RETURN(AccumulatorPtr acc, MakeAccumulator(call));
+      state.accumulators.push_back(std::move(acc));
+    }
+    it = groups_.emplace(std::move(key), std::move(state)).first;
+  }
+  GroupState& state = it->second;
+
+  for (size_t i = 0; i < node_->aggs().size(); ++i) {
+    const plan::AggregateCall& call = node_->aggs()[i];
+    Value arg;  // NULL placeholder for COUNT(*)
+    if (call.arg != nullptr) {
+      ONESQL_ASSIGN_OR_RETURN(arg, EvalExpr(*call.arg, change.row));
+    }
+    if (change.kind == ChangeKind::kInsert) {
+      ONESQL_RETURN_NOT_OK(state.accumulators[i]->Add(arg));
+    } else {
+      ONESQL_RETURN_NOT_OK(state.accumulators[i]->Retract(arg));
+    }
+  }
+  state.row_count += change.kind == ChangeKind::kInsert ? 1 : -1;
+  if (state.row_count < 0) {
+    return Status::ExecutionError(
+        "aggregate received a DELETE for a row that was never inserted");
+  }
+
+  ONESQL_RETURN_NOT_OK(EmitGroupUpdate(&state, it->first, change.ptime));
+
+  if (state.row_count == 0) groups_.erase(it);
+  return Status::OK();
+}
+
+Status AggregateOperator::OnWatermark(int, Timestamp watermark,
+                                   Timestamp ptime) {
+  if (watermark > watermark_) {
+    watermark_ = watermark;
+    // Extension 2: groups whose event-time keys are below the watermark are
+    // complete — their results are final, so state can be released.
+    for (auto it = groups_.begin(); it != groups_.end();) {
+      if (IsComplete(it->first, watermark_)) {
+        it = groups_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return EmitWatermark(watermark, ptime);
+}
+
+size_t AggregateOperator::StateBytes() const {
+  size_t total = 0;
+  for (const auto& [key, state] : groups_) {
+    total += key.size() * sizeof(Value) + 64;
+    total += state.last_output.size() * sizeof(Value);
+    for (const auto& acc : state.accumulators) total += acc->StateBytes();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+JoinOperator::JoinOperator(const plan::JoinNode* node) : node_(node) {}
+
+Row JoinOperator::KeyOf(const Row& row, bool left) const {
+  Row key;
+  key.reserve(node_->equi_keys().size());
+  for (const auto& [l, r] : node_->equi_keys()) {
+    key.push_back(row[left ? l : r]);
+  }
+  return key;
+}
+
+Status JoinOperator::Probe(const Change& change, const Row& key,
+                           bool from_left) {
+  const SideState& other = from_left ? right_ : left_;
+  auto bucket = other.buckets.find(key);
+  if (bucket == other.buckets.end()) return Status::OK();
+
+  for (const auto& [other_row, count] : bucket->second) {
+    Row joined;
+    if (from_left) {
+      joined = change.row;
+      joined.insert(joined.end(), other_row.begin(), other_row.end());
+    } else {
+      joined = other_row;
+      joined.insert(joined.end(), change.row.begin(), change.row.end());
+    }
+    if (node_->condition() != nullptr) {
+      ONESQL_ASSIGN_OR_RETURN(bool pass,
+                              EvalPredicate(*node_->condition(), joined));
+      if (!pass) continue;
+    }
+    Change out;
+    out.kind = change.kind;
+    out.ptime = change.ptime;
+    out.row = std::move(joined);
+    for (int64_t i = 0; i < count; ++i) {
+      ONESQL_RETURN_NOT_OK(EmitElement(out));
+    }
+  }
+  return Status::OK();
+}
+
+Status JoinOperator::ApplyToState(
+    SideState* side, const Change& change, const Row& key,
+    const std::optional<plan::JoinPurgeSpec>& purge) {
+  if (change.kind == ChangeKind::kInsert) {
+    side->buckets[key][change.row] += 1;
+    side->size += 1;
+    if (purge.has_value()) {
+      const Value& et = change.row[purge->et_col];
+      if (!et.is_null()) {
+        side->purge_index.emplace(et.AsTimestamp().millis(),
+                                  std::make_pair(key, change.row));
+      }
+    }
+    return Status::OK();
+  }
+  // DELETE
+  auto bucket = side->buckets.find(key);
+  if (bucket == side->buckets.end()) {
+    return Status::ExecutionError(
+        "join received a DELETE for a row that was never inserted");
+  }
+  auto row_it = bucket->second.find(change.row);
+  if (row_it == bucket->second.end()) {
+    return Status::ExecutionError(
+        "join received a DELETE for a row that was never inserted");
+  }
+  if (--row_it->second == 0) bucket->second.erase(row_it);
+  if (bucket->second.empty()) side->buckets.erase(bucket);
+  side->size -= 1;
+  if (purge.has_value()) {
+    const Value& et = change.row[purge->et_col];
+    if (!et.is_null()) {
+      auto range = side->purge_index.equal_range(et.AsTimestamp().millis());
+      for (auto it = range.first; it != range.second; ++it) {
+        if (RowsEqual(it->second.second, change.row)) {
+          side->purge_index.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status JoinOperator::OnElement(int port, const Change& change) {
+  if (change.kind == ChangeKind::kUpsert) {
+    return Status::ExecutionError("join cannot consume UPSERT changes");
+  }
+  const bool from_left = port == 0;
+  const Row key = KeyOf(change.row, from_left);
+  // SQL equality: a NULL key never matches anything, and since inner join
+  // output cannot include it, the row need not be retained.
+  for (const Value& v : key) {
+    if (v.is_null()) return Status::OK();
+  }
+  ONESQL_RETURN_NOT_OK(Probe(change, key, from_left));
+  return ApplyToState(from_left ? &left_ : &right_, change, key,
+                      from_left ? node_->left_purge() : node_->right_purge());
+}
+
+Status JoinOperator::PurgeSide(SideState* side,
+                               const std::optional<plan::JoinPurgeSpec>& purge,
+                               Timestamp watermark) {
+  if (!purge.has_value()) return Status::OK();
+  // Rows with et + slack <= watermark can never match future rows of the
+  // other side, and (by the optimizer's safety analysis) will never be
+  // retracted — release them.
+  const int64_t cutoff = watermark.millis() - purge->slack.millis();
+  auto it = side->purge_index.begin();
+  while (it != side->purge_index.end() && it->first <= cutoff) {
+    const auto& [key, row] = it->second;
+    auto bucket = side->buckets.find(key);
+    if (bucket != side->buckets.end()) {
+      auto row_it = bucket->second.find(row);
+      if (row_it != bucket->second.end()) {
+        // One purge-index entry exists per inserted instance; remove one.
+        if (--row_it->second == 0) bucket->second.erase(row_it);
+        side->size -= 1;
+      }
+      if (bucket->second.empty()) side->buckets.erase(bucket);
+    }
+    it = side->purge_index.erase(it);
+  }
+  return Status::OK();
+}
+
+Status JoinOperator::OnWatermark(int port, Timestamp watermark,
+                                   Timestamp ptime) {
+  if (merger_.Update(port, watermark)) {
+    const Timestamp combined = merger_.combined();
+    ONESQL_RETURN_NOT_OK(PurgeSide(&left_, node_->left_purge(), combined));
+    ONESQL_RETURN_NOT_OK(PurgeSide(&right_, node_->right_purge(), combined));
+    return EmitWatermark(combined, ptime);
+  }
+  return Status::OK();
+}
+
+size_t JoinOperator::StateBytes() const {
+  size_t total = 0;
+  for (const SideState* side : {&left_, &right_}) {
+    for (const auto& [key, bucket] : side->buckets) {
+      total += key.size() * sizeof(Value) + 64;
+      for (const auto& [row, count] : bucket) {
+        (void)count;
+        total += row.size() * sizeof(Value) + 48;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace exec
+}  // namespace onesql

@@ -1,0 +1,222 @@
+#ifndef ONESQL_EXEC_OPERATORS_H_
+#define ONESQL_EXEC_OPERATORS_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "exec/accumulator.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace onesql {
+namespace exec {
+
+/// Entry point of a pipeline: forwards pushed source changes downstream.
+/// The dataflow registers one SourceOperator per Scan; the same registered
+/// relation may feed several scans (the paper's Listing 2 scans Bid twice).
+class SourceOperator : public Operator {
+ public:
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+};
+
+/// Stateless row filter: symmetric for INSERTs and DELETEs.
+class FilterOperator : public Operator {
+ public:
+  explicit FilterOperator(const plan::BoundExpr* predicate)
+      : predicate_(predicate) {}
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+
+ private:
+  const plan::BoundExpr* predicate_;
+};
+
+/// Stateless projection.
+class ProjectOperator : public Operator {
+ public:
+  explicit ProjectOperator(const std::vector<plan::BoundExprPtr>* exprs)
+      : exprs_(exprs) {}
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+
+ private:
+  const std::vector<plan::BoundExprPtr>* exprs_;
+};
+
+/// Windowing TVF (Extension 3): appends wstart/wend. Stateless — DELETEs map
+/// to the same windows as the INSERTs they retract.
+class WindowOperator : public Operator {
+ public:
+  explicit WindowOperator(const plan::WindowNode* node) : node_(node) {}
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+
+  /// Window starts containing event time `t` for the given parameters, in
+  /// ascending order. Exposed for property tests.
+  static std::vector<Timestamp> AssignWindows(Timestamp t, Interval dur,
+                                              Interval hop, Interval offset);
+
+ private:
+  const plan::WindowNode* node_;
+};
+
+/// Time-progressing predicate (Section 8 future work): keeps the sliding
+/// tail `et_col > CURRENT_TIME - horizon` of the stream, where CURRENT_TIME
+/// is the relation's event-time clock (its watermark). Rows pass through on
+/// arrival and are retracted once the watermark passes et + horizon.
+class TemporalFilterOperator : public Operator {
+ public:
+  explicit TemporalFilterOperator(const plan::TemporalFilterNode* node)
+      : node_(node) {}
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+  size_t StateBytes() const override;
+
+  size_t live_rows() const { return live_.size(); }
+  int64_t expired_rows() const { return expired_; }
+
+ private:
+  const plan::TemporalFilterNode* node_;
+  std::multimap<int64_t, Row> live_;  // keyed by event time (ms)
+  Timestamp watermark_ = Timestamp::Min();
+  int64_t expired_ = 0;
+};
+
+/// Session windowing (the paper's Section 8 future work: "transitive
+/// closure sessions" and "keyed sessions"). Appends wstart/wend columns
+/// like Tumble/Hop, but sessions are data-driven: rows whose event times
+/// are within `gap` of each other (per optional key) share a session
+/// [min_t, max_t + gap). Inserting a row may merge sessions and deleting
+/// one may split them, so previously emitted rows are retracted and
+/// re-emitted with their new bounds. Sessions whose end passes the
+/// watermark are final and their state is released.
+class SessionOperator : public Operator {
+ public:
+  SessionOperator(const plan::WindowNode* node, Interval allowed_lateness)
+      : node_(node), allowed_lateness_(allowed_lateness) {}
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+  size_t StateBytes() const override;
+
+  /// Live (non-final) sessions across all keys.
+  size_t NumSessions() const;
+  int64_t late_drops() const { return late_drops_; }
+
+ private:
+  struct Session {
+    Timestamp start;  // min member event time
+    Timestamp end;    // max member event time + gap
+    std::multimap<Timestamp, Row> rows;
+  };
+  struct KeyState {
+    std::map<Timestamp, Session> sessions;  // by start; disjoint intervals
+  };
+
+  Row KeyOf(const Row& row) const;
+  Status EmitRow(ChangeKind kind, const Row& row, Timestamp wstart,
+                 Timestamp wend, Timestamp ptime);
+  Status HandleInsert(KeyState* ks, const Row& row, Timestamp t,
+                      Timestamp ptime);
+  Status HandleDelete(KeyState* ks, const Row& row, Timestamp t,
+                      Timestamp ptime);
+
+  const plan::WindowNode* node_;
+  Interval allowed_lateness_{0};
+  std::unordered_map<Row, KeyState, RowHash, RowEq> keys_;
+  Timestamp watermark_ = Timestamp::Min();
+  int64_t late_drops_ = 0;
+};
+
+/// Grouped aggregation over a changelog. Emits retraction pairs
+/// (DELETE old row, INSERT new row) whenever a group's output changes —
+/// never emitting when the output row is unchanged. Implements Extension 2:
+/// once the watermark passes every event-time grouping key of a group, the
+/// group is complete; its state is purged and late inputs are dropped.
+class AggregateOperator : public Operator {
+ public:
+  AggregateOperator(const plan::AggregateNode* node,
+                    Interval allowed_lateness);
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+  size_t StateBytes() const override;
+
+  /// Number of live groups (state-size benchmarks).
+  size_t NumGroups() const { return groups_.size(); }
+  /// Inputs dropped because their group was already complete.
+  int64_t late_drops() const { return late_drops_; }
+
+ private:
+  struct GroupState {
+    std::vector<AccumulatorPtr> accumulators;
+    int64_t row_count = 0;
+    bool has_output = false;
+    Row last_output;
+  };
+
+  Result<Row> EvalKey(const Row& input) const;
+  /// True when every event-time key of `key` is at or below the watermark.
+  bool IsComplete(const Row& key, Timestamp watermark) const;
+  Status EmitGroupUpdate(GroupState* state, const Row& key, Timestamp ptime);
+
+  const plan::AggregateNode* node_;
+  Interval allowed_lateness_{0};
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups_;
+  Timestamp watermark_ = Timestamp::Min();
+  int64_t late_drops_ = 0;
+};
+
+/// Materializing binary join (inner/cross). Both inputs are kept as
+/// key-indexed multisets; changes on one side probe the other and emit the
+/// corresponding insertions/retractions of concatenated rows. Optional
+/// purge specs release state as the watermark advances (the Section 5
+/// lesson on efficient operations over watermarked event-time attributes).
+class JoinOperator : public Operator {
+ public:
+  explicit JoinOperator(const plan::JoinNode* node);
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+  size_t StateBytes() const override;
+
+  size_t left_rows() const { return left_.size; }
+  size_t right_rows() const { return right_.size; }
+
+ private:
+  struct SideState {
+    // key -> (row -> multiplicity)
+    std::unordered_map<Row, std::map<Row, int64_t, RowLess>, RowHash, RowEq>
+        buckets;
+    // event time (ms) -> rows pending purge, parallel to `buckets`.
+    std::multimap<int64_t, std::pair<Row, Row>> purge_index;  // (key, row)
+    size_t size = 0;
+  };
+
+  Row KeyOf(const Row& row, bool left) const;
+  Status Probe(const Change& change, const Row& key, bool from_left);
+  Status ApplyToState(SideState* side, const Change& change, const Row& key,
+                      const std::optional<plan::JoinPurgeSpec>& purge);
+  Status PurgeSide(SideState* side,
+                   const std::optional<plan::JoinPurgeSpec>& purge,
+                   Timestamp watermark);
+
+  const plan::JoinNode* node_;
+  SideState left_;
+  SideState right_;
+  WatermarkMerger merger_{2};
+};
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_OPERATORS_H_

@@ -1,0 +1,222 @@
+#include "exec/sink.h"
+
+namespace onesql {
+namespace exec {
+
+std::string Emission::ToString() const {
+  std::string out = RowToString(row);
+  if (undo) out += " undo";
+  out += " ptime=" + ptime.ToString();
+  out += " ver=" + std::to_string(ver);
+  return out;
+}
+
+Row MaterializationSink::KeyOf(const Row& row) const {
+  if (config_.version_key_columns.empty()) return row;
+  Row key;
+  key.reserve(config_.version_key_columns.size());
+  for (size_t c : config_.version_key_columns) key.push_back(row[c]);
+  return key;
+}
+
+Status MaterializationSink::Flush(const Row& key, KeyState* state,
+                                  Timestamp ptime) {
+  // Retractions first, then additions (Listing 14's undo-then-insert order).
+  for (const auto& [row, last_count] : state->last) {
+    auto it = state->current.find(row);
+    const int64_t current_count = it == state->current.end() ? 0 : it->second;
+    for (int64_t i = current_count; i < last_count; ++i) {
+      emissions_.push_back(Emission{row, true, ptime, state->next_ver++});
+      table_.push_back(Change{ChangeKind::kDelete, row, ptime});
+    }
+  }
+  for (const auto& [row, current_count] : state->current) {
+    auto it = state->last.find(row);
+    const int64_t last_count = it == state->last.end() ? 0 : it->second;
+    for (int64_t i = last_count; i < current_count; ++i) {
+      emissions_.push_back(Emission{row, false, ptime, state->next_ver++});
+      table_.push_back(Change{ChangeKind::kInsert, row, ptime});
+    }
+  }
+  state->last = state->current;
+  (void)key;
+  return Status::OK();
+}
+
+namespace {
+
+void MaybeEraseTimer(std::multimap<Timestamp, Row>* timers, Timestamp at,
+                     const Row& key) {
+  auto range = timers->equal_range(at);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (RowsEqual(it->second, key)) {
+      timers->erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void MaterializationSink::MaybeReclaim(const Row& key) {
+  // Only complete groupings are reclaimed: an idle-but-incomplete grouping
+  // must keep its `ver` counter (e.g. between the DELETE and INSERT halves
+  // of an aggregate update, the net state is momentarily empty).
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return;
+  KeyState& state = it->second;
+  if (!state.complete) return;
+  if (state.deadline.has_value()) {
+    MaybeEraseTimer(&timers_, *state.deadline, key);
+  }
+  keys_.erase(it);
+}
+
+Status MaterializationSink::OnElement(int, const Change& change) {
+  if (change.kind == ChangeKind::kUpsert) {
+    return Status::ExecutionError("sink cannot consume UPSERT changes");
+  }
+  // In AFTER WATERMARK mode a change whose completeness timestamp is already
+  // below the watermark belongs to a grouping that was declared complete —
+  // it is dropped, exactly as Extension 2 drops late aggregation inputs.
+  if (config_.after_watermark && config_.completeness_column.has_value()) {
+    const Value& cv = change.row[*config_.completeness_column];
+    if (!cv.is_null() &&
+        cv.AsTimestamp() + config_.allowed_lateness <= merger_.combined()) {
+      ++late_drops_;
+      return Status::OK();
+    }
+  }
+
+  const Row key = KeyOf(change.row);
+  KeyState& state = keys_[key];
+
+  if (state.complete) {
+    ++late_drops_;
+    return Status::OK();
+  }
+
+  if (change.kind == ChangeKind::kInsert) {
+    state.current[change.row] += 1;
+  } else {
+    auto it = state.current.find(change.row);
+    if (it == state.current.end()) {
+      return Status::ExecutionError(
+          "sink received a DELETE for a row that is not in the result");
+    }
+    if (--it->second == 0) state.current.erase(it);
+  }
+
+  if (config_.after_watermark && config_.completeness_column.has_value() &&
+      !state.completeness.has_value()) {
+    const Value& cv = change.row[*config_.completeness_column];
+    if (!cv.is_null()) {
+      state.completeness = cv.AsTimestamp();
+      pending_complete_.emplace(*state.completeness, key);
+    }
+  }
+
+  if (instant()) {
+    // Single-change fast path: the materialized diff is exactly this change,
+    // so there is no need to diff the key's whole state (`last` mirrors
+    // `current` and is not maintained in instant mode).
+    emissions_.push_back(Emission{change.row, change.kind == ChangeKind::kDelete,
+                                  change.ptime, state.next_ver++});
+    table_.push_back(Change{change.kind, change.row, change.ptime});
+    return Status::OK();
+  }
+
+  if (config_.delay.has_value()) {
+    if (!state.deadline.has_value()) {
+      state.deadline = change.ptime + *config_.delay;
+      timers_.emplace(*state.deadline, key);
+    }
+    return Status::OK();
+  }
+
+  // Pure AFTER WATERMARK with allowed lateness: once the on-time pane fired,
+  // late corrections materialize immediately (the "late pane").
+  if (state.on_time_fired) {
+    ONESQL_RETURN_NOT_OK(Flush(key, &state, change.ptime));
+  }
+  return Status::OK();
+}
+
+Status MaterializationSink::OnWatermark(int port, Timestamp watermark,
+                                   Timestamp ptime) {
+  if (!merger_.Update(port, watermark)) return Status::OK();
+  if (!config_.after_watermark) return Status::OK();
+
+  const Timestamp wm = merger_.combined();
+  while (!pending_complete_.empty() && pending_complete_.begin()->first <= wm) {
+    const Row key = pending_complete_.begin()->second;
+    pending_complete_.erase(pending_complete_.begin());
+    auto it = keys_.find(key);
+    if (it == keys_.end()) continue;
+    KeyState& state = it->second;
+    if (!state.on_time_fired) {
+      // On-time pane: materialize the result at the watermark's arrival
+      // time (Listing 13: ptime is when the watermark passed the window
+      // end).
+      ONESQL_RETURN_NOT_OK(Flush(key, &state, ptime));
+      state.on_time_fired = true;
+      if (config_.allowed_lateness.millis() > 0) {
+        // Stay open for late corrections until the lateness budget passes.
+        pending_complete_.emplace(
+            *state.completeness + config_.allowed_lateness, key);
+        continue;
+      }
+    } else {
+      // Lateness budget exhausted: flush any outstanding correction.
+      ONESQL_RETURN_NOT_OK(Flush(key, &state, ptime));
+    }
+    state.complete = true;
+    MaybeReclaim(key);
+  }
+  return Status::OK();
+}
+
+Status MaterializationSink::AdvanceTo(Timestamp now, bool inclusive) {
+  if (now > now_) now_ = now;
+  while (!timers_.empty()) {
+    const Timestamp deadline = timers_.begin()->first;
+    if (inclusive ? deadline > now : deadline >= now) break;
+    const Row key = timers_.begin()->second;
+    timers_.erase(timers_.begin());
+    auto it = keys_.find(key);
+    if (it == keys_.end()) continue;
+    KeyState& state = it->second;
+    state.deadline.reset();
+    // Materialize the coalesced net change at the deadline instant.
+    ONESQL_RETURN_NOT_OK(Flush(key, &state, deadline));
+    MaybeReclaim(key);
+  }
+  return Status::OK();
+}
+
+std::vector<Row> MaterializationSink::SnapshotAt(Timestamp ptime) const {
+  return SnapshotOf(table_, ptime);
+}
+
+std::vector<Row> MaterializationSink::CurrentSnapshot() const {
+  return SnapshotOf(table_, Timestamp::Max());
+}
+
+size_t MaterializationSink::StateBytes() const {
+  size_t total = 0;
+  for (const auto& [key, state] : keys_) {
+    total += key.size() * sizeof(Value) + 64;
+    for (const auto& [row, count] : state.last) {
+      (void)count;
+      total += row.size() * sizeof(Value) + 48;
+    }
+    for (const auto& [row, count] : state.current) {
+      (void)count;
+      total += row.size() * sizeof(Value) + 48;
+    }
+  }
+  return total;
+}
+
+}  // namespace exec
+}  // namespace onesql

@@ -1,0 +1,115 @@
+#ifndef ONESQL_EXEC_SINK_H_
+#define ONESQL_EXEC_SINK_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/changelog.h"
+#include "common/schema.h"
+#include "exec/operator.h"
+
+namespace onesql {
+namespace exec {
+
+/// One materialized change of the query result — a row of the stream
+/// rendering of the result TVR, with the metadata columns of Extension 4.
+struct Emission {
+  Row row;
+  bool undo = false;   // retraction of a previous row
+  Timestamp ptime;     // processing time at which the row materialized
+  int64_t ver = 0;     // revision index within the same event-time grouping
+
+  std::string ToString() const;
+};
+
+/// Materialization controls applied at the sink (Extensions 4-7).
+struct SinkConfig {
+  /// EMIT AFTER WATERMARK: materialize a grouping only once its input is
+  /// complete (the watermark passed the completeness column value).
+  bool after_watermark = false;
+  /// EMIT AFTER DELAY d: coalesce updates per grouping, materializing the
+  /// net change `d` after the first un-materialized change.
+  std::optional<Interval> delay;
+  /// Output column holding each row's completeness timestamp (required for
+  /// after_watermark).
+  std::optional<size_t> completeness_column;
+  /// Output columns identifying "the same event-time grouping" for `ver`
+  /// numbering and coalescing; empty keys on the whole row.
+  std::vector<size_t> version_key_columns;
+  /// Groupings stay correctable for this long past their completeness
+  /// timestamp; late corrections materialize as the "late pane" of the
+  /// early/on-time/late pattern.
+  Interval allowed_lateness{0};
+};
+
+/// Terminal operator of every dataflow: applies the EMIT materialization
+/// controls and materializes both renderings of the result TVR — the stream
+/// changelog (`emissions()`, Listing 9 style) and the table (`SnapshotAt`,
+/// Listing 3/4 style). With no delay and no watermark gating the sink
+/// materializes instantaneously, which is the default view semantics.
+class MaterializationSink : public Operator {
+ public:
+  explicit MaterializationSink(SinkConfig config)
+      : config_(std::move(config)) {}
+
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark,
+                     Timestamp ptime) override;
+
+  /// Advances the sink's processing-time clock, firing AFTER DELAY timers
+  /// with deadline < `now` (exclusive) or <= `now` (inclusive). The engine
+  /// fires exclusively before delivering an event at `now` and inclusively
+  /// before observing results at `now`.
+  Status AdvanceTo(Timestamp now, bool inclusive);
+
+  /// The stream rendering of the result TVR.
+  const std::vector<Emission>& emissions() const { return emissions_; }
+
+  /// The table rendering: result rows as of processing time `ptime`
+  /// (all timers <= ptime must have been fired; use Dataflow/Engine APIs).
+  std::vector<Row> SnapshotAt(Timestamp ptime) const;
+  std::vector<Row> CurrentSnapshot() const;
+
+  Timestamp watermark() const { return merger_.combined(); }
+  int64_t late_drops() const { return late_drops_; }
+  size_t StateBytes() const override;
+
+ private:
+  struct KeyState {
+    // Net result rows already materialized / not yet materialized.
+    std::map<Row, int64_t, RowLess> last;
+    std::map<Row, int64_t, RowLess> current;
+    std::optional<Timestamp> deadline;
+    std::optional<Timestamp> completeness;
+    bool on_time_fired = false;
+    bool complete = false;
+    int64_t next_ver = 0;
+  };
+
+  bool instant() const {
+    return !config_.after_watermark && !config_.delay.has_value();
+  }
+  Row KeyOf(const Row& row) const;
+  Status Flush(const Row& key, KeyState* state, Timestamp ptime);
+  void MaybeReclaim(const Row& key);
+
+  SinkConfig config_;
+  std::unordered_map<Row, KeyState, RowHash, RowEq> keys_;
+  // deadline -> keys with AFTER DELAY timers.
+  std::multimap<Timestamp, Row> timers_;
+  // completeness timestamp -> keys awaiting the watermark.
+  std::multimap<Timestamp, Row> pending_complete_;
+
+  std::vector<Emission> emissions_;
+  Changelog table_;  // materialized table rendering
+  WatermarkMerger merger_{1};
+  Timestamp now_ = Timestamp::Min();
+  int64_t late_drops_ = 0;
+};
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_SINK_H_

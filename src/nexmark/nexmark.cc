@@ -1,0 +1,249 @@
+#include "nexmark/nexmark.h"
+
+#include <algorithm>
+#include <random>
+
+namespace onesql {
+namespace nexmark {
+
+Schema PersonSchema() {
+  return Schema({{"dateTime", DataType::kTimestamp, true},
+                 {"id", DataType::kBigint},
+                 {"name", DataType::kVarchar},
+                 {"state", DataType::kVarchar}});
+}
+
+Schema AuctionSchema() {
+  return Schema({{"dateTime", DataType::kTimestamp, true},
+                 {"id", DataType::kBigint},
+                 {"seller", DataType::kBigint},
+                 {"category", DataType::kBigint},
+                 {"itemName", DataType::kVarchar}});
+}
+
+Schema BidSchema() {
+  return Schema({{"bidtime", DataType::kTimestamp, true},
+                 {"auction", DataType::kBigint},
+                 {"bidder", DataType::kBigint},
+                 {"price", DataType::kBigint}});
+}
+
+Schema CategorySchema() {
+  return Schema({{"id", DataType::kBigint}, {"name", DataType::kVarchar}});
+}
+
+Status RegisterNexmark(Engine* engine) {
+  ONESQL_RETURN_NOT_OK(engine->RegisterStream("Person", PersonSchema()));
+  ONESQL_RETURN_NOT_OK(engine->RegisterStream("Auction", AuctionSchema()));
+  ONESQL_RETURN_NOT_OK(engine->RegisterStream("Bid", BidSchema()));
+  Generator gen(GeneratorConfig{});
+  return engine->RegisterTable("Category", CategorySchema(),
+                               gen.CategoryRows());
+}
+
+Generator::Generator(GeneratorConfig config) : config_(config) {}
+
+std::vector<Row> Generator::CategoryRows() const {
+  static const char* const kNames[] = {
+      "art",   "books", "cars",  "games", "home",
+      "music", "pets",  "sport", "tech",  "toys"};
+  std::vector<Row> rows;
+  for (int i = 0; i < config_.num_categories; ++i) {
+    rows.push_back(
+        {Value::Int64(i),
+         Value::String(kNames[i % (sizeof(kNames) / sizeof(kNames[0]))])});
+  }
+  return rows;
+}
+
+std::vector<FeedEvent> Generator::Generate() {
+  std::mt19937 rng(config_.seed);
+  static const char* const kStates[] = {"OR", "CA", "ID", "WA", "NV"};
+  static const char* const kNames[] = {"alice", "bob",  "carol",
+                                       "dave",  "erin", "frank"};
+
+  persons_ = auctions_ = bids_ = 0;
+
+  struct Pending {
+    std::string source;
+    Timestamp event_time;
+    Row row;
+  };
+  std::vector<Pending> events;
+  events.reserve(static_cast<size_t>(config_.num_events));
+
+  std::vector<int64_t> person_ids;
+  std::vector<int64_t> auction_ids;
+  int64_t next_person = 1000;
+  int64_t next_auction = 5000;
+
+  int64_t t = Timestamp::FromHMS(8, 0).millis();
+  const int64_t gap = std::max<int64_t>(1, config_.mean_event_gap.millis());
+
+  for (int i = 0; i < config_.num_events; ++i) {
+    t += 1 + static_cast<int64_t>(rng() % static_cast<uint64_t>(2 * gap));
+    const Timestamp event_time(t);
+    // Standard NEXMark proportions: 1 person : 3 auctions : 46 bids per 50
+    // events — with persons/auctions forced early so references resolve.
+    const int slot = i % 50;
+    if (slot == 0 || person_ids.empty()) {
+      const int64_t id = next_person++;
+      person_ids.push_back(id);
+      events.push_back(Pending{
+          "Person", event_time,
+          Row{Value::Time(event_time), Value::Int64(id),
+              Value::String(kNames[rng() % 6]),
+              Value::String(kStates[rng() % 5])}});
+      ++persons_;
+    } else if (slot <= 3 || auction_ids.empty()) {
+      const int64_t id = next_auction++;
+      auction_ids.push_back(id);
+      events.push_back(Pending{
+          "Auction", event_time,
+          Row{Value::Time(event_time), Value::Int64(id),
+              Value::Int64(person_ids[rng() % person_ids.size()]),
+              Value::Int64(static_cast<int64_t>(
+                  rng() % static_cast<uint64_t>(config_.num_categories))),
+              Value::String("item-" + std::to_string(id))}});
+      ++auctions_;
+    } else {
+      events.push_back(Pending{
+          "Bid", event_time,
+          Row{Value::Time(event_time),
+              Value::Int64(auction_ids[rng() % auction_ids.size()]),
+              Value::Int64(person_ids[rng() % person_ids.size()]),
+              Value::Int64(1 + static_cast<int64_t>(rng() % 10000))}});
+      ++bids_;
+    }
+  }
+
+  // Bounded shuffle for arrival disorder.
+  if (config_.max_disorder > 0) {
+    for (int i = static_cast<int>(events.size()) - 1; i > 0; --i) {
+      const int lo = std::max(0, i - config_.max_disorder);
+      const int j = lo + static_cast<int>(rng() % (i - lo + 1));
+      std::swap(events[i], events[j]);
+    }
+  }
+
+  // min_future[i] = min event time among events[i..] (for perfect
+  // watermarks).
+  std::vector<Timestamp> min_future(events.size() + 1, Timestamp::Max());
+  for (int i = static_cast<int>(events.size()) - 1; i >= 0; --i) {
+    min_future[i] = std::min(min_future[i + 1], events[i].event_time);
+  }
+
+  std::vector<FeedEvent> feed;
+  feed.reserve(events.size() + events.size() / config_.watermark_period + 1);
+  Timestamp ptime = Timestamp::FromHMS(8, 0);
+  Timestamp max_seen = Timestamp::Min();
+  Timestamp last_wm = Timestamp::Min();
+  for (size_t i = 0; i < events.size(); ++i) {
+    ptime = ptime + Interval::Millis(100);
+    max_seen = std::max(max_seen, events[i].event_time);
+    FeedEvent fe;
+    fe.kind = FeedEvent::Kind::kInsert;
+    fe.source = events[i].source;
+    fe.ptime = ptime;
+    fe.row = std::move(events[i].row);
+    feed.push_back(std::move(fe));
+
+    if (config_.watermark_period > 0 &&
+        (i + 1) % static_cast<size_t>(config_.watermark_period) == 0) {
+      Timestamp wm;
+      if (config_.watermark_strategy == WatermarkStrategy::kPerfect) {
+        wm = min_future[i + 1] - Interval::Millis(1);
+      } else {
+        wm = max_seen - config_.heuristic_slack;
+      }
+      if (wm > last_wm) {
+        last_wm = wm;
+        ptime = ptime + Interval::Millis(1);
+        // All three streams share the generator's watermark.
+        for (const char* source : {"Person", "Auction", "Bid"}) {
+          FeedEvent w;
+          w.kind = FeedEvent::Kind::kWatermark;
+          w.source = source;
+          w.ptime = ptime;
+          w.watermark = wm;
+          feed.push_back(std::move(w));
+        }
+      }
+    }
+  }
+  // Close the feed: input complete on every stream.
+  ptime = ptime + Interval::Millis(1);
+  for (const char* source : {"Person", "Auction", "Bid"}) {
+    FeedEvent w;
+    w.kind = FeedEvent::Kind::kWatermark;
+    w.source = source;
+    w.ptime = ptime;
+    w.watermark = Timestamp::Max();
+    feed.push_back(std::move(w));
+  }
+  return feed;
+}
+
+std::string Q1() {
+  return "SELECT bidtime, auction, bidder, price * 908 / 1000 AS euro_price "
+         "FROM Bid";
+}
+
+std::string Q2() {
+  return "SELECT bidtime, auction, price FROM Bid WHERE auction % 123 = 0";
+}
+
+std::string Q3() {
+  return "SELECT p.name, p.state, a.id AS auction, a.itemName "
+         "FROM Auction a JOIN Person p ON a.seller = p.id "
+         "WHERE a.category = 3 AND p.state = 'OR'";
+}
+
+std::string Q4() {
+  return "SELECT b.wend, a.category, AVG(b.price) AS avg_price "
+         "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+         "            dur => INTERVAL '10' MINUTES) b "
+         "JOIN Auction a ON b.auction = a.id "
+         "GROUP BY b.wend, a.category";
+}
+
+std::string Q5() {
+  return R"(
+    SELECT MaxCnt.wend, Cnt.auction, Cnt.c AS num_bids
+    FROM
+      (SELECT b.wstart wstart, b.wend wend, b.auction auction,
+              COUNT(*) c
+       FROM Hop(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime),
+                dur => INTERVAL '10' MINUTES,
+                hopsize => INTERVAL '5' MINUTES) b
+       GROUP BY b.wend, b.auction) Cnt,
+      (SELECT b2.wend wend, MAX(b2.c) mx
+       FROM
+         (SELECT h.wend wend, h.auction auction, COUNT(*) c
+          FROM Hop(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime),
+                   dur => INTERVAL '10' MINUTES,
+                   hopsize => INTERVAL '5' MINUTES) h
+          GROUP BY h.wend, h.auction) b2
+       GROUP BY b2.wend) MaxCnt
+    WHERE Cnt.wend = MaxCnt.wend AND Cnt.c = MaxCnt.mx
+  )";
+}
+
+std::string Q7(const std::string& emit) {
+  return R"(
+    SELECT MaxBid.wstart, MaxBid.wend,
+           Bid.bidtime, Bid.price, Bid.auction
+    FROM
+      Bid,
+      (SELECT MAX(t.price) maxPrice, t.wstart wstart, t.wend wend
+       FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime),
+                   dur => INTERVAL '10' MINUTE) t
+       GROUP BY t.wend) MaxBid
+    WHERE Bid.price = MaxBid.maxPrice AND
+          Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE AND
+          Bid.bidtime < MaxBid.wend
+  )" + emit;
+}
+
+}  // namespace nexmark
+}  // namespace onesql

@@ -1,0 +1,99 @@
+#ifndef ONESQL_NEXMARK_NEXMARK_H_
+#define ONESQL_NEXMARK_NEXMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace onesql {
+namespace nexmark {
+
+/// The NEXMark benchmark workload (Tucker et al.), the paper's motivating
+/// example: an online auction platform with three streams — Person, Auction,
+/// Bid — and a static Category table. The schemas are adapted to this
+/// engine's type system with explicit event-time columns.
+
+Schema PersonSchema();    // (dateTime*, id, name, state)
+Schema AuctionSchema();   // (dateTime*, id, seller, category, itemName)
+Schema BidSchema();       // (bidtime*, auction, bidder, price)
+Schema CategorySchema();  // (id, name) — static
+
+/// Registers the three streams and the Category table with an engine.
+Status RegisterNexmark(Engine* engine);
+
+/// How the generator emits watermarks.
+enum class WatermarkStrategy {
+  /// Perfect: the watermark never admits a late row (lower bound over all
+  /// future event times). Requires buffering knowledge only a generator has.
+  kPerfect,
+  /// Heuristic: watermark = max observed event time - slack, the realistic
+  /// strategy; rows displaced further than the slack arrive late.
+  kHeuristic,
+};
+
+struct GeneratorConfig {
+  uint32_t seed = 42;
+  /// Total events across the three streams (1 person : 3 auctions : 46 bids,
+  /// the standard NEXMark proportions).
+  int num_events = 1000;
+  /// Mean event-time gap between consecutive events.
+  Interval mean_event_gap = Interval::Millis(500);
+  /// Arrival disorder: each event may arrive up to this many positions away
+  /// from event-time order.
+  int max_disorder = 0;
+  /// Watermark emission period (every N events).
+  int watermark_period = 10;
+  WatermarkStrategy watermark_strategy = WatermarkStrategy::kPerfect;
+  /// Slack for the heuristic strategy.
+  Interval heuristic_slack = Interval::Seconds(5);
+  int num_categories = 10;
+};
+
+/// Deterministic NEXMark event generator. Produces a processing-time-ordered
+/// feed (inserts interleaved with watermarks) ready for Engine::Feed.
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config);
+
+  /// Generates the full feed.
+  std::vector<FeedEvent> Generate();
+
+  /// Static Category table contents.
+  std::vector<Row> CategoryRows() const;
+
+  /// Statistics from the last Generate() call.
+  int persons() const { return persons_; }
+  int auctions() const { return auctions_; }
+  int bids() const { return bids_; }
+
+ private:
+  GeneratorConfig config_;
+  int persons_ = 0;
+  int auctions_ = 0;
+  int bids_ = 0;
+};
+
+/// NEXMark queries expressed in the paper's proposed dialect. Q4 and Q5 are
+/// documented simplifications (see DESIGN.md): the engine has no correlated
+/// temporal-table access, so auction-close semantics are replaced with
+/// tumbling-window aggregation, which exercises the same operator pipeline.
+
+/// Q1 — currency conversion: every bid, price converted dollar -> euro.
+std::string Q1();
+/// Q2 — selection: bids on a sampled subset of auctions.
+std::string Q2();
+/// Q3 — local item suggestion: sellers in a given state with their auctions.
+std::string Q3();
+/// Q4 (simplified) — average bid price per category per 10-minute window.
+std::string Q4();
+/// Q5 (simplified) — hot items: auctions with the most bids per hopping
+/// window.
+std::string Q5();
+/// Q7 — highest bid per 10-minute window (the paper's Listing 2).
+std::string Q7(const std::string& emit = "");
+
+}  // namespace nexmark
+}  // namespace onesql
+
+#endif  // ONESQL_NEXMARK_NEXMARK_H_

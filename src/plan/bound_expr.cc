@@ -1,0 +1,194 @@
+#include "plan/bound_expr.h"
+
+#include <algorithm>
+
+namespace onesql {
+namespace plan {
+
+const char* ScalarOpToString(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kAdd: return "+";
+    case ScalarOp::kSub: return "-";
+    case ScalarOp::kMul: return "*";
+    case ScalarOp::kDiv: return "/";
+    case ScalarOp::kMod: return "%";
+    case ScalarOp::kNeg: return "neg";
+    case ScalarOp::kEq: return "=";
+    case ScalarOp::kNeq: return "<>";
+    case ScalarOp::kLt: return "<";
+    case ScalarOp::kLe: return "<=";
+    case ScalarOp::kGt: return ">";
+    case ScalarOp::kGe: return ">=";
+    case ScalarOp::kAnd: return "AND";
+    case ScalarOp::kOr: return "OR";
+    case ScalarOp::kNot: return "NOT";
+    case ScalarOp::kIsNull: return "IS NULL";
+    case ScalarOp::kIsNotNull: return "IS NOT NULL";
+    case ScalarOp::kCase: return "CASE";
+    case ScalarOp::kCast: return "CAST";
+    case ScalarOp::kLower: return "LOWER";
+    case ScalarOp::kUpper: return "UPPER";
+    case ScalarOp::kCharLength: return "CHAR_LENGTH";
+    case ScalarOp::kAbs: return "ABS";
+    case ScalarOp::kFloor: return "FLOOR";
+    case ScalarOp::kCeil: return "CEIL";
+    case ScalarOp::kConcat: return "CONCAT";
+    case ScalarOp::kCoalesce: return "COALESCE";
+  }
+  return "?";
+}
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar: return "COUNT(*)";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+    case AggFn::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::Literal(Value v) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = Kind::kLiteral;
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::InputRef(size_t index, DataType type) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = Kind::kInputRef;
+  e->type = type;
+  e->input_index = index;
+  return e;
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::Op(
+    ScalarOp op, DataType result_type,
+    std::vector<std::unique_ptr<BoundExpr>> children) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = Kind::kOp;
+  e->type = result_type;
+  e->op = op;
+  e->children = std::move(children);
+  return e;
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::Clone() const {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = kind;
+  e->type = type;
+  e->literal = literal;
+  e->input_index = input_index;
+  e->op = op;
+  e->children.reserve(children.size());
+  for (const auto& child : children) {
+    e->children.push_back(child->Clone());
+  }
+  return e;
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kInputRef:
+      return "#" + std::to_string(input_index);
+    case Kind::kOp: {
+      std::string out = "(";
+      out += ScalarOpToString(op);
+      for (const auto& child : children) {
+        out += " ";
+        out += child->ToString();
+      }
+      out += ")";
+      if (op == ScalarOp::kCast) {
+        out += "->";
+        out += DataTypeToString(type);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool BoundExprEquals(const BoundExpr& a, const BoundExpr& b) {
+  if (a.kind != b.kind || a.type != b.type) return false;
+  switch (a.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return a.literal == b.literal;
+    case BoundExpr::Kind::kInputRef:
+      return a.input_index == b.input_index;
+    case BoundExpr::Kind::kOp: {
+      if (a.op != b.op || a.children.size() != b.children.size()) return false;
+      for (size_t i = 0; i < a.children.size(); ++i) {
+        if (!BoundExprEquals(*a.children[i], *b.children[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ReferencesInput(const BoundExpr& expr) {
+  if (expr.kind == BoundExpr::Kind::kInputRef) return true;
+  for (const auto& child : expr.children) {
+    if (ReferencesInput(*child)) return true;
+  }
+  return false;
+}
+
+void CollectInputRefs(const BoundExpr& expr, std::vector<size_t>* out) {
+  if (expr.kind == BoundExpr::Kind::kInputRef) {
+    out->push_back(expr.input_index);
+  }
+  for (const auto& child : expr.children) {
+    CollectInputRefs(*child, out);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void ShiftInputRefs(BoundExpr* expr, int64_t offset) {
+  if (expr->kind == BoundExpr::Kind::kInputRef) {
+    expr->input_index = static_cast<size_t>(
+        static_cast<int64_t>(expr->input_index) + offset);
+  }
+  for (auto& child : expr->children) {
+    ShiftInputRefs(child.get(), offset);
+  }
+}
+
+AggregateCall AggregateCall::Clone() const {
+  AggregateCall out;
+  out.fn = fn;
+  out.arg = arg ? arg->Clone() : nullptr;
+  out.distinct = distinct;
+  out.result_type = result_type;
+  return out;
+}
+
+std::string AggregateCall::ToString() const {
+  if (fn == AggFn::kCountStar) return "COUNT(*)";
+  std::string out = AggFnToString(fn);
+  out += "(";
+  if (distinct) out += "DISTINCT ";
+  out += arg ? arg->ToString() : "";
+  out += ")";
+  return out;
+}
+
+bool AggregateCallEquals(const AggregateCall& a, const AggregateCall& b) {
+  if (a.fn != b.fn || a.distinct != b.distinct ||
+      a.result_type != b.result_type) {
+    return false;
+  }
+  if ((a.arg == nullptr) != (b.arg == nullptr)) return false;
+  return a.arg == nullptr || BoundExprEquals(*a.arg, *b.arg);
+}
+
+}  // namespace plan
+}  // namespace onesql

@@ -1,0 +1,109 @@
+#ifndef ONESQL_PLAN_BOUND_EXPR_H_
+#define ONESQL_PLAN_BOUND_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace onesql {
+namespace plan {
+
+/// Scalar operations supported by the expression evaluator. Binary and unary
+/// operators plus a few structured forms (CASE, CAST).
+enum class ScalarOp {
+  // Arithmetic (numeric, and timestamp/interval combinations).
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  // Comparisons (SQL ternary logic: NULL operand yields NULL).
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  // Boolean connectives (three-valued logic).
+  kAnd, kOr, kNot,
+  // NULL tests (always two-valued).
+  kIsNull, kIsNotNull,
+  // CASE WHEN c1 THEN r1 ... [ELSE e]: children alternate cond/result, with
+  // an optional trailing ELSE child (children.size() odd).
+  kCase,
+  // CAST(child AS type): target type recorded in BoundExpr::type.
+  kCast,
+  // Scalar functions.
+  kLower, kUpper, kCharLength,  // string
+  kAbs, kFloor, kCeil,          // numeric
+  kConcat,                      // n-ary string concatenation
+  kCoalesce,                    // first non-NULL argument
+};
+
+const char* ScalarOpToString(ScalarOp op);
+
+/// A bound (resolved + type-checked) scalar expression, evaluated positionally
+/// against an input row. This is the executable form produced by the binder.
+struct BoundExpr {
+  enum class Kind { kLiteral, kInputRef, kOp };
+
+  Kind kind = Kind::kLiteral;
+  /// Result type of this expression.
+  DataType type = DataType::kNull;
+
+  // kLiteral:
+  Value literal;
+  // kInputRef:
+  size_t input_index = 0;
+  // kOp:
+  ScalarOp op = ScalarOp::kAdd;
+  std::vector<std::unique_ptr<BoundExpr>> children;
+
+  static std::unique_ptr<BoundExpr> Literal(Value v);
+  static std::unique_ptr<BoundExpr> InputRef(size_t index, DataType type);
+  static std::unique_ptr<BoundExpr> Op(ScalarOp op, DataType result_type,
+                                       std::vector<std::unique_ptr<BoundExpr>>
+                                           children);
+
+  /// Deep structural copy.
+  std::unique_ptr<BoundExpr> Clone() const;
+
+  /// "(#0 + INTERVAL 10m)"-style rendering for plan explanation.
+  std::string ToString() const;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Deep structural equality (used to match SELECT expressions against
+/// GROUP BY keys).
+bool BoundExprEquals(const BoundExpr& a, const BoundExpr& b);
+
+/// True if the expression (transitively) references any input column.
+bool ReferencesInput(const BoundExpr& expr);
+
+/// Collects the set of referenced input indexes into `out` (deduplicated,
+/// sorted).
+void CollectInputRefs(const BoundExpr& expr, std::vector<size_t>* out);
+
+/// Rewrites every InputRef index through `mapping` (old index -> new index).
+/// Indexes outside the mapping are shifted by `offset` instead when mapping
+/// is empty. Used by optimizer rules when predicates move across operators.
+void ShiftInputRefs(BoundExpr* expr, int64_t offset);
+
+/// Aggregate functions (Extension 2 interacts with these via event-time
+/// grouping keys).
+enum class AggFn { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFnToString(AggFn fn);
+
+/// A bound aggregate invocation within an Aggregate plan node.
+struct AggregateCall {
+  AggFn fn = AggFn::kCountStar;
+  BoundExprPtr arg;  // nullptr for COUNT(*)
+  bool distinct = false;
+  DataType result_type = DataType::kBigint;
+
+  AggregateCall Clone() const;
+  std::string ToString() const;
+};
+
+/// Structural equality of aggregate calls (dedup within one Aggregate node).
+bool AggregateCallEquals(const AggregateCall& a, const AggregateCall& b);
+
+}  // namespace plan
+}  // namespace onesql
+
+#endif  // ONESQL_PLAN_BOUND_EXPR_H_

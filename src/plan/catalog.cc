@@ -1,0 +1,29 @@
+#include "plan/catalog.h"
+
+namespace onesql {
+namespace plan {
+
+Status Catalog::Register(TableDef def) {
+  const std::string key = ToLower(def.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + def.name +
+                                 "' is already registered");
+  }
+  tables_.emplace(key, std::move(def));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' not found in catalog");
+  }
+  return &it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+}  // namespace plan
+}  // namespace onesql

@@ -1,0 +1,42 @@
+#ifndef ONESQL_PLAN_CATALOG_H_
+#define ONESQL_PLAN_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/schema.h"
+
+namespace onesql {
+namespace plan {
+
+/// A registered relation. Per the paper there is no semantic distinction
+/// between tables and streams — both are time-varying relations — but
+/// *boundedness* matters for validation (Extension 2 requires an event-time
+/// grouping key for unbounded GROUP BY inputs) and for operator selection.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  /// True for streams (unbounded TVRs), false for static tables.
+  bool unbounded = true;
+};
+
+/// Name -> relation registry consulted by the binder.
+class Catalog {
+ public:
+  /// Registers a relation; fails on duplicate (case-insensitive) names.
+  Status Register(TableDef def);
+
+  /// Case-insensitive lookup.
+  Result<const TableDef*> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, TableDef> tables_;  // keyed by lowercased name
+};
+
+}  // namespace plan
+}  // namespace onesql
+
+#endif  // ONESQL_PLAN_CATALOG_H_

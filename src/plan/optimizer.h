@@ -1,0 +1,52 @@
+#ifndef ONESQL_PLAN_OPTIMIZER_H_
+#define ONESQL_PLAN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+
+namespace onesql {
+namespace plan {
+
+/// Rule-based logical optimizer. Applies, in order:
+///
+/// 1. Filter pushdown: conjuncts of a filter sitting on an inner/cross join
+///    are routed to the join side they reference, or merged into the join
+///    condition when they span both sides (this turns the paper's Listing 2
+///    comma-join + WHERE into a proper join predicate).
+/// 2. Equi-key extraction: equality conjuncts between the two join sides
+///    become hash keys; the remainder stays as a residual predicate.
+/// 3. Watermark purge derivation (the Section 5 lesson that "some operations
+///    only work efficiently on watermarked event time attributes"): bounds
+///    between event-time columns of the two sides are turned into
+///    JoinPurgeSpecs so join state can be released as the watermark
+///    advances. A side is only purged when this is provably safe: the side
+///    never retracts (append-only pipeline), or retractions provably stop
+///    before purge time (the purge column is an event-time grouping key of
+///    the side's aggregation, whose groups are final once the watermark
+///    passes).
+class Optimizer {
+ public:
+  /// Rewrites the plan in place.
+  static Status Optimize(QueryPlan* plan);
+
+  /// Optimizes a plan subtree (exposed for tests).
+  static LogicalNodePtr OptimizeNode(LogicalNodePtr node);
+};
+
+/// Splits an AND tree into its conjuncts (ownership transferred).
+std::vector<BoundExprPtr> SplitConjuncts(BoundExprPtr expr);
+
+/// Rebuilds an AND tree; returns nullptr for an empty list.
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts);
+
+/// True if every operator between `node` and its sources only ever appends:
+/// scans, filters, projections, and windowing TVFs. Aggregations and joins
+/// may retract.
+bool IsAppendOnlyPipeline(const LogicalNode& node);
+
+}  // namespace plan
+}  // namespace onesql
+
+#endif  // ONESQL_PLAN_OPTIMIZER_H_

@@ -1,0 +1,276 @@
+#include "sql/ast.h"
+
+namespace onesql {
+namespace sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+const char* UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot: return "NOT";
+    case UnaryOp::kNeg: return "-";
+  }
+  return "?";
+}
+
+const char* JoinTypeToString(JoinType type) {
+  switch (type) {
+    case JoinType::kInner: return "INNER JOIN";
+    case JoinType::kLeft: return "LEFT JOIN";
+    case JoinType::kCross: return "CROSS JOIN";
+  }
+  return "?";
+}
+
+std::string LiteralExpr::ToString() const {
+  switch (value_.type()) {
+    case DataType::kVarchar:
+      return "'" + value_.AsString() + "'";
+    case DataType::kInterval:
+      return "INTERVAL " + value_.AsInterval().ToString();
+    case DataType::kTimestamp:
+      return "TIMESTAMP '" + value_.AsTimestamp().ToString() + "'";
+    default:
+      return value_.ToString();
+  }
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (qualifier_.empty()) return name_;
+  return qualifier_ + "." + name_;
+}
+
+std::string StarExpr::ToString() const {
+  if (qualifier_.empty()) return "*";
+  return qualifier_ + ".*";
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name_;
+  out += "(";
+  if (distinct_) out += "DISTINCT ";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string UnaryExpr::ToString() const {
+  std::string out = UnaryOpToString(op_);
+  out += op_ == UnaryOp::kNot ? " " : "";
+  out += "(";
+  out += operand_->ToString();
+  out += ")";
+  return out;
+}
+
+std::string BinaryExpr::ToString() const {
+  std::string out = "(";
+  out += left_->ToString();
+  out += " ";
+  out += BinaryOpToString(op_);
+  out += " ";
+  out += right_->ToString();
+  out += ")";
+  return out;
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const WhenClause& w : whens_) {
+    out += " WHEN ";
+    out += w.condition->ToString();
+    out += " THEN ";
+    out += w.result->ToString();
+  }
+  if (else_result_) {
+    out += " ELSE ";
+    out += else_result_->ToString();
+  }
+  out += " END";
+  return out;
+}
+
+std::string CastExpr::ToString() const {
+  std::string out = "CAST(";
+  out += operand_->ToString();
+  out += " AS ";
+  out += DataTypeToString(target_);
+  out += ")";
+  return out;
+}
+
+std::string IsNullExpr::ToString() const {
+  std::string out = "(";
+  out += operand_->ToString();
+  out += negated_ ? " IS NOT NULL)" : " IS NULL)";
+  return out;
+}
+
+std::string BaseTableRef::ToString() const {
+  std::string out = name_;
+  if (!alias_.empty()) {
+    out += " ";
+    out += alias_;
+  }
+  return out;
+}
+
+std::string DerivedTableRef::ToString() const {
+  std::string out = "(";
+  out += query_->ToString();
+  out += ")";
+  if (!alias_.empty()) {
+    out += " ";
+    out += alias_;
+  }
+  return out;
+}
+
+std::string TvfArg::ToString() const {
+  std::string out;
+  if (!name.empty()) {
+    out += name;
+    out += " => ";
+  }
+  switch (arg_kind) {
+    case Kind::kTable:
+      out += "TABLE(";
+      out += table->ToString();
+      out += ")";
+      break;
+    case Kind::kDescriptor:
+      out += "DESCRIPTOR(";
+      out += descriptor;
+      out += ")";
+      break;
+    case Kind::kScalar:
+      out += scalar->ToString();
+      break;
+  }
+  return out;
+}
+
+std::string TvfRef::ToString() const {
+  std::string out = function_name_;
+  out += "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  if (!alias_.empty()) {
+    out += " ";
+    out += alias_;
+  }
+  return out;
+}
+
+std::string JoinRef::ToString() const {
+  std::string out = "(";
+  out += left_->ToString();
+  out += " ";
+  out += JoinTypeToString(join_type_);
+  out += " ";
+  out += right_->ToString();
+  if (condition_) {
+    out += " ON ";
+    out += condition_->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string SelectItem::ToString() const {
+  std::string out = expr->ToString();
+  if (!alias.empty()) {
+    out += " AS ";
+    out += alias;
+  }
+  return out;
+}
+
+std::string EmitClause::ToString() const {
+  std::string out = "EMIT";
+  if (stream) out += " STREAM";
+  bool first = true;
+  if (delay.has_value()) {
+    out += " AFTER DELAY INTERVAL ";
+    out += delay->ToString();
+    first = false;
+  }
+  if (after_watermark) {
+    out += first ? " AFTER WATERMARK" : " AND AFTER WATERMARK";
+  }
+  return out;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_list[i].ToString();
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i]->ToString();
+    }
+  }
+  if (where) {
+    out += " WHERE ";
+    out += where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) {
+    out += " HAVING ";
+    out += having->ToString();
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) {
+    out += " LIMIT ";
+    out += std::to_string(*limit);
+  }
+  if (emit.has_value()) {
+    out += " ";
+    out += emit->ToString();
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace onesql

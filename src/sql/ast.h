@@ -1,0 +1,378 @@
+#ifndef ONESQL_SQL_AST_H_
+#define ONESQL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/value.h"
+
+namespace onesql {
+namespace sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+const char* BinaryOpToString(BinaryOp op);
+const char* UnaryOpToString(UnaryOp op);
+
+/// Base class for all scalar expression AST nodes.
+class Expr {
+ public:
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kStar,
+    kFunctionCall,
+    kUnary,
+    kBinary,
+    kCase,
+    kCast,
+    kIsNull,
+    kCurrentTime,
+  };
+
+  explicit Expr(Kind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Unparses the expression back to SQL-ish text (used in error messages,
+  /// plan explanation, and parser round-trip tests).
+  virtual std::string ToString() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A literal constant, including INTERVAL '10' MINUTE (as an Interval value)
+/// and TIMESTAMP '8:07' (as a Timestamp value).
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(Kind::kLiteral), value_(std::move(value)) {}
+  const Value& value() const { return value_; }
+  std::string ToString() const override;
+
+ private:
+  Value value_;
+};
+
+/// A possibly-qualified column reference: `price` or `Bid.price`.
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : Expr(Kind::kColumnRef),
+        qualifier_(std::move(qualifier)),
+        name_(std::move(name)) {}
+  const std::string& qualifier() const { return qualifier_; }  // may be empty
+  const std::string& name() const { return name_; }
+  std::string ToString() const override;
+
+ private:
+  std::string qualifier_;
+  std::string name_;
+};
+
+/// `*` or `t.*` in a select list (or inside COUNT(*)).
+class StarExpr : public Expr {
+ public:
+  explicit StarExpr(std::string qualifier = "")
+      : Expr(Kind::kStar), qualifier_(std::move(qualifier)) {}
+  const std::string& qualifier() const { return qualifier_; }
+  std::string ToString() const override;
+
+ private:
+  std::string qualifier_;
+};
+
+/// A scalar or aggregate function call. Aggregates are distinguished during
+/// binding, not parsing.
+class FunctionCallExpr : public Expr {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExprPtr> args,
+                   bool distinct = false)
+      : Expr(Kind::kFunctionCall),
+        name_(std::move(name)),
+        args_(std::move(args)),
+        distinct_(distinct) {}
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  bool distinct() const { return distinct_; }
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+  bool distinct_;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(Kind::kUnary), op_(op), operand_(std::move(operand)) {}
+  UnaryOp op() const { return op_; }
+  const Expr& operand() const { return *operand_; }
+  std::string ToString() const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(Kind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+  BinaryOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+  std::string ToString() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Searched CASE: CASE WHEN c1 THEN v1 [WHEN ...] [ELSE e] END.
+class CaseExpr : public Expr {
+ public:
+  struct WhenClause {
+    ExprPtr condition;
+    ExprPtr result;
+  };
+  CaseExpr(std::vector<WhenClause> whens, ExprPtr else_result)
+      : Expr(Kind::kCase),
+        whens_(std::move(whens)),
+        else_result_(std::move(else_result)) {}
+  const std::vector<WhenClause>& whens() const { return whens_; }
+  const Expr* else_result() const { return else_result_.get(); }  // nullable
+  std::string ToString() const override;
+
+ private:
+  std::vector<WhenClause> whens_;
+  ExprPtr else_result_;
+};
+
+/// CAST(expr AS type).
+class CastExpr : public Expr {
+ public:
+  CastExpr(ExprPtr operand, DataType target)
+      : Expr(Kind::kCast), operand_(std::move(operand)), target_(target) {}
+  const Expr& operand() const { return *operand_; }
+  DataType target() const { return target_; }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr operand_;
+  DataType target_;
+};
+
+/// CURRENT_TIME — a *time-progressing expression* (the paper's Section 8
+/// future work). Standard SQL fixes CURRENT_TIME at query execution time;
+/// for continuous queries the paper proposes expressions that progress over
+/// time. This dialect supports it in WHERE predicates of the form
+/// `<event-time column> >= CURRENT_TIME - <interval>` ("the tail of the
+/// stream"), where it denotes the relation's current event-time clock (the
+/// watermark).
+class CurrentTimeExpr : public Expr {
+ public:
+  CurrentTimeExpr() : Expr(Kind::kCurrentTime) {}
+  std::string ToString() const override { return "CURRENT_TIME"; }
+};
+
+/// expr IS [NOT] NULL.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : Expr(Kind::kIsNull), operand_(std::move(operand)), negated_(negated) {}
+  const Expr& operand() const { return *operand_; }
+  bool negated() const { return negated_; }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+class SelectStmt;
+
+/// Base class for FROM-clause items.
+class TableRef {
+ public:
+  enum class Kind { kBase, kDerived, kTvf, kJoin };
+  explicit TableRef(Kind kind) : kind_(kind) {}
+  virtual ~TableRef() = default;
+  Kind kind() const { return kind_; }
+  virtual std::string ToString() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+/// A named table or stream from the catalog, with optional alias.
+class BaseTableRef : public TableRef {
+ public:
+  BaseTableRef(std::string name, std::string alias)
+      : TableRef(Kind::kBase),
+        name_(std::move(name)),
+        alias_(std::move(alias)) {}
+  const std::string& name() const { return name_; }
+  const std::string& alias() const { return alias_; }  // may be empty
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  std::string alias_;
+};
+
+/// A parenthesized subquery in FROM, with alias: (SELECT ...) MaxBid.
+class DerivedTableRef : public TableRef {
+ public:
+  DerivedTableRef(std::unique_ptr<SelectStmt> query, std::string alias)
+      : TableRef(Kind::kDerived),
+        query_(std::move(query)),
+        alias_(std::move(alias)) {}
+  const SelectStmt& query() const { return *query_; }
+  const std::string& alias() const { return alias_; }
+  std::string ToString() const override;
+
+ private:
+  std::unique_ptr<SelectStmt> query_;
+  std::string alias_;
+};
+
+/// One argument of a table-valued function invocation. Per SQL:2016 (and the
+/// paper's Extension 3), arguments may be named with `=>` and may be a table
+/// (`TABLE(Bid)`), a column descriptor (`DESCRIPTOR(bidtime)`), or a scalar
+/// expression (`INTERVAL '10' MINUTE`).
+struct TvfArg {
+  std::string name;  // empty for positional
+  enum class Kind { kTable, kDescriptor, kScalar } arg_kind = Kind::kScalar;
+  TableRefPtr table;        // kTable
+  std::string descriptor;   // kDescriptor: referenced column name
+  ExprPtr scalar;           // kScalar
+
+  std::string ToString() const;
+};
+
+/// An invocation of a windowing TVF in FROM: Tumble(...) alias.
+class TvfRef : public TableRef {
+ public:
+  TvfRef(std::string function_name, std::vector<TvfArg> args, std::string alias)
+      : TableRef(Kind::kTvf),
+        function_name_(std::move(function_name)),
+        args_(std::move(args)),
+        alias_(std::move(alias)) {}
+  const std::string& function_name() const { return function_name_; }
+  const std::vector<TvfArg>& args() const { return args_; }
+  const std::string& alias() const { return alias_; }
+  std::string ToString() const override;
+
+ private:
+  std::string function_name_;
+  std::vector<TvfArg> args_;
+  std::string alias_;
+};
+
+enum class JoinType { kInner, kLeft, kCross };
+
+const char* JoinTypeToString(JoinType type);
+
+/// An explicit JOIN ... ON. Comma-separated FROM items parse to kCross joins
+/// (with the predicate living in WHERE).
+class JoinRef : public TableRef {
+ public:
+  JoinRef(JoinType join_type, TableRefPtr left, TableRefPtr right,
+          ExprPtr condition)
+      : TableRef(Kind::kJoin),
+        join_type_(join_type),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        condition_(std::move(condition)) {}
+  JoinType join_type() const { return join_type_; }
+  const TableRef& left() const { return *left_; }
+  const TableRef& right() const { return *right_; }
+  const Expr* condition() const { return condition_.get(); }  // nullable
+  std::string ToString() const override;
+
+ private:
+  JoinType join_type_;
+  TableRefPtr left_;
+  TableRefPtr right_;
+  ExprPtr condition_;
+};
+
+// ---------------------------------------------------------------------------
+// SELECT statement
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;       // StarExpr for `*` / `t.*`
+  std::string alias;  // may be empty
+
+  std::string ToString() const;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// The paper's proposed EMIT clause (Extensions 4-7):
+///   EMIT STREAM
+///   EMIT AFTER WATERMARK
+///   EMIT STREAM AFTER WATERMARK
+///   EMIT [STREAM] AFTER DELAY <interval>
+///   EMIT [STREAM] AFTER DELAY <interval> AND AFTER WATERMARK
+struct EmitClause {
+  bool stream = false;
+  bool after_watermark = false;
+  std::optional<Interval> delay;
+
+  std::string ToString() const;
+};
+
+/// A parsed SELECT statement.
+class SelectStmt {
+ public:
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRefPtr> from;  // implicit cross join when > 1
+  ExprPtr where;                  // nullable
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                 // nullable
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<EmitClause> emit;
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace onesql
+
+#endif  // ONESQL_SQL_AST_H_

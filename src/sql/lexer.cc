@@ -1,0 +1,274 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/schema.h"
+
+namespace onesql {
+namespace sql {
+
+namespace {
+
+// Keywords of the dialect: standard SQL plus the paper's proposed extensions
+// (EMIT, STREAM, AFTER, WATERMARK, DELAY) and TVF support (TABLE,
+// DESCRIPTOR).
+const char* const kKeywords[] = {
+    "SELECT", "FROM",   "WHERE",    "GROUP",     "BY",       "HAVING",
+    "ORDER",  "LIMIT",  "AS",       "AND",       "OR",       "NOT",
+    "JOIN",   "INNER",  "LEFT",     "RIGHT",     "FULL",     "OUTER",
+    "CROSS",  "ON",     "ASC",      "DESC",      "DISTINCT", "ALL",
+    "TRUE",   "FALSE",  "NULL",     "IS",        "BETWEEN",  "IN",
+    "CASE",   "WHEN",   "THEN",     "ELSE",      "END",      "CAST",
+    "INTERVAL", "YEAR", "MONTH",    "DAY",       "HOUR",     "MINUTE",
+    "MINUTES", "SECOND", "SECONDS", "MILLISECOND", "MILLISECONDS",
+    "HOURS",  "DAYS",   "TABLE",    "DESCRIPTOR", "EMIT",    "AFTER",
+    "WATERMARK", "DELAY", "STREAM",  "TIMESTAMP", "UNION",   "EXISTS",
+    "LIKE",   "CURRENT_TIME",
+};
+
+}  // namespace
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEof: return "EOF";
+    case TokenType::kIdentifier: return "IDENT";
+    case TokenType::kKeyword: return "KEYWORD";
+    case TokenType::kIntegerLiteral: return "INT";
+    case TokenType::kFloatLiteral: return "FLOAT";
+    case TokenType::kStringLiteral: return "STRING";
+    case TokenType::kComma: return ",";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kDot: return ".";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNeq: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kArrow: return "=>";
+    case TokenType::kSemicolon: return ";";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && IdentEquals(text, kw);
+}
+
+std::string Token::ToString() const {
+  std::string out = TokenTypeToString(type);
+  if (type == TokenType::kIdentifier || type == TokenType::kKeyword ||
+      type == TokenType::kIntegerLiteral || type == TokenType::kFloatLiteral ||
+      type == TokenType::kStringLiteral) {
+    out += "(";
+    out += text;
+    out += ")";
+  }
+  return out;
+}
+
+bool IsReservedKeyword(const std::string& word) {
+  for (const char* kw : kKeywords) {
+    if (IdentEquals(word, kw)) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    ONESQL_ASSIGN_OR_RETURN(Token tok, NextToken());
+    const bool is_eof = tok.type == TokenType::kEof;
+    tokens.push_back(std::move(tok));
+    if (is_eof) break;
+  }
+  return tokens;
+}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Token Lexer::Make(TokenType type, std::string text) const {
+  Token tok;
+  tok.type = type;
+  tok.text = std::move(text);
+  tok.line = token_line_;
+  tok.column = token_column_;
+  return tok;
+}
+
+Status Lexer::Error(const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  token_line_ = line_;
+  token_column_ = column_;
+  if (AtEnd()) return Make(TokenType::kEof, "");
+
+  const char c = Peek();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      word += Advance();
+    }
+    if (IsReservedKeyword(word)) {
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      return Make(TokenType::kKeyword, std::move(upper));
+    }
+    return Make(TokenType::kIdentifier, std::move(word));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      num += Advance();
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      num += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      num += Advance();
+      if (Peek() == '+' || Peek() == '-') num += Advance();
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("malformed numeric literal");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    return Make(is_float ? TokenType::kFloatLiteral : TokenType::kIntegerLiteral,
+                std::move(num));
+  }
+
+  if (c == '\'') {
+    Advance();
+    std::string content;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      const char ch = Advance();
+      if (ch == '\'') {
+        if (Peek() == '\'') {  // '' escape
+          content += '\'';
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        content += ch;
+      }
+    }
+    return Make(TokenType::kStringLiteral, std::move(content));
+  }
+
+  if (c == '"') {
+    Advance();
+    std::string content;
+    while (true) {
+      if (AtEnd()) return Error("unterminated quoted identifier");
+      const char ch = Advance();
+      if (ch == '"') break;
+      content += ch;
+    }
+    return Make(TokenType::kIdentifier, std::move(content));
+  }
+
+  Advance();
+  switch (c) {
+    case ',': return Make(TokenType::kComma, ",");
+    case '(': return Make(TokenType::kLParen, "(");
+    case ')': return Make(TokenType::kRParen, ")");
+    case '.': return Make(TokenType::kDot, ".");
+    case '*': return Make(TokenType::kStar, "*");
+    case '+': return Make(TokenType::kPlus, "+");
+    case '-': return Make(TokenType::kMinus, "-");
+    case '/': return Make(TokenType::kSlash, "/");
+    case '%': return Make(TokenType::kPercent, "%");
+    case ';': return Make(TokenType::kSemicolon, ";");
+    case '=':
+      if (Peek() == '>') {
+        Advance();
+        return Make(TokenType::kArrow, "=>");
+      }
+      return Make(TokenType::kEq, "=");
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenType::kLe, "<=");
+      }
+      if (Peek() == '>') {
+        Advance();
+        return Make(TokenType::kNeq, "<>");
+      }
+      return Make(TokenType::kLt, "<");
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenType::kGe, ">=");
+      }
+      return Make(TokenType::kGt, ">");
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenType::kNeq, "!=");
+      }
+      return Error("unexpected character '!'");
+    default:
+      return Error(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace sql
+}  // namespace onesql

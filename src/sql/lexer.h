@@ -1,0 +1,47 @@
+#ifndef ONESQL_SQL_LEXER_H_
+#define ONESQL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace onesql {
+namespace sql {
+
+/// Tokenizes a SQL string. Supports `--` line comments and `/* */` block
+/// comments, single-quoted string literals with '' escaping, and
+/// double-quoted identifiers.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  /// Produces the full token stream, terminated by a kEof token.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  Token Make(TokenType type, std::string text) const;
+  Status Error(const std::string& message) const;
+
+  std::string input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+/// True if `word` (case-insensitive) is a reserved SQL keyword recognized by
+/// this dialect.
+bool IsReservedKeyword(const std::string& word);
+
+}  // namespace sql
+}  // namespace onesql
+
+#endif  // ONESQL_SQL_LEXER_H_

@@ -1,0 +1,620 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/schema.h"
+#include "sql/lexer.h"
+
+namespace onesql {
+namespace sql {
+
+Result<std::unique_ptr<SelectStmt>> Parser::Parse(const std::string& sql) {
+  Lexer lexer(sql);
+  ONESQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  const size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& tok = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::MatchToken(TokenType type) {
+  if (Check(type)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType type, const char* what) {
+  if (Check(type)) {
+    Advance();
+    return Status::OK();
+  }
+  return Error(std::string("expected ") + what + ", found " +
+               Peek().ToString());
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return Status::OK();
+  }
+  return Error(std::string("expected ") + kw + ", found " + Peek().ToString());
+}
+
+Status Parser::Error(const std::string& message) const {
+  const Token& tok = Peek();
+  return Status::ParseError(message + " at line " + std::to_string(tok.line) +
+                            ", column " + std::to_string(tok.column));
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseStatement() {
+  ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect());
+  MatchToken(TokenType::kSemicolon);
+  if (!Check(TokenType::kEof)) {
+    return Error("unexpected trailing input: " + Peek().ToString());
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  ONESQL_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+
+  if (MatchKeyword("DISTINCT")) {
+    stmt->distinct = true;
+  } else {
+    MatchKeyword("ALL");
+  }
+
+  do {
+    ONESQL_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    stmt->select_list.push_back(std::move(item));
+  } while (MatchToken(TokenType::kComma));
+
+  if (MatchKeyword("FROM")) {
+    do {
+      ONESQL_ASSIGN_OR_RETURN(TableRefPtr ref, ParseTableRef());
+      stmt->from.push_back(std::move(ref));
+    } while (MatchToken(TokenType::kComma));
+  }
+
+  if (MatchKeyword("WHERE")) {
+    ONESQL_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+
+  if (CheckKeyword("GROUP")) {
+    Advance();
+    ONESQL_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      ONESQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+    } while (MatchToken(TokenType::kComma));
+  }
+
+  if (MatchKeyword("HAVING")) {
+    ONESQL_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+
+  if (CheckKeyword("ORDER")) {
+    Advance();
+    ONESQL_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      ONESQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchToken(TokenType::kComma));
+  }
+
+  if (MatchKeyword("LIMIT")) {
+    if (!Check(TokenType::kIntegerLiteral)) {
+      return Error("expected integer after LIMIT");
+    }
+    stmt->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+
+  if (CheckKeyword("EMIT")) {
+    ONESQL_ASSIGN_OR_RETURN(EmitClause emit, ParseEmitClause());
+    stmt->emit = emit;
+  }
+
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // Plain `*`.
+  if (Check(TokenType::kStar)) {
+    Advance();
+    item.expr = std::make_unique<StarExpr>();
+    return item;
+  }
+  // Qualified star `t.*`.
+  if (Check(TokenType::kIdentifier) && Peek(1).type == TokenType::kDot &&
+      Peek(2).type == TokenType::kStar) {
+    std::string qualifier = Advance().text;
+    Advance();  // .
+    Advance();  // *
+    item.expr = std::make_unique<StarExpr>(std::move(qualifier));
+    return item;
+  }
+  ONESQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) {
+      return Error("expected alias after AS");
+    }
+    item.alias = Advance().text;
+  } else if (Check(TokenType::kIdentifier)) {
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<TableRefPtr> Parser::ParseTableRef() {
+  ONESQL_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  while (true) {
+    JoinType join_type;
+    bool has_on = true;
+    if (MatchKeyword("JOIN") || (CheckKeyword("INNER") &&
+                                 Peek(1).IsKeyword("JOIN"))) {
+      if (Peek().IsKeyword("JOIN")) Advance();
+      join_type = JoinType::kInner;
+    } else if (CheckKeyword("LEFT")) {
+      Advance();
+      MatchKeyword("OUTER");
+      ONESQL_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join_type = JoinType::kLeft;
+    } else if (CheckKeyword("CROSS")) {
+      Advance();
+      ONESQL_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join_type = JoinType::kCross;
+      has_on = false;
+    } else {
+      break;
+    }
+    ONESQL_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+    ExprPtr condition;
+    if (has_on) {
+      ONESQL_RETURN_NOT_OK(ExpectKeyword("ON"));
+      ONESQL_ASSIGN_OR_RETURN(condition, ParseExpr());
+    }
+    left = std::make_unique<JoinRef>(join_type, std::move(left),
+                                     std::move(right), std::move(condition));
+  }
+  return left;
+}
+
+Result<TableRefPtr> Parser::ParseTablePrimary() {
+  // Derived table: ( SELECT ... ) alias
+  if (Check(TokenType::kLParen)) {
+    Advance();
+    if (!CheckKeyword("SELECT")) {
+      return Error("expected SELECT in derived table");
+    }
+    ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    ONESQL_ASSIGN_OR_RETURN(std::string alias, ParseOptionalAlias());
+    if (alias.empty()) {
+      return Error("derived table requires an alias");
+    }
+    return TableRefPtr(
+        new DerivedTableRef(std::move(sub), std::move(alias)));
+  }
+  if (!Check(TokenType::kIdentifier)) {
+    return Error("expected table name, found " + Peek().ToString());
+  }
+  std::string name = Advance().text;
+  // TVF invocation: ident ( args ) alias
+  if (Check(TokenType::kLParen)) {
+    Advance();
+    std::vector<TvfArg> args;
+    if (!Check(TokenType::kRParen)) {
+      do {
+        ONESQL_ASSIGN_OR_RETURN(TvfArg arg, ParseTvfArg());
+        args.push_back(std::move(arg));
+      } while (MatchToken(TokenType::kComma));
+    }
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    ONESQL_ASSIGN_OR_RETURN(std::string alias, ParseOptionalAlias());
+    return TableRefPtr(
+        new TvfRef(std::move(name), std::move(args), std::move(alias)));
+  }
+  ONESQL_ASSIGN_OR_RETURN(std::string alias, ParseOptionalAlias());
+  return TableRefPtr(new BaseTableRef(std::move(name), std::move(alias)));
+}
+
+Result<TvfArg> Parser::ParseTvfArg() {
+  TvfArg arg;
+  if (Check(TokenType::kIdentifier) && Peek(1).type == TokenType::kArrow) {
+    arg.name = Advance().text;
+    Advance();  // =>
+  }
+  if (CheckKeyword("TABLE")) {
+    Advance();
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after TABLE"));
+    ONESQL_ASSIGN_OR_RETURN(arg.table, ParseTableRef());
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    arg.arg_kind = TvfArg::Kind::kTable;
+    return arg;
+  }
+  if (CheckKeyword("DESCRIPTOR")) {
+    Advance();
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after DESCRIPTOR"));
+    if (!Check(TokenType::kIdentifier)) {
+      return Error("expected column name in DESCRIPTOR");
+    }
+    arg.descriptor = Advance().text;
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    arg.arg_kind = TvfArg::Kind::kDescriptor;
+    return arg;
+  }
+  ONESQL_ASSIGN_OR_RETURN(arg.scalar, ParseExpr());
+  arg.arg_kind = TvfArg::Kind::kScalar;
+  return arg;
+}
+
+Result<std::string> Parser::ParseOptionalAlias() {
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) {
+      return Status(StatusCode::kParseError, "expected alias after AS");
+    }
+    return Advance().text;
+  }
+  if (Check(TokenType::kIdentifier)) {
+    return Advance().text;
+  }
+  return std::string();
+}
+
+Result<EmitClause> Parser::ParseEmitClause() {
+  ONESQL_RETURN_NOT_OK(ExpectKeyword("EMIT"));
+  EmitClause emit;
+  if (MatchKeyword("STREAM")) emit.stream = true;
+  bool more = MatchKeyword("AFTER");
+  while (more) {
+    if (MatchKeyword("WATERMARK")) {
+      if (emit.after_watermark) {
+        return Error("duplicate AFTER WATERMARK");
+      }
+      emit.after_watermark = true;
+    } else if (MatchKeyword("DELAY")) {
+      if (emit.delay.has_value()) {
+        return Error("duplicate AFTER DELAY");
+      }
+      ONESQL_ASSIGN_OR_RETURN(Interval delay, ParseIntervalLiteral());
+      emit.delay = delay;
+    } else {
+      return Error("expected WATERMARK or DELAY after AFTER");
+    }
+    more = false;
+    if (MatchKeyword("AND")) {
+      ONESQL_RETURN_NOT_OK(ExpectKeyword("AFTER"));
+      more = true;
+    }
+  }
+  return emit;
+}
+
+Result<Interval> Parser::ParseIntervalLiteral() {
+  ONESQL_RETURN_NOT_OK(ExpectKeyword("INTERVAL"));
+  if (!Check(TokenType::kStringLiteral)) {
+    return Error("expected quoted value after INTERVAL");
+  }
+  const std::string text = Advance().text;
+  char* end = nullptr;
+  const long long n = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Error("malformed INTERVAL value '" + text + "'");
+  }
+  const Token& unit = Peek();
+  if (unit.type != TokenType::kKeyword) {
+    return Error("expected INTERVAL unit, found " + unit.ToString());
+  }
+  Advance();
+  if (IdentEquals(unit.text, "MILLISECOND") ||
+      IdentEquals(unit.text, "MILLISECONDS")) {
+    return Interval::Millis(n);
+  }
+  if (IdentEquals(unit.text, "SECOND") || IdentEquals(unit.text, "SECONDS")) {
+    return Interval::Seconds(n);
+  }
+  if (IdentEquals(unit.text, "MINUTE") || IdentEquals(unit.text, "MINUTES")) {
+    return Interval::Minutes(n);
+  }
+  if (IdentEquals(unit.text, "HOUR") || IdentEquals(unit.text, "HOURS")) {
+    return Interval::Hours(n);
+  }
+  if (IdentEquals(unit.text, "DAY") || IdentEquals(unit.text, "DAYS")) {
+    return Interval::Days(n);
+  }
+  return Error("unsupported INTERVAL unit '" + unit.text + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  ONESQL_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    ONESQL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  ONESQL_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    ONESQL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    ONESQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return ExprPtr(new UnaryExpr(UnaryOp::kNot, std::move(operand)));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  ONESQL_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // IS [NOT] NULL
+  if (CheckKeyword("IS")) {
+    Advance();
+    const bool negated = MatchKeyword("NOT");
+    ONESQL_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    return ExprPtr(new IsNullExpr(std::move(left), negated));
+  }
+  if (CheckKeyword("BETWEEN")) {
+    return Status::NotImplemented(
+        "BETWEEN is not supported; rewrite as two comparisons");
+  }
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq: op = BinaryOp::kEq; break;
+    case TokenType::kNeq: op = BinaryOp::kNeq; break;
+    case TokenType::kLt: op = BinaryOp::kLt; break;
+    case TokenType::kLe: op = BinaryOp::kLe; break;
+    case TokenType::kGt: op = BinaryOp::kGt; break;
+    case TokenType::kGe: op = BinaryOp::kGe; break;
+    default:
+      return left;
+  }
+  Advance();
+  ONESQL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+  return ExprPtr(new BinaryExpr(op, std::move(left), std::move(right)));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  ONESQL_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Check(TokenType::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Check(TokenType::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      break;
+    }
+    Advance();
+    ONESQL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  ONESQL_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Check(TokenType::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Check(TokenType::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else if (Check(TokenType::kPercent)) {
+      op = BinaryOp::kMod;
+    } else {
+      break;
+    }
+    Advance();
+    ONESQL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Check(TokenType::kMinus)) {
+    Advance();
+    ONESQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return ExprPtr(new UnaryExpr(UnaryOp::kNeg, std::move(operand)));
+  }
+  if (Check(TokenType::kPlus)) {
+    Advance();
+    return ParseUnary();
+  }
+  return ParsePrimary();
+}
+
+Result<DataType> Parser::ParseTypeName() {
+  const Token& tok = Peek();
+  std::string name;
+  if (tok.type == TokenType::kKeyword || tok.type == TokenType::kIdentifier) {
+    name = tok.text;
+  } else {
+    return Error("expected type name");
+  }
+  Advance();
+  if (IdentEquals(name, "BOOLEAN")) return DataType::kBoolean;
+  if (IdentEquals(name, "BIGINT") || IdentEquals(name, "INTEGER") ||
+      IdentEquals(name, "INT")) {
+    return DataType::kBigint;
+  }
+  if (IdentEquals(name, "DOUBLE") || IdentEquals(name, "FLOAT")) {
+    return DataType::kDouble;
+  }
+  if (IdentEquals(name, "VARCHAR") || IdentEquals(name, "CHAR")) {
+    return DataType::kVarchar;
+  }
+  if (IdentEquals(name, "TIMESTAMP")) return DataType::kTimestamp;
+  if (IdentEquals(name, "INTERVAL")) return DataType::kInterval;
+  return Error("unknown type name '" + name + "'");
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+
+  switch (tok.type) {
+    case TokenType::kIntegerLiteral: {
+      Advance();
+      return ExprPtr(new LiteralExpr(
+          Value::Int64(std::strtoll(tok.text.c_str(), nullptr, 10))));
+    }
+    case TokenType::kFloatLiteral: {
+      Advance();
+      return ExprPtr(new LiteralExpr(
+          Value::Double(std::strtod(tok.text.c_str(), nullptr))));
+    }
+    case TokenType::kStringLiteral: {
+      Advance();
+      return ExprPtr(new LiteralExpr(Value::String(tok.text)));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      ONESQL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    default:
+      break;
+  }
+
+  if (tok.type == TokenType::kKeyword) {
+    if (MatchKeyword("TRUE")) return ExprPtr(new LiteralExpr(Value::Bool(true)));
+    if (MatchKeyword("FALSE")) {
+      return ExprPtr(new LiteralExpr(Value::Bool(false)));
+    }
+    if (MatchKeyword("NULL")) return ExprPtr(new LiteralExpr(Value::Null()));
+    if (MatchKeyword("CURRENT_TIME")) {
+      return ExprPtr(new CurrentTimeExpr());
+    }
+    if (CheckKeyword("INTERVAL")) {
+      ONESQL_ASSIGN_OR_RETURN(Interval interval, ParseIntervalLiteral());
+      return ExprPtr(new LiteralExpr(Value::Duration(interval)));
+    }
+    if (CheckKeyword("TIMESTAMP")) {
+      Advance();
+      if (!Check(TokenType::kStringLiteral)) {
+        return Error("expected quoted value after TIMESTAMP");
+      }
+      const std::string text = Advance().text;
+      ONESQL_ASSIGN_OR_RETURN(Timestamp ts, Timestamp::Parse(text));
+      return ExprPtr(new LiteralExpr(Value::Time(ts)));
+    }
+    if (MatchKeyword("CAST")) {
+      ONESQL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after CAST"));
+      ONESQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+      ONESQL_RETURN_NOT_OK(ExpectKeyword("AS"));
+      ONESQL_ASSIGN_OR_RETURN(DataType target, ParseTypeName());
+      ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return ExprPtr(new CastExpr(std::move(operand), target));
+    }
+    if (MatchKeyword("CASE")) {
+      std::vector<CaseExpr::WhenClause> whens;
+      while (MatchKeyword("WHEN")) {
+        CaseExpr::WhenClause clause;
+        ONESQL_ASSIGN_OR_RETURN(clause.condition, ParseExpr());
+        ONESQL_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        ONESQL_ASSIGN_OR_RETURN(clause.result, ParseExpr());
+        whens.push_back(std::move(clause));
+      }
+      if (whens.empty()) {
+        return Error("CASE requires at least one WHEN clause");
+      }
+      ExprPtr else_result;
+      if (MatchKeyword("ELSE")) {
+        ONESQL_ASSIGN_OR_RETURN(else_result, ParseExpr());
+      }
+      ONESQL_RETURN_NOT_OK(ExpectKeyword("END"));
+      return ExprPtr(new CaseExpr(std::move(whens), std::move(else_result)));
+    }
+    return Error("unexpected keyword " + tok.text + " in expression");
+  }
+
+  if (tok.type != TokenType::kIdentifier) {
+    return Error("unexpected token " + tok.ToString() + " in expression");
+  }
+
+  std::string name = Advance().text;
+
+  // Function call.
+  if (Check(TokenType::kLParen)) {
+    Advance();
+    bool distinct = false;
+    std::vector<ExprPtr> args;
+    if (MatchKeyword("DISTINCT")) distinct = true;
+    if (!Check(TokenType::kRParen)) {
+      do {
+        if (Check(TokenType::kStar)) {
+          Advance();
+          args.push_back(std::make_unique<StarExpr>());
+        } else {
+          ONESQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        }
+      } while (MatchToken(TokenType::kComma));
+    }
+    ONESQL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return ExprPtr(
+        new FunctionCallExpr(std::move(name), std::move(args), distinct));
+  }
+
+  // Qualified column reference.
+  if (Check(TokenType::kDot)) {
+    Advance();
+    if (Check(TokenType::kStar)) {
+      Advance();
+      return ExprPtr(new StarExpr(std::move(name)));
+    }
+    if (!Check(TokenType::kIdentifier)) {
+      return Error("expected column name after '.'");
+    }
+    std::string column = Advance().text;
+    return ExprPtr(new ColumnRefExpr(std::move(name), std::move(column)));
+  }
+
+  return ExprPtr(new ColumnRefExpr("", std::move(name)));
+}
+
+}  // namespace sql
+}  // namespace onesql

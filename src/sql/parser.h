@@ -1,0 +1,71 @@
+#ifndef ONESQL_SQL_PARSER_H_
+#define ONESQL_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace onesql {
+namespace sql {
+
+/// Recursive-descent parser for the dialect: standard SQL SELECT with joins,
+/// derived tables, grouping/having/order/limit, windowing TVFs with named
+/// arguments (SQL:2016 polymorphic table functions), and the paper's EMIT
+/// materialization-control extensions.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses a full statement (a SELECT, optionally ';'-terminated) and
+  /// requires that all input is consumed.
+  Result<std::unique_ptr<SelectStmt>> ParseStatement();
+
+  /// Convenience: tokenize + parse in one step.
+  static Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
+
+ private:
+  // Token cursor helpers.
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool MatchToken(TokenType type);
+  bool MatchKeyword(const char* kw);
+  Status Expect(TokenType type, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status Error(const std::string& message) const;
+
+  // Grammar productions.
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRefPtr> ParseTableRef();
+  Result<TableRefPtr> ParseTablePrimary();
+  Result<TvfArg> ParseTvfArg();
+  Result<std::string> ParseOptionalAlias();
+  Result<EmitClause> ParseEmitClause();
+  Result<Interval> ParseIntervalLiteral();
+
+  // Expression parsing by precedence climbing.
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<DataType> ParseTypeName();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sql
+}  // namespace onesql
+
+#endif  // ONESQL_SQL_PARSER_H_

@@ -1,0 +1,55 @@
+#ifndef ONESQL_SQL_TOKEN_H_
+#define ONESQL_SQL_TOKEN_H_
+
+#include <string>
+
+namespace onesql {
+namespace sql {
+
+/// Lexical token categories. Keywords are recognized case-insensitively and
+/// reported as kKeyword with the upper-cased text in `text`.
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,      // foo, "quoted"
+  kKeyword,         // SELECT, FROM, ...
+  kIntegerLiteral,  // 42
+  kFloatLiteral,    // 3.14
+  kStringLiteral,   // 'abc' (text holds the unquoted content)
+  // Operators / punctuation.
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNeq,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kArrow,     // =>  (named TVF arguments)
+  kSemicolon,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// A lexical token with source position (1-based line/column) for error
+/// reporting.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  int line = 1;
+  int column = 1;
+
+  bool IsKeyword(const char* kw) const;
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace onesql
+
+#endif  // ONESQL_SQL_TOKEN_H_

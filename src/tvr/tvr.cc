@@ -1,0 +1,165 @@
+#include "tvr/tvr.h"
+
+#include <algorithm>
+
+namespace onesql {
+namespace tvr {
+
+Status TimeVaryingRelation::Apply(Change change) {
+  if (change.ptime < last_ptime_) {
+    return Status::InvalidArgument(
+        "TVR changes must be applied in processing-time order");
+  }
+  if (change.kind == ChangeKind::kUpsert) {
+    return Status::InvalidArgument(
+        "TVR changelogs use INSERT/DELETE; decode upsert streams first");
+  }
+  if (change.kind == ChangeKind::kDelete) {
+    auto it = current_.find(change.row);
+    if (it == current_.end()) {
+      return Status::InvalidArgument("DELETE of a row not in the relation: " +
+                                     RowToString(change.row));
+    }
+    if (--it->second == 0) current_.erase(it);
+  } else {
+    current_[change.row] += 1;
+  }
+  last_ptime_ = change.ptime;
+  log_.push_back(std::move(change));
+  return Status::OK();
+}
+
+Result<TimeVaryingRelation> TimeVaryingRelation::FromChangelog(Changelog log) {
+  TimeVaryingRelation tvr;
+  for (Change& change : log) {
+    ONESQL_RETURN_NOT_OK(tvr.Apply(std::move(change)));
+  }
+  return tvr;
+}
+
+std::vector<Timestamp> TimeVaryingRelation::ChangeTimes() const {
+  std::vector<Timestamp> times;
+  for (const Change& c : log_) {
+    if (times.empty() || times.back() != c.ptime) times.push_back(c.ptime);
+  }
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+namespace {
+
+Row KeyOf(const Row& row, const std::vector<size_t>& key_columns) {
+  Row key;
+  key.reserve(key_columns.size());
+  for (size_t c : key_columns) key.push_back(row[c]);
+  return key;
+}
+
+}  // namespace
+
+Result<std::vector<Change>> EncodeUpsertStream(
+    const Changelog& retractions, const std::vector<size_t>& key_columns) {
+  std::vector<Change> out;
+  // Current row per key (validates the unique-key requirement).
+  std::map<Row, Row, RowLess> current;
+
+  struct NetSlot {
+    std::vector<Row> inserted;
+    std::vector<Row> deleted;
+  };
+
+  size_t i = 0;
+  while (i < retractions.size()) {
+    const Timestamp ptime = retractions[i].ptime;
+    // Coalesce all changes at this instant per key.
+    std::map<Row, NetSlot, RowLess> net;
+    for (; i < retractions.size() && retractions[i].ptime == ptime; ++i) {
+      const Change& c = retractions[i];
+      if (c.kind == ChangeKind::kUpsert) {
+        return Status::InvalidArgument("input is already an upsert stream");
+      }
+      NetSlot& slot = net[KeyOf(c.row, key_columns)];
+      (c.kind == ChangeKind::kInsert ? slot.inserted : slot.deleted)
+          .push_back(c.row);
+    }
+    for (auto& [key, slot] : net) {
+      // Cancel matching insert/delete pairs (a transient change within the
+      // instant is not a change of the relation).
+      for (auto ins = slot.inserted.begin(); ins != slot.inserted.end();) {
+        auto del = std::find_if(
+            slot.deleted.begin(), slot.deleted.end(),
+            [&](const Row& r) { return RowsEqual(r, *ins); });
+        if (del != slot.deleted.end()) {
+          slot.deleted.erase(del);
+          ins = slot.inserted.erase(ins);
+        } else {
+          ++ins;
+        }
+      }
+      if (slot.inserted.size() > 1 || slot.deleted.size() > 1) {
+        return Status::InvalidArgument(
+            "relation has duplicate rows for key " + RowToString(key) +
+            "; upsert encoding requires a unique key");
+      }
+      auto it = current.find(key);
+      if (!slot.deleted.empty()) {
+        if (it == current.end() ||
+            !RowsEqual(it->second, slot.deleted.front())) {
+          return Status::InvalidArgument("delete of a row not current for " +
+                                         RowToString(key));
+        }
+      }
+      if (!slot.inserted.empty()) {
+        if (slot.deleted.empty() && it != current.end()) {
+          return Status::InvalidArgument(
+              "insert for key already present without delete: " +
+              RowToString(key));
+        }
+        // New row or replacement: one UPSERT record either way.
+        out.push_back(Change{ChangeKind::kUpsert, slot.inserted.front(),
+                             ptime});
+        current[key] = slot.inserted.front();
+      } else if (!slot.deleted.empty()) {
+        out.push_back(Change{ChangeKind::kDelete, it->second, ptime});
+        current.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Changelog> DecodeUpsertStream(const std::vector<Change>& upserts,
+                                     const std::vector<size_t>& key_columns) {
+  Changelog out;
+  std::map<Row, Row, RowLess> current;
+  for (const Change& c : upserts) {
+    Row key = KeyOf(c.row, key_columns);
+    auto it = current.find(key);
+    switch (c.kind) {
+      case ChangeKind::kUpsert:
+        if (it != current.end()) {
+          out.push_back(Change{ChangeKind::kDelete, it->second, c.ptime});
+          it->second = c.row;
+        } else {
+          current.emplace(std::move(key), c.row);
+        }
+        out.push_back(Change{ChangeKind::kInsert, c.row, c.ptime});
+        break;
+      case ChangeKind::kDelete:
+        if (it == current.end()) {
+          return Status::InvalidArgument("DELETE for absent key " +
+                                         RowToString(key));
+        }
+        out.push_back(Change{ChangeKind::kDelete, it->second, c.ptime});
+        current.erase(it);
+        break;
+      case ChangeKind::kInsert:
+        return Status::InvalidArgument(
+            "upsert streams contain only UPSERT/DELETE records");
+    }
+  }
+  return out;
+}
+
+}  // namespace tvr
+}  // namespace onesql

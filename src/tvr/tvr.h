@@ -1,0 +1,70 @@
+#ifndef ONESQL_TVR_TVR_H_
+#define ONESQL_TVR_TVR_H_
+
+#include <map>
+#include <vector>
+
+#include "common/changelog.h"
+#include "common/result.h"
+
+namespace onesql {
+namespace tvr {
+
+/// A time-varying relation (Section 3.1): a relation whose contents evolve
+/// over processing time. The TVR is the paper's single semantic object; the
+/// two classic renderings — a sequence of snapshots (table) and a changelog
+/// (stream) — are both derivable from it, and it is reconstructible from
+/// either. This class materializes the changelog encoding and serves
+/// point-in-time snapshots.
+class TimeVaryingRelation {
+ public:
+  /// Appends one change. Processing times must be non-decreasing; DELETEs
+  /// must retract a present row.
+  Status Apply(Change change);
+
+  /// The stream rendering.
+  const Changelog& changelog() const { return log_; }
+
+  /// The table rendering at processing time `ptime` (rows sorted).
+  std::vector<Row> SnapshotAt(Timestamp ptime) const {
+    return SnapshotOf(log_, ptime);
+  }
+
+  /// Current contents.
+  std::vector<Row> Current() const { return SnapshotOf(log_, Timestamp::Max()); }
+
+  /// Reconstructs a TVR from its changelog (stream -> TVR).
+  static Result<TimeVaryingRelation> FromChangelog(Changelog log);
+
+  /// Distinct processing times at which the relation changed.
+  std::vector<Timestamp> ChangeTimes() const;
+
+ private:
+  Changelog log_;
+  std::map<Row, int64_t, RowLess> current_;
+  Timestamp last_ptime_ = Timestamp::Min();
+};
+
+/// Appendix B.2.3: the two changelog encodings Flink uses.
+///
+/// A *retraction stream* encodes every change as INSERT/DELETE; an update is
+/// a DELETE followed by an INSERT (two records). An *upsert stream* requires
+/// a unique key and encodes an update as a single UPSERT record — more
+/// compact, at the price of requiring the key.
+
+/// Converts a retraction changelog into an upsert changelog with respect to
+/// `key_columns` (which must be a unique key of the relation at every
+/// instant: at most one row per key). DELETE records carry the full deleted
+/// row. Changes at the same ptime are coalesced per key.
+Result<std::vector<Change>> EncodeUpsertStream(
+    const Changelog& retractions, const std::vector<size_t>& key_columns);
+
+/// Expands an upsert changelog back into a retraction changelog
+/// (UPSERT over an existing key becomes DELETE + INSERT).
+Result<Changelog> DecodeUpsertStream(const std::vector<Change>& upserts,
+                                     const std::vector<size_t>& key_columns);
+
+}  // namespace tvr
+}  // namespace onesql
+
+#endif  // ONESQL_TVR_TVR_H_

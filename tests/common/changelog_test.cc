@@ -1,0 +1,76 @@
+#include "common/changelog.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace {
+
+Row R(int64_t v) { return {Value::Int64(v)}; }
+
+TEST(ChangelogTest, SnapshotAppliesInserts) {
+  Changelog log = {
+      {ChangeKind::kInsert, R(1), Timestamp::FromHMS(8, 0)},
+      {ChangeKind::kInsert, R(2), Timestamp::FromHMS(8, 5)},
+  };
+  auto snap = SnapshotOf(log, Timestamp::FromHMS(8, 10));
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(RowsEqual(snap[0], R(1)));
+  EXPECT_TRUE(RowsEqual(snap[1], R(2)));
+}
+
+TEST(ChangelogTest, SnapshotHonorsAsOf) {
+  Changelog log = {
+      {ChangeKind::kInsert, R(1), Timestamp::FromHMS(8, 0)},
+      {ChangeKind::kInsert, R(2), Timestamp::FromHMS(8, 5)},
+  };
+  EXPECT_EQ(SnapshotOf(log, Timestamp::FromHMS(8, 0)).size(), 1u);
+  EXPECT_EQ(SnapshotOf(log, Timestamp::FromHMS(7, 59)).size(), 0u);
+  // Boundary is inclusive.
+  EXPECT_EQ(SnapshotOf(log, Timestamp::FromHMS(8, 5)).size(), 2u);
+}
+
+TEST(ChangelogTest, DeleteRetractsSingleInstance) {
+  Changelog log = {
+      {ChangeKind::kInsert, R(1), Timestamp::FromHMS(8, 0)},
+      {ChangeKind::kInsert, R(1), Timestamp::FromHMS(8, 1)},
+      {ChangeKind::kDelete, R(1), Timestamp::FromHMS(8, 2)},
+  };
+  // Multiset semantics: one of the two copies survives.
+  EXPECT_EQ(SnapshotOf(log, Timestamp::FromHMS(8, 3)).size(), 1u);
+}
+
+TEST(ChangelogTest, DeleteOfAbsentRowIsNoop) {
+  Changelog log = {
+      {ChangeKind::kDelete, R(9), Timestamp::FromHMS(8, 0)},
+      {ChangeKind::kInsert, R(1), Timestamp::FromHMS(8, 1)},
+  };
+  auto snap = SnapshotOf(log, Timestamp::FromHMS(9, 0));
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_TRUE(RowsEqual(snap[0], R(1)));
+}
+
+TEST(ChangelogTest, InsertDeleteCancel) {
+  Changelog log = {
+      {ChangeKind::kInsert, R(5), Timestamp::FromHMS(8, 0)},
+      {ChangeKind::kDelete, R(5), Timestamp::FromHMS(8, 1)},
+  };
+  EXPECT_TRUE(SnapshotOf(log, Timestamp::FromHMS(9, 0)).empty());
+  // But the snapshot before the delete still sees the row.
+  EXPECT_EQ(SnapshotOf(log, Timestamp::FromHMS(8, 0)).size(), 1u);
+}
+
+TEST(ChangelogTest, ChangeToString) {
+  Change c{ChangeKind::kInsert, R(3), Timestamp::FromHMS(8, 7)};
+  EXPECT_EQ(c.ToString(), "INSERT (3) @8:07");
+  Change d{ChangeKind::kDelete, R(3), Timestamp::FromHMS(8, 8)};
+  EXPECT_EQ(d.ToString(), "DELETE (3) @8:08");
+}
+
+TEST(ChangelogTest, KindNames) {
+  EXPECT_STREQ(ChangeKindToString(ChangeKind::kInsert), "INSERT");
+  EXPECT_STREQ(ChangeKindToString(ChangeKind::kDelete), "DELETE");
+  EXPECT_STREQ(ChangeKindToString(ChangeKind::kUpsert), "UPSERT");
+}
+
+}  // namespace
+}  // namespace onesql

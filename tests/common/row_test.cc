@@ -1,0 +1,46 @@
+#include "common/row.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace onesql {
+namespace {
+
+Row MakeRow(int64_t a, const std::string& b) {
+  return {Value::Int64(a), Value::String(b)};
+}
+
+TEST(RowTest, Equality) {
+  EXPECT_TRUE(RowsEqual(MakeRow(1, "a"), MakeRow(1, "a")));
+  EXPECT_FALSE(RowsEqual(MakeRow(1, "a"), MakeRow(2, "a")));
+  EXPECT_FALSE(RowsEqual(MakeRow(1, "a"), MakeRow(1, "b")));
+  EXPECT_FALSE(RowsEqual(MakeRow(1, "a"), {Value::Int64(1)}));
+  EXPECT_TRUE(RowsEqual({}, {}));
+}
+
+TEST(RowTest, CompareLexicographic) {
+  EXPECT_LT(CompareRows(MakeRow(1, "z"), MakeRow(2, "a")), 0);
+  EXPECT_LT(CompareRows(MakeRow(1, "a"), MakeRow(1, "b")), 0);
+  EXPECT_EQ(CompareRows(MakeRow(1, "a"), MakeRow(1, "a")), 0);
+  EXPECT_GT(CompareRows(MakeRow(3, "a"), MakeRow(2, "z")), 0);
+  // Prefix rows sort first.
+  EXPECT_LT(CompareRows({Value::Int64(1)}, MakeRow(1, "a")), 0);
+}
+
+TEST(RowTest, HashMapUsable) {
+  std::unordered_map<Row, int, RowHash, RowEq> counts;
+  counts[MakeRow(1, "a")] += 1;
+  counts[MakeRow(1, "a")] += 1;
+  counts[MakeRow(2, "b")] += 1;
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[MakeRow(1, "a")], 2);
+}
+
+TEST(RowTest, ToString) {
+  EXPECT_EQ(RowToString(MakeRow(1, "a")), "(1, a)");
+  EXPECT_EQ(RowToString({}), "()");
+}
+
+}  // namespace
+}  // namespace onesql

@@ -1,0 +1,70 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace {
+
+Schema BidSchema() {
+  return Schema({
+      Field{"bidtime", DataType::kTimestamp, /*is_event_time=*/true},
+      Field{"price", DataType::kBigint, false},
+      Field{"item", DataType::kVarchar, false},
+  });
+}
+
+TEST(SchemaTest, FieldLookupCaseInsensitive) {
+  const Schema schema = BidSchema();
+  EXPECT_EQ(schema.FindField("price"), 1u);
+  EXPECT_EQ(schema.FindField("PRICE"), 1u);
+  EXPECT_EQ(schema.FindField("BidTime"), 0u);
+  EXPECT_EQ(schema.FindField("missing"), std::nullopt);
+}
+
+TEST(SchemaTest, EventTimeIndexes) {
+  const Schema schema = BidSchema();
+  EXPECT_EQ(schema.FirstEventTimeIndex(), 0u);
+  EXPECT_EQ(schema.EventTimeIndexes(), std::vector<size_t>{0});
+
+  Schema plain({Field{"x", DataType::kBigint, false}});
+  EXPECT_EQ(plain.FirstEventTimeIndex(), std::nullopt);
+  EXPECT_TRUE(plain.EventTimeIndexes().empty());
+}
+
+TEST(SchemaTest, MultipleEventTimeColumns) {
+  // Per Section 5 of the paper, joins can yield TVRs with two event time
+  // attributes.
+  Schema schema({
+      Field{"l_time", DataType::kTimestamp, true},
+      Field{"payload", DataType::kVarchar, false},
+      Field{"r_time", DataType::kTimestamp, true},
+  });
+  EXPECT_EQ(schema.EventTimeIndexes(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(SchemaTest, AddField) {
+  Schema schema;
+  EXPECT_EQ(schema.AddField({"a", DataType::kBigint, false}), 0u);
+  EXPECT_EQ(schema.AddField({"b", DataType::kVarchar, false}), 1u);
+  EXPECT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.field(1).name, "b");
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_EQ(BidSchema(), BidSchema());
+  Schema other = BidSchema();
+  other.AddField({"extra", DataType::kBigint, false});
+  EXPECT_FALSE(BidSchema() == other);
+  EXPECT_EQ(BidSchema().ToString(),
+            "[bidtime TIMESTAMP *EVENT_TIME*, price BIGINT, item VARCHAR]");
+}
+
+TEST(IdentTest, CaseInsensitiveEquals) {
+  EXPECT_TRUE(IdentEquals("SELECT", "select"));
+  EXPECT_TRUE(IdentEquals("BidTime", "bidtime"));
+  EXPECT_FALSE(IdentEquals("a", "ab"));
+  EXPECT_EQ(ToLower("BidTime"), "bidtime");
+}
+
+}  // namespace
+}  // namespace onesql

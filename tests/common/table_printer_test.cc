@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  Schema schema({
+      {"wstart", DataType::kTimestamp, true},
+      {"price", DataType::kBigint, false},
+      {"item", DataType::kVarchar, false},
+  });
+  TablePrinter printer(schema);
+  printer.MarkDollarColumn("price");
+  printer.AddRow({Value::Time(Timestamp::FromHMS(8, 0)), Value::Int64(5),
+                  Value::String("D")});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| wstart | price | item |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 8:00   | $5    | D    |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, ColumnsWidenToContent) {
+  Schema schema({{"x", DataType::kVarchar, false}});
+  TablePrinter printer(schema);
+  printer.AddRow({Value::String("longvalue")});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| x         |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| longvalue |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, EmptyTableShowsHeaderOnly) {
+  Schema schema({{"a", DataType::kBigint, false},
+                 {"b", DataType::kBigint, false}});
+  TablePrinter printer(schema);
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| a | b |"), std::string::npos);
+  // Header line + rule line only.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TablePrinterTest, NullRendersEmpty) {
+  Schema schema({{"u", DataType::kVarchar, false}});
+  TablePrinter printer(schema);
+  printer.AddRow({Value::Null()});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("|   |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, AddRowsBatch) {
+  Schema schema({{"n", DataType::kBigint, false}});
+  TablePrinter printer(schema);
+  printer.AddRows({{Value::Int64(1)}, {Value::Int64(2)}});
+  const std::string out = printer.ToString();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace onesql

@@ -1,0 +1,101 @@
+#include "common/timestamp.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace {
+
+TEST(IntervalTest, Factories) {
+  EXPECT_EQ(Interval::Millis(5).millis(), 5);
+  EXPECT_EQ(Interval::Seconds(2).millis(), 2000);
+  EXPECT_EQ(Interval::Minutes(10).millis(), 600000);
+  EXPECT_EQ(Interval::Hours(1).millis(), 3600000);
+  EXPECT_EQ(Interval::Days(1).millis(), 86400000);
+}
+
+TEST(IntervalTest, Arithmetic) {
+  EXPECT_EQ(Interval::Minutes(10) + Interval::Minutes(5),
+            Interval::Minutes(15));
+  EXPECT_EQ(Interval::Minutes(10) - Interval::Minutes(5),
+            Interval::Minutes(5));
+  EXPECT_EQ(Interval::Minutes(10) * 3, Interval::Minutes(30));
+  EXPECT_EQ(-Interval::Minutes(10), Interval::Minutes(-10));
+  EXPECT_LT(Interval::Seconds(59), Interval::Minutes(1));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval::Minutes(10).ToString(), "10m");
+  EXPECT_EQ(Interval::Minutes(90).ToString(), "1h30m");
+  EXPECT_EQ(Interval::Millis(250).ToString(), "250ms");
+  EXPECT_EQ(Interval::Millis(0).ToString(), "0ms");
+  EXPECT_EQ(Interval::Seconds(61).ToString(), "1m1s");
+  EXPECT_EQ((-Interval::Minutes(6)).ToString(), "-6m");
+}
+
+TEST(TimestampTest, FromHMS) {
+  EXPECT_EQ(Timestamp::FromHMS(8, 7).millis(),
+            (8 * 60 + 7) * 60 * 1000);
+  EXPECT_EQ(Timestamp::FromHMS(0, 0).millis(), 0);
+  EXPECT_EQ(Timestamp::FromHMS(8, 0, 30).millis(),
+            8 * 3600000 + 30000);
+}
+
+TEST(TimestampTest, Ordering) {
+  EXPECT_LT(Timestamp::FromHMS(8, 5), Timestamp::FromHMS(8, 7));
+  EXPECT_LT(Timestamp::Min(), Timestamp::FromHMS(0, 0));
+  EXPECT_LT(Timestamp::FromHMS(23, 59), Timestamp::Max());
+}
+
+TEST(TimestampTest, IntervalArithmetic) {
+  const Timestamp t = Timestamp::FromHMS(8, 7);
+  EXPECT_EQ(t + Interval::Minutes(3), Timestamp::FromHMS(8, 10));
+  EXPECT_EQ(t - Interval::Minutes(7), Timestamp::FromHMS(8, 0));
+  EXPECT_EQ(Timestamp::FromHMS(8, 10) - Timestamp::FromHMS(8, 7),
+            Interval::Minutes(3));
+}
+
+TEST(TimestampTest, ToStringPaperFormat) {
+  EXPECT_EQ(Timestamp::FromHMS(8, 7).ToString(), "8:07");
+  EXPECT_EQ(Timestamp::FromHMS(8, 0).ToString(), "8:00");
+  EXPECT_EQ(Timestamp::FromHMS(12, 30).ToString(), "12:30");
+  EXPECT_EQ(Timestamp::FromHMS(8, 7, 30).ToString(), "8:07:30");
+  EXPECT_EQ(Timestamp::Min().ToString(), "-inf");
+  EXPECT_EQ(Timestamp::Max().ToString(), "+inf");
+}
+
+TEST(TimestampTest, ParseClockForm) {
+  auto r = Timestamp::Parse("8:07");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Timestamp::FromHMS(8, 7));
+
+  auto r2 = Timestamp::Parse("8:07:30");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, Timestamp::FromHMS(8, 7, 30));
+}
+
+TEST(TimestampTest, ParseRawMillis) {
+  auto r = Timestamp::Parse("12345");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->millis(), 12345);
+}
+
+TEST(TimestampTest, ParseErrors) {
+  EXPECT_FALSE(Timestamp::Parse("").ok());
+  EXPECT_FALSE(Timestamp::Parse("8:99").ok());
+  EXPECT_FALSE(Timestamp::Parse("abc").ok());
+  EXPECT_FALSE(Timestamp::Parse("12x").ok());
+}
+
+TEST(TimestampTest, RoundTripThroughToString) {
+  for (int h = 0; h < 24; h += 5) {
+    for (int m = 0; m < 60; m += 13) {
+      const Timestamp t = Timestamp::FromHMS(h, m);
+      auto parsed = Timestamp::Parse(t.ToString());
+      ASSERT_TRUE(parsed.ok()) << t.ToString();
+      EXPECT_EQ(*parsed, t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onesql

@@ -1,0 +1,107 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBoolean);
+  EXPECT_EQ(Value::Int64(1).type(), DataType::kBigint);
+  EXPECT_EQ(Value::Double(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kVarchar);
+  EXPECT_EQ(Value::Time(Timestamp::FromHMS(8, 0)).type(),
+            DataType::kTimestamp);
+  EXPECT_EQ(Value::Duration(Interval::Minutes(1)).type(),
+            DataType::kInterval);
+}
+
+TEST(ValueTest, NullChecks) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int64(0).is_null());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int64(-7).AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Time(Timestamp::FromHMS(8, 5)).AsTimestamp(),
+            Timestamp::FromHMS(8, 5));
+  EXPECT_EQ(Value::Duration(Interval::Minutes(10)).AsInterval(),
+            Interval::Minutes(10));
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(*Value::Int64(3).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(2.5).ToNumeric(), 2.5);
+  EXPECT_FALSE(Value::String("x").ToNumeric().ok());
+  EXPECT_FALSE(Value::Null().ToNumeric().ok());
+}
+
+TEST(ValueTest, IdentityEquality) {
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_FALSE(Value::Int64(5) == Value::Int64(6));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  // Identity equality is typed: 5 (BIGINT) != 5.0 (DOUBLE).
+  EXPECT_FALSE(Value::Int64(5) == Value::Double(5.0));
+}
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(2).Compare(Value::Int64(1)), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Int64(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_LT(Value::Time(Timestamp::FromHMS(8, 0))
+                .Compare(Value::Time(Timestamp::FromHMS(9, 0))),
+            0);
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::Double(5.5)), 0);
+  EXPECT_GT(Value::Double(6.5).Compare(Value::Int64(6)), 0);
+}
+
+TEST(ValueTest, CompareNullFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);
+  EXPECT_GT(Value::Int64(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("xyz").Hash(), Value::String("xyz").Hash());
+  // Different types should (almost surely) hash differently.
+  EXPECT_NE(Value::Int64(0).Hash(), Value::Bool(false).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(3.0).ToString(), "3.0");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Time(Timestamp::FromHMS(8, 7)).ToString(), "8:07");
+  EXPECT_EQ(Value::Duration(Interval::Minutes(10)).ToString(), "10m");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kBigint), "BIGINT");
+  EXPECT_STREQ(DataTypeToString(DataType::kVarchar), "VARCHAR");
+  EXPECT_STREQ(DataTypeToString(DataType::kTimestamp), "TIMESTAMP");
+}
+
+TEST(DataTypeTest, ImplicitCoercion) {
+  EXPECT_TRUE(IsImplicitlyCoercible(DataType::kBigint, DataType::kBigint));
+  EXPECT_TRUE(IsImplicitlyCoercible(DataType::kNull, DataType::kVarchar));
+  EXPECT_TRUE(IsImplicitlyCoercible(DataType::kBigint, DataType::kDouble));
+  EXPECT_FALSE(IsImplicitlyCoercible(DataType::kDouble, DataType::kBigint));
+  EXPECT_FALSE(IsImplicitlyCoercible(DataType::kVarchar, DataType::kBigint));
+}
+
+}  // namespace
+}  // namespace onesql

@@ -1,0 +1,185 @@
+#include "cql/cql.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace cql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+Row R(int64_t v) { return {Value::Int64(v)}; }
+
+TEST(HeartbeatBufferTest, ReleasesInOrder) {
+  HeartbeatBuffer buffer;
+  buffer.Add(T(8, 7), R(1));
+  buffer.Add(T(8, 3), R(2));
+  buffer.Add(T(8, 5), R(3));
+  EXPECT_EQ(buffer.buffered(), 3u);
+
+  auto released = buffer.AdvanceHeartbeat(T(8, 5));
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].ts, T(8, 3));
+  EXPECT_EQ(released[1].ts, T(8, 5));
+  EXPECT_EQ(buffer.buffered(), 1u);
+
+  released = buffer.AdvanceHeartbeat(T(8, 10));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].ts, T(8, 7));
+}
+
+TEST(HeartbeatBufferTest, HeartbeatIsMonotonic) {
+  HeartbeatBuffer buffer;
+  buffer.AdvanceHeartbeat(T(8, 10));
+  buffer.AdvanceHeartbeat(T(8, 5));  // ignored, keeps 8:10
+  EXPECT_EQ(buffer.heartbeat(), T(8, 10));
+  buffer.Add(T(8, 7), R(1));
+  // Already below the heartbeat: released immediately on next advance.
+  auto released = buffer.AdvanceHeartbeat(T(8, 10));
+  EXPECT_EQ(released.size(), 1u);
+}
+
+std::vector<TimestampedRow> InOrderStream() {
+  // Bids (ts, price) in event-time order.
+  return {
+      {T(8, 5), {Value::Time(T(8, 5)), Value::Int64(4)}},
+      {T(8, 7), {Value::Time(T(8, 7)), Value::Int64(2)}},
+      {T(8, 9), {Value::Time(T(8, 9)), Value::Int64(5)}},
+      {T(8, 11), {Value::Time(T(8, 11)), Value::Int64(3)}},
+      {T(8, 13), {Value::Time(T(8, 13)), Value::Int64(1)}},
+      {T(8, 17), {Value::Time(T(8, 17)), Value::Int64(6)}},
+  };
+}
+
+TEST(SlidingWindowTest, TumblingBoundaries) {
+  auto rels = SlidingWindow(InOrderStream(), Interval::Minutes(10),
+                            Interval::Minutes(10), T(8, 21));
+  // Boundaries: 8:10 and 8:20 (first ts 8:05 -> first boundary 8:10).
+  ASSERT_EQ(rels.size(), 2u);
+  EXPECT_EQ(rels[0].tau, T(8, 10));
+  EXPECT_EQ(rels[0].rows.size(), 3u);  // 8:05, 8:07, 8:09
+  EXPECT_EQ(rels[1].tau, T(8, 20));
+  EXPECT_EQ(rels[1].rows.size(), 3u);  // 8:11, 8:13, 8:17
+}
+
+TEST(SlidingWindowTest, OverlappingSlide) {
+  auto rels = SlidingWindow(InOrderStream(), Interval::Minutes(10),
+                            Interval::Minutes(5), T(8, 20));
+  // Boundaries every 5 minutes: 8:10, 8:15, 8:20.
+  ASSERT_EQ(rels.size(), 3u);
+  EXPECT_EQ(rels[0].rows.size(), 3u);  // [8:00, 8:10)
+  EXPECT_EQ(rels[1].rows.size(), 5u);  // [8:05, 8:15): 8:05, 8:07, 8:09, 8:11, 8:13
+  EXPECT_EQ(rels[2].rows.size(), 3u);  // [8:10, 8:20)
+}
+
+TEST(SlidingWindowTest, EmptyStream) {
+  EXPECT_TRUE(SlidingWindow({}, Interval::Minutes(10), Interval::Minutes(10),
+                            T(9, 0))
+                  .empty());
+}
+
+TEST(StreamOperatorsTest, IstreamDstreamRstream) {
+  std::vector<InstantRelation> rels = {
+      {T(8, 10), {R(1), R(2)}},
+      {T(8, 20), {R(2), R(3)}},
+      {T(8, 30), {R(3)}},
+  };
+  auto istream = Istream(rels);
+  ASSERT_EQ(istream.size(), 3u);  // 1,2 @8:10; 3 @8:20; (none new @8:30)
+  EXPECT_EQ(istream[0].ts, T(8, 10));
+  EXPECT_EQ(istream[2].ts, T(8, 20));
+  EXPECT_TRUE(RowsEqual(istream[2].row, R(3)));
+
+  auto dstream = Dstream(rels);
+  ASSERT_EQ(dstream.size(), 2u);  // 1 @8:20; 2 @8:30
+  EXPECT_TRUE(RowsEqual(dstream[0].row, R(1)));
+  EXPECT_EQ(dstream[0].ts, T(8, 20));
+  EXPECT_TRUE(RowsEqual(dstream[1].row, R(2)));
+
+  auto rstream = Rstream(rels);
+  EXPECT_EQ(rstream.size(), 5u);
+}
+
+TEST(StreamOperatorsTest, IstreamHandlesMultiplicity) {
+  std::vector<InstantRelation> rels = {
+      {T(8, 10), {R(1)}},
+      {T(8, 20), {R(1), R(1)}},  // second copy appears
+  };
+  auto istream = Istream(rels);
+  ASSERT_EQ(istream.size(), 2u);
+  EXPECT_EQ(istream[1].ts, T(8, 20));
+}
+
+TEST(MapRelationTest, AppliesPointwise) {
+  std::vector<InstantRelation> rels = {{T(8, 10), {R(1), R(5), R(3)}}};
+  auto mapped = MapRelation(std::move(rels), [](std::vector<Row> rows) {
+    // keep only values > 2
+    std::vector<Row> out;
+    for (Row& r : rows) {
+      if (r[0].AsInt64() > 2) out.push_back(std::move(r));
+    }
+    return out;
+  });
+  ASSERT_EQ(mapped[0].rows.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// CqlQuery7 over the paper's dataset (heartbeat == the paper's watermarks):
+// must produce the same final rows as the proposed SQL with EMIT STREAM
+// AFTER WATERMARK (Listing 13), one batch per complete window.
+// --------------------------------------------------------------------------
+TEST(CqlQuery7Test, PaperDatasetMatchesListing13) {
+  CqlQuery7 q7(Interval::Minutes(10));
+
+  auto outputs_at = [&](int ph, int pm, int eh, int em) {
+    return q7.AdvanceHeartbeat(T(ph, pm), T(eh, em));
+  };
+
+  ASSERT_TRUE(outputs_at(8, 7, 8, 5).empty());
+  q7.OnBid(T(8, 8), T(8, 7), 2, "A");
+  q7.OnBid(T(8, 12), T(8, 11), 3, "B");
+  q7.OnBid(T(8, 13), T(8, 5), 4, "C");
+  ASSERT_TRUE(outputs_at(8, 14, 8, 8).empty());
+  q7.OnBid(T(8, 15), T(8, 9), 5, "D");
+  // Heartbeat reaches 8:12 at ptime 8:16: first window completes.
+  auto first = outputs_at(8, 16, 8, 12);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].window_end, T(8, 10));
+  EXPECT_EQ(first[0].price, 5);
+  EXPECT_EQ(first[0].item, "D");
+  EXPECT_EQ(first[0].ptime, T(8, 16));
+
+  q7.OnBid(T(8, 17), T(8, 13), 1, "E");
+  q7.OnBid(T(8, 18), T(8, 17), 6, "F");
+  auto second = outputs_at(8, 21, 8, 20);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].window_end, T(8, 20));
+  EXPECT_EQ(second[0].price, 6);
+  EXPECT_EQ(second[0].item, "F");
+  EXPECT_EQ(second[0].ptime, T(8, 21));
+}
+
+TEST(CqlQuery7Test, BufferGrowsWithDisorder) {
+  CqlQuery7 q7(Interval::Minutes(10));
+  // Three bids arrive, but the heartbeat lags far behind.
+  q7.OnBid(T(8, 1), T(8, 30), 1, "X");
+  q7.OnBid(T(8, 2), T(8, 20), 2, "Y");
+  q7.OnBid(T(8, 3), T(8, 10), 3, "Z");
+  EXPECT_EQ(q7.buffered(), 3u);
+  auto out = q7.AdvanceHeartbeat(T(8, 4), T(8, 15));
+  // Only Z released and its window (ending 8:20) is not yet complete.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q7.buffered(), 2u);
+  EXPECT_EQ(q7.window_pending(), 1u);
+}
+
+TEST(CqlQuery7Test, TiedMaxEmitsAllWinners) {
+  CqlQuery7 q7(Interval::Minutes(10));
+  q7.OnBid(T(8, 1), T(8, 2), 7, "P");
+  q7.OnBid(T(8, 2), T(8, 4), 7, "Q");
+  auto out = q7.AdvanceHeartbeat(T(8, 11), T(8, 10));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace onesql

@@ -1,0 +1,203 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterStream(
+                        "Bid", Schema({{"bidtime", DataType::kTimestamp, true},
+                                       {"price", DataType::kBigint},
+                                       {"item", DataType::kVarchar}}))
+                    .ok());
+    ASSERT_TRUE(engine_
+                    .RegisterTable(
+                        "Category",
+                        Schema({{"item", DataType::kVarchar},
+                                {"name", DataType::kVarchar}}),
+                        {{Value::String("A"), Value::String("art")},
+                         {Value::String("B"), Value::String("books")}})
+                    .ok());
+  }
+
+  Status InsertBid(int ph, int pm, int eh, int em, int64_t price,
+                   const std::string& item) {
+    return engine_.Insert("Bid", T(ph, pm),
+                          {Value::Time(T(eh, em)), Value::Int64(price),
+                           Value::String(item)});
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EngineTest, DuplicateRegistrationFails) {
+  EXPECT_EQ(engine_.RegisterStream("Bid", Schema()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine_.RegisterTable("bid", Schema(), {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(EngineTest, InsertValidatesShape) {
+  // Wrong arity.
+  EXPECT_EQ(engine_.Insert("Bid", T(8, 0), {Value::Int64(1)}).code(),
+            StatusCode::kInvalidArgument);
+  // Wrong type.
+  EXPECT_EQ(engine_
+                .Insert("Bid", T(8, 0),
+                        {Value::Int64(1), Value::Int64(2), Value::String("x")})
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Unknown stream.
+  EXPECT_EQ(engine_.Insert("NoSuch", T(8, 0), {}).code(),
+            StatusCode::kNotFound);
+  // Static table refuses feeds.
+  EXPECT_EQ(engine_
+                .Insert("Category", T(8, 0),
+                        {Value::String("C"), Value::String("cars")})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, ProcessingTimeMustBeMonotonic) {
+  ASSERT_TRUE(InsertBid(8, 10, 8, 0, 1, "A").ok());
+  EXPECT_EQ(InsertBid(8, 9, 8, 1, 1, "B").code(),
+            StatusCode::kInvalidArgument);
+  // Equal ptime is fine.
+  EXPECT_TRUE(InsertBid(8, 10, 8, 1, 1, "B").ok());
+}
+
+TEST_F(EngineTest, WatermarkMustBeMonotonic) {
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(8, 0), T(7, 50)).ok());
+  EXPECT_EQ(engine_.AdvanceWatermark("Bid", T(8, 1), T(7, 40)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.AdvanceWatermark("Category", T(8, 2), T(8, 0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, SimpleFilterQuery) {
+  auto q = engine_.Execute(
+      "SELECT bidtime, item FROM Bid WHERE price >= 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(InsertBid(8, 1, 8, 0, 2, "A").ok());
+  ASSERT_TRUE(InsertBid(8, 2, 8, 1, 5, "B").ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value::String("B"));
+}
+
+TEST_F(EngineTest, JoinStreamWithStaticTable) {
+  auto q = engine_.Execute(
+      "SELECT b.bidtime, c.name FROM Bid b JOIN Category c "
+      "ON b.item = c.item");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(InsertBid(8, 1, 8, 0, 2, "A").ok());
+  ASSERT_TRUE(InsertBid(8, 2, 8, 1, 5, "Z").ok());  // no category
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value::String("art"));
+}
+
+TEST_F(EngineTest, MultipleQueriesShareTheFeed) {
+  auto q1 = engine_.Execute("SELECT bidtime, price FROM Bid");
+  auto q2 = engine_.Execute("SELECT bidtime, item FROM Bid EMIT STREAM");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  ASSERT_TRUE(InsertBid(8, 1, 8, 0, 2, "A").ok());
+  EXPECT_EQ((*q1)->CurrentSnapshot()->size(), 1u);
+  EXPECT_EQ((*q2)->Emissions().size(), 1u);
+}
+
+TEST_F(EngineTest, RetractionsFlowThrough) {
+  auto q = engine_.Execute("SELECT bidtime, price, item FROM Bid");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(InsertBid(8, 1, 8, 0, 2, "A").ok());
+  ASSERT_TRUE(engine_
+                  .Delete("Bid", T(8, 2),
+                          {Value::Time(T(8, 0)), Value::Int64(2),
+                           Value::String("A")})
+                  .ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  // But the 8:01 snapshot still shows the row.
+  auto earlier = (*q)->SnapshotAt(T(8, 1));
+  ASSERT_TRUE(earlier.ok());
+  EXPECT_EQ(earlier->size(), 1u);
+}
+
+TEST_F(EngineTest, OrderByAndLimitApplyToSnapshots) {
+  auto q = engine_.Execute(
+      "SELECT bidtime, price, item FROM Bid ORDER BY price DESC LIMIT 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(InsertBid(8, 1, 8, 0, 2, "A").ok());
+  ASSERT_TRUE(InsertBid(8, 2, 8, 1, 9, "B").ok());
+  ASSERT_TRUE(InsertBid(8, 3, 8, 2, 5, "C").ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][2], Value::String("B"));
+  EXPECT_EQ((*rows)[1][2], Value::String("C"));
+}
+
+TEST_F(EngineTest, StreamSchemaAddsMetadataColumns) {
+  auto q = engine_.Execute("SELECT bidtime, price FROM Bid EMIT STREAM");
+  ASSERT_TRUE(q.ok());
+  const Schema schema = (*q)->StreamSchema();
+  ASSERT_EQ(schema.num_fields(), 5u);
+  EXPECT_EQ(schema.field(2).name, "undo");
+  EXPECT_EQ(schema.field(3).name, "ptime");
+  EXPECT_EQ(schema.field(4).name, "ver");
+  ASSERT_TRUE(InsertBid(8, 1, 8, 0, 2, "A").ok());
+  auto rows = (*q)->StreamRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 5u);
+  EXPECT_EQ(rows[0][3], Value::Time(T(8, 1)));
+}
+
+TEST_F(EngineTest, PlanExposesExplainableTree) {
+  auto plan = engine_.Plan("SELECT bidtime, price FROM Bid WHERE price > 1");
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan->ToString();
+  EXPECT_NE(text.find("Project"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("Scan(Bid, stream)"), std::string::npos);
+}
+
+TEST_F(EngineTest, ParseAndBindErrorsSurface) {
+  EXPECT_EQ(engine_.Execute("SELECT FROM WHERE").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(engine_.Execute("SELECT nosuch FROM Bid").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(EngineTest, FeedBatchApi) {
+  std::vector<FeedEvent> events;
+  FeedEvent insert;
+  insert.kind = FeedEvent::Kind::kInsert;
+  insert.source = "Bid";
+  insert.ptime = T(8, 1);
+  insert.row = {Value::Time(T(8, 0)), Value::Int64(2), Value::String("A")};
+  events.push_back(insert);
+  FeedEvent wm;
+  wm.kind = FeedEvent::Kind::kWatermark;
+  wm.source = "Bid";
+  wm.ptime = T(8, 2);
+  wm.watermark = T(8, 1);
+  events.push_back(wm);
+
+  auto q = engine_.Execute("SELECT bidtime, price FROM Bid");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine_.Feed(events).ok());
+  EXPECT_EQ((*q)->CurrentSnapshot()->size(), 1u);
+  EXPECT_EQ((*q)->watermark(), T(8, 1));
+}
+
+}  // namespace
+}  // namespace onesql

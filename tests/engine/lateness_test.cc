@@ -1,0 +1,169 @@
+// Allowed lateness (the parenthetical of Extension 2: "in practice, a
+// configurable amount of allowed lateness is often needed"): groupings stay
+// correctable past the watermark by a configured budget, completing the
+// early / on-time / late pattern of Extension 7.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace onesql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+constexpr const char* kWindowedMax =
+    "SELECT wstart, wend, MAX(price) AS maxPrice "
+    "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' MINUTES) t GROUP BY wend";
+
+class LatenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterStream(
+                        "Bid", Schema({{"bidtime", DataType::kTimestamp, true},
+                                       {"price", DataType::kBigint},
+                                       {"item", DataType::kVarchar}}))
+                    .ok());
+  }
+
+  Status Bid(int pm, int em, int64_t price) {
+    return engine_.Insert("Bid", T(9, pm),
+                          {Value::Time(T(8, em)), Value::Int64(price),
+                           Value::String("x")});
+  }
+
+  Engine engine_;
+};
+
+TEST_F(LatenessTest, ZeroLatenessDropsStrictly) {
+  auto q = engine_.Execute(kWindowedMax);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(Bid(1, 5, 3).ok());
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 2), T(8, 10)).ok());
+  ASSERT_TRUE(Bid(3, 7, 9).ok());  // late for window [8:00, 8:10)
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][2], Value::Int64(3));  // the $9 bid was dropped
+}
+
+TEST_F(LatenessTest, LateRowWithinBudgetCorrectsTheResult) {
+  ExecutionOptions options;
+  options.allowed_lateness = Interval::Minutes(5);
+  auto q = engine_.Execute(kWindowedMax, options);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(Bid(1, 5, 3).ok());
+  // Watermark passes the window end but not end + lateness.
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 2), T(8, 12)).ok());
+  ASSERT_TRUE(Bid(3, 7, 9).ok());  // late, but within the 5-minute budget
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][2], Value::Int64(9));  // corrected
+
+  // Beyond end + lateness the group is finally dropped.
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 4), T(8, 15)).ok());
+  ASSERT_TRUE(Bid(5, 8, 99).ok());
+  rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][2], Value::Int64(9));
+  EXPECT_EQ((*q)->dataflow().aggregates()[0]->late_drops(), 1);
+}
+
+TEST_F(LatenessTest, EarlyOnTimeLatePanes) {
+  // EMIT STREAM AFTER WATERMARK with lateness: one on-time pane, then late
+  // corrections as they arrive.
+  ExecutionOptions options;
+  options.allowed_lateness = Interval::Minutes(5);
+  auto q = engine_.Execute(std::string(kWindowedMax) +
+                               " EMIT STREAM AFTER WATERMARK",
+                           options);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  ASSERT_TRUE(Bid(1, 5, 3).ok());
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 2), T(8, 11)).ok());
+  // On-time pane: max=3 at the watermark passage.
+  ASSERT_EQ((*q)->Emissions().size(), 1u);
+  EXPECT_EQ((*q)->Emissions()[0].row[2], Value::Int64(3));
+  EXPECT_EQ((*q)->Emissions()[0].ptime, T(9, 2));
+
+  // Late pane: correction materializes immediately.
+  ASSERT_TRUE(Bid(3, 7, 9).ok());
+  ASSERT_EQ((*q)->Emissions().size(), 3u);
+  EXPECT_TRUE((*q)->Emissions()[1].undo);
+  EXPECT_EQ((*q)->Emissions()[1].ver, 1);
+  EXPECT_EQ((*q)->Emissions()[2].row[2], Value::Int64(9));
+  EXPECT_EQ((*q)->Emissions()[2].ver, 2);
+
+  // After end + lateness, further input is dropped and no pane fires.
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 4), T(8, 20)).ok());
+  ASSERT_TRUE(Bid(5, 8, 99).ok());
+  EXPECT_EQ((*q)->Emissions().size(), 3u);
+}
+
+TEST_F(LatenessTest, TableViewWithLatenessConverges) {
+  ExecutionOptions options;
+  options.allowed_lateness = Interval::Minutes(5);
+  auto gated = engine_.Execute(std::string(kWindowedMax) +
+                                   " EMIT AFTER WATERMARK",
+                               options);
+  auto instant = engine_.Execute(kWindowedMax, options);
+  ASSERT_TRUE(gated.ok() && instant.ok());
+
+  ASSERT_TRUE(Bid(1, 5, 3).ok());
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 2), T(8, 11)).ok());
+  ASSERT_TRUE(Bid(3, 7, 9).ok());  // late correction
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(9, 4), T(8, 30)).ok());
+
+  auto a = (*gated)->CurrentSnapshot();
+  auto b = (*instant)->CurrentSnapshot();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), 1u);
+  ASSERT_EQ(b->size(), 1u);
+  EXPECT_TRUE(RowsEqual((*a)[0], (*b)[0]));
+  EXPECT_EQ((*a)[0][2], Value::Int64(9));
+}
+
+TEST_F(LatenessTest, NegativeLatenessRejected) {
+  ExecutionOptions options;
+  options.allowed_lateness = Interval::Minutes(-1);
+  EXPECT_EQ(engine_.Execute(kWindowedMax, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LatenessTest, SessionLatenessExtendsFinalization) {
+  ASSERT_TRUE(engine_
+                  .RegisterStream(
+                      "Clicks", Schema({{"ts", DataType::kTimestamp, true},
+                                        {"user_id", DataType::kBigint}}))
+                  .ok());
+  ExecutionOptions options;
+  options.allowed_lateness = Interval::Minutes(5);
+  auto q = engine_.Execute(
+      "SELECT user_id, wstart, wend, COUNT(*) AS clicks "
+      "FROM Session(data => TABLE(Clicks), timecol => DESCRIPTOR(ts), "
+      "gap => INTERVAL '2' MINUTES, key => DESCRIPTOR(user_id)) s "
+      "GROUP BY user_id, wend",
+      options);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(engine_
+                  .Insert("Clicks", T(9, 1),
+                          {Value::Time(T(8, 0)), Value::Int64(1)})
+                  .ok());
+  // Watermark past the session end (8:02) but within lateness: a late click
+  // still extends the session.
+  ASSERT_TRUE(engine_.AdvanceWatermark("Clicks", T(9, 2), T(8, 4)).ok());
+  ASSERT_TRUE(engine_
+                  .Insert("Clicks", T(9, 3),
+                          {Value::Time(T(8, 1)), Value::Int64(1)})
+                  .ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][3], Value::Int64(2));
+}
+
+}  // namespace
+}  // namespace onesql

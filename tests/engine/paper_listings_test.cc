@@ -1,0 +1,457 @@
+// Reproduces the worked example of Section 4 / Section 6 of the paper:
+// NEXMark Query 7 over the paper's out-of-order dataset, under every
+// materialization control. Each test corresponds to a numbered listing and
+// asserts the exact rows the paper prints.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace onesql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+Row Bid(int eh, int em, int64_t price, const std::string& item) {
+  return {Value::Time(T(eh, em)), Value::Int64(price), Value::String(item)};
+}
+
+/// The paper's Q7 in the proposed SQL (Listing 2), modulo the EMIT suffix.
+std::string Q7(const std::string& emit = "") {
+  return R"(
+    SELECT
+      MaxBid.wstart, MaxBid.wend,
+      Bid.bidtime, Bid.price, Bid.item
+    FROM
+      Bid,
+      (SELECT
+         MAX(TumbleBid.price) maxPrice,
+         TumbleBid.wstart wstart,
+         TumbleBid.wend wend
+       FROM
+         Tumble(
+           data    => TABLE(Bid),
+           timecol => DESCRIPTOR(bidtime),
+           dur     => INTERVAL '10' MINUTE) TumbleBid
+       GROUP BY
+         TumbleBid.wend) MaxBid
+    WHERE
+      Bid.price = MaxBid.maxPrice AND
+      Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE AND
+      Bid.bidtime < MaxBid.wend
+  )" + emit;
+}
+
+class PaperListingsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterStream(
+                        "Bid", Schema({{"bidtime", DataType::kTimestamp, true},
+                                       {"price", DataType::kBigint},
+                                       {"item", DataType::kVarchar}}))
+                    .ok());
+  }
+
+  /// Feeds the example dataset from Section 4.
+  void FeedPaperDataset() {
+    auto wm = [&](int ph, int pm, int eh, int em) {
+      ASSERT_TRUE(
+          engine_.AdvanceWatermark("Bid", T(ph, pm), T(eh, em)).ok());
+    };
+    auto bid = [&](int ph, int pm, int eh, int em, int64_t price,
+                   const std::string& item) {
+      ASSERT_TRUE(
+          engine_.Insert("Bid", T(ph, pm), Bid(eh, em, price, item)).ok());
+    };
+    wm(8, 7, 8, 5);
+    bid(8, 8, 8, 7, 2, "A");
+    bid(8, 12, 8, 11, 3, "B");
+    bid(8, 13, 8, 5, 4, "C");
+    wm(8, 14, 8, 8);
+    bid(8, 15, 8, 9, 5, "D");
+    wm(8, 16, 8, 12);
+    bid(8, 17, 8, 13, 1, "E");
+    bid(8, 18, 8, 17, 6, "F");
+    wm(8, 21, 8, 20);
+  }
+
+  ContinuousQuery* MustExecute(const std::string& sql) {
+    auto q = engine_.Execute(sql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.ok() ? *q : nullptr;
+  }
+
+  static Row ResultRow(int ws_h, int ws_m, int we_h, int we_m, int bt_h,
+                       int bt_m, int64_t price, const std::string& item) {
+    return {Value::Time(T(ws_h, ws_m)), Value::Time(T(we_h, we_m)),
+            Value::Time(T(bt_h, bt_m)), Value::Int64(price),
+            Value::String(item)};
+  }
+
+  static void ExpectRowsEqual(const std::vector<Row>& actual,
+                              std::vector<Row> expected) {
+    std::sort(expected.begin(), expected.end(),
+              [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+    std::vector<Row> sorted = actual;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+    ASSERT_EQ(sorted.size(), expected.size()) << "row count mismatch";
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(RowsEqual(sorted[i], expected[i]))
+          << "row " << i << ": got " << RowToString(sorted[i]) << ", want "
+          << RowToString(expected[i]);
+    }
+  }
+
+  struct ExpectedEmission {
+    Row row;
+    bool undo;
+    Timestamp ptime;
+    int64_t ver;
+  };
+
+  static void ExpectEmissions(const std::vector<exec::Emission>& actual,
+                              const std::vector<ExpectedEmission>& expected) {
+    ASSERT_EQ(actual.size(), expected.size()) << [&] {
+      std::string got = "emissions:\n";
+      for (const auto& e : actual) got += "  " + e.ToString() + "\n";
+      return got;
+    }();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(RowsEqual(actual[i].row, expected[i].row))
+          << "emission " << i << ": " << actual[i].ToString();
+      EXPECT_EQ(actual[i].undo, expected[i].undo) << "emission " << i;
+      EXPECT_EQ(actual[i].ptime, expected[i].ptime) << "emission " << i;
+      EXPECT_EQ(actual[i].ver, expected[i].ver) << "emission " << i;
+    }
+  }
+
+  Engine engine_;
+};
+
+// --------------------------------------------------------------------------
+// Listing 3: the table view of Q7 queried at 8:21 (full dataset).
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing3_TableViewAt821) {
+  ContinuousQuery* q = MustExecute(Q7());
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectRowsEqual(*rows, {
+                             ResultRow(8, 0, 8, 10, 8, 9, 5, "D"),
+                             ResultRow(8, 10, 8, 20, 8, 17, 6, "F"),
+                         });
+}
+
+// --------------------------------------------------------------------------
+// Listing 4: the same query, but at 8:13 — partial results.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing4_TableViewAt813) {
+  ContinuousQuery* q = MustExecute(Q7());
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 13));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectRowsEqual(*rows, {
+                             ResultRow(8, 0, 8, 10, 8, 5, 4, "C"),
+                             ResultRow(8, 10, 8, 20, 8, 11, 3, "B"),
+                         });
+}
+
+// A query executed *after* the data arrived replays history and produces
+// the same answer ("a recorded data stream can be reprocessed by the same
+// query that processes the live data stream", Appendix B).
+TEST_F(PaperListingsTest, Listing3_LateExecutedQuerySeesHistory) {
+  FeedPaperDataset();
+  ContinuousQuery* q = MustExecute(Q7());
+  ASSERT_NE(q, nullptr);
+  auto rows = q->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectRowsEqual(*rows, {
+                             ResultRow(8, 0, 8, 10, 8, 9, 5, "D"),
+                             ResultRow(8, 10, 8, 20, 8, 17, 6, "F"),
+                         });
+}
+
+// --------------------------------------------------------------------------
+// Listing 5: the raw Tumble TVF.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing5_TumbleTvf) {
+  ContinuousQuery* q = MustExecute(
+      "SELECT * FROM Tumble(data => TABLE(Bid), "
+      "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+      "offset => INTERVAL '0' MINUTES) t");
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto expect = [&](int bh, int bm, int64_t price, const std::string& item,
+                    int wsh, int wsm, int weh, int wem) {
+    return Row{Value::Time(T(bh, bm)),   Value::Int64(price),
+               Value::String(item),      Value::Time(T(wsh, wsm)),
+               Value::Time(T(weh, wem))};
+  };
+  ExpectRowsEqual(*rows, {
+                             expect(8, 7, 2, "A", 8, 0, 8, 10),
+                             expect(8, 11, 3, "B", 8, 10, 8, 20),
+                             expect(8, 5, 4, "C", 8, 0, 8, 10),
+                             expect(8, 9, 5, "D", 8, 0, 8, 10),
+                             expect(8, 13, 1, "E", 8, 10, 8, 20),
+                             expect(8, 17, 6, "F", 8, 10, 8, 20),
+                         });
+}
+
+// --------------------------------------------------------------------------
+// Listing 6: Tumble + GROUP BY wend.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing6_TumbleGroupBy) {
+  ContinuousQuery* q = MustExecute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend");
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectRowsEqual(
+      *rows,
+      {
+          {Value::Time(T(8, 0)), Value::Time(T(8, 10)), Value::Int64(5)},
+          {Value::Time(T(8, 10)), Value::Time(T(8, 20)), Value::Int64(6)},
+      });
+}
+
+// Grouping by wstart yields the same result (Section 6.4.1).
+TEST_F(PaperListingsTest, Listing6_GroupByWstartEquivalent) {
+  ContinuousQuery* q = MustExecute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wstart");
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ExpectRowsEqual(
+      *rows,
+      {
+          {Value::Time(T(8, 0)), Value::Time(T(8, 10)), Value::Int64(5)},
+          {Value::Time(T(8, 10)), Value::Time(T(8, 20)), Value::Int64(6)},
+      });
+}
+
+// --------------------------------------------------------------------------
+// Listing 7: the raw Hop TVF (dur 10m, hop 5m) — every bid lands in two
+// windows.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing7_HopTvf) {
+  ContinuousQuery* q = MustExecute(
+      "SELECT * FROM Hop(data => TABLE(Bid), "
+      "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+      "hopsize => INTERVAL '5' MINUTES) t");
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto expect = [&](int bh, int bm, int64_t price, const std::string& item,
+                    int wsh, int wsm) {
+    return Row{Value::Time(T(bh, bm)), Value::Int64(price),
+               Value::String(item), Value::Time(T(wsh, wsm)),
+               Value::Time(T(wsh, wsm) + Interval::Minutes(10))};
+  };
+  ExpectRowsEqual(*rows, {
+                             expect(8, 7, 2, "A", 8, 0),
+                             expect(8, 7, 2, "A", 8, 5),
+                             expect(8, 11, 3, "B", 8, 5),
+                             expect(8, 11, 3, "B", 8, 10),
+                             expect(8, 5, 4, "C", 8, 0),
+                             expect(8, 5, 4, "C", 8, 5),
+                             expect(8, 9, 5, "D", 8, 0),
+                             expect(8, 9, 5, "D", 8, 5),
+                             expect(8, 13, 1, "E", 8, 5),
+                             expect(8, 13, 1, "E", 8, 10),
+                             expect(8, 17, 6, "F", 8, 10),
+                             expect(8, 17, 6, "F", 8, 15),
+                         });
+}
+
+// --------------------------------------------------------------------------
+// Listing 8: Hop + GROUP BY wend.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing8_HopGroupBy) {
+  ContinuousQuery* q = MustExecute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Hop(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES, hopsize => INTERVAL '5' MINUTES) t "
+      "GROUP BY wend");
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  auto rows = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto win = [&](int wsh, int wsm, int64_t maxp) {
+    return Row{Value::Time(T(wsh, wsm)),
+               Value::Time(T(wsh, wsm) + Interval::Minutes(10)),
+               Value::Int64(maxp)};
+  };
+  ExpectRowsEqual(*rows, {
+                             win(8, 0, 5),   // A, C, D
+                             win(8, 5, 5),   // A, B, C, D, E
+                             win(8, 10, 6),  // B, E, F
+                             win(8, 15, 6),  // F
+                         });
+}
+
+// --------------------------------------------------------------------------
+// Listing 9: EMIT STREAM — the full changelog with undo/ptime/ver.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing9_EmitStream) {
+  ContinuousQuery* q = MustExecute(Q7("EMIT STREAM"));
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  ASSERT_TRUE(engine_.AdvanceTo(T(8, 21)).ok());
+  ExpectEmissions(
+      q->Emissions(),
+      {
+          {ResultRow(8, 0, 8, 10, 8, 7, 2, "A"), false, T(8, 8), 0},
+          {ResultRow(8, 10, 8, 20, 8, 11, 3, "B"), false, T(8, 12), 0},
+          {ResultRow(8, 0, 8, 10, 8, 7, 2, "A"), true, T(8, 13), 1},
+          {ResultRow(8, 0, 8, 10, 8, 5, 4, "C"), false, T(8, 13), 2},
+          {ResultRow(8, 0, 8, 10, 8, 5, 4, "C"), true, T(8, 15), 3},
+          {ResultRow(8, 0, 8, 10, 8, 9, 5, "D"), false, T(8, 15), 4},
+          {ResultRow(8, 10, 8, 20, 8, 11, 3, "B"), true, T(8, 18), 1},
+          {ResultRow(8, 10, 8, 20, 8, 17, 6, "F"), false, T(8, 18), 2},
+      });
+}
+
+// --------------------------------------------------------------------------
+// Listings 10-12: EMIT AFTER WATERMARK table views at 8:13, 8:16, 8:21.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listings10to12_EmitAfterWatermark) {
+  ContinuousQuery* q = MustExecute(Q7("EMIT AFTER WATERMARK"));
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+
+  // Listing 10: at 8:13 the watermark hasn't passed any window end — empty.
+  auto at813 = q->SnapshotAt(T(8, 13));
+  ASSERT_TRUE(at813.ok());
+  EXPECT_TRUE(at813->empty());
+
+  // Listing 11: at 8:16 the first window is complete.
+  auto at816 = q->SnapshotAt(T(8, 16));
+  ASSERT_TRUE(at816.ok());
+  ExpectRowsEqual(*at816, {ResultRow(8, 0, 8, 10, 8, 9, 5, "D")});
+
+  // Listing 12: at 8:21 both windows are complete.
+  auto at821 = q->SnapshotAt(T(8, 21));
+  ASSERT_TRUE(at821.ok());
+  ExpectRowsEqual(*at821, {
+                              ResultRow(8, 0, 8, 10, 8, 9, 5, "D"),
+                              ResultRow(8, 10, 8, 20, 8, 17, 6, "F"),
+                          });
+}
+
+// --------------------------------------------------------------------------
+// Listing 13: EMIT STREAM AFTER WATERMARK — one final row per window, with
+// ptime at the watermark passage.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing13_EmitStreamAfterWatermark) {
+  ContinuousQuery* q = MustExecute(Q7("EMIT STREAM AFTER WATERMARK"));
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  ASSERT_TRUE(engine_.AdvanceTo(T(8, 21)).ok());
+  ExpectEmissions(
+      q->Emissions(),
+      {
+          {ResultRow(8, 0, 8, 10, 8, 9, 5, "D"), false, T(8, 16), 0},
+          {ResultRow(8, 10, 8, 20, 8, 17, 6, "F"), false, T(8, 21), 0},
+      });
+}
+
+// --------------------------------------------------------------------------
+// Listing 14: EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES — coalesced
+// periodic updates.
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, Listing14_EmitStreamAfterDelay) {
+  ContinuousQuery* q =
+      MustExecute(Q7("EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES"));
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  ASSERT_TRUE(engine_.AdvanceTo(T(8, 21)).ok());
+  ExpectEmissions(
+      q->Emissions(),
+      {
+          {ResultRow(8, 0, 8, 10, 8, 5, 4, "C"), false, T(8, 14), 0},
+          {ResultRow(8, 10, 8, 20, 8, 17, 6, "F"), false, T(8, 18), 0},
+          {ResultRow(8, 0, 8, 10, 8, 5, 4, "C"), true, T(8, 21), 1},
+          {ResultRow(8, 0, 8, 10, 8, 9, 5, "D"), false, T(8, 21), 2},
+      });
+}
+
+// --------------------------------------------------------------------------
+// Extension 7: combined AFTER DELAY + AFTER WATERMARK (early/on-time).
+// --------------------------------------------------------------------------
+TEST_F(PaperListingsTest, CombinedDelayAndWatermark) {
+  ContinuousQuery* q = MustExecute(
+      Q7("EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES AND AFTER WATERMARK"));
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  ASSERT_TRUE(engine_.AdvanceTo(T(8, 21)).ok());
+  ExpectEmissions(
+      q->Emissions(),
+      {
+          // Early firing for window 1 at 8:14 (delay from 8:08).
+          {ResultRow(8, 0, 8, 10, 8, 5, 4, "C"), false, T(8, 14), 0},
+          // On-time firing for window 1 at 8:16 (watermark passed 8:10):
+          // refine C -> D.
+          {ResultRow(8, 0, 8, 10, 8, 5, 4, "C"), true, T(8, 16), 1},
+          {ResultRow(8, 0, 8, 10, 8, 9, 5, "D"), false, T(8, 16), 2},
+          // Early firing for window 2 at 8:18 (delay from 8:12).
+          {ResultRow(8, 10, 8, 20, 8, 17, 6, "F"), false, T(8, 18), 0},
+          // On-time firing for window 2 at 8:21: already F — no change.
+      });
+}
+
+// The join state is released as the watermark advances (Section 5: "state
+// can be freed when the watermark is sufficiently advanced").
+TEST_F(PaperListingsTest, JoinStatePurgedByWatermark) {
+  ContinuousQuery* q = MustExecute(Q7());
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  ASSERT_EQ(q->dataflow().joins().size(), 1u);
+  const exec::JoinOperator* join = q->dataflow().joins()[0];
+  // At watermark 8:20: bids with bidtime <= 8:10 purged (A, C, D gone;
+  // B @8:11, E @8:13, F @8:17 remain). MaxBid rows with wend <= 8:20 purged
+  // (both windows' rows gone).
+  EXPECT_EQ(join->left_rows(), 3u);
+  EXPECT_EQ(join->right_rows(), 0u);
+}
+
+// Aggregation groups complete below the watermark drop late inputs
+// (Extension 2) and release state.
+TEST_F(PaperListingsTest, LateInputsAreDropped) {
+  ContinuousQuery* q = MustExecute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend");
+  ASSERT_NE(q, nullptr);
+  FeedPaperDataset();
+  // A very late bid for the first window (which completed at wm 8:12).
+  ASSERT_TRUE(
+      engine_.Insert("Bid", T(8, 22), Bid(8, 1, 99, "LATE")).ok());
+  auto rows = q->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  // The $99 bid did not change the first window's max.
+  ExpectRowsEqual(
+      *rows,
+      {
+          {Value::Time(T(8, 0)), Value::Time(T(8, 10)), Value::Int64(5)},
+          {Value::Time(T(8, 10)), Value::Time(T(8, 20)), Value::Int64(6)},
+      });
+  ASSERT_EQ(q->dataflow().aggregates().size(), 1u);
+  EXPECT_EQ(q->dataflow().aggregates()[0]->late_drops(), 1);
+  EXPECT_EQ(q->dataflow().aggregates()[0]->NumGroups(), 0u);
+}
+
+}  // namespace
+}  // namespace onesql

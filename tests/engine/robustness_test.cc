@@ -1,0 +1,198 @@
+// Failure-injection and edge-case coverage across the engine: runtime errors
+// must surface as Status (never crash or silently corrupt), and the new
+// syntax (Session, CURRENT_TIME, upsert rendering) must parse/validate.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "sql/parser.h"
+
+namespace onesql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterStream(
+                        "Bid", Schema({{"bidtime", DataType::kTimestamp, true},
+                                       {"price", DataType::kBigint},
+                                       {"item", DataType::kVarchar}}))
+                    .ok());
+  }
+
+  Engine engine_;
+};
+
+TEST_F(RobustnessTest, RuntimeDivisionByZeroSurfaces) {
+  auto q = engine_.Execute("SELECT price / (price - price) FROM Bid");
+  ASSERT_TRUE(q.ok());
+  const Status st = engine_.Insert(
+      "Bid", T(8, 1),
+      {Value::Time(T(8, 0)), Value::Int64(5), Value::String("A")});
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_NE(st.message().find("division by zero"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, NullEventTimeInWindowSurfaces) {
+  auto q = engine_.Execute(
+      "SELECT wend, COUNT(*) FROM Tumble(data => TABLE(Bid), "
+      "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '1' MINUTE) t "
+      "GROUP BY wend");
+  ASSERT_TRUE(q.ok());
+  const Status st = engine_.Insert(
+      "Bid", T(8, 1), {Value::Null(), Value::Int64(5), Value::String("A")});
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST_F(RobustnessTest, DeleteOfNeverInsertedRowSurfaces) {
+  auto q = engine_.Execute("SELECT bidtime, price, item FROM Bid");
+  ASSERT_TRUE(q.ok());
+  const Status st = engine_.Delete(
+      "Bid", T(8, 1),
+      {Value::Time(T(8, 0)), Value::Int64(5), Value::String("A")});
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST_F(RobustnessTest, EqualPtimeEventsProcessInOrder) {
+  auto q = engine_.Execute("SELECT bidtime, price, item FROM Bid EMIT STREAM");
+  ASSERT_TRUE(q.ok());
+  // Insert and retract at the same processing time.
+  Row row = {Value::Time(T(8, 0)), Value::Int64(5), Value::String("A")};
+  ASSERT_TRUE(engine_.Insert("Bid", T(8, 1), row).ok());
+  ASSERT_TRUE(engine_.Delete("Bid", T(8, 1), row).ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ((*q)->Emissions().size(), 2u);
+}
+
+TEST_F(RobustnessTest, WatermarkRegressionAcrossSourcesIsIndependent) {
+  ASSERT_TRUE(engine_
+                  .RegisterStream(
+                      "Ask", Schema({{"asktime", DataType::kTimestamp, true},
+                                     {"price", DataType::kBigint}}))
+                  .ok());
+  ASSERT_TRUE(engine_.AdvanceWatermark("Bid", T(8, 1), T(8, 0)).ok());
+  // Another stream's watermark may be behind Bid's.
+  EXPECT_TRUE(engine_.AdvanceWatermark("Ask", T(8, 2), T(7, 0)).ok());
+}
+
+TEST_F(RobustnessTest, UpsertRenderingOfAggregateQuery) {
+  auto q = engine_.Execute(
+      "SELECT wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTE) t GROUP BY wend EMIT STREAM");
+  ASSERT_TRUE(q.ok());
+  auto bid = [&](int pm, int em, int64_t price) {
+    ASSERT_TRUE(engine_
+                    .Insert("Bid", T(8, pm),
+                            {Value::Time(T(8, em)), Value::Int64(price),
+                             Value::String("x")})
+                    .ok());
+  };
+  bid(1, 2, 5);
+  bid(2, 3, 9);   // same window: max update -> retraction pair
+  bid(3, 11, 4);  // second window
+  // Retraction stream: 4 records for window 1 (ins, del, ins) + 1 for
+  // window 2.
+  EXPECT_EQ((*q)->Emissions().size(), 4u);
+  // Upsert stream: one UPSERT per revision: 2 for window 1, 1 for window 2.
+  auto upserts = (*q)->UpsertStream();
+  ASSERT_TRUE(upserts.ok()) << upserts.status().ToString();
+  ASSERT_EQ(upserts->size(), 3u);
+  EXPECT_EQ((*upserts)[0].kind, ChangeKind::kUpsert);
+  EXPECT_EQ((*upserts)[1].kind, ChangeKind::kUpsert);
+  EXPECT_EQ((*upserts)[2].kind, ChangeKind::kUpsert);
+}
+
+TEST_F(RobustnessTest, UpsertRenderingRequiresGroupingKey) {
+  auto q = engine_.Execute("SELECT bidtime, price FROM Bid EMIT STREAM");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->UpsertStream().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RobustnessTest, SessionTvfGrammar) {
+  // Parses with named and positional arguments.
+  EXPECT_TRUE(sql::Parser::Parse(
+                  "SELECT * FROM Session(data => TABLE(Bid), "
+                  "timecol => DESCRIPTOR(bidtime), gap => INTERVAL '1' "
+                  "MINUTE, key => DESCRIPTOR(item)) s")
+                  .ok());
+  EXPECT_TRUE(sql::Parser::Parse(
+                  "SELECT * FROM Session(TABLE(Bid), DESCRIPTOR(bidtime), "
+                  "INTERVAL '1' MINUTE) s")
+                  .ok());
+  // Binder validations.
+  EXPECT_FALSE(engine_
+                   .Execute("SELECT * FROM Session(data => TABLE(Bid), "
+                            "timecol => DESCRIPTOR(bidtime), "
+                            "gap => INTERVAL '0' MINUTE) s")
+                   .ok());
+  EXPECT_FALSE(engine_
+                   .Execute("SELECT * FROM Session(data => TABLE(Bid), "
+                            "timecol => DESCRIPTOR(bidtime), "
+                            "gap => INTERVAL '1' MINUTE, key => 42) s")
+                   .ok());
+}
+
+TEST_F(RobustnessTest, CurrentTimeGrammar) {
+  EXPECT_TRUE(sql::Parser::Parse(
+                  "SELECT 1 FROM Bid WHERE bidtime > CURRENT_TIME - "
+                  "INTERVAL '1' HOUR")
+                  .ok());
+  // CURRENT_TIME is a keyword, usable only in expressions.
+  EXPECT_FALSE(sql::Parser::Parse("SELECT * FROM CURRENT_TIME").ok());
+}
+
+TEST_F(RobustnessTest, ManyQueriesOneFeedConsistency) {
+  // The same feed drives many queries; each sees a consistent prefix.
+  std::vector<ContinuousQuery*> queries;
+  for (int i = 0; i < 8; ++i) {
+    auto q = engine_.Execute("SELECT bidtime, price FROM Bid WHERE price > " +
+                             std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    queries.push_back(*q);
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine_
+                    .Insert("Bid", T(8, i + 1),
+                            {Value::Time(T(8, i)), Value::Int64(i % 10),
+                             Value::String("x")})
+                    .ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto rows = queries[static_cast<size_t>(i)]->CurrentSnapshot();
+    ASSERT_TRUE(rows.ok());
+    size_t expected = 0;
+    for (int v = 0; v < 20; ++v) {
+      if (v % 10 > i) ++expected;
+    }
+    EXPECT_EQ(rows->size(), expected) << "query " << i;
+  }
+}
+
+TEST_F(RobustnessTest, SnapshotBetweenEventTimesIsStable) {
+  auto q = engine_.Execute("SELECT bidtime, price, item FROM Bid");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine_
+                  .Insert("Bid", T(8, 10),
+                          {Value::Time(T(8, 0)), Value::Int64(1),
+                           Value::String("A")})
+                  .ok());
+  // Snapshots at any ptime in [8:10, now) see exactly one row.
+  for (int m : {10, 11, 15}) {
+    auto rows = (*q)->SnapshotAt(T(8, m));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 1u) << m;
+  }
+  auto before = (*q)->SnapshotAt(T(8, 9));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());
+}
+
+}  // namespace
+}  // namespace onesql

@@ -1,0 +1,197 @@
+#include "exec/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace onesql {
+namespace exec {
+namespace {
+
+using plan::AggFn;
+using plan::AggregateCall;
+
+AggregateCall Call(AggFn fn, DataType result = DataType::kBigint,
+                   bool distinct = false) {
+  AggregateCall call;
+  call.fn = fn;
+  call.result_type = result;
+  call.distinct = distinct;
+  // arg is only used by the operator, not the accumulator.
+  return call;
+}
+
+AccumulatorPtr Make(AggFn fn, DataType result = DataType::kBigint,
+                    bool distinct = false) {
+  auto acc = MakeAccumulator(Call(fn, result, distinct));
+  EXPECT_TRUE(acc.ok());
+  return std::move(*acc);
+}
+
+TEST(AccumulatorTest, CountStar) {
+  auto acc = Make(AggFn::kCountStar);
+  EXPECT_EQ(acc->Current(), Value::Int64(0));
+  ASSERT_TRUE(acc->Add(Value::Null()).ok());
+  ASSERT_TRUE(acc->Add(Value::Null()).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(2));
+  ASSERT_TRUE(acc->Retract(Value::Null()).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(1));
+}
+
+TEST(AccumulatorTest, CountIgnoresNulls) {
+  auto acc = Make(AggFn::kCount);
+  ASSERT_TRUE(acc->Add(Value::Int64(1)).ok());
+  ASSERT_TRUE(acc->Add(Value::Null()).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(2)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(2));
+  ASSERT_TRUE(acc->Retract(Value::Null()).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(2));
+}
+
+TEST(AccumulatorTest, SumIntegerExact) {
+  auto acc = Make(AggFn::kSum, DataType::kBigint);
+  EXPECT_TRUE(acc->Current().is_null());  // empty SUM is NULL
+  ASSERT_TRUE(acc->Add(Value::Int64(5)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(-2)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(3));
+  ASSERT_TRUE(acc->Retract(Value::Int64(5)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(-2));
+  ASSERT_TRUE(acc->Retract(Value::Int64(-2)).ok());
+  EXPECT_TRUE(acc->Current().is_null());
+}
+
+TEST(AccumulatorTest, SumDouble) {
+  auto acc = Make(AggFn::kSum, DataType::kDouble);
+  ASSERT_TRUE(acc->Add(Value::Double(1.5)).ok());
+  ASSERT_TRUE(acc->Add(Value::Double(2.25)).ok());
+  EXPECT_EQ(acc->Current(), Value::Double(3.75));
+}
+
+TEST(AccumulatorTest, Avg) {
+  auto acc = Make(AggFn::kAvg, DataType::kDouble);
+  ASSERT_TRUE(acc->Add(Value::Int64(1)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(2)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(6)).ok());
+  EXPECT_EQ(acc->Current(), Value::Double(3.0));
+  ASSERT_TRUE(acc->Retract(Value::Int64(6)).ok());
+  EXPECT_EQ(acc->Current(), Value::Double(1.5));
+}
+
+TEST(AccumulatorTest, MaxWithRetraction) {
+  // The Listing 9 scenario: the max is retracted and the runner-up wins.
+  auto acc = Make(AggFn::kMax);
+  ASSERT_TRUE(acc->Add(Value::Int64(2)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(4)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(3)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(4));
+  ASSERT_TRUE(acc->Retract(Value::Int64(4)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(3));
+  ASSERT_TRUE(acc->Retract(Value::Int64(3)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(2));
+}
+
+TEST(AccumulatorTest, MaxDuplicatesRetractOneAtATime) {
+  auto acc = Make(AggFn::kMax);
+  ASSERT_TRUE(acc->Add(Value::Int64(7)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(7)).ok());
+  ASSERT_TRUE(acc->Retract(Value::Int64(7)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(7));
+}
+
+TEST(AccumulatorTest, MinOverStrings) {
+  auto acc = Make(AggFn::kMin, DataType::kVarchar);
+  ASSERT_TRUE(acc->Add(Value::String("banana")).ok());
+  ASSERT_TRUE(acc->Add(Value::String("apple")).ok());
+  EXPECT_EQ(acc->Current(), Value::String("apple"));
+  ASSERT_TRUE(acc->Retract(Value::String("apple")).ok());
+  EXPECT_EQ(acc->Current(), Value::String("banana"));
+}
+
+TEST(AccumulatorTest, RetractErrorsSurface) {
+  auto acc = Make(AggFn::kMax);
+  EXPECT_FALSE(acc->Retract(Value::Int64(1)).ok());
+  auto count = Make(AggFn::kCountStar);
+  EXPECT_FALSE(count->Retract(Value::Null()).ok());
+}
+
+TEST(AccumulatorTest, DistinctCount) {
+  auto acc = Make(AggFn::kCount, DataType::kBigint, /*distinct=*/true);
+  ASSERT_TRUE(acc->Add(Value::Int64(1)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(1)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(2)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(2));
+  // Retracting one duplicate keeps the distinct value alive.
+  ASSERT_TRUE(acc->Retract(Value::Int64(1)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(2));
+  ASSERT_TRUE(acc->Retract(Value::Int64(1)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(1));
+}
+
+TEST(AccumulatorTest, DistinctSum) {
+  auto acc = Make(AggFn::kSum, DataType::kBigint, /*distinct=*/true);
+  ASSERT_TRUE(acc->Add(Value::Int64(5)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(5)).ok());
+  ASSERT_TRUE(acc->Add(Value::Int64(3)).ok());
+  EXPECT_EQ(acc->Current(), Value::Int64(8));
+}
+
+// --------------------------------------------------------------------------
+// Property: for a random interleaving of inserts and retracts, the
+// accumulator equals a from-scratch recomputation over the surviving bag.
+// --------------------------------------------------------------------------
+
+class AccumulatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<plan::AggFn, bool>> {};
+
+TEST_P(AccumulatorPropertyTest, RetractionEqualsRecompute) {
+  const auto [fn, distinct] = GetParam();
+  const DataType result_type =
+      fn == AggFn::kAvg ? DataType::kDouble : DataType::kBigint;
+  std::mt19937 rng(0xBADC0DE + static_cast<int>(fn) + (distinct ? 100 : 0));
+  std::uniform_int_distribution<int64_t> value_dist(-20, 20);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    auto acc = Make(fn, result_type, distinct);
+    std::vector<int64_t> bag;
+    const int steps = 1 + static_cast<int>(rng() % 60);
+    for (int s = 0; s < steps; ++s) {
+      const bool do_retract = !bag.empty() && rng() % 3 == 0;
+      if (do_retract) {
+        const size_t idx = rng() % bag.size();
+        ASSERT_TRUE(acc->Retract(Value::Int64(bag[idx])).ok());
+        bag.erase(bag.begin() + static_cast<int64_t>(idx));
+      } else {
+        const int64_t v = value_dist(rng);
+        ASSERT_TRUE(acc->Add(Value::Int64(v)).ok());
+        bag.push_back(v);
+      }
+      // Recompute from scratch.
+      auto fresh = Make(fn, result_type, distinct);
+      for (int64_t v : bag) ASSERT_TRUE(fresh->Add(Value::Int64(v)).ok());
+      const Value expected = fresh->Current();
+      const Value actual = acc->Current();
+      EXPECT_TRUE(actual == expected)
+          << plan::AggFnToString(fn) << (distinct ? " DISTINCT" : "")
+          << ": got " << actual.ToString() << ", want " << expected.ToString()
+          << " over bag of " << bag.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, AccumulatorPropertyTest,
+    ::testing::Combine(::testing::Values(AggFn::kCountStar, AggFn::kCount,
+                                         AggFn::kSum, AggFn::kMin,
+                                         AggFn::kMax, AggFn::kAvg),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = plan::AggFnToString(std::get<0>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + (std::get<1>(info.param) ? "_distinct" : "_all");
+    });
+
+}  // namespace
+}  // namespace exec
+}  // namespace onesql

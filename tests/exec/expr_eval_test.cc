@@ -1,0 +1,218 @@
+#include "exec/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace exec {
+namespace {
+
+using plan::BoundExpr;
+using plan::BoundExprPtr;
+using plan::ScalarOp;
+
+BoundExprPtr Lit(Value v) { return BoundExpr::Literal(std::move(v)); }
+BoundExprPtr Ref(size_t i, DataType t) { return BoundExpr::InputRef(i, t); }
+BoundExprPtr Op(ScalarOp op, DataType t, BoundExprPtr a) {
+  std::vector<BoundExprPtr> children;
+  children.push_back(std::move(a));
+  return BoundExpr::Op(op, t, std::move(children));
+}
+BoundExprPtr Op(ScalarOp op, DataType t, BoundExprPtr a, BoundExprPtr b) {
+  std::vector<BoundExprPtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return BoundExpr::Op(op, t, std::move(children));
+}
+
+Value Eval(const BoundExprPtr& e, const Row& row = {}) {
+  auto r = EvalExpr(*e, row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+TEST(ExprEvalTest, LiteralsAndInputRefs) {
+  EXPECT_EQ(Eval(Lit(Value::Int64(7))), Value::Int64(7));
+  Row row = {Value::String("x"), Value::Int64(3)};
+  EXPECT_EQ(Eval(Ref(1, DataType::kBigint), row), Value::Int64(3));
+}
+
+TEST(ExprEvalTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval(Op(ScalarOp::kAdd, DataType::kBigint, Lit(Value::Int64(2)),
+                    Lit(Value::Int64(3)))),
+            Value::Int64(5));
+  EXPECT_EQ(Eval(Op(ScalarOp::kSub, DataType::kBigint, Lit(Value::Int64(2)),
+                    Lit(Value::Int64(3)))),
+            Value::Int64(-1));
+  EXPECT_EQ(Eval(Op(ScalarOp::kMul, DataType::kBigint, Lit(Value::Int64(4)),
+                    Lit(Value::Int64(3)))),
+            Value::Int64(12));
+  EXPECT_EQ(Eval(Op(ScalarOp::kDiv, DataType::kBigint, Lit(Value::Int64(7)),
+                    Lit(Value::Int64(2)))),
+            Value::Int64(3));
+  EXPECT_EQ(Eval(Op(ScalarOp::kMod, DataType::kBigint, Lit(Value::Int64(7)),
+                    Lit(Value::Int64(2)))),
+            Value::Int64(1));
+}
+
+TEST(ExprEvalTest, MixedNumericWidensToDouble) {
+  EXPECT_EQ(Eval(Op(ScalarOp::kAdd, DataType::kDouble, Lit(Value::Int64(2)),
+                    Lit(Value::Double(0.5)))),
+            Value::Double(2.5));
+  EXPECT_EQ(Eval(Op(ScalarOp::kDiv, DataType::kDouble, Lit(Value::Double(7)),
+                    Lit(Value::Int64(2)))),
+            Value::Double(3.5));
+}
+
+TEST(ExprEvalTest, DivisionByZeroIsError) {
+  auto e = Op(ScalarOp::kDiv, DataType::kBigint, Lit(Value::Int64(1)),
+              Lit(Value::Int64(0)));
+  EXPECT_FALSE(EvalExpr(*e, {}).ok());
+  auto m = Op(ScalarOp::kMod, DataType::kBigint, Lit(Value::Int64(1)),
+              Lit(Value::Int64(0)));
+  EXPECT_FALSE(EvalExpr(*m, {}).ok());
+}
+
+TEST(ExprEvalTest, TemporalArithmetic) {
+  const Timestamp t = Timestamp::FromHMS(8, 10);
+  EXPECT_EQ(Eval(Op(ScalarOp::kSub, DataType::kTimestamp,
+                    Lit(Value::Time(t)),
+                    Lit(Value::Duration(Interval::Minutes(10))))),
+            Value::Time(Timestamp::FromHMS(8, 0)));
+  EXPECT_EQ(Eval(Op(ScalarOp::kAdd, DataType::kTimestamp,
+                    Lit(Value::Duration(Interval::Minutes(5))),
+                    Lit(Value::Time(t)))),
+            Value::Time(Timestamp::FromHMS(8, 15)));
+  EXPECT_EQ(Eval(Op(ScalarOp::kSub, DataType::kInterval, Lit(Value::Time(t)),
+                    Lit(Value::Time(Timestamp::FromHMS(8, 0))))),
+            Value::Duration(Interval::Minutes(10)));
+  EXPECT_EQ(Eval(Op(ScalarOp::kMul, DataType::kInterval,
+                    Lit(Value::Duration(Interval::Minutes(3))),
+                    Lit(Value::Int64(4)))),
+            Value::Duration(Interval::Minutes(12)));
+}
+
+TEST(ExprEvalTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(Eval(Op(ScalarOp::kAdd, DataType::kBigint, Lit(Value::Null()),
+                      Lit(Value::Int64(1))))
+                  .is_null());
+  EXPECT_TRUE(Eval(Op(ScalarOp::kNeg, DataType::kBigint, Lit(Value::Null())))
+                  .is_null());
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(Eval(Op(ScalarOp::kLt, DataType::kBoolean, Lit(Value::Int64(1)),
+                    Lit(Value::Int64(2)))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Op(ScalarOp::kEq, DataType::kBoolean,
+                    Lit(Value::String("a")), Lit(Value::String("b")))),
+            Value::Bool(false));
+  EXPECT_EQ(Eval(Op(ScalarOp::kGe, DataType::kBoolean,
+                    Lit(Value::Time(Timestamp::FromHMS(8, 5))),
+                    Lit(Value::Time(Timestamp::FromHMS(8, 5))))),
+            Value::Bool(true));
+  // Cross-type numeric comparison.
+  EXPECT_EQ(Eval(Op(ScalarOp::kEq, DataType::kBoolean, Lit(Value::Int64(2)),
+                    Lit(Value::Double(2.0)))),
+            Value::Bool(true));
+}
+
+TEST(ExprEvalTest, ComparisonWithNullIsNull) {
+  EXPECT_TRUE(Eval(Op(ScalarOp::kEq, DataType::kBoolean, Lit(Value::Null()),
+                      Lit(Value::Int64(1))))
+                  .is_null());
+}
+
+TEST(ExprEvalTest, ThreeValuedAnd) {
+  auto b = [](bool v) { return Value::Bool(v); };
+  // FALSE AND NULL = FALSE (short-circuit dominance).
+  EXPECT_EQ(Eval(Op(ScalarOp::kAnd, DataType::kBoolean, Lit(b(false)),
+                    Lit(Value::Null()))),
+            b(false));
+  EXPECT_EQ(Eval(Op(ScalarOp::kAnd, DataType::kBoolean, Lit(Value::Null()),
+                    Lit(b(false)))),
+            b(false));
+  // TRUE AND NULL = NULL.
+  EXPECT_TRUE(Eval(Op(ScalarOp::kAnd, DataType::kBoolean, Lit(b(true)),
+                      Lit(Value::Null())))
+                  .is_null());
+  EXPECT_EQ(Eval(Op(ScalarOp::kAnd, DataType::kBoolean, Lit(b(true)),
+                    Lit(b(true)))),
+            b(true));
+}
+
+TEST(ExprEvalTest, ThreeValuedOr) {
+  auto b = [](bool v) { return Value::Bool(v); };
+  EXPECT_EQ(Eval(Op(ScalarOp::kOr, DataType::kBoolean, Lit(b(true)),
+                    Lit(Value::Null()))),
+            b(true));
+  EXPECT_EQ(Eval(Op(ScalarOp::kOr, DataType::kBoolean, Lit(Value::Null()),
+                    Lit(b(true)))),
+            b(true));
+  EXPECT_TRUE(Eval(Op(ScalarOp::kOr, DataType::kBoolean, Lit(b(false)),
+                      Lit(Value::Null())))
+                  .is_null());
+}
+
+TEST(ExprEvalTest, NotAndIsNull) {
+  EXPECT_EQ(Eval(Op(ScalarOp::kNot, DataType::kBoolean,
+                    Lit(Value::Bool(false)))),
+            Value::Bool(true));
+  EXPECT_TRUE(Eval(Op(ScalarOp::kNot, DataType::kBoolean, Lit(Value::Null())))
+                  .is_null());
+  EXPECT_EQ(Eval(Op(ScalarOp::kIsNull, DataType::kBoolean,
+                    Lit(Value::Null()))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Op(ScalarOp::kIsNotNull, DataType::kBoolean,
+                    Lit(Value::Null()))),
+            Value::Bool(false));
+}
+
+TEST(ExprEvalTest, CaseExpression) {
+  // CASE WHEN #0 > 2 THEN 'big' ELSE 'small' END
+  std::vector<BoundExprPtr> children;
+  children.push_back(Op(ScalarOp::kGt, DataType::kBoolean,
+                        Ref(0, DataType::kBigint), Lit(Value::Int64(2))));
+  children.push_back(Lit(Value::String("big")));
+  children.push_back(Lit(Value::String("small")));
+  auto e = BoundExpr::Op(ScalarOp::kCase, DataType::kVarchar,
+                         std::move(children));
+  EXPECT_EQ(Eval(e, {Value::Int64(5)}), Value::String("big"));
+  EXPECT_EQ(Eval(e, {Value::Int64(1)}), Value::String("small"));
+}
+
+TEST(ExprEvalTest, CaseWithoutElseIsNull) {
+  std::vector<BoundExprPtr> children;
+  children.push_back(Lit(Value::Bool(false)));
+  children.push_back(Lit(Value::Int64(1)));
+  auto e =
+      BoundExpr::Op(ScalarOp::kCase, DataType::kBigint, std::move(children));
+  EXPECT_TRUE(Eval(e).is_null());
+}
+
+TEST(ExprEvalTest, Casts) {
+  auto cast = [](Value v, DataType target) {
+    std::vector<BoundExprPtr> children;
+    children.push_back(Lit(std::move(v)));
+    return BoundExpr::Op(ScalarOp::kCast, target, std::move(children));
+  };
+  EXPECT_EQ(Eval(cast(Value::Int64(3), DataType::kDouble)),
+            Value::Double(3.0));
+  EXPECT_EQ(Eval(cast(Value::Double(3.7), DataType::kBigint)),
+            Value::Int64(3));
+  EXPECT_EQ(Eval(cast(Value::Int64(42), DataType::kVarchar)),
+            Value::String("42"));
+  EXPECT_TRUE(Eval(cast(Value::Null(), DataType::kBigint)).is_null());
+}
+
+TEST(ExprEvalTest, PredicateRejectsNullAndFalse) {
+  auto t = Lit(Value::Bool(true));
+  auto f = Lit(Value::Bool(false));
+  auto n = Lit(Value::Null());
+  EXPECT_TRUE(*EvalPredicate(*t, {}));
+  EXPECT_FALSE(*EvalPredicate(*f, {}));
+  EXPECT_FALSE(*EvalPredicate(*n, {}));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace onesql

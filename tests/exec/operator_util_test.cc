@@ -1,0 +1,123 @@
+// Unit tests for operator-support utilities: watermark merging across ports
+// and plan explanation output.
+
+#include <gtest/gtest.h>
+
+#include "exec/operator.h"
+#include "plan/binder.h"
+#include "plan/catalog.h"
+#include "plan/optimizer.h"
+#include "sql/parser.h"
+
+namespace onesql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+TEST(WatermarkMergerTest, SinglePortPassesThrough) {
+  exec::WatermarkMerger merger(1);
+  EXPECT_EQ(merger.combined(), Timestamp::Min());
+  EXPECT_TRUE(merger.Update(0, T(8, 0)));
+  EXPECT_EQ(merger.combined(), T(8, 0));
+  // Non-advancing update reports no progress.
+  EXPECT_FALSE(merger.Update(0, T(8, 0)));
+  EXPECT_FALSE(merger.Update(0, T(7, 0)));  // regression ignored
+  EXPECT_EQ(merger.combined(), T(8, 0));
+}
+
+TEST(WatermarkMergerTest, TwoPortsTakeMinimum) {
+  exec::WatermarkMerger merger(2);
+  // One port alone never advances the combined watermark.
+  EXPECT_FALSE(merger.Update(0, T(8, 10)));
+  EXPECT_EQ(merger.combined(), Timestamp::Min());
+  // The lagging port governs.
+  EXPECT_TRUE(merger.Update(1, T(8, 5)));
+  EXPECT_EQ(merger.combined(), T(8, 5));
+  EXPECT_TRUE(merger.Update(1, T(8, 20)));
+  EXPECT_EQ(merger.combined(), T(8, 10));
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .Register(plan::TableDef{
+                        "Bid",
+                        Schema({{"bidtime", DataType::kTimestamp, true},
+                                {"price", DataType::kBigint},
+                                {"item", DataType::kVarchar}}),
+                        true})
+                    .ok());
+  }
+
+  std::string Explain(const std::string& sql) {
+    auto stmt = sql::Parser::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    plan::Binder binder(&catalog_);
+    auto plan = binder.Bind(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_TRUE(plan::Optimizer::Optimize(&*plan).ok());
+    return plan->ToString();
+  }
+
+  plan::Catalog catalog_;
+};
+
+TEST_F(ExplainTest, WindowAggregatePlanShape) {
+  const std::string text = Explain(
+      "SELECT wstart, wend, MAX(price) m FROM Tumble(data => TABLE(Bid), "
+      "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) t "
+      "GROUP BY wend EMIT STREAM AFTER WATERMARK");
+  EXPECT_NE(text.find("EMIT STREAM AFTER WATERMARK"), std::string::npos);
+  EXPECT_NE(text.find("completeness_column"), std::string::npos);
+  EXPECT_NE(text.find("version_key"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate(keys=["), std::string::npos);
+  EXPECT_NE(text.find("MAX(#1)"), std::string::npos);
+  EXPECT_NE(text.find("Tumble(timecol=#0, dur=10m)"), std::string::npos);
+  EXPECT_NE(text.find("Scan(Bid, stream)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, JoinPlanShowsEquiKeysAndPurges) {
+  const std::string text = Explain(
+      "SELECT b.item FROM Bid b, "
+      "(SELECT wend w, MAX(price) mp FROM Tumble(data => TABLE(Bid), "
+      " timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) t "
+      " GROUP BY wend) m "
+      "WHERE b.price = m.mp AND b.bidtime < m.w "
+      "AND b.bidtime >= m.w - INTERVAL '10' MINUTE");
+  EXPECT_NE(text.find("equi=["), std::string::npos) << text;
+  EXPECT_NE(text.find("left_purge"), std::string::npos) << text;
+  EXPECT_NE(text.find("right_purge"), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, SessionAndTemporalFilterShapes) {
+  const std::string session = Explain(
+      "SELECT * FROM Session(data => TABLE(Bid), "
+      "timecol => DESCRIPTOR(bidtime), gap => INTERVAL '5' MINUTES, "
+      "key => DESCRIPTOR(item)) s");
+  EXPECT_NE(session.find("Session(timecol=#0, gap=5m, key=#2)"),
+            std::string::npos)
+      << session;
+
+  const std::string tail = Explain(
+      "SELECT bidtime FROM Bid "
+      "WHERE bidtime > CURRENT_TIME - INTERVAL '1' HOUR");
+  EXPECT_NE(tail.find("TemporalFilter(#0 > CURRENT_TIME - 1h)"),
+            std::string::npos)
+      << tail;
+}
+
+TEST(CatalogTest, RegisterLookupContains) {
+  plan::Catalog catalog;
+  EXPECT_FALSE(catalog.Contains("x"));
+  ASSERT_TRUE(catalog.Register(plan::TableDef{"X", Schema(), true}).ok());
+  EXPECT_TRUE(catalog.Contains("x"));
+  EXPECT_TRUE(catalog.Contains("X"));
+  EXPECT_TRUE(catalog.Lookup("x").ok());
+  EXPECT_EQ(catalog.Lookup("y").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.Register(plan::TableDef{"x", Schema(), false}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace onesql

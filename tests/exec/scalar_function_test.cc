@@ -1,0 +1,87 @@
+// Scalar function coverage, exercised end-to-end through SQL.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace onesql {
+namespace {
+
+class ScalarFunctionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterTable(
+                        "T",
+                        Schema({{"s", DataType::kVarchar},
+                                {"n", DataType::kBigint},
+                                {"d", DataType::kDouble},
+                                {"maybe", DataType::kVarchar}}),
+                        {{Value::String("Hello"), Value::Int64(-4),
+                          Value::Double(2.5), Value::Null()}})
+                    .ok());
+  }
+
+  Value Eval(const std::string& select_expr) {
+    auto q = engine_.Execute("SELECT " + select_expr + " FROM T");
+    EXPECT_TRUE(q.ok()) << select_expr << ": " << q.status().ToString();
+    if (!q.ok()) return Value::Null();
+    auto rows = (*q)->CurrentSnapshot();
+    EXPECT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 1u);
+    return rows->empty() ? Value::Null() : (*rows)[0][0];
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ScalarFunctionTest, StringFunctions) {
+  EXPECT_EQ(Eval("LOWER(s)"), Value::String("hello"));
+  EXPECT_EQ(Eval("UPPER(s)"), Value::String("HELLO"));
+  EXPECT_EQ(Eval("CHAR_LENGTH(s)"), Value::Int64(5));
+  EXPECT_EQ(Eval("LENGTH(s)"), Value::Int64(5));
+  EXPECT_TRUE(Eval("LOWER(maybe)").is_null());
+}
+
+TEST_F(ScalarFunctionTest, NumericFunctions) {
+  EXPECT_EQ(Eval("ABS(n)"), Value::Int64(4));
+  EXPECT_EQ(Eval("ABS(d)"), Value::Double(2.5));
+  EXPECT_EQ(Eval("FLOOR(d)"), Value::Double(2.0));
+  EXPECT_EQ(Eval("CEIL(d)"), Value::Double(3.0));
+  EXPECT_EQ(Eval("CEILING(d)"), Value::Double(3.0));
+  EXPECT_EQ(Eval("FLOOR(n)"), Value::Int64(-4));
+}
+
+TEST_F(ScalarFunctionTest, ConcatCoercesAndPropagatesNull) {
+  EXPECT_EQ(Eval("CONCAT(s, '-', s)"), Value::String("Hello-Hello"));
+  EXPECT_EQ(Eval("CONCAT(s, n)"), Value::String("Hello-4"));
+  EXPECT_TRUE(Eval("CONCAT(s, maybe)").is_null());
+}
+
+TEST_F(ScalarFunctionTest, Coalesce) {
+  EXPECT_EQ(Eval("COALESCE(maybe, s)"), Value::String("Hello"));
+  EXPECT_EQ(Eval("COALESCE(maybe, maybe)"), Value::Null());
+  EXPECT_EQ(Eval("COALESCE(n, 99)"), Value::Int64(-4));
+}
+
+TEST_F(ScalarFunctionTest, ComposesWithAggregates) {
+  // Scalar function over an aggregate in an aggregate query.
+  auto q = engine_.Execute("SELECT ABS(SUM(n)) FROM T GROUP BY s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value::Int64(4));
+}
+
+TEST_F(ScalarFunctionTest, BindErrors) {
+  EXPECT_FALSE(engine_.Execute("SELECT LOWER(n) FROM T").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT ABS(s) FROM T").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT LOWER(s, s) FROM T").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT CONCAT(s) FROM T").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT COALESCE(n, s) FROM T").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT NOSUCHFN(s) FROM T").ok());
+}
+
+}  // namespace
+}  // namespace onesql

@@ -1,0 +1,212 @@
+#include "exec/sink.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace exec {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+// Rows: (window_end TIMESTAMP, value BIGINT). Version key = {0}, the window
+// end doubles as the completeness column.
+Row R(int h, int m, int64_t v) {
+  return {Value::Time(T(h, m)), Value::Int64(v)};
+}
+
+Change Ins(int ph, int pm, Row row) {
+  return Change{ChangeKind::kInsert, std::move(row), T(ph, pm)};
+}
+Change Del(int ph, int pm, Row row) {
+  return Change{ChangeKind::kDelete, std::move(row), T(ph, pm)};
+}
+
+SinkConfig GroupedConfig() {
+  SinkConfig config;
+  config.completeness_column = 0;
+  config.version_key_columns = {0};
+  return config;
+}
+
+TEST(SinkTest, InstantModeEmitsEveryChange) {
+  MaterializationSink sink(GroupedConfig());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 2, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 2, R(8, 10, 2))).ok());
+  ASSERT_EQ(sink.emissions().size(), 3u);
+  EXPECT_FALSE(sink.emissions()[0].undo);
+  EXPECT_EQ(sink.emissions()[0].ver, 0);
+  EXPECT_TRUE(sink.emissions()[1].undo);
+  EXPECT_EQ(sink.emissions()[1].ver, 1);
+  EXPECT_FALSE(sink.emissions()[2].undo);
+  EXPECT_EQ(sink.emissions()[2].ver, 2);
+}
+
+TEST(SinkTest, VersionCountersAreIndependentPerKey) {
+  MaterializationSink sink(GroupedConfig());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 2, R(8, 20, 9))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 3, R(8, 10, 2))).ok());
+  EXPECT_EQ(sink.emissions()[0].ver, 0);  // window 8:10, first change
+  EXPECT_EQ(sink.emissions()[1].ver, 0);  // window 8:20, first change
+  EXPECT_EQ(sink.emissions()[2].ver, 1);  // window 8:10, second change
+}
+
+TEST(SinkTest, SnapshotReflectsPtime) {
+  MaterializationSink sink(GroupedConfig());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 5, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 5, R(8, 10, 2))).ok());
+  EXPECT_EQ(sink.SnapshotAt(T(8, 1)).size(), 1u);
+  EXPECT_TRUE(RowsEqual(sink.SnapshotAt(T(8, 1))[0], R(8, 10, 1)));
+  EXPECT_TRUE(RowsEqual(sink.SnapshotAt(T(8, 6))[0], R(8, 10, 2)));
+  EXPECT_TRUE(sink.SnapshotAt(T(8, 0)).empty());
+}
+
+TEST(SinkTest, DeleteOfUnknownRowIsError) {
+  MaterializationSink sink(GroupedConfig());
+  EXPECT_FALSE(sink.OnElement(0, Del(8, 1, R(8, 10, 1))).ok());
+}
+
+TEST(SinkTest, AfterWatermarkHoldsUntilComplete) {
+  SinkConfig config = GroupedConfig();
+  config.after_watermark = true;
+  MaterializationSink sink(config);
+
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 2, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 2, R(8, 10, 2))).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+
+  // Watermark below the window end: still nothing.
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 5), false).ok());
+  ASSERT_TRUE(sink.OnWatermark(0, T(8, 9), T(8, 5)).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+
+  // Watermark passes 8:10: only the *net* row materializes, at the
+  // watermark arrival's processing time.
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 12), false).ok());
+  ASSERT_TRUE(sink.OnWatermark(0, T(8, 11), T(8, 12)).ok());
+  ASSERT_EQ(sink.emissions().size(), 1u);
+  EXPECT_TRUE(RowsEqual(sink.emissions()[0].row, R(8, 10, 2)));
+  EXPECT_FALSE(sink.emissions()[0].undo);
+  EXPECT_EQ(sink.emissions()[0].ptime, T(8, 12));
+  EXPECT_EQ(sink.emissions()[0].ver, 0);
+}
+
+TEST(SinkTest, AfterWatermarkDropsLateChanges) {
+  SinkConfig config = GroupedConfig();
+  config.after_watermark = true;
+  MaterializationSink sink(config);
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 12), false).ok());
+  ASSERT_TRUE(sink.OnWatermark(0, T(8, 11), T(8, 12)).ok());
+  ASSERT_EQ(sink.emissions().size(), 1u);
+  // A change for the completed window is dropped.
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 13, R(8, 10, 7))).ok());
+  EXPECT_EQ(sink.emissions().size(), 1u);
+  EXPECT_EQ(sink.late_drops(), 1);
+}
+
+TEST(SinkTest, DelayCoalescesUpdates) {
+  SinkConfig config = GroupedConfig();
+  config.delay = Interval::Minutes(6);
+  MaterializationSink sink(config);
+
+  // Changes at 8:01 and 8:03 coalesce into one net emission at 8:07.
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 3, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 3, R(8, 10, 2))).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 7), true).ok());
+  ASSERT_EQ(sink.emissions().size(), 1u);
+  EXPECT_TRUE(RowsEqual(sink.emissions()[0].row, R(8, 10, 2)));
+  EXPECT_EQ(sink.emissions()[0].ptime, T(8, 7));
+}
+
+TEST(SinkTest, DelayTimerRearmsAfterFiring) {
+  SinkConfig config = GroupedConfig();
+  config.delay = Interval::Minutes(6);
+  MaterializationSink sink(config);
+
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 7), true).ok());
+  ASSERT_EQ(sink.emissions().size(), 1u);
+
+  // A later change re-arms the timer from its own ptime.
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 9, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 9, R(8, 10, 5))).ok());
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 14), true).ok());
+  EXPECT_EQ(sink.emissions().size(), 1u);  // 8:15 deadline not reached
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 15), true).ok());
+  ASSERT_EQ(sink.emissions().size(), 3u);
+  EXPECT_TRUE(sink.emissions()[1].undo);
+  EXPECT_EQ(sink.emissions()[1].ptime, T(8, 15));
+  EXPECT_EQ(sink.emissions()[1].ver, 1);
+  EXPECT_FALSE(sink.emissions()[2].undo);
+  EXPECT_EQ(sink.emissions()[2].ver, 2);
+}
+
+TEST(SinkTest, ExclusiveAdvanceLeavesBoundaryTimer) {
+  SinkConfig config = GroupedConfig();
+  config.delay = Interval::Minutes(5);
+  MaterializationSink sink(config);
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 0, R(8, 10, 1))).ok());
+  // Exclusive advance to exactly the deadline: not fired yet.
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 5), false).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+  // Inclusive advance fires it.
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 5), true).ok());
+  EXPECT_EQ(sink.emissions().size(), 1u);
+}
+
+TEST(SinkTest, NoChangeNoEmissionOnDelayFire) {
+  SinkConfig config = GroupedConfig();
+  config.delay = Interval::Minutes(5);
+  MaterializationSink sink(config);
+  // Insert then delete the same row: net zero at the deadline.
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 0, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 10), true).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+}
+
+TEST(SinkTest, CombinedDelayAndWatermark) {
+  SinkConfig config = GroupedConfig();
+  config.delay = Interval::Minutes(5);
+  config.after_watermark = true;
+  MaterializationSink sink(config);
+
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 0, R(8, 10, 1))).ok());
+  // Early firing at 8:05.
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 6), false).ok());
+  ASSERT_EQ(sink.emissions().size(), 1u);
+  // Update, then the watermark completes the window before the next delay
+  // deadline: on-time firing happens immediately.
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 7, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 7, R(8, 10, 3))).ok());
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 8), false).ok());
+  ASSERT_TRUE(sink.OnWatermark(0, T(8, 10), T(8, 8)).ok());
+  ASSERT_EQ(sink.emissions().size(), 3u);
+  EXPECT_TRUE(sink.emissions()[1].undo);
+  EXPECT_EQ(sink.emissions()[1].ptime, T(8, 8));
+  EXPECT_TRUE(RowsEqual(sink.emissions()[2].row, R(8, 10, 3)));
+  // After completion, the pending delay timer must not fire again.
+  ASSERT_TRUE(sink.AdvanceTo(T(9, 0), true).ok());
+  EXPECT_EQ(sink.emissions().size(), 3u);
+}
+
+TEST(SinkTest, WholeRowKeyWhenNoVersionColumns) {
+  SinkConfig config;  // no version key, no completeness
+  MaterializationSink sink(config);
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 2, R(8, 10, 1))).ok());
+  ASSERT_EQ(sink.emissions().size(), 2u);
+  EXPECT_EQ(sink.emissions()[0].ver, 0);
+  EXPECT_EQ(sink.emissions()[1].ver, 1);  // same row, same key
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace onesql

@@ -1,0 +1,202 @@
+// Tests for time-progressing expressions (the paper's Section 8 future
+// work): WHERE <event-time col> > CURRENT_TIME - <interval>, where
+// CURRENT_TIME progresses with the relation's watermark — "computing a view
+// over the tail of a stream".
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace onesql {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+class TemporalFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterStream(
+                        "Bid", Schema({{"bidtime", DataType::kTimestamp, true},
+                                       {"price", DataType::kBigint},
+                                       {"item", DataType::kVarchar}}))
+                    .ok());
+  }
+
+  Status Bid(int pm, int em, int64_t price, const std::string& item) {
+    return engine_.Insert("Bid", T(9, pm),
+                          {Value::Time(T(8, em)), Value::Int64(price),
+                           Value::String(item)});
+  }
+
+  Status Watermark(int pm, int em) {
+    return engine_.AdvanceWatermark("Bid", T(9, pm), T(8, em));
+  }
+
+  Engine engine_;
+};
+
+TEST_F(TemporalFilterTest, PlanContainsTemporalFilter) {
+  auto plan = engine_.Plan(
+      "SELECT * FROM Bid "
+      "WHERE bidtime > CURRENT_TIME - INTERVAL '10' MINUTES");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->ToString().find("TemporalFilter"), std::string::npos)
+      << plan->ToString();
+}
+
+TEST_F(TemporalFilterTest, TailOfStreamRetractsAsWatermarkAdvances) {
+  auto q = engine_.Execute(
+      "SELECT bidtime, item FROM Bid "
+      "WHERE bidtime > CURRENT_TIME - INTERVAL '10' MINUTES EMIT STREAM");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  ASSERT_TRUE(Bid(1, 0, 5, "A").ok());
+  ASSERT_TRUE(Bid(2, 8, 7, "B").ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+
+  // Watermark to 8:12: A (8:00) falls out of the 10-minute tail.
+  ASSERT_TRUE(Watermark(3, 12).ok());
+  rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value::String("B"));
+
+  // The changelog shows the retraction, at the watermark's arrival ptime.
+  const auto& emissions = (*q)->Emissions();
+  ASSERT_EQ(emissions.size(), 3u);
+  EXPECT_TRUE(emissions[2].undo);
+  EXPECT_EQ(emissions[2].ptime, T(9, 3));
+
+  // Watermark to 8:20: B falls out too (boundary: 8:08 + 10min <= 8:20).
+  ASSERT_TRUE(Watermark(4, 20).ok());
+  rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(TemporalFilterTest, LateRowBeyondHorizonNeverEnters) {
+  auto q = engine_.Execute(
+      "SELECT bidtime, item FROM Bid "
+      "WHERE bidtime > CURRENT_TIME - INTERVAL '10' MINUTES");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(Watermark(1, 30).ok());
+  ASSERT_TRUE(Bid(2, 5, 1, "ancient").ok());  // 8:05 + 10m <= 8:30
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(TemporalFilterTest, GlobalAggregateOverTail) {
+  // "Counting the bids of the last hour" — the paper's motivating example
+  // for time-progressing expressions, scaled to minutes.
+  auto q = engine_.Execute(
+      "SELECT COUNT(*) AS n, SUM(price) AS total FROM Bid "
+      "WHERE bidtime > CURRENT_TIME - INTERVAL '10' MINUTES");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  ASSERT_TRUE(Bid(1, 0, 5, "A").ok());
+  ASSERT_TRUE(Bid(2, 8, 7, "B").ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value::Int64(2));
+  EXPECT_EQ((*rows)[0][1], Value::Int64(12));
+
+  // A expires: the count updates to 1.
+  ASSERT_TRUE(Watermark(3, 12).ok());
+  rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value::Int64(1));
+  EXPECT_EQ((*rows)[0][1], Value::Int64(7));
+
+  // All expire: the group empties (no rows).
+  ASSERT_TRUE(Watermark(4, 20).ok());
+  rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(TemporalFilterTest, CombinesWithRegularPredicates) {
+  auto q = engine_.Execute(
+      "SELECT bidtime, item FROM Bid "
+      "WHERE price >= 5 AND bidtime > CURRENT_TIME - INTERVAL '10' MINUTES "
+      "AND item <> 'X'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(Bid(1, 0, 2, "cheap").ok());
+  ASSERT_TRUE(Bid(2, 1, 9, "X").ok());
+  ASSERT_TRUE(Bid(3, 2, 9, "keep").ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value::String("keep"));
+}
+
+TEST_F(TemporalFilterTest, StateIsBoundedByHorizon) {
+  auto q = engine_.Execute(
+      "SELECT COUNT(*) AS n FROM Bid "
+      "WHERE bidtime > CURRENT_TIME - INTERVAL '5' MINUTES");
+  ASSERT_TRUE(q.ok());
+  // 30 bids one event-minute apart, watermark tracking exactly.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine_
+                    .Insert("Bid", T(9, i + 1),
+                            {Value::Time(T(8, 0) + Interval::Minutes(i)),
+                             Value::Int64(1), Value::String("x")})
+                    .ok());
+    ASSERT_TRUE(engine_
+                    .AdvanceWatermark("Bid", T(9, i + 1),
+                                      T(8, 0) + Interval::Minutes(i))
+                    .ok());
+  }
+  // The live tail holds at most 5 rows.
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value::Int64(5));
+}
+
+TEST_F(TemporalFilterTest, MirroredComparisonForm) {
+  auto q = engine_.Execute(
+      "SELECT item FROM Bid "
+      "WHERE CURRENT_TIME - INTERVAL '10' MINUTES < bidtime");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST_F(TemporalFilterTest, UnsupportedFormsRejected) {
+  // CURRENT_TIME outside a WHERE tail predicate.
+  EXPECT_EQ(engine_.Execute("SELECT CURRENT_TIME FROM Bid").status().code(),
+            StatusCode::kNotImplemented);
+  // Equality is not a tail predicate.
+  EXPECT_EQ(engine_
+                .Execute("SELECT item FROM Bid WHERE bidtime = CURRENT_TIME")
+                .status()
+                .code(),
+            StatusCode::kNotImplemented);
+  // Non-event-time column.
+  auto st = engine_.Execute(
+      "SELECT item FROM Bid "
+      "WHERE price > CURRENT_TIME - INTERVAL '1' MINUTE");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(TemporalFilterTest, GlobalAggregateWithoutTailAllowed) {
+  // Global aggregation over an unbounded stream keeps O(1) state and is
+  // permitted (Extension 2 constrains GROUP BY clauses, not global
+  // aggregates).
+  auto q = engine_.Execute("SELECT COUNT(*), MAX(price) FROM Bid");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(Bid(1, 0, 5, "A").ok());
+  ASSERT_TRUE(Bid(2, 1, 9, "B").ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value::Int64(2));
+  EXPECT_EQ((*rows)[0][1], Value::Int64(9));
+}
+
+}  // namespace
+}  // namespace onesql

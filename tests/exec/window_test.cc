@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "exec/operators.h"
+
+namespace onesql {
+namespace exec {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+
+TEST(WindowAssignTest, TumbleBasic) {
+  // Tumbling: hop == dur, one window per row.
+  auto w = WindowOperator::AssignWindows(T(8, 7), Interval::Minutes(10),
+                                         Interval::Minutes(10), Interval(0));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], T(8, 0));
+}
+
+TEST(WindowAssignTest, TumbleBoundaryBelongsToNextWindow) {
+  auto w = WindowOperator::AssignWindows(T(8, 10), Interval::Minutes(10),
+                                         Interval::Minutes(10), Interval(0));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], T(8, 10));
+}
+
+TEST(WindowAssignTest, TumbleWithOffset) {
+  auto w = WindowOperator::AssignWindows(T(8, 7), Interval::Minutes(10),
+                                         Interval::Minutes(10),
+                                         Interval::Minutes(3));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], T(8, 3));
+
+  auto w2 = WindowOperator::AssignWindows(T(8, 2), Interval::Minutes(10),
+                                          Interval::Minutes(10),
+                                          Interval::Minutes(3));
+  ASSERT_EQ(w2.size(), 1u);
+  EXPECT_EQ(w2[0], Timestamp::FromHMS(7, 53));
+}
+
+TEST(WindowAssignTest, HopOverlapping) {
+  // The paper's Listing 7 cases: dur 10m, hop 5m.
+  auto w = WindowOperator::AssignWindows(T(8, 7), Interval::Minutes(10),
+                                         Interval::Minutes(5), Interval(0));
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], T(8, 0));
+  EXPECT_EQ(w[1], T(8, 5));
+
+  // 8:05 sits exactly on a hop boundary: [8:00,8:10) and [8:05,8:15) but
+  // not [7:55,8:05).
+  auto w2 = WindowOperator::AssignWindows(T(8, 5), Interval::Minutes(10),
+                                          Interval::Minutes(5), Interval(0));
+  ASSERT_EQ(w2.size(), 2u);
+  EXPECT_EQ(w2[0], T(8, 0));
+  EXPECT_EQ(w2[1], T(8, 5));
+}
+
+TEST(WindowAssignTest, HopWithGaps) {
+  // hop > dur leaves gaps: rows in a gap match no window.
+  auto in_window =
+      WindowOperator::AssignWindows(T(8, 2), Interval::Minutes(5),
+                                    Interval::Minutes(10), Interval(0));
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0], T(8, 0));
+
+  auto in_gap =
+      WindowOperator::AssignWindows(T(8, 7), Interval::Minutes(5),
+                                    Interval::Minutes(10), Interval(0));
+  EXPECT_TRUE(in_gap.empty());
+}
+
+TEST(WindowAssignTest, NegativeTimesFloorCorrectly) {
+  auto w = WindowOperator::AssignWindows(Timestamp(-3), Interval::Millis(10),
+                                         Interval::Millis(10), Interval(0));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], Timestamp(-10));
+}
+
+// --------------------------------------------------------------------------
+// Property sweep over (dur, hop, offset): coverage, containment, count.
+// --------------------------------------------------------------------------
+
+struct WindowParam {
+  int64_t dur_ms;
+  int64_t hop_ms;
+  int64_t offset_ms;
+};
+
+class WindowPropertyTest : public ::testing::TestWithParam<WindowParam> {};
+
+TEST_P(WindowPropertyTest, AssignmentInvariants) {
+  const auto [dur_ms, hop_ms, offset_ms] = GetParam();
+  const Interval dur = Interval::Millis(dur_ms);
+  const Interval hop = Interval::Millis(hop_ms);
+  const Interval offset = Interval::Millis(offset_ms);
+
+  for (int64_t t = -50; t <= 200; ++t) {
+    const Timestamp ts(t);
+    const auto windows = WindowOperator::AssignWindows(ts, dur, hop, offset);
+
+    // Containment: every assigned window covers t.
+    for (const Timestamp& start : windows) {
+      EXPECT_LE(start, ts) << "t=" << t;
+      EXPECT_GT(start + dur, ts) << "t=" << t;
+      // Alignment: start == offset (mod hop).
+      const int64_t rem = ((start.millis() - offset_ms) % hop_ms + hop_ms) %
+                          hop_ms;
+      EXPECT_EQ(rem, 0) << "t=" << t;
+    }
+
+    // Strictly increasing starts.
+    for (size_t i = 1; i < windows.size(); ++i) {
+      EXPECT_LT(windows[i - 1], windows[i]);
+    }
+
+    // Count: ceil(dur/hop) windows when hop divides into dur evenly at this
+    // point; in general either floor(dur/hop) or ceil(dur/hop), and 0 only
+    // possible when hop > dur (gaps).
+    const size_t max_count =
+        static_cast<size_t>((dur_ms + hop_ms - 1) / hop_ms);
+    EXPECT_LE(windows.size(), max_count) << "t=" << t;
+    if (hop_ms <= dur_ms) {
+      EXPECT_GE(windows.size(), static_cast<size_t>(dur_ms / hop_ms))
+          << "t=" << t;
+      EXPECT_GE(windows.size(), 1u) << "t=" << t;
+    }
+
+    // Exhaustiveness: any aligned start covering t must be in the list.
+    for (int64_t s = t - dur_ms + 1; s <= t; ++s) {
+      const int64_t rem = ((s - offset_ms) % hop_ms + hop_ms) % hop_ms;
+      if (rem != 0) continue;
+      EXPECT_NE(std::find(windows.begin(), windows.end(), Timestamp(s)),
+                windows.end())
+          << "missing window start " << s << " for t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Values(WindowParam{10, 10, 0},   // tumble
+                      WindowParam{10, 10, 3},   // tumble + offset
+                      WindowParam{10, 5, 0},    // 2x overlap
+                      WindowParam{10, 3, 0},    // non-dividing overlap
+                      WindowParam{10, 3, 2},    // overlap + offset
+                      WindowParam{5, 10, 0},    // gaps
+                      WindowParam{7, 13, 5},    // gaps + offset
+                      WindowParam{1, 1, 0}),    // degenerate
+    [](const auto& info) {
+      return "dur" + std::to_string(info.param.dur_ms) + "_hop" +
+             std::to_string(info.param.hop_ms) + "_off" +
+             std::to_string(info.param.offset_ms);
+    });
+
+}  // namespace
+}  // namespace exec
+}  // namespace onesql

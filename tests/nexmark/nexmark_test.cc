@@ -1,0 +1,232 @@
+#include "nexmark/nexmark.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace onesql {
+namespace nexmark {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.seed = 7;
+  config.num_events = 200;
+  Generator g1(config);
+  Generator g2(config);
+  const auto f1 = g1.Generate();
+  const auto f2 = g2.Generate();
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].kind, f2[i].kind);
+    EXPECT_EQ(f1[i].ptime, f2[i].ptime);
+    EXPECT_TRUE(RowsEqual(f1[i].row, f2[i].row));
+  }
+}
+
+TEST(GeneratorTest, ProportionsRoughlyNexmark) {
+  GeneratorConfig config;
+  config.num_events = 1000;
+  Generator gen(config);
+  gen.Generate();
+  EXPECT_NEAR(gen.persons(), 20, 3);
+  EXPECT_NEAR(gen.auctions(), 60, 6);
+  EXPECT_NEAR(gen.bids(), 920, 10);
+  EXPECT_EQ(gen.persons() + gen.auctions() + gen.bids(), 1000);
+}
+
+TEST(GeneratorTest, PtimesMonotonicAndWatermarksPresent) {
+  GeneratorConfig config;
+  config.num_events = 300;
+  config.max_disorder = 10;
+  Generator gen(config);
+  const auto feed = gen.Generate();
+  Timestamp last = Timestamp::Min();
+  int watermarks = 0;
+  for (const FeedEvent& e : feed) {
+    EXPECT_GE(e.ptime, last);
+    last = e.ptime;
+    if (e.kind == FeedEvent::Kind::kWatermark) ++watermarks;
+  }
+  EXPECT_GT(watermarks, 0);
+}
+
+TEST(GeneratorTest, PerfectWatermarksNeverLie) {
+  GeneratorConfig config;
+  config.num_events = 400;
+  config.max_disorder = 25;
+  config.watermark_strategy = WatermarkStrategy::kPerfect;
+  Generator gen(config);
+  const auto feed = gen.Generate();
+  Timestamp wm = Timestamp::Min();
+  for (const FeedEvent& e : feed) {
+    if (e.kind == FeedEvent::Kind::kWatermark) {
+      wm = std::max(wm, e.watermark);
+    } else if (e.kind == FeedEvent::Kind::kInsert) {
+      EXPECT_GT(e.row[0].AsTimestamp(), wm)
+          << "event below a previously emitted watermark";
+    }
+  }
+}
+
+TEST(GeneratorTest, BidsReferenceExistingAuctionsAndPersons) {
+  GeneratorConfig config;
+  config.num_events = 500;
+  Generator gen(config);
+  const auto feed = gen.Generate();
+  std::set<int64_t> person_ids;
+  std::set<int64_t> auction_ids;
+  for (const FeedEvent& e : feed) {
+    if (e.kind != FeedEvent::Kind::kInsert) continue;
+    if (e.source == "Person") {
+      person_ids.insert(e.row[1].AsInt64());
+    } else if (e.source == "Auction") {
+      auction_ids.insert(e.row[1].AsInt64());
+      EXPECT_TRUE(person_ids.count(e.row[2].AsInt64()) > 0)
+          << "auction with unknown seller";
+    } else if (e.source == "Bid") {
+      EXPECT_TRUE(auction_ids.count(e.row[1].AsInt64()) > 0)
+          << "bid on unknown auction";
+      EXPECT_TRUE(person_ids.count(e.row[2].AsInt64()) > 0)
+          << "bid by unknown person";
+    }
+  }
+}
+
+class NexmarkQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(RegisterNexmark(&engine_).ok()); }
+
+  void FeedSmallWorkload(int events = 400, int disorder = 6) {
+    GeneratorConfig config;
+    config.num_events = events;
+    config.max_disorder = disorder;
+    Generator gen(config);
+    ASSERT_TRUE(engine_.Feed(gen.Generate()).ok());
+  }
+
+  Engine engine_;
+};
+
+TEST_F(NexmarkQueryTest, AllQueriesCompile) {
+  for (const std::string& sql :
+       {Q1(), Q2(), Q3(), Q4(), Q5(), Q7()}) {
+    auto plan = engine_.Plan(sql);
+    EXPECT_TRUE(plan.ok()) << sql << "\n -> " << plan.status().ToString();
+  }
+}
+
+TEST_F(NexmarkQueryTest, Q1ConvertsEveryBid) {
+  auto q = engine_.Execute(Q1());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  GeneratorConfig config;
+  config.num_events = 300;
+  Generator gen(config);
+  ASSERT_TRUE(engine_.Feed(gen.Generate()).ok());
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(static_cast<int>(rows->size()), gen.bids());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row.size(), 4u);
+    EXPECT_GE(row[3].AsInt64(), 0);
+  }
+}
+
+TEST_F(NexmarkQueryTest, Q2FiltersBySampledAuction) {
+  auto q = engine_.Execute(Q2());
+  ASSERT_TRUE(q.ok());
+  FeedSmallWorkload();
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[1].AsInt64() % 123, 0);
+  }
+}
+
+TEST_F(NexmarkQueryTest, Q3JoinsSellersWithAuctions) {
+  auto q = engine_.Execute(Q3());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  FeedSmallWorkload(600);
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[1], Value::String("OR"));
+  }
+}
+
+TEST_F(NexmarkQueryTest, Q4AveragesPerCategoryWindow) {
+  auto q = engine_.Execute(Q4());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  FeedSmallWorkload(500);
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(rows->empty());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[0].type(), DataType::kTimestamp);  // wend
+    EXPECT_EQ(row[2].type(), DataType::kDouble);     // avg
+    EXPECT_GT(row[2].AsDouble(), 0.0);
+  }
+}
+
+TEST_F(NexmarkQueryTest, Q5FindsHotItems) {
+  auto q = engine_.Execute(Q5());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  FeedSmallWorkload(500);
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(rows->empty());
+  // Per window, the reported count is the max across reported auctions of
+  // that window.
+  std::map<Timestamp, int64_t> max_per_window;
+  for (const Row& row : *rows) {
+    const Timestamp wend = row[0].AsTimestamp();
+    max_per_window[wend] =
+        std::max(max_per_window[wend], row[2].AsInt64());
+  }
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[2].AsInt64(), max_per_window[row[0].AsTimestamp()]);
+  }
+}
+
+TEST_F(NexmarkQueryTest, Q7StreamingMatchesRecomputation) {
+  auto q = engine_.Execute(Q7());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  FeedSmallWorkload(500, 10);
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(rows->empty());
+  // Spot-check: every reported bid's price is >= any other reported price
+  // within the same window (they are all maxima).
+  std::map<Timestamp, int64_t> price_per_window;
+  for (const Row& row : *rows) {
+    const Timestamp wend = row[1].AsTimestamp();
+    auto [it, inserted] = price_per_window.emplace(wend, row[3].AsInt64());
+    if (!inserted) {
+      EXPECT_EQ(it->second, row[3].AsInt64())
+          << "two different max prices in one window";
+    }
+  }
+}
+
+TEST_F(NexmarkQueryTest, HeuristicWatermarksProduceLateDrops) {
+  auto q = engine_.Execute(Q7());
+  ASSERT_TRUE(q.ok());
+  GeneratorConfig config;
+  config.num_events = 500;
+  config.max_disorder = 60;  // heavy disorder
+  config.mean_event_gap = Interval::Seconds(5);  // span several windows
+  config.watermark_strategy = WatermarkStrategy::kHeuristic;
+  config.heuristic_slack = Interval::Seconds(1);  // far too optimistic
+  Generator gen(config);
+  ASSERT_TRUE(engine_.Feed(gen.Generate()).ok());
+  int64_t drops = 0;
+  for (const auto* agg : (*q)->dataflow().aggregates()) {
+    drops += agg->late_drops();
+  }
+  EXPECT_GT(drops, 0) << "expected late drops under an optimistic heuristic "
+                         "watermark with heavy disorder";
+}
+
+}  // namespace
+}  // namespace nexmark
+}  // namespace onesql

@@ -1,0 +1,136 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& input) {
+  Lexer lexer(input);
+  auto result = lexer.Tokenize();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = Lex("select FROM WhErE");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "WHERE");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Lex("BidTime maxPrice _x1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "BidTime");
+  EXPECT_EQ(tokens[1].text, "maxPrice");
+  EXPECT_EQ(tokens[2].text, "_x1");
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = Lex("\"Group\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Group");
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto tokens = Lex("42 3.14 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].type, TokenType::kFloatLiteral);
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].type, TokenType::kFloatLiteral);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloatLiteral);
+}
+
+TEST(LexerTest, StringLiteralWithEscape) {
+  auto tokens = Lex("'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex(", ( ) . * + - / % = <> != < <= > >= => ;");
+  std::vector<TokenType> expected = {
+      TokenType::kComma, TokenType::kLParen, TokenType::kRParen,
+      TokenType::kDot, TokenType::kStar, TokenType::kPlus, TokenType::kMinus,
+      TokenType::kSlash, TokenType::kPercent, TokenType::kEq, TokenType::kNeq,
+      TokenType::kNeq, TokenType::kLt, TokenType::kLe, TokenType::kGt,
+      TokenType::kGe, TokenType::kArrow, TokenType::kSemicolon,
+      TokenType::kEof};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "index " << i;
+  }
+}
+
+TEST(LexerTest, ArrowVsEquals) {
+  auto tokens = Lex("a => b = c");
+  EXPECT_EQ(tokens[1].type, TokenType::kArrow);
+  EXPECT_EQ(tokens[3].type, TokenType::kEq);
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("SELECT -- comment here\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(LexerTest, BlockComments) {
+  auto tokens = Lex("SELECT /* multi\nline */ 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Lex("SELECT\n  price");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  Lexer lexer("SELECT @");
+  auto result = lexer.Tokenize();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, EmitExtensionKeywords) {
+  auto tokens = Lex("EMIT STREAM AFTER WATERMARK DELAY");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword) << i;
+  }
+}
+
+TEST(LexerTest, PaperListing2Tokenizes) {
+  const char* sql =
+      "SELECT MaxBid.wstart, MaxBid.wend, Bid.bidtime, Bid.price "
+      "FROM Bid, (SELECT MAX(TumbleBid.price) maxPrice FROM Tumble("
+      "data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTE) TumbleBid GROUP BY TumbleBid.wend) MaxBid "
+      "WHERE Bid.price = MaxBid.maxPrice;";
+  auto tokens = Lex(sql);
+  EXPECT_GT(tokens.size(), 40u);
+  EXPECT_EQ(tokens.back().type, TokenType::kEof);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace onesql

@@ -1,0 +1,330 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace onesql {
+namespace sql {
+namespace {
+
+std::unique_ptr<SelectStmt> MustParse(const std::string& text) {
+  auto result = Parser::Parse(text);
+  EXPECT_TRUE(result.ok()) << text << "\n -> " << result.status().ToString();
+  return result.ok() ? std::move(*result) : nullptr;
+}
+
+void ExpectParseError(const std::string& text) {
+  auto result = Parser::Parse(text);
+  EXPECT_FALSE(result.ok()) << "expected parse failure for: " << text;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = MustParse("SELECT 1");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->select_list.size(), 1u);
+  EXPECT_EQ(stmt->select_list[0].expr->kind(), Expr::Kind::kLiteral);
+  EXPECT_TRUE(stmt->from.empty());
+}
+
+TEST(ParserTest, SelectStarFromTable) {
+  auto stmt = MustParse("SELECT * FROM Bid");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->select_list[0].expr->kind(), Expr::Kind::kStar);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0]->kind(), TableRef::Kind::kBase);
+  const auto& base = static_cast<const BaseTableRef&>(*stmt->from[0]);
+  EXPECT_EQ(base.name(), "Bid");
+}
+
+TEST(ParserTest, QualifiedStarAndAliases) {
+  auto stmt = MustParse("SELECT b.*, b.price AS p, b.item cost FROM Bid b");
+  ASSERT_EQ(stmt->select_list.size(), 3u);
+  EXPECT_EQ(stmt->select_list[0].expr->kind(), Expr::Kind::kStar);
+  EXPECT_EQ(static_cast<const StarExpr&>(*stmt->select_list[0].expr)
+                .qualifier(),
+            "b");
+  EXPECT_EQ(stmt->select_list[1].alias, "p");
+  EXPECT_EQ(stmt->select_list[2].alias, "cost");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(stmt->where, nullptr);
+  // OR binds loosest: (a=1) OR ((b=2) AND (c=3)).
+  const auto& root = static_cast<const BinaryExpr&>(*stmt->where);
+  EXPECT_EQ(root.op(), BinaryOp::kOr);
+  const auto& rhs = static_cast<const BinaryExpr&>(root.right());
+  EXPECT_EQ(rhs.op(), BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = MustParse("SELECT 1 + 2 * 3");
+  const auto& root =
+      static_cast<const BinaryExpr&>(*stmt->select_list[0].expr);
+  EXPECT_EQ(root.op(), BinaryOp::kAdd);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(root.right()).op(), BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  auto stmt = MustParse("SELECT -x FROM t WHERE NOT a = 1");
+  EXPECT_EQ(stmt->select_list[0].expr->kind(), Expr::Kind::kUnary);
+  EXPECT_EQ(stmt->where->kind(), Expr::Kind::kUnary);
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "<>", "!=", "<", "<=", ">", ">="}) {
+    auto stmt = MustParse(std::string("SELECT 1 FROM t WHERE a ") + op + " b");
+    ASSERT_NE(stmt, nullptr) << op;
+    EXPECT_EQ(stmt->where->kind(), Expr::Kind::kBinary);
+  }
+}
+
+TEST(ParserTest, IntervalLiteral) {
+  auto stmt = MustParse("SELECT INTERVAL '10' MINUTE");
+  const auto& lit =
+      static_cast<const LiteralExpr&>(*stmt->select_list[0].expr);
+  EXPECT_EQ(lit.value().AsInterval(), Interval::Minutes(10));
+}
+
+TEST(ParserTest, IntervalUnits) {
+  struct Case {
+    const char* unit;
+    Interval expected;
+  } cases[] = {
+      {"MILLISECOND", Interval::Millis(3)}, {"SECONDS", Interval::Seconds(3)},
+      {"MINUTE", Interval::Minutes(3)},     {"MINUTES", Interval::Minutes(3)},
+      {"HOUR", Interval::Hours(3)},         {"DAYS", Interval::Days(3)},
+  };
+  for (const auto& c : cases) {
+    auto stmt =
+        MustParse(std::string("SELECT INTERVAL '3' ") + c.unit);
+    const auto& lit =
+        static_cast<const LiteralExpr&>(*stmt->select_list[0].expr);
+    EXPECT_EQ(lit.value().AsInterval(), c.expected) << c.unit;
+  }
+}
+
+TEST(ParserTest, TimestampLiteral) {
+  auto stmt = MustParse("SELECT TIMESTAMP '8:07'");
+  const auto& lit =
+      static_cast<const LiteralExpr&>(*stmt->select_list[0].expr);
+  EXPECT_EQ(lit.value().AsTimestamp(), Timestamp::FromHMS(8, 7));
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto stmt = MustParse("SELECT MAX(price), COUNT(*), COUNT(DISTINCT item) FROM Bid");
+  ASSERT_EQ(stmt->select_list.size(), 3u);
+  const auto& max_fn =
+      static_cast<const FunctionCallExpr&>(*stmt->select_list[0].expr);
+  EXPECT_EQ(max_fn.name(), "MAX");
+  ASSERT_EQ(max_fn.args().size(), 1u);
+  const auto& count_star =
+      static_cast<const FunctionCallExpr&>(*stmt->select_list[1].expr);
+  EXPECT_EQ(count_star.args()[0]->kind(), Expr::Kind::kStar);
+  const auto& count_distinct =
+      static_cast<const FunctionCallExpr&>(*stmt->select_list[2].expr);
+  EXPECT_TRUE(count_distinct.distinct());
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto stmt = MustParse(
+      "SELECT item, SUM(price) FROM Bid GROUP BY item HAVING SUM(price) > 10");
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+}
+
+TEST(ParserTest, OrderByLimit) {
+  auto stmt =
+      MustParse("SELECT * FROM Bid ORDER BY price DESC, item LIMIT 10");
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, ExplicitJoin) {
+  auto stmt = MustParse(
+      "SELECT * FROM Auction a JOIN Person p ON a.seller = p.id");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  ASSERT_EQ(stmt->from[0]->kind(), TableRef::Kind::kJoin);
+  const auto& join = static_cast<const JoinRef&>(*stmt->from[0]);
+  EXPECT_EQ(join.join_type(), JoinType::kInner);
+  ASSERT_NE(join.condition(), nullptr);
+}
+
+TEST(ParserTest, LeftAndCrossJoin) {
+  auto stmt = MustParse(
+      "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c");
+  const auto& outer = static_cast<const JoinRef&>(*stmt->from[0]);
+  EXPECT_EQ(outer.join_type(), JoinType::kCross);
+  const auto& inner = static_cast<const JoinRef&>(outer.left());
+  EXPECT_EQ(inner.join_type(), JoinType::kLeft);
+}
+
+TEST(ParserTest, CommaJoin) {
+  auto stmt = MustParse("SELECT * FROM Bid, Auction");
+  EXPECT_EQ(stmt->from.size(), 2u);
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  ExpectParseError("SELECT * FROM (SELECT 1)");
+  auto stmt = MustParse("SELECT * FROM (SELECT 1 AS one) t");
+  EXPECT_EQ(stmt->from[0]->kind(), TableRef::Kind::kDerived);
+}
+
+TEST(ParserTest, TumbleTvfWithNamedArgs) {
+  auto stmt = MustParse(
+      "SELECT * FROM Tumble(data => TABLE(Bid), "
+      "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+      "offset => INTERVAL '0' MINUTES) TumbleBid");
+  ASSERT_EQ(stmt->from[0]->kind(), TableRef::Kind::kTvf);
+  const auto& tvf = static_cast<const TvfRef&>(*stmt->from[0]);
+  EXPECT_EQ(tvf.function_name(), "Tumble");
+  EXPECT_EQ(tvf.alias(), "TumbleBid");
+  ASSERT_EQ(tvf.args().size(), 4u);
+  EXPECT_EQ(tvf.args()[0].name, "data");
+  EXPECT_EQ(tvf.args()[0].arg_kind, TvfArg::Kind::kTable);
+  EXPECT_EQ(tvf.args()[1].arg_kind, TvfArg::Kind::kDescriptor);
+  EXPECT_EQ(tvf.args()[1].descriptor, "bidtime");
+  EXPECT_EQ(tvf.args()[2].arg_kind, TvfArg::Kind::kScalar);
+}
+
+TEST(ParserTest, HopTvfPositionalArgs) {
+  auto stmt = MustParse(
+      "SELECT * FROM Hop(TABLE(Bid), DESCRIPTOR(bidtime), "
+      "INTERVAL '10' MINUTES, INTERVAL '5' MINUTES) h");
+  const auto& tvf = static_cast<const TvfRef&>(*stmt->from[0]);
+  EXPECT_EQ(tvf.function_name(), "Hop");
+  ASSERT_EQ(tvf.args().size(), 4u);
+  EXPECT_TRUE(tvf.args()[0].name.empty());
+}
+
+TEST(ParserTest, EmitStream) {
+  auto stmt = MustParse("SELECT * FROM Bid EMIT STREAM");
+  ASSERT_TRUE(stmt->emit.has_value());
+  EXPECT_TRUE(stmt->emit->stream);
+  EXPECT_FALSE(stmt->emit->after_watermark);
+  EXPECT_FALSE(stmt->emit->delay.has_value());
+}
+
+TEST(ParserTest, EmitAfterWatermark) {
+  auto stmt = MustParse("SELECT * FROM Bid EMIT AFTER WATERMARK");
+  ASSERT_TRUE(stmt->emit.has_value());
+  EXPECT_FALSE(stmt->emit->stream);
+  EXPECT_TRUE(stmt->emit->after_watermark);
+}
+
+TEST(ParserTest, EmitStreamAfterWatermark) {
+  auto stmt = MustParse("SELECT * FROM Bid EMIT STREAM AFTER WATERMARK");
+  EXPECT_TRUE(stmt->emit->stream);
+  EXPECT_TRUE(stmt->emit->after_watermark);
+}
+
+TEST(ParserTest, EmitStreamAfterDelay) {
+  auto stmt = MustParse(
+      "SELECT * FROM Bid EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES");
+  EXPECT_TRUE(stmt->emit->stream);
+  ASSERT_TRUE(stmt->emit->delay.has_value());
+  EXPECT_EQ(*stmt->emit->delay, Interval::Minutes(6));
+}
+
+TEST(ParserTest, EmitCombinedDelayAndWatermark) {
+  auto stmt = MustParse(
+      "SELECT * FROM Bid "
+      "EMIT AFTER DELAY INTERVAL '1' MINUTE AND AFTER WATERMARK");
+  EXPECT_FALSE(stmt->emit->stream);
+  EXPECT_TRUE(stmt->emit->after_watermark);
+  EXPECT_EQ(*stmt->emit->delay, Interval::Minutes(1));
+}
+
+TEST(ParserTest, EmitDuplicateConditionRejected) {
+  ExpectParseError(
+      "SELECT * FROM Bid EMIT AFTER WATERMARK AND AFTER WATERMARK");
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto stmt = MustParse(
+      "SELECT CASE WHEN price > 10 THEN 'high' ELSE 'low' END FROM Bid");
+  EXPECT_EQ(stmt->select_list[0].expr->kind(), Expr::Kind::kCase);
+}
+
+TEST(ParserTest, CastAndIsNull) {
+  auto stmt = MustParse(
+      "SELECT CAST(price AS DOUBLE) FROM Bid WHERE item IS NOT NULL");
+  EXPECT_EQ(stmt->select_list[0].expr->kind(), Expr::Kind::kCast);
+  EXPECT_EQ(stmt->where->kind(), Expr::Kind::kIsNull);
+}
+
+TEST(ParserTest, PaperListing2FullQuery) {
+  // The exact Q7 query from the paper (Listing 2).
+  const char* sql = R"(
+    SELECT
+      MaxBid.wstart, MaxBid.wend,
+      Bid.bidtime, Bid.price, Bid.itemid
+    FROM
+      Bid,
+      (SELECT
+         MAX(TumbleBid.price) maxPrice,
+         TumbleBid.wstart wstart,
+         TumbleBid.wend wend
+       FROM
+         Tumble(
+           data    => TABLE(Bid),
+           timecol => DESCRIPTOR(bidtime),
+           dur     => INTERVAL '10' MINUTE) TumbleBid
+       GROUP BY
+         TumbleBid.wend) MaxBid
+    WHERE
+      Bid.price = MaxBid.maxPrice AND
+      Bid.bidtime >= MaxBid.wend
+        - INTERVAL '10' MINUTE AND
+      Bid.bidtime < MaxBid.wend;
+  )";
+  auto stmt = MustParse(sql);
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0]->kind(), TableRef::Kind::kBase);
+  EXPECT_EQ(stmt->from[1]->kind(), TableRef::Kind::kDerived);
+  const auto& derived = static_cast<const DerivedTableRef&>(*stmt->from[1]);
+  EXPECT_EQ(derived.alias(), "MaxBid");
+  EXPECT_EQ(derived.query().from[0]->kind(), TableRef::Kind::kTvf);
+  ASSERT_NE(stmt->where, nullptr);
+}
+
+TEST(ParserTest, UnparseRoundTrip) {
+  const char* sql =
+      "SELECT item, MAX(price) AS maxPrice FROM Bid "
+      "WHERE price > 2 GROUP BY item EMIT STREAM AFTER WATERMARK";
+  auto stmt = MustParse(sql);
+  // Unparse, reparse, unparse: fixed point.
+  const std::string once = stmt->ToString();
+  auto stmt2 = MustParse(once);
+  ASSERT_NE(stmt2, nullptr);
+  EXPECT_EQ(stmt2->ToString(), once);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  ExpectParseError("SELECT 1 FROM t extra stuff here +");
+  ExpectParseError("SELECT 1; SELECT 2");
+}
+
+TEST(ParserTest, MissingFromItemsRejected) {
+  ExpectParseError("SELECT 1 FROM");
+  ExpectParseError("SELECT FROM t");
+  ExpectParseError("SELECT * FROM t WHERE");
+  ExpectParseError("SELECT * FROM t GROUP BY");
+}
+
+TEST(ParserTest, BadEmitRejected) {
+  ExpectParseError("SELECT 1 FROM t EMIT AFTER");
+  ExpectParseError("SELECT 1 FROM t EMIT AFTER DELAY");
+  ExpectParseError("SELECT 1 FROM t EMIT AFTER DELAY INTERVAL 'x' MINUTE");
+}
+
+TEST(ParserTest, SemicolonOptional) {
+  EXPECT_NE(MustParse("SELECT 1;"), nullptr);
+  EXPECT_NE(MustParse("SELECT 1"), nullptr);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace onesql

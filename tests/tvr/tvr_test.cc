@@ -1,0 +1,153 @@
+#include "tvr/tvr.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace onesql {
+namespace tvr {
+namespace {
+
+Timestamp T(int h, int m) { return Timestamp::FromHMS(h, m); }
+Row KV(int64_t k, int64_t v) { return {Value::Int64(k), Value::Int64(v)}; }
+
+TEST(TvrTest, ApplyAndSnapshot) {
+  TimeVaryingRelation tvr;
+  ASSERT_TRUE(tvr.Apply({ChangeKind::kInsert, KV(1, 10), T(8, 0)}).ok());
+  ASSERT_TRUE(tvr.Apply({ChangeKind::kInsert, KV(2, 20), T(8, 5)}).ok());
+  ASSERT_TRUE(tvr.Apply({ChangeKind::kDelete, KV(1, 10), T(8, 7)}).ok());
+  EXPECT_EQ(tvr.SnapshotAt(T(8, 0)).size(), 1u);
+  EXPECT_EQ(tvr.SnapshotAt(T(8, 6)).size(), 2u);
+  EXPECT_EQ(tvr.Current().size(), 1u);
+  EXPECT_EQ(tvr.ChangeTimes().size(), 3u);
+}
+
+TEST(TvrTest, RejectsOutOfOrderAndBadDeletes) {
+  TimeVaryingRelation tvr;
+  ASSERT_TRUE(tvr.Apply({ChangeKind::kInsert, KV(1, 10), T(8, 5)}).ok());
+  EXPECT_FALSE(tvr.Apply({ChangeKind::kInsert, KV(2, 20), T(8, 0)}).ok());
+  EXPECT_FALSE(tvr.Apply({ChangeKind::kDelete, KV(9, 9), T(8, 6)}).ok());
+  EXPECT_FALSE(tvr.Apply({ChangeKind::kUpsert, KV(1, 1), T(8, 7)}).ok());
+}
+
+TEST(TvrTest, FromChangelogRoundTrip) {
+  Changelog log = {
+      {ChangeKind::kInsert, KV(1, 10), T(8, 0)},
+      {ChangeKind::kDelete, KV(1, 10), T(8, 1)},
+      {ChangeKind::kInsert, KV(1, 11), T(8, 1)},
+  };
+  auto tvr = TimeVaryingRelation::FromChangelog(log);
+  ASSERT_TRUE(tvr.ok());
+  auto current = tvr->Current();
+  ASSERT_EQ(current.size(), 1u);
+  EXPECT_TRUE(RowsEqual(current[0], KV(1, 11)));
+}
+
+TEST(UpsertEncodingTest, UpdateBecomesSingleRecord) {
+  // key = column 0. An update (delete+insert at one instant) encodes as one
+  // UPSERT — the space advantage described in Appendix B.2.3.
+  Changelog retractions = {
+      {ChangeKind::kInsert, KV(1, 10), T(8, 0)},
+      {ChangeKind::kDelete, KV(1, 10), T(8, 1)},
+      {ChangeKind::kInsert, KV(1, 11), T(8, 1)},
+      {ChangeKind::kDelete, KV(1, 11), T(8, 2)},
+  };
+  auto upserts = EncodeUpsertStream(retractions, {0});
+  ASSERT_TRUE(upserts.ok()) << upserts.status().ToString();
+  ASSERT_EQ(upserts->size(), 3u);  // UPSERT, UPSERT, DELETE
+  EXPECT_EQ((*upserts)[0].kind, ChangeKind::kUpsert);
+  EXPECT_EQ((*upserts)[1].kind, ChangeKind::kUpsert);
+  EXPECT_TRUE(RowsEqual((*upserts)[1].row, KV(1, 11)));
+  EXPECT_EQ((*upserts)[2].kind, ChangeKind::kDelete);
+}
+
+TEST(UpsertEncodingTest, DecodeRestoresRetractions) {
+  Changelog retractions = {
+      {ChangeKind::kInsert, KV(1, 10), T(8, 0)},
+      {ChangeKind::kInsert, KV(2, 20), T(8, 1)},
+      {ChangeKind::kDelete, KV(1, 10), T(8, 2)},
+      {ChangeKind::kInsert, KV(1, 15), T(8, 2)},
+      {ChangeKind::kDelete, KV(2, 20), T(8, 3)},
+  };
+  auto upserts = EncodeUpsertStream(retractions, {0});
+  ASSERT_TRUE(upserts.ok());
+  auto decoded = DecodeUpsertStream(*upserts, {0});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  // Snapshots agree at every instant.
+  for (int m = 0; m <= 4; ++m) {
+    auto a = SnapshotOf(retractions, T(8, m));
+    auto b = SnapshotOf(*decoded, T(8, m));
+    ASSERT_EQ(a.size(), b.size()) << "at 8:0" << m;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(RowsEqual(a[i], b[i])) << "at 8:0" << m;
+    }
+  }
+}
+
+TEST(UpsertEncodingTest, RejectsDuplicateKeys) {
+  Changelog retractions = {
+      {ChangeKind::kInsert, KV(1, 10), T(8, 0)},
+      {ChangeKind::kInsert, KV(1, 11), T(8, 1)},  // same key, no delete
+  };
+  EXPECT_FALSE(EncodeUpsertStream(retractions, {0}).ok());
+}
+
+TEST(UpsertEncodingTest, TransientChangeWithinInstantCancels) {
+  Changelog retractions = {
+      {ChangeKind::kInsert, KV(1, 10), T(8, 0)},
+      // At 8:01 a row flickers in and out — no net change.
+      {ChangeKind::kInsert, KV(2, 20), T(8, 1)},
+      {ChangeKind::kDelete, KV(2, 20), T(8, 1)},
+  };
+  auto upserts = EncodeUpsertStream(retractions, {0});
+  ASSERT_TRUE(upserts.ok()) << upserts.status().ToString();
+  EXPECT_EQ(upserts->size(), 1u);
+}
+
+TEST(UpsertEncodingTest, RandomizedRoundTripPreservesSnapshots) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Build a random valid keyed changelog: per step, insert/update/delete a
+    // random key.
+    Changelog log;
+    std::map<int64_t, int64_t> state;  // key -> value
+    int64_t t = 0;
+    for (int step = 0; step < 80; ++step) {
+      t += 1 + rng() % 3;
+      const int64_t key = 1 + rng() % 8;
+      auto it = state.find(key);
+      const int action = rng() % 3;
+      if (it == state.end()) {
+        const int64_t v = rng() % 100;
+        log.push_back({ChangeKind::kInsert, KV(key, v), Timestamp(t)});
+        state[key] = v;
+      } else if (action == 0) {
+        log.push_back({ChangeKind::kDelete, KV(key, it->second), Timestamp(t)});
+        state.erase(it);
+      } else {
+        const int64_t v = rng() % 100;
+        log.push_back({ChangeKind::kDelete, KV(key, it->second), Timestamp(t)});
+        log.push_back({ChangeKind::kInsert, KV(key, v), Timestamp(t)});
+        it->second = v;
+      }
+    }
+    auto upserts = EncodeUpsertStream(log, {0});
+    ASSERT_TRUE(upserts.ok()) << upserts.status().ToString();
+    auto decoded = DecodeUpsertStream(*upserts, {0});
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    // Upsert encoding never exceeds the retraction encoding in size.
+    EXPECT_LE(upserts->size(), log.size());
+    for (int64_t check = 0; check <= t; check += 7) {
+      auto a = SnapshotOf(log, Timestamp(check));
+      auto b = SnapshotOf(*decoded, Timestamp(check));
+      ASSERT_EQ(a.size(), b.size()) << "trial " << trial << " t=" << check;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(RowsEqual(a[i], b[i])) << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tvr
+}  // namespace onesql

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_changelog_encoding.dir/bench_changelog_encoding.cc.o"
+  "CMakeFiles/bench_changelog_encoding.dir/bench_changelog_encoding.cc.o.d"
+  "bench_changelog_encoding"
+  "bench_changelog_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_changelog_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cql_baseline.dir/bench_cql_baseline.cc.o"
+  "CMakeFiles/bench_cql_baseline.dir/bench_cql_baseline.cc.o.d"
+  "bench_cql_baseline"
+  "bench_cql_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cql_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

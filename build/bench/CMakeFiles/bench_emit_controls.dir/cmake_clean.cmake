@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emit_controls.dir/bench_emit_controls.cc.o"
+  "CMakeFiles/bench_emit_controls.dir/bench_emit_controls.cc.o.d"
+  "bench_emit_controls"
+  "bench_emit_controls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emit_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nexmark.dir/bench_nexmark.cc.o"
+  "CMakeFiles/bench_nexmark.dir/bench_nexmark.cc.o.d"
+  "bench_nexmark"
+  "bench_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

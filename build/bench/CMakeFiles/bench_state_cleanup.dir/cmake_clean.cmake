@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_cleanup.dir/bench_state_cleanup.cc.o"
+  "CMakeFiles/bench_state_cleanup.dir/bench_state_cleanup.cc.o.d"
+  "bench_state_cleanup"
+  "bench_state_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_compare.dir/cql_compare.cpp.o"
+  "CMakeFiles/cql_compare.dir/cql_compare.cpp.o.d"
+  "cql_compare"
+  "cql_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_common.dir/changelog.cc.o"
+  "CMakeFiles/onesql_common.dir/changelog.cc.o.d"
+  "CMakeFiles/onesql_common.dir/row.cc.o"
+  "CMakeFiles/onesql_common.dir/row.cc.o.d"
+  "CMakeFiles/onesql_common.dir/schema.cc.o"
+  "CMakeFiles/onesql_common.dir/schema.cc.o.d"
+  "CMakeFiles/onesql_common.dir/status.cc.o"
+  "CMakeFiles/onesql_common.dir/status.cc.o.d"
+  "CMakeFiles/onesql_common.dir/table_printer.cc.o"
+  "CMakeFiles/onesql_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/onesql_common.dir/timestamp.cc.o"
+  "CMakeFiles/onesql_common.dir/timestamp.cc.o.d"
+  "CMakeFiles/onesql_common.dir/value.cc.o"
+  "CMakeFiles/onesql_common.dir/value.cc.o.d"
+  "libonesql_common.a"
+  "libonesql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

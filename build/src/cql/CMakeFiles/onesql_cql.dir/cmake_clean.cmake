@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_cql.dir/cql.cc.o"
+  "CMakeFiles/onesql_cql.dir/cql.cc.o.d"
+  "libonesql_cql.a"
+  "libonesql_cql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_cql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

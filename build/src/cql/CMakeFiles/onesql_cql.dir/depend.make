@@ -1,0 +1,2 @@
+# Empty dependencies file for onesql_cql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_engine.dir/engine.cc.o"
+  "CMakeFiles/onesql_engine.dir/engine.cc.o.d"
+  "libonesql_engine.a"
+  "libonesql_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/accumulator.cc" "src/exec/CMakeFiles/onesql_exec.dir/accumulator.cc.o" "gcc" "src/exec/CMakeFiles/onesql_exec.dir/accumulator.cc.o.d"
+  "/root/repo/src/exec/dataflow.cc" "src/exec/CMakeFiles/onesql_exec.dir/dataflow.cc.o" "gcc" "src/exec/CMakeFiles/onesql_exec.dir/dataflow.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/exec/CMakeFiles/onesql_exec.dir/expr_eval.cc.o" "gcc" "src/exec/CMakeFiles/onesql_exec.dir/expr_eval.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/onesql_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/onesql_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/sink.cc" "src/exec/CMakeFiles/onesql_exec.dir/sink.cc.o" "gcc" "src/exec/CMakeFiles/onesql_exec.dir/sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/onesql_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/onesql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/onesql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_exec.dir/accumulator.cc.o"
+  "CMakeFiles/onesql_exec.dir/accumulator.cc.o.d"
+  "CMakeFiles/onesql_exec.dir/dataflow.cc.o"
+  "CMakeFiles/onesql_exec.dir/dataflow.cc.o.d"
+  "CMakeFiles/onesql_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/onesql_exec.dir/expr_eval.cc.o.d"
+  "CMakeFiles/onesql_exec.dir/operators.cc.o"
+  "CMakeFiles/onesql_exec.dir/operators.cc.o.d"
+  "CMakeFiles/onesql_exec.dir/sink.cc.o"
+  "CMakeFiles/onesql_exec.dir/sink.cc.o.d"
+  "libonesql_exec.a"
+  "libonesql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

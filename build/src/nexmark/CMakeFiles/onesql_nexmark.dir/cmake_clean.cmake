@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_nexmark.dir/nexmark.cc.o"
+  "CMakeFiles/onesql_nexmark.dir/nexmark.cc.o.d"
+  "libonesql_nexmark.a"
+  "libonesql_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

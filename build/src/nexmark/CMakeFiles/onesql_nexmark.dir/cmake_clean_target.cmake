@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libonesql_nexmark.a"
+)

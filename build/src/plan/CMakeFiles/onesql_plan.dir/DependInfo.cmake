@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/binder.cc" "src/plan/CMakeFiles/onesql_plan.dir/binder.cc.o" "gcc" "src/plan/CMakeFiles/onesql_plan.dir/binder.cc.o.d"
+  "/root/repo/src/plan/bound_expr.cc" "src/plan/CMakeFiles/onesql_plan.dir/bound_expr.cc.o" "gcc" "src/plan/CMakeFiles/onesql_plan.dir/bound_expr.cc.o.d"
+  "/root/repo/src/plan/catalog.cc" "src/plan/CMakeFiles/onesql_plan.dir/catalog.cc.o" "gcc" "src/plan/CMakeFiles/onesql_plan.dir/catalog.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/plan/CMakeFiles/onesql_plan.dir/logical_plan.cc.o" "gcc" "src/plan/CMakeFiles/onesql_plan.dir/logical_plan.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/plan/CMakeFiles/onesql_plan.dir/optimizer.cc.o" "gcc" "src/plan/CMakeFiles/onesql_plan.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/onesql_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/onesql_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

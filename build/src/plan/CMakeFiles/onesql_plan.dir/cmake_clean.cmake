@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_plan.dir/binder.cc.o"
+  "CMakeFiles/onesql_plan.dir/binder.cc.o.d"
+  "CMakeFiles/onesql_plan.dir/bound_expr.cc.o"
+  "CMakeFiles/onesql_plan.dir/bound_expr.cc.o.d"
+  "CMakeFiles/onesql_plan.dir/catalog.cc.o"
+  "CMakeFiles/onesql_plan.dir/catalog.cc.o.d"
+  "CMakeFiles/onesql_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/onesql_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/onesql_plan.dir/optimizer.cc.o"
+  "CMakeFiles/onesql_plan.dir/optimizer.cc.o.d"
+  "libonesql_plan.a"
+  "libonesql_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

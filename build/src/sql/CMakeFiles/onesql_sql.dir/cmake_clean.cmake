@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_sql.dir/ast.cc.o"
+  "CMakeFiles/onesql_sql.dir/ast.cc.o.d"
+  "CMakeFiles/onesql_sql.dir/lexer.cc.o"
+  "CMakeFiles/onesql_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/onesql_sql.dir/parser.cc.o"
+  "CMakeFiles/onesql_sql.dir/parser.cc.o.d"
+  "libonesql_sql.a"
+  "libonesql_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesql_tvr.dir/tvr.cc.o"
+  "CMakeFiles/onesql_tvr.dir/tvr.cc.o.d"
+  "libonesql_tvr.a"
+  "libonesql_tvr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesql_tvr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/changelog_test.cc" "tests/CMakeFiles/common_test.dir/common/changelog_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/changelog_test.cc.o.d"
+  "/root/repo/tests/common/row_test.cc" "tests/CMakeFiles/common_test.dir/common/row_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/row_test.cc.o.d"
+  "/root/repo/tests/common/schema_test.cc" "tests/CMakeFiles/common_test.dir/common/schema_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/schema_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/table_printer_test.cc" "tests/CMakeFiles/common_test.dir/common/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/table_printer_test.cc.o.d"
+  "/root/repo/tests/common/timestamp_test.cc" "tests/CMakeFiles/common_test.dir/common/timestamp_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/timestamp_test.cc.o.d"
+  "/root/repo/tests/common/value_test.cc" "tests/CMakeFiles/common_test.dir/common/value_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/onesql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/duality_test.cc" "tests/CMakeFiles/engine_test.dir/engine/duality_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/duality_test.cc.o.d"
+  "/root/repo/tests/engine/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  "/root/repo/tests/engine/lateness_test.cc" "tests/CMakeFiles/engine_test.dir/engine/lateness_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/lateness_test.cc.o.d"
+  "/root/repo/tests/engine/robustness_test.cc" "tests/CMakeFiles/engine_test.dir/engine/robustness_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/robustness_test.cc.o.d"
+  "/root/repo/tests/exec/operator_util_test.cc" "tests/CMakeFiles/engine_test.dir/exec/operator_util_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/exec/operator_util_test.cc.o.d"
+  "/root/repo/tests/exec/scalar_function_test.cc" "tests/CMakeFiles/engine_test.dir/exec/scalar_function_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/exec/scalar_function_test.cc.o.d"
+  "/root/repo/tests/exec/session_test.cc" "tests/CMakeFiles/engine_test.dir/exec/session_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/exec/session_test.cc.o.d"
+  "/root/repo/tests/exec/temporal_filter_test.cc" "tests/CMakeFiles/engine_test.dir/exec/temporal_filter_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/exec/temporal_filter_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/onesql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/onesql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/onesql_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/onesql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvr/CMakeFiles/onesql_tvr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/onesql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/duality_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/duality_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/lateness_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/lateness_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/robustness_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/robustness_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/exec/operator_util_test.cc.o"
+  "CMakeFiles/engine_test.dir/exec/operator_util_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/exec/scalar_function_test.cc.o"
+  "CMakeFiles/engine_test.dir/exec/scalar_function_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/exec/session_test.cc.o"
+  "CMakeFiles/engine_test.dir/exec/session_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/exec/temporal_filter_test.cc.o"
+  "CMakeFiles/engine_test.dir/exec/temporal_filter_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

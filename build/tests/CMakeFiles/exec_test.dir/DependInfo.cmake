@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/accumulator_test.cc" "tests/CMakeFiles/exec_test.dir/exec/accumulator_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/accumulator_test.cc.o.d"
+  "/root/repo/tests/exec/expr_eval_test.cc" "tests/CMakeFiles/exec_test.dir/exec/expr_eval_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/expr_eval_test.cc.o.d"
+  "/root/repo/tests/exec/sink_test.cc" "tests/CMakeFiles/exec_test.dir/exec/sink_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/sink_test.cc.o.d"
+  "/root/repo/tests/exec/window_test.cc" "tests/CMakeFiles/exec_test.dir/exec/window_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/onesql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/onesql_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/onesql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/onesql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

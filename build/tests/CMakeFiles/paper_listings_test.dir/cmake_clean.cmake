@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_listings_test.dir/engine/paper_listings_test.cc.o"
+  "CMakeFiles/paper_listings_test.dir/engine/paper_listings_test.cc.o.d"
+  "paper_listings_test"
+  "paper_listings_test.pdb"
+  "paper_listings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_listings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

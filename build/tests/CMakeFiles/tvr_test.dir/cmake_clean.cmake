@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvr_test.dir/tvr/tvr_test.cc.o"
+  "CMakeFiles/tvr_test.dir/tvr/tvr_test.cc.o.d"
+  "tvr_test"
+  "tvr_test.pdb"
+  "tvr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,142 @@
+// Experiment PARALLEL: throughput of the key-partitioned sharded runtime
+// versus the sequential one, on a keyed windowed aggregation (the shape the
+// partitioner targets: GROUP BY <source column>, wend over many distinct
+// keys). Both runtimes produce bit-identical output — see
+// tests/engine/parallel_test.cc — so this measures pure throughput.
+//
+// Notes for interpreting results:
+//   - Real speedup needs physical cores. On a single-core host the sharded
+//     runtime measures only its coordination overhead (routing + capture +
+//     merge + one fork-join barrier per batch); the determinism guarantee is
+//     unaffected. The reported `hw_threads` counter gives the context.
+//   - Batched feeding (Engine::Feed) amortizes the per-batch barrier; the
+//     single-event benchmark shows the unamortized worst case.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace onesql {
+namespace bench {
+namespace {
+
+constexpr const char* kKeyedAgg =
+    "SELECT item, wstart, wend, SUM(price) AS total, COUNT(*) AS cnt "
+    "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' MINUTES) t GROUP BY item, wend";
+
+/// A high-cardinality keyed feed: `keys` distinct items, watermark advances
+/// every `wm_every` rows so windows complete and state is reclaimed.
+std::vector<FeedEvent> KeyedFeed(int rows, int keys, int wm_every) {
+  std::vector<FeedEvent> feed;
+  feed.reserve(static_cast<size_t>(rows) + static_cast<size_t>(rows) /
+                                               static_cast<size_t>(wm_every));
+  uint64_t state = 1;
+  for (int i = 0; i < rows; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint64_t r = state >> 33;
+    const Timestamp ptime = T(9, 0) + Interval::Millis(i * 10);
+    FeedEvent e;
+    e.kind = FeedEvent::Kind::kInsert;
+    e.source = "Bid";
+    e.ptime = ptime;
+    e.row = {Value::Time(ptime - Interval::Seconds(r % 60)),
+             Value::Int64(static_cast<int64_t>(r % 1000)),
+             Value::String("item" + std::to_string(r % static_cast<uint64_t>(
+                                                           keys)))};
+    feed.push_back(std::move(e));
+    if (i % wm_every == wm_every - 1) {
+      FeedEvent wm;
+      wm.kind = FeedEvent::Kind::kWatermark;
+      wm.source = "Bid";
+      wm.ptime = ptime;
+      wm.watermark = ptime - Interval::Minutes(1);
+      feed.push_back(std::move(wm));
+    }
+  }
+  return feed;
+}
+
+/// rows/sec of the keyed aggregation at state.range(0) shards, feeding in
+/// batches of state.range(1).
+void BM_KeyedAggregationSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const int kRows = 20000;
+  const std::vector<FeedEvent> feed = KeyedFeed(kRows, /*keys=*/512,
+                                                /*wm_every=*/200);
+  int64_t rows_processed = 0;
+  int shard_count = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    if (!engine.RegisterStream("Bid", PaperBidSchema()).ok()) std::abort();
+    ExecutionOptions options;
+    options.shards = shards;
+    auto q = engine.Execute(kKeyedAgg, options);
+    if (!q.ok()) std::abort();
+    shard_count = (*q)->dataflow().shard_count();
+    state.ResumeTiming();
+
+    for (size_t begin = 0; begin < feed.size();
+         begin += static_cast<size_t>(batch)) {
+      const size_t end =
+          std::min(feed.size(), begin + static_cast<size_t>(batch));
+      std::vector<FeedEvent> chunk(feed.begin() + begin, feed.begin() + end);
+      if (!engine.Feed(chunk).ok()) std::abort();
+    }
+    benchmark::DoNotOptimize((*q)->Emissions().size());
+    rows_processed += kRows;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_processed), benchmark::Counter::kIsRate);
+  state.counters["shards"] = shard_count;
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_KeyedAggregationSharded)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 256, 2048}})
+    ->Unit(benchmark::kMillisecond);
+
+/// The stateless-pipeline (round-robin) shape: no keyed state at all.
+void BM_StatelessPipelineSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int kRows = 20000;
+  const std::vector<FeedEvent> feed = KeyedFeed(kRows, /*keys=*/512,
+                                                /*wm_every=*/200);
+  int64_t rows_processed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    if (!engine.RegisterStream("Bid", PaperBidSchema()).ok()) std::abort();
+    ExecutionOptions options;
+    options.shards = shards;
+    auto q = engine.Execute(
+        "SELECT bidtime, price, item FROM Bid WHERE price > 500", options);
+    if (!q.ok()) std::abort();
+    state.ResumeTiming();
+    if (!engine.Feed(feed).ok()) std::abort();
+    benchmark::DoNotOptimize((*q)->Emissions().size());
+    rows_processed += kRows;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_processed), benchmark::Counter::kIsRate);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_StatelessPipelineSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace onesql
+
+BENCHMARK_MAIN();

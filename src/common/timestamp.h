@@ -88,14 +88,19 @@ class Timestamp {
     return millis_ <=> o.millis_;
   }
 
+  /// Timestamp +/- Interval saturates at the Min()/Max() sentinels instead of
+  /// wrapping: the sentinels are absorbing (-inf + d = -inf, +inf - d = +inf)
+  /// and finite arithmetic clamps into [Min(), Max()]. This keeps watermark
+  /// math such as `Max() + allowed_lateness` (sink completeness gating) and
+  /// `Min() - lateness` well-defined instead of wrapping past the sentinels.
   constexpr Timestamp operator+(const Interval& d) const {
-    return Timestamp(millis_ + d.millis());
+    return Timestamp(SaturatedShift(millis_, d.millis()));
   }
   constexpr Timestamp operator-(const Interval& d) const {
-    return Timestamp(millis_ - d.millis());
+    return Timestamp(SaturatedShift(millis_, NegateMillis(d.millis())));
   }
   constexpr Interval operator-(const Timestamp& o) const {
-    return Interval(millis_ - o.millis_);
+    return Interval(SaturatedDiff(millis_, o.millis_));
   }
 
   /// Renders "H:MM" (or "H:MM:SS.mmm" when sub-minute precision is present)
@@ -109,6 +114,37 @@ class Timestamp {
       std::numeric_limits<int64_t>::min() / 4;
   static constexpr int64_t kMaxMillis =
       std::numeric_limits<int64_t>::max() / 4;
+
+  /// -millis without UB on int64 min.
+  static constexpr int64_t NegateMillis(int64_t ms) {
+    return ms == std::numeric_limits<int64_t>::min()
+               ? std::numeric_limits<int64_t>::max()
+               : -ms;
+  }
+
+  /// base + delta with sentinel absorption and clamping to [kMin, kMax].
+  static constexpr int64_t SaturatedShift(int64_t base, int64_t delta) {
+    if (base <= kMinMillis) return kMinMillis;  // -inf absorbs
+    if (base >= kMaxMillis) return kMaxMillis;  // +inf absorbs
+    int64_t sum = 0;
+    if (__builtin_add_overflow(base, delta, &sum)) {
+      return delta > 0 ? kMaxMillis : kMinMillis;
+    }
+    if (sum >= kMaxMillis) return kMaxMillis;
+    if (sum <= kMinMillis) return kMinMillis;
+    return sum;
+  }
+
+  /// a - b clamped to the representable int64 range (for Interval results).
+  static constexpr int64_t SaturatedDiff(int64_t a, int64_t b) {
+    int64_t diff = 0;
+    if (__builtin_sub_overflow(a, b, &diff)) {
+      return a > b ? std::numeric_limits<int64_t>::max()
+                   : std::numeric_limits<int64_t>::min();
+    }
+    return diff;
+  }
+
   int64_t millis_;
 };
 

@@ -1,8 +1,10 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "exec/expr_eval.h"
+#include "exec/sharded_dataflow.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
 #include "sql/parser.h"
@@ -104,6 +106,30 @@ Result<std::vector<Row>> ContinuousQuery::CurrentSnapshot() {
 // Engine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+exec::InputEvent ToInputEvent(const FeedEvent& event) {
+  exec::InputEvent out;
+  switch (event.kind) {
+    case FeedEvent::Kind::kInsert:
+      out.kind = exec::InputEvent::Kind::kInsert;
+      break;
+    case FeedEvent::Kind::kDelete:
+      out.kind = exec::InputEvent::Kind::kDelete;
+      break;
+    case FeedEvent::Kind::kWatermark:
+      out.kind = exec::InputEvent::Kind::kWatermark;
+      break;
+  }
+  out.source = event.source;
+  out.ptime = event.ptime;
+  out.row = event.row;
+  out.watermark = event.watermark;
+  return out;
+}
+
+}  // namespace
+
 Status Engine::RegisterStream(const std::string& name, Schema schema) {
   return catalog_.Register(
       plan::TableDef{name, std::move(schema), /*unbounded=*/true});
@@ -144,41 +170,41 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
     return Status::InvalidArgument("allowed lateness must be non-negative");
   }
   plan.allowed_lateness = options.allowed_lateness;
-  ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Dataflow> flow,
-                          exec::Dataflow::Build(std::move(plan)));
+  ONESQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<exec::DataflowRuntime> flow,
+      exec::BuildDataflowRuntime(std::move(plan), options.shards));
 
   auto query = std::unique_ptr<ContinuousQuery>(
       new ContinuousQuery(std::move(flow)));
 
-  // Feed static tables: contents at the beginning of time, then a +inf
-  // watermark (a bounded relation is a TVR that never changes again).
+  // Replay into the new query as one batch (a single fork-join barrier on
+  // the sharded runtime): static tables first — contents at the beginning
+  // of time, then a +inf watermark, since a bounded relation is a TVR that
+  // never changes again — followed by the recorded history so the result
+  // reflects all data so far.
+  std::vector<exec::InputEvent> replay;
+  replay.reserve(history_.size());
   for (const auto& [name, rows] : table_rows_) {
     if (!query->flow_->ReadsSource(name)) continue;
     for (const Row& row : rows) {
-      ONESQL_RETURN_NOT_OK(
-          query->flow_->PushRow(name, Timestamp::Min(), row));
+      exec::InputEvent event;
+      event.kind = exec::InputEvent::Kind::kInsert;
+      event.source = name;
+      event.ptime = Timestamp::Min();
+      event.row = row;
+      replay.push_back(std::move(event));
     }
-    ONESQL_RETURN_NOT_OK(query->flow_->PushWatermark(name, Timestamp::Min(),
-                                                     Timestamp::Max()));
+    exec::InputEvent mark;
+    mark.kind = exec::InputEvent::Kind::kWatermark;
+    mark.source = name;
+    mark.ptime = Timestamp::Min();
+    mark.watermark = Timestamp::Max();
+    replay.push_back(std::move(mark));
   }
-
-  // Replay recorded history so the new query reflects all data so far.
   for (const FeedEvent& event : history_) {
-    switch (event.kind) {
-      case FeedEvent::Kind::kInsert:
-        ONESQL_RETURN_NOT_OK(
-            query->flow_->PushRow(event.source, event.ptime, event.row));
-        break;
-      case FeedEvent::Kind::kDelete:
-        ONESQL_RETURN_NOT_OK(
-            query->flow_->PushDelete(event.source, event.ptime, event.row));
-        break;
-      case FeedEvent::Kind::kWatermark:
-        ONESQL_RETURN_NOT_OK(query->flow_->PushWatermark(
-            event.source, event.ptime, event.watermark));
-        break;
-    }
+    replay.push_back(ToInputEvent(event));
   }
+  ONESQL_RETURN_NOT_OK(query->flow_->PushBatch(replay));
   query->last_ptime_ = last_ptime_;
 
   ContinuousQuery* out = query.get();
@@ -208,7 +234,7 @@ Status Engine::ValidateRow(const std::string& stream, const Row& row) const {
   return Status::OK();
 }
 
-Status Engine::Dispatch(const FeedEvent& event) {
+Status Engine::Record(const FeedEvent& event) {
   if (event.ptime < last_ptime_) {
     return Status::InvalidArgument(
         "feed events must arrive in processing-time order (got " +
@@ -216,6 +242,11 @@ Status Engine::Dispatch(const FeedEvent& event) {
   }
   last_ptime_ = event.ptime;
   history_.push_back(event);
+  return Status::OK();
+}
+
+Status Engine::Dispatch(const FeedEvent& event) {
+  ONESQL_RETURN_NOT_OK(Record(event));
   for (auto& query : queries_) {
     query->last_ptime_ = event.ptime;
     switch (event.kind) {
@@ -233,6 +264,7 @@ Status Engine::Dispatch(const FeedEvent& event) {
         break;
     }
   }
+  MaybeCompactHistory();
   return Status::OK();
 }
 
@@ -256,8 +288,8 @@ Status Engine::Delete(const std::string& stream, Timestamp ptime, Row row) {
   return Dispatch(event);
 }
 
-Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
-                                Timestamp watermark) {
+Status Engine::ValidateWatermark(const std::string& stream,
+                                 Timestamp watermark) {
   ONESQL_ASSIGN_OR_RETURN(const plan::TableDef* def, catalog_.Lookup(stream));
   if (!def->unbounded) {
     return Status::InvalidArgument("static table '" + stream +
@@ -269,6 +301,12 @@ Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
                                    "' must be monotonic");
   }
   current = watermark;
+  return Status::OK();
+}
+
+Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
+                                Timestamp watermark) {
+  ONESQL_RETURN_NOT_OK(ValidateWatermark(stream, watermark));
   FeedEvent event;
   event.kind = FeedEvent::Kind::kWatermark;
   event.source = stream;
@@ -278,21 +316,99 @@ Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
 }
 
 Status Engine::Feed(const std::vector<FeedEvent>& events) {
+  // Validate and record event by event (validation is order-sensitive:
+  // watermark monotonicity and ptime ordering), accumulating the valid
+  // prefix, then dispatch it to every query as one batch. Observable
+  // semantics match the event-by-event path exactly; the sharded runtime
+  // additionally gets to amortize its fork-join barrier over the batch.
+  std::vector<exec::InputEvent> batch;
+  batch.reserve(events.size());
+  Status deferred = Status::OK();
   for (const FeedEvent& event : events) {
+    Status status = Status::OK();
     switch (event.kind) {
       case FeedEvent::Kind::kInsert:
-        ONESQL_RETURN_NOT_OK(Insert(event.source, event.ptime, event.row));
-        break;
       case FeedEvent::Kind::kDelete:
-        ONESQL_RETURN_NOT_OK(Delete(event.source, event.ptime, event.row));
+        status = ValidateRow(event.source, event.row);
         break;
       case FeedEvent::Kind::kWatermark:
-        ONESQL_RETURN_NOT_OK(
-            AdvanceWatermark(event.source, event.ptime, event.watermark));
+        status = ValidateWatermark(event.source, event.watermark);
         break;
     }
+    if (status.ok()) status = Record(event);
+    if (!status.ok()) {
+      deferred = std::move(status);
+      break;
+    }
+    batch.push_back(ToInputEvent(event));
   }
-  return Status::OK();
+  if (!batch.empty()) {
+    const Timestamp batch_ptime = batch.back().ptime;
+    for (auto& query : queries_) {
+      query->last_ptime_ = batch_ptime;
+      ONESQL_RETURN_NOT_OK(query->flow_->PushBatch(batch));
+    }
+    MaybeCompactHistory();
+  }
+  return deferred;
+}
+
+void Engine::MaybeCompactHistory() {
+  if (history_.size() < compact_at_) return;
+  CompactHistory();
+  // Doubling schedule keeps the amortized compaction cost linear in the
+  // feed while guaranteeing the history stops growing once watermarks
+  // advance: the next attempt happens only after the retained tail doubles.
+  compact_at_ = std::max<size_t>(4096, history_.size() * 2);
+}
+
+void Engine::CompactHistory() {
+  if (queries_.empty()) return;  // late-executed queries need the full feed
+  // The compaction floor: every running query has seen its watermark pass
+  // `floor + allowed_lateness`, so groupings at or below the floor are
+  // frozen for all of them. Events at or below the floor can only matter to
+  // a query executed later, and for watermark-gated results a replay of the
+  // compacted feed produces the same post-floor emissions (pre-floor inputs
+  // would be late once the retained watermark is replayed).
+  Timestamp floor = Timestamp::Max();
+  for (const auto& query : queries_) {
+    const Timestamp f = query->flow_->sink().watermark() -
+                        query->flow_->plan().allowed_lateness;
+    if (f < floor) floor = f;
+  }
+  if (floor == Timestamp::Min()) return;  // a query has seen no watermark yet
+
+  // Keep the last dominated watermark event per source so a replay still
+  // re-establishes the watermark position the running queries reached.
+  std::unordered_map<std::string, size_t> last_dominated;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    const FeedEvent& event = history_[i];
+    if (event.kind == FeedEvent::Kind::kWatermark &&
+        event.watermark <= floor) {
+      last_dominated[ToLower(event.source)] = i;
+    }
+  }
+
+  std::vector<FeedEvent> kept;
+  kept.reserve(history_.size());
+  for (size_t i = 0; i < history_.size(); ++i) {
+    FeedEvent& event = history_[i];
+    bool keep = true;
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+      case FeedEvent::Kind::kDelete:
+        keep = event.ptime > floor;
+        break;
+      case FeedEvent::Kind::kWatermark: {
+        auto it = last_dominated.find(ToLower(event.source));
+        keep = event.watermark > floor ||
+               (it != last_dominated.end() && it->second == i);
+        break;
+      }
+    }
+    if (keep) kept.push_back(std::move(event));
+  }
+  history_ = std::move(kept);
 }
 
 Status Engine::AdvanceTo(Timestamp ptime) {

@@ -32,6 +32,14 @@ struct ExecutionOptions {
   /// watermark passes their event-time key by this much. Default zero
   /// reproduces the paper's strict drop semantics.
   Interval allowed_lateness{0};
+
+  /// Number of parallel shards for the key-partitioned runtime. 0 (default)
+  /// picks the hardware concurrency; 1 forces the sequential runtime. Plans
+  /// that cannot be key-partitioned (see exec/shard_router.h) fall back to
+  /// the sequential runtime regardless. The sharded runtime's output is
+  /// bit-identical to the sequential run, so this is purely a throughput
+  /// knob.
+  int shards = 0;
 };
 
 /// A running continuous query: both renderings of its result TVR are
@@ -73,16 +81,17 @@ class ContinuousQuery {
   /// State held by this query's operators, in bytes.
   size_t StateBytes() const { return flow_->StateBytes(); }
 
-  const exec::Dataflow& dataflow() const { return *flow_; }
+  /// The underlying runtime (sequential or sharded; see shard_count()).
+  const exec::DataflowRuntime& dataflow() const { return *flow_; }
 
  private:
   friend class Engine;
-  explicit ContinuousQuery(std::unique_ptr<exec::Dataflow> flow)
+  explicit ContinuousQuery(std::unique_ptr<exec::DataflowRuntime> flow)
       : flow_(std::move(flow)) {}
 
   Result<std::vector<Row>> Present(std::vector<Row> rows) const;
 
-  std::unique_ptr<exec::Dataflow> flow_;
+  std::unique_ptr<exec::DataflowRuntime> flow_;
   Timestamp last_ptime_ = Timestamp::Min();
 };
 
@@ -120,7 +129,12 @@ class Engine {
   Status AdvanceWatermark(const std::string& stream, Timestamp ptime,
                           Timestamp watermark);
 
-  /// Feeds a whole recorded dataset.
+  /// Feeds a whole recorded dataset. The batch is validated event by event
+  /// and then dispatched to every query wholesale (one PushBatch), so the
+  /// sharded runtime pays one fork-join barrier per Feed call rather than
+  /// one per event. On a validation error the valid prefix has already been
+  /// dispatched (matching the event-by-event semantics) and the error is
+  /// returned.
   Status Feed(const std::vector<FeedEvent>& events);
 
   /// Advances the processing-time clock of every query (fires AFTER DELAY
@@ -129,9 +143,27 @@ class Engine {
 
   const plan::Catalog& catalog() const { return catalog_; }
 
+  /// Number of recorded feed events retained for replaying into queries
+  /// executed later. Compaction (see CompactHistory) keeps this bounded:
+  /// it no longer grows monotonically with the feed once every running
+  /// query's watermark advances.
+  size_t history_size() const { return history_.size(); }
+
  private:
   Status ValidateRow(const std::string& stream, const Row& row) const;
+  Status ValidateWatermark(const std::string& stream, Timestamp watermark);
+  /// Ordering check + history append shared by all feed paths.
+  Status Record(const FeedEvent& event);
   Status Dispatch(const FeedEvent& event);
+  /// Amortized history compaction: triggers when the history doubles past a
+  /// floor derived from the running queries' watermarks. Retained invariant:
+  /// every event a running query could still accept (above its watermark
+  /// minus allowed lateness) survives, plus the last dominated watermark
+  /// event per source so replays re-establish the watermark position. With
+  /// no queries registered nothing is compacted (the paper's late-executed
+  /// point-in-time SELECTs need the full feed).
+  void MaybeCompactHistory();
+  void CompactHistory();
 
   plan::Catalog catalog_;
   std::vector<std::unique_ptr<ContinuousQuery>> queries_;
@@ -139,6 +171,8 @@ class Engine {
   std::unordered_map<std::string, std::vector<Row>> table_rows_;
   std::unordered_map<std::string, Timestamp> stream_watermarks_;
   Timestamp last_ptime_ = Timestamp::Min();
+  /// Next history size at which compaction is attempted (doubling schedule).
+  size_t compact_at_ = 4096;
 };
 
 }  // namespace onesql

@@ -5,21 +5,112 @@
 namespace onesql {
 namespace exec {
 
-Result<std::unique_ptr<Dataflow>> Dataflow::Build(plan::QueryPlan plan) {
+size_t CompiledChain::StateBytes() const {
+  size_t total = 0;
+  for (const auto& op : operators) total += op->StateBytes();
+  return total;
+}
+
+namespace {
+
+/// Recursive chain builder shared by the sequential and sharded runtimes.
+Status BuildNode(const plan::QueryPlan& plan, const plan::LogicalNode& node,
+                 Operator* out, int port, CompiledChain* chain) {
+  switch (node.kind()) {
+    case plan::LogicalNode::Kind::kScan: {
+      const auto& scan = static_cast<const plan::ScanNode&>(node);
+      auto op = std::make_unique<SourceOperator>();
+      op->SetOutput(out, port);
+      chain->sources[ToLower(scan.source())].push_back(op.get());
+      chain->operators.push_back(std::move(op));
+      return Status::OK();
+    }
+    case plan::LogicalNode::Kind::kFilter: {
+      const auto& filter = static_cast<const plan::FilterNode&>(node);
+      auto op = std::make_unique<FilterOperator>(&filter.predicate());
+      op->SetOutput(out, port);
+      Operator* self = op.get();
+      chain->operators.push_back(std::move(op));
+      return BuildNode(plan, filter.input(), self, 0, chain);
+    }
+    case plan::LogicalNode::Kind::kProject: {
+      const auto& project = static_cast<const plan::ProjectNode&>(node);
+      auto op = std::make_unique<ProjectOperator>(&project.exprs());
+      op->SetOutput(out, port);
+      Operator* self = op.get();
+      chain->operators.push_back(std::move(op));
+      return BuildNode(plan, project.input(), self, 0, chain);
+    }
+    case plan::LogicalNode::Kind::kWindow: {
+      const auto& window = static_cast<const plan::WindowNode&>(node);
+      std::unique_ptr<Operator> op;
+      if (window.window_kind() == plan::WindowKind::kSession) {
+        op = std::make_unique<SessionOperator>(&window, plan.allowed_lateness);
+      } else {
+        op = std::make_unique<WindowOperator>(&window);
+      }
+      op->SetOutput(out, port);
+      Operator* self = op.get();
+      chain->operators.push_back(std::move(op));
+      return BuildNode(plan, window.input(), self, 0, chain);
+    }
+    case plan::LogicalNode::Kind::kAggregate: {
+      const auto& agg = static_cast<const plan::AggregateNode&>(node);
+      auto op = std::make_unique<AggregateOperator>(&agg,
+                                                    plan.allowed_lateness);
+      op->SetOutput(out, port);
+      AggregateOperator* self = op.get();
+      chain->aggregates.push_back(self);
+      chain->operators.push_back(std::move(op));
+      return BuildNode(plan, agg.input(), self, 0, chain);
+    }
+    case plan::LogicalNode::Kind::kTemporalFilter: {
+      const auto& tf = static_cast<const plan::TemporalFilterNode&>(node);
+      auto op = std::make_unique<TemporalFilterOperator>(&tf);
+      op->SetOutput(out, port);
+      Operator* self = op.get();
+      chain->operators.push_back(std::move(op));
+      return BuildNode(plan, tf.input(), self, 0, chain);
+    }
+    case plan::LogicalNode::Kind::kJoin: {
+      const auto& join = static_cast<const plan::JoinNode&>(node);
+      if (join.join_type() == sql::JoinType::kLeft) {
+        return Status::NotImplemented(
+            "LEFT JOIN is not supported by the streaming runtime");
+      }
+      auto op = std::make_unique<JoinOperator>(&join);
+      op->SetOutput(out, port);
+      JoinOperator* self = op.get();
+      chain->joins.push_back(self);
+      chain->operators.push_back(std::move(op));
+      ONESQL_RETURN_NOT_OK(BuildNode(plan, join.left(), self, 0, chain));
+      return BuildNode(plan, join.right(), self, 1, chain);
+    }
+  }
+  return Status::Internal("unreachable plan node kind");
+}
+
+}  // namespace
+
+Result<CompiledChain> CompileChain(const plan::QueryPlan& plan,
+                                   Operator* terminal) {
   if (plan.root == nullptr) {
     return Status::InvalidArgument("cannot build a dataflow without a plan");
   }
-  auto flow = std::unique_ptr<Dataflow>(new Dataflow());
-  flow->plan_ = std::move(plan);
+  CompiledChain chain;
+  ONESQL_RETURN_NOT_OK(BuildNode(plan, *plan.root, terminal, 0, &chain));
+  return chain;
+}
 
+Result<SinkConfig> MakeSinkConfig(const plan::QueryPlan& plan) {
   SinkConfig config;
-  if (flow->plan_.emit.has_value()) {
-    config.after_watermark = flow->plan_.emit->after_watermark;
-    config.delay = flow->plan_.emit->delay;
+  if (plan.emit.has_value()) {
+    config.after_watermark = plan.emit->after_watermark;
+    config.delay = plan.emit->delay;
   }
-  config.completeness_column = flow->plan_.completeness_column;
-  config.version_key_columns = flow->plan_.version_key_columns;
-  config.allowed_lateness = flow->plan_.allowed_lateness;
+  config.completeness_column = plan.completeness_column;
+  config.version_key_columns = plan.version_key_columns;
+  config.allowed_lateness = plan.allowed_lateness;
   if (config.after_watermark && !config.completeness_column.has_value()) {
     return Status::PlanError(
         "EMIT AFTER WATERMARK requires a completeness column");
@@ -35,96 +126,29 @@ Result<std::unique_ptr<Dataflow>> Dataflow::Build(plan::QueryPlan plan) {
           "the completeness column must be part of the grouping key");
     }
   }
-
-  auto sink = std::make_unique<MaterializationSink>(std::move(config));
-  flow->sink_ = sink.get();
-  flow->operators_.push_back(std::move(sink));
-
-  ONESQL_RETURN_NOT_OK(flow->BuildNode(*flow->plan_.root, flow->sink_, 0));
-  return flow;
+  return config;
 }
 
-Status Dataflow::BuildNode(const plan::LogicalNode& node, Operator* out,
-                           int port) {
-  switch (node.kind()) {
-    case plan::LogicalNode::Kind::kScan: {
-      const auto& scan = static_cast<const plan::ScanNode&>(node);
-      auto op = std::make_unique<SourceOperator>();
-      op->SetOutput(out, port);
-      sources_[ToLower(scan.source())].push_back(op.get());
-      operators_.push_back(std::move(op));
-      return Status::OK();
-    }
-    case plan::LogicalNode::Kind::kFilter: {
-      const auto& filter = static_cast<const plan::FilterNode&>(node);
-      auto op = std::make_unique<FilterOperator>(&filter.predicate());
-      op->SetOutput(out, port);
-      Operator* self = op.get();
-      operators_.push_back(std::move(op));
-      return BuildNode(filter.input(), self, 0);
-    }
-    case plan::LogicalNode::Kind::kProject: {
-      const auto& project = static_cast<const plan::ProjectNode&>(node);
-      auto op = std::make_unique<ProjectOperator>(&project.exprs());
-      op->SetOutput(out, port);
-      Operator* self = op.get();
-      operators_.push_back(std::move(op));
-      return BuildNode(project.input(), self, 0);
-    }
-    case plan::LogicalNode::Kind::kWindow: {
-      const auto& window = static_cast<const plan::WindowNode&>(node);
-      std::unique_ptr<Operator> op;
-      if (window.window_kind() == plan::WindowKind::kSession) {
-        op = std::make_unique<SessionOperator>(&window,
-                                               plan_.allowed_lateness);
-      } else {
-        op = std::make_unique<WindowOperator>(&window);
-      }
-      op->SetOutput(out, port);
-      Operator* self = op.get();
-      operators_.push_back(std::move(op));
-      return BuildNode(window.input(), self, 0);
-    }
-    case plan::LogicalNode::Kind::kAggregate: {
-      const auto& agg = static_cast<const plan::AggregateNode&>(node);
-      auto op = std::make_unique<AggregateOperator>(&agg,
-                                                    plan_.allowed_lateness);
-      op->SetOutput(out, port);
-      AggregateOperator* self = op.get();
-      aggregates_.push_back(self);
-      operators_.push_back(std::move(op));
-      return BuildNode(agg.input(), self, 0);
-    }
-    case plan::LogicalNode::Kind::kTemporalFilter: {
-      const auto& tf = static_cast<const plan::TemporalFilterNode&>(node);
-      auto op = std::make_unique<TemporalFilterOperator>(&tf);
-      op->SetOutput(out, port);
-      Operator* self = op.get();
-      operators_.push_back(std::move(op));
-      return BuildNode(tf.input(), self, 0);
-    }
-    case plan::LogicalNode::Kind::kJoin: {
-      const auto& join = static_cast<const plan::JoinNode&>(node);
-      if (join.join_type() == sql::JoinType::kLeft) {
-        return Status::NotImplemented(
-            "LEFT JOIN is not supported by the streaming runtime");
-      }
-      auto op = std::make_unique<JoinOperator>(&join);
-      op->SetOutput(out, port);
-      JoinOperator* self = op.get();
-      joins_.push_back(self);
-      operators_.push_back(std::move(op));
-      ONESQL_RETURN_NOT_OK(BuildNode(join.left(), self, 0));
-      return BuildNode(join.right(), self, 1);
-    }
+Result<std::unique_ptr<Dataflow>> Dataflow::Build(plan::QueryPlan plan) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("cannot build a dataflow without a plan");
   }
-  return Status::Internal("unreachable plan node kind");
+  auto flow = std::unique_ptr<Dataflow>(new Dataflow());
+  flow->plan_ = std::move(plan);
+
+  ONESQL_ASSIGN_OR_RETURN(SinkConfig config, MakeSinkConfig(flow->plan_));
+  flow->sink_holder_ = std::make_unique<MaterializationSink>(std::move(config));
+  flow->sink_ = flow->sink_holder_.get();
+
+  ONESQL_ASSIGN_OR_RETURN(flow->chain_,
+                          CompileChain(flow->plan_, flow->sink_));
+  return flow;
 }
 
 Status Dataflow::PushChange(const std::string& source, const Change& change) {
   ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(change.ptime, /*inclusive=*/false));
-  auto it = sources_.find(ToLower(source));
-  if (it == sources_.end()) return Status::OK();
+  auto it = chain_.sources.find(ToLower(source));
+  if (it == chain_.sources.end()) return Status::OK();
   for (SourceOperator* op : it->second) {
     ONESQL_RETURN_NOT_OK(op->OnElement(0, change));
   }
@@ -143,10 +167,28 @@ Status Dataflow::PushDelete(const std::string& source, Timestamp ptime,
 Status Dataflow::PushWatermark(const std::string& source, Timestamp ptime,
                                Timestamp watermark) {
   ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(ptime, /*inclusive=*/false));
-  auto it = sources_.find(ToLower(source));
-  if (it == sources_.end()) return Status::OK();
+  auto it = chain_.sources.find(ToLower(source));
+  if (it == chain_.sources.end()) return Status::OK();
   for (SourceOperator* op : it->second) {
     ONESQL_RETURN_NOT_OK(op->OnWatermark(0, watermark, ptime));
+  }
+  return Status::OK();
+}
+
+Status Dataflow::PushBatch(const std::vector<InputEvent>& events) {
+  for (const InputEvent& event : events) {
+    switch (event.kind) {
+      case InputEvent::Kind::kInsert:
+        ONESQL_RETURN_NOT_OK(PushRow(event.source, event.ptime, event.row));
+        break;
+      case InputEvent::Kind::kDelete:
+        ONESQL_RETURN_NOT_OK(PushDelete(event.source, event.ptime, event.row));
+        break;
+      case InputEvent::Kind::kWatermark:
+        ONESQL_RETURN_NOT_OK(
+            PushWatermark(event.source, event.ptime, event.watermark));
+        break;
+    }
   }
   return Status::OK();
 }
@@ -156,13 +198,11 @@ Status Dataflow::AdvanceTo(Timestamp ptime) {
 }
 
 bool Dataflow::ReadsSource(const std::string& source) const {
-  return sources_.count(ToLower(source)) > 0;
+  return chain_.sources.count(ToLower(source)) > 0;
 }
 
 size_t Dataflow::StateBytes() const {
-  size_t total = 0;
-  for (const auto& op : operators_) total += op->StateBytes();
-  return total;
+  return chain_.StateBytes() + sink_->StateBytes();
 }
 
 }  // namespace exec

@@ -13,60 +13,128 @@
 namespace onesql {
 namespace exec {
 
-/// An executable continuous query: the physical operator graph compiled from
-/// a QueryPlan, driven by pushing source changes and watermarks in
-/// processing-time order. Owns the plan (operators reference its bound
-/// expressions).
-class Dataflow {
+/// One input event for a dataflow runtime: the execution-layer mirror of the
+/// engine's feed events, so batches can be handed to a runtime wholesale.
+struct InputEvent {
+  enum class Kind { kInsert, kDelete, kWatermark };
+  Kind kind = Kind::kInsert;
+  std::string source;
+  Timestamp ptime;
+  Row row;              // kInsert / kDelete
+  Timestamp watermark;  // kWatermark
+};
+
+/// A compiled copy of a query's operator chain (everything upstream of the
+/// materialization sink). The chain holds only const pointers into the
+/// owning QueryPlan, so several copies — one per shard — can share one plan.
+struct CompiledChain {
+  std::vector<std::unique_ptr<Operator>> operators;
+  std::unordered_map<std::string, std::vector<SourceOperator*>> sources;
+  std::vector<AggregateOperator*> aggregates;
+  std::vector<JoinOperator*> joins;
+
+  size_t StateBytes() const;
+};
+
+/// Compiles the plan tree into an operator chain terminating at `terminal`.
+/// Fails with NotImplemented for plan shapes the streaming runtime does not
+/// support (e.g. LEFT JOIN).
+Result<CompiledChain> CompileChain(const plan::QueryPlan& plan,
+                                   Operator* terminal);
+
+/// Derives the sink's materialization controls from the plan's EMIT clause,
+/// validating the completeness/version-key requirements.
+Result<SinkConfig> MakeSinkConfig(const plan::QueryPlan& plan);
+
+/// An executable continuous query, driven by pushing source changes and
+/// watermarks in processing-time order. Two implementations exist: the
+/// sequential `Dataflow` (one operator chain) and the key-partitioned
+/// `ShardedDataflow` (N chains behind a deterministic merge; see
+/// sharded_dataflow.h). Both materialize into a single MaterializationSink
+/// and are observationally identical — the sharded runtime's merge keeps
+/// emissions bit-identical to the sequential run.
+class DataflowRuntime {
+ public:
+  virtual ~DataflowRuntime() = default;
+
+  /// Pushes an insertion into relation `source` at processing time `ptime`.
+  /// Pushes must arrive in non-decreasing ptime order. Unknown sources are
+  /// ignored (the query does not read them).
+  virtual Status PushRow(const std::string& source, Timestamp ptime,
+                         Row row) = 0;
+
+  /// Pushes a retraction of a previously inserted row.
+  virtual Status PushDelete(const std::string& source, Timestamp ptime,
+                            Row row) = 0;
+
+  /// Advances relation `source`'s watermark at processing time `ptime`.
+  virtual Status PushWatermark(const std::string& source, Timestamp ptime,
+                               Timestamp watermark) = 0;
+
+  /// Pushes a whole batch of events (non-decreasing ptime). The sharded
+  /// runtime dispatches the batch across shards behind one barrier, so
+  /// feeding batches amortizes the per-event synchronization cost.
+  virtual Status PushBatch(const std::vector<InputEvent>& events) = 0;
+
+  /// Advances the processing-time clock to `ptime`, firing all AFTER DELAY
+  /// timers due at or before it. Call before observing results at `ptime`.
+  virtual Status AdvanceTo(Timestamp ptime) = 0;
+
+  /// True if this query reads `source`.
+  virtual bool ReadsSource(const std::string& source) const = 0;
+
+  virtual const MaterializationSink& sink() const = 0;
+  virtual const plan::QueryPlan& plan() const = 0;
+
+  /// Total bytes of operator state (aggregations, joins, sink), for the
+  /// state-size benchmarks.
+  virtual size_t StateBytes() const = 0;
+
+  /// Number of parallel shards (1 for the sequential runtime).
+  virtual int shard_count() const = 0;
+
+  /// Introspection for tests and benchmarks. For the sharded runtime these
+  /// are flattened across shards (shard-major order).
+  virtual const std::vector<AggregateOperator*>& aggregates() const = 0;
+  virtual const std::vector<JoinOperator*>& joins() const = 0;
+};
+
+/// The sequential runtime: one operator chain feeding the sink directly.
+class Dataflow : public DataflowRuntime {
  public:
   /// Compiles the plan. Fails with NotImplemented for plan shapes the
   /// streaming runtime does not support (e.g. LEFT JOIN).
   static Result<std::unique_ptr<Dataflow>> Build(plan::QueryPlan plan);
 
-  /// Pushes an insertion into relation `source` at processing time `ptime`.
-  /// Pushes must arrive in non-decreasing ptime order. Unknown sources are
-  /// ignored (the query does not read them).
-  Status PushRow(const std::string& source, Timestamp ptime, Row row);
-
-  /// Pushes a retraction of a previously inserted row.
-  Status PushDelete(const std::string& source, Timestamp ptime, Row row);
-
-  /// Advances relation `source`'s watermark at processing time `ptime`.
+  Status PushRow(const std::string& source, Timestamp ptime, Row row) override;
+  Status PushDelete(const std::string& source, Timestamp ptime,
+                    Row row) override;
   Status PushWatermark(const std::string& source, Timestamp ptime,
-                       Timestamp watermark);
+                       Timestamp watermark) override;
+  Status PushBatch(const std::vector<InputEvent>& events) override;
+  Status AdvanceTo(Timestamp ptime) override;
+  bool ReadsSource(const std::string& source) const override;
 
-  /// Advances the processing-time clock to `ptime`, firing all AFTER DELAY
-  /// timers due at or before it. Call before observing results at `ptime`.
-  Status AdvanceTo(Timestamp ptime);
-
-  /// True if this query reads `source`.
-  bool ReadsSource(const std::string& source) const;
-
-  const MaterializationSink& sink() const { return *sink_; }
-  const plan::QueryPlan& plan() const { return plan_; }
-
-  /// Total bytes of operator state (aggregations, joins, sink), for the
-  /// state-size benchmarks.
-  size_t StateBytes() const;
-
-  /// Introspection for tests and benchmarks.
-  const std::vector<AggregateOperator*>& aggregates() const {
-    return aggregates_;
+  const MaterializationSink& sink() const override { return *sink_; }
+  const plan::QueryPlan& plan() const override { return plan_; }
+  size_t StateBytes() const override;
+  int shard_count() const override { return 1; }
+  const std::vector<AggregateOperator*>& aggregates() const override {
+    return chain_.aggregates;
   }
-  const std::vector<JoinOperator*>& joins() const { return joins_; }
+  const std::vector<JoinOperator*>& joins() const override {
+    return chain_.joins;
+  }
 
  private:
   Dataflow() = default;
 
-  Status BuildNode(const plan::LogicalNode& node, Operator* out, int port);
   Status PushChange(const std::string& source, const Change& change);
 
   plan::QueryPlan plan_;
-  std::vector<std::unique_ptr<Operator>> operators_;
+  std::unique_ptr<MaterializationSink> sink_holder_;
   MaterializationSink* sink_ = nullptr;
-  std::unordered_map<std::string, std::vector<SourceOperator*>> sources_;
-  std::vector<AggregateOperator*> aggregates_;
-  std::vector<JoinOperator*> joins_;
+  CompiledChain chain_;
 };
 
 }  // namespace exec

@@ -1,0 +1,62 @@
+#ifndef ONESQL_EXEC_SHARD_ROUTER_H_
+#define ONESQL_EXEC_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "plan/logical_plan.h"
+
+namespace onesql {
+namespace exec {
+
+/// How input changes of one query are routed across shards.
+///
+/// The sharded runtime compiles N copies of the operator chain and routes
+/// each input change to exactly one copy. For the routing to be correct the
+/// partition function must colocate every row that shares keyed operator
+/// state (an aggregation group, a join key bucket). The spec records, per
+/// source relation, which source-row columns are hashed to pick the shard —
+/// exactly the hash-sharded operator parallelism of the Flink lineage behind
+/// the paper, with DBSP's observation that changelog operators parallelize
+/// cleanly by key partition.
+struct PartitionSpec {
+  /// source name (lower case) -> source-row column indexes to hash.
+  /// For a join, both sides list column positions in pairwise alignment so
+  /// that matching keys hash identically.
+  std::unordered_map<std::string, std::vector<size_t>> source_keys;
+
+  /// True when the plan holds no keyed state at all (pure
+  /// filter/project/window pipelines): any deterministic routing is correct,
+  /// so changes are dealt round-robin by sequence number.
+  bool stateless = false;
+};
+
+/// Derives the partition spec for `plan`, or nullopt when the plan cannot be
+/// key-partitioned and must fall back to the sequential (N = 1) runtime.
+///
+/// Partitionable shapes:
+///  - no keyed state at all                      -> round-robin routing;
+///  - a single Aggregate (plus any stateless operators) with at least one
+///    group key that is a verbatim source column  -> hash those columns;
+///  - a single equi Join over two distinct sources with at least one
+///    resolvable key pair                         -> hash the key pair.
+///
+/// Everything else — session windows (global merge/split state), temporal
+/// filters (watermark-triggered retractions whose interleaving is a global
+/// order), self-joins (one input row feeds both sides under different keys),
+/// stacked stateful operators — is marked non-partitionable.
+std::optional<PartitionSpec> ExtractPartitionSpec(const plan::QueryPlan& plan);
+
+/// Routes one change to a shard. `seq` is the change's global sequence
+/// number (used for stateless round-robin routing).
+int RouteShard(const PartitionSpec& spec, const std::string& source_lower,
+               const Row& row, uint64_t seq, int num_shards);
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_SHARD_ROUTER_H_

@@ -1,0 +1,243 @@
+#include "exec/sharded_dataflow.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/schema.h"
+
+namespace onesql {
+namespace exec {
+
+Status CaptureOperator::OnElement(int /*port*/, const Change& change) {
+  Record record;
+  record.seq = seq_;
+  record.is_watermark = false;
+  record.change = change;
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status CaptureOperator::OnWatermark(int /*port*/, Timestamp watermark,
+                                    Timestamp ptime) {
+  Record record;
+  record.seq = seq_;
+  record.is_watermark = true;
+  record.watermark = watermark;
+  record.ptime = ptime;
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+ShardedDataflow::~ShardedDataflow() = default;
+
+Result<std::unique_ptr<ShardedDataflow>> ShardedDataflow::Build(
+    plan::QueryPlan plan, PartitionSpec spec, int shards) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("cannot build a dataflow without a plan");
+  }
+  if (shards < 2) {
+    return Status::InvalidArgument(
+        "the sharded runtime needs at least 2 shards; use Dataflow for 1");
+  }
+  auto flow = std::unique_ptr<ShardedDataflow>(new ShardedDataflow());
+  flow->plan_ = std::move(plan);
+  flow->spec_ = std::move(spec);
+
+  ONESQL_ASSIGN_OR_RETURN(SinkConfig config, MakeSinkConfig(flow->plan_));
+  flow->sink_ = std::make_unique<MaterializationSink>(std::move(config));
+
+  flow->shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    Shard shard;
+    shard.capture = std::make_unique<CaptureOperator>();
+    // Every chain holds only const pointers into flow->plan_, so N copies
+    // share the one plan; each copy owns its (key-partitioned) state.
+    ONESQL_ASSIGN_OR_RETURN(shard.chain,
+                            CompileChain(flow->plan_, shard.capture.get()));
+    for (AggregateOperator* agg : shard.chain.aggregates) {
+      flow->aggregates_.push_back(agg);
+    }
+    for (JoinOperator* join : shard.chain.joins) {
+      flow->joins_.push_back(join);
+    }
+    flow->shards_.push_back(std::move(shard));
+  }
+  flow->pool_ = std::make_unique<WorkerPool>(shards);
+  return flow;
+}
+
+Status ShardedDataflow::PushRow(const std::string& source, Timestamp ptime,
+                                Row row) {
+  InputEvent event;
+  event.kind = InputEvent::Kind::kInsert;
+  event.source = source;
+  event.ptime = ptime;
+  event.row = std::move(row);
+  std::vector<InputEvent> batch;
+  batch.push_back(std::move(event));
+  return PushBatch(batch);
+}
+
+Status ShardedDataflow::PushDelete(const std::string& source, Timestamp ptime,
+                                   Row row) {
+  InputEvent event;
+  event.kind = InputEvent::Kind::kDelete;
+  event.source = source;
+  event.ptime = ptime;
+  event.row = std::move(row);
+  std::vector<InputEvent> batch;
+  batch.push_back(std::move(event));
+  return PushBatch(batch);
+}
+
+Status ShardedDataflow::PushWatermark(const std::string& source,
+                                      Timestamp ptime, Timestamp watermark) {
+  InputEvent event;
+  event.kind = InputEvent::Kind::kWatermark;
+  event.source = source;
+  event.ptime = ptime;
+  event.watermark = watermark;
+  std::vector<InputEvent> batch;
+  batch.push_back(std::move(event));
+  return PushBatch(batch);
+}
+
+Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
+  if (events.empty()) return Status::OK();
+  const int num_shards = shard_count();
+  const uint64_t base = next_seq_;
+  next_seq_ += events.size();
+
+  // Routing decisions are made on the caller thread so they are a pure
+  // function of the input order: element events go to the shard owning
+  // their key partition, watermark events to every shard (each shard's
+  // operators keep their own WatermarkMerger, and all mergers see the same
+  // stream, so every shard forwards the same watermark values).
+  std::vector<std::string> lower(events.size());
+  std::vector<int> owner(events.size(), 0);
+  for (size_t i = 0; i < events.size(); ++i) {
+    lower[i] = ToLower(events[i].source);
+    if (events[i].kind != InputEvent::Kind::kWatermark) {
+      owner[i] = RouteShard(spec_, lower[i], events[i].row, base + i,
+                            num_shards);
+    }
+  }
+
+  std::vector<Status> statuses(static_cast<size_t>(num_shards), Status::OK());
+  auto work = [&](int s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    for (size_t i = 0; i < events.size(); ++i) {
+      const InputEvent& event = events[i];
+      const bool is_watermark = event.kind == InputEvent::Kind::kWatermark;
+      if (!is_watermark && owner[i] != s) continue;
+      auto it = shard.chain.sources.find(lower[i]);
+      if (it == shard.chain.sources.end()) continue;
+      shard.capture->set_seq(base + i);
+      for (SourceOperator* op : it->second) {
+        Status status;
+        if (is_watermark) {
+          status = op->OnWatermark(0, event.watermark, event.ptime);
+        } else {
+          const ChangeKind kind = event.kind == InputEvent::Kind::kDelete
+                                      ? ChangeKind::kDelete
+                                      : ChangeKind::kInsert;
+          status = op->OnElement(0, Change{kind, event.row, event.ptime});
+        }
+        if (!status.ok()) {
+          statuses[static_cast<size_t>(s)] = std::move(status);
+          return;
+        }
+      }
+    }
+  };
+  // The pool's epoch handoff gives this thread a happens-before edge over
+  // everything the workers wrote, so the merge below reads the capture
+  // buffers and operator state without locks.
+  pool_->Run(work);
+  for (Status& status : statuses) {
+    if (!status.ok()) {
+      for (Shard& shard : shards_) shard.capture->records().clear();
+      return std::move(status);
+    }
+  }
+
+  // Deterministic merge: replay the batch in input order, advancing the
+  // sink's clock per event exactly as the sequential runtime's PushChange /
+  // PushWatermark would, then deliver the capture records attributed to
+  // that event's sequence number. Element outputs live on the owning shard
+  // only. Watermark outputs exist identically on every shard (watermarks
+  // are broadcast and the partitionable operator set emits no elements on
+  // watermarks), so shard 0's copy is delivered and the duplicates skipped.
+  std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
+  auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
+    auto& records = shards_[static_cast<size_t>(s)].capture->records();
+    size_t& c = cursor[static_cast<size_t>(s)];
+    while (c < records.size() && records[c].seq == seq) {
+      const CaptureOperator::Record& record = records[c];
+      if (deliver_records) {
+        if (record.is_watermark) {
+          ONESQL_RETURN_NOT_OK(
+              sink_->OnWatermark(0, record.watermark, record.ptime));
+        } else {
+          ONESQL_RETURN_NOT_OK(sink_->OnElement(0, record.change));
+        }
+      }
+      ++c;
+    }
+    return Status::OK();
+  };
+  Status merge_status = Status::OK();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const uint64_t seq = base + i;
+    merge_status = sink_->AdvanceTo(events[i].ptime, /*inclusive=*/false);
+    if (!merge_status.ok()) break;
+    if (events[i].kind == InputEvent::Kind::kWatermark) {
+      for (int s = 0; s < num_shards; ++s) {
+        merge_status = deliver(s, seq, /*deliver_records=*/s == 0);
+        if (!merge_status.ok()) break;
+      }
+    } else {
+      merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
+    }
+    if (!merge_status.ok()) break;
+  }
+  for (Shard& shard : shards_) shard.capture->records().clear();
+  return merge_status;
+}
+
+Status ShardedDataflow::AdvanceTo(Timestamp ptime) {
+  return sink_->AdvanceTo(ptime, /*inclusive=*/true);
+}
+
+bool ShardedDataflow::ReadsSource(const std::string& source) const {
+  return shards_[0].chain.sources.count(ToLower(source)) > 0;
+}
+
+size_t ShardedDataflow::StateBytes() const {
+  size_t total = sink_->StateBytes();
+  for (const Shard& shard : shards_) total += shard.chain.StateBytes();
+  return total;
+}
+
+Result<std::unique_ptr<DataflowRuntime>> BuildDataflowRuntime(
+    plan::QueryPlan plan, int shards) {
+  int n = shards;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n < 1) n = 1;
+  if (n > 1) {
+    std::optional<PartitionSpec> spec = ExtractPartitionSpec(plan);
+    if (spec.has_value()) {
+      ONESQL_ASSIGN_OR_RETURN(
+          std::unique_ptr<ShardedDataflow> sharded,
+          ShardedDataflow::Build(std::move(plan), *std::move(spec), n));
+      return std::unique_ptr<DataflowRuntime>(std::move(sharded));
+    }
+  }
+  // Non-partitionable plans (and N == 1) run on the sequential runtime.
+  ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<Dataflow> flow,
+                          Dataflow::Build(std::move(plan)));
+  return std::unique_ptr<DataflowRuntime>(std::move(flow));
+}
+
+}  // namespace exec
+}  // namespace onesql

@@ -1,0 +1,110 @@
+#ifndef ONESQL_EXEC_SHARDED_DATAFLOW_H_
+#define ONESQL_EXEC_SHARDED_DATAFLOW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/dataflow.h"
+#include "exec/shard_router.h"
+#include "exec/worker_pool.h"
+
+namespace onesql {
+namespace exec {
+
+/// Terminal operator of one shard's chain: buffers everything the chain
+/// emits, tagged with the global sequence number of the input event being
+/// processed, so the merge step can re-interleave shard outputs in input
+/// order and feed the shared sink exactly as the sequential runtime would.
+class CaptureOperator : public Operator {
+ public:
+  struct Record {
+    uint64_t seq = 0;
+    bool is_watermark = false;
+    Change change;        // element records
+    Timestamp watermark;  // watermark records
+    Timestamp ptime;      // watermark records
+  };
+
+  /// Sets the sequence number subsequent captures are attributed to.
+  void set_seq(uint64_t seq) { seq_ = seq; }
+
+  std::vector<Record>& records() { return records_; }
+
+  Status OnElement(int port, const Change& change) override;
+  Status OnWatermark(int port, Timestamp watermark, Timestamp ptime) override;
+
+ private:
+  uint64_t seq_ = 0;
+  std::vector<Record> records_;
+};
+
+/// The key-partitioned parallel runtime: N independent copies of the query's
+/// operator chain, each fed the key-partition of the input it owns (hash of
+/// the grouping/join key; see shard_router.h) plus every watermark. Shard
+/// outputs are buffered per input sequence number and merged — in input
+/// order — into the single MaterializationSink, so the emission stream and
+/// all snapshots are bit-identical to the sequential `Dataflow` run.
+///
+/// Construction is via `BuildDataflowRuntime`, which falls back to the
+/// sequential runtime when the plan is not key-partitionable or N == 1.
+class ShardedDataflow : public DataflowRuntime {
+ public:
+  static Result<std::unique_ptr<ShardedDataflow>> Build(plan::QueryPlan plan,
+                                                        PartitionSpec spec,
+                                                        int shards);
+  ~ShardedDataflow() override;
+
+  Status PushRow(const std::string& source, Timestamp ptime, Row row) override;
+  Status PushDelete(const std::string& source, Timestamp ptime,
+                    Row row) override;
+  Status PushWatermark(const std::string& source, Timestamp ptime,
+                       Timestamp watermark) override;
+  Status PushBatch(const std::vector<InputEvent>& events) override;
+  Status AdvanceTo(Timestamp ptime) override;
+  bool ReadsSource(const std::string& source) const override;
+
+  const MaterializationSink& sink() const override { return *sink_; }
+  const plan::QueryPlan& plan() const override { return plan_; }
+  size_t StateBytes() const override;
+  int shard_count() const override {
+    return static_cast<int>(shards_.size());
+  }
+  const std::vector<AggregateOperator*>& aggregates() const override {
+    return aggregates_;
+  }
+  const std::vector<JoinOperator*>& joins() const override { return joins_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<CaptureOperator> capture;
+    CompiledChain chain;
+  };
+
+  ShardedDataflow() = default;
+
+  plan::QueryPlan plan_;
+  PartitionSpec spec_;
+  std::unique_ptr<MaterializationSink> sink_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<WorkerPool> pool_;
+  uint64_t next_seq_ = 0;
+
+  // Introspection flattened across shards (shard-major order).
+  std::vector<AggregateOperator*> aggregates_;
+  std::vector<JoinOperator*> joins_;
+};
+
+/// Builds the runtime for `plan` with the requested shard count
+/// (`shards <= 0` means auto: std::thread::hardware_concurrency()). Returns
+/// the sharded runtime when the plan is key-partitionable and N > 1, and the
+/// sequential `Dataflow` otherwise — both behind the same interface with
+/// identical observable behavior.
+Result<std::unique_ptr<DataflowRuntime>> BuildDataflowRuntime(
+    plan::QueryPlan plan, int shards);
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_SHARDED_DATAFLOW_H_

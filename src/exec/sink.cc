@@ -1,5 +1,7 @@
 #include "exec/sink.h"
 
+#include <algorithm>
+
 namespace onesql {
 namespace exec {
 
@@ -19,6 +21,20 @@ Row MaterializationSink::KeyOf(const Row& row) const {
   return key;
 }
 
+void MaterializationSink::Materialize(ChangeKind kind, const Row& row,
+                                      Timestamp ptime) {
+  table_.push_back(Change{kind, row, ptime});
+  // Mirror SnapshotOf's multiset semantics incrementally.
+  if (kind == ChangeKind::kInsert) {
+    snapshot_[row] += 1;
+  } else if (kind == ChangeKind::kDelete) {
+    auto it = snapshot_.find(row);
+    if (it != snapshot_.end()) {
+      if (--it->second == 0) snapshot_.erase(it);
+    }
+  }
+}
+
 Status MaterializationSink::Flush(const Row& key, KeyState* state,
                                   Timestamp ptime) {
   // Retractions first, then additions (Listing 14's undo-then-insert order).
@@ -27,7 +43,7 @@ Status MaterializationSink::Flush(const Row& key, KeyState* state,
     const int64_t current_count = it == state->current.end() ? 0 : it->second;
     for (int64_t i = current_count; i < last_count; ++i) {
       emissions_.push_back(Emission{row, true, ptime, state->next_ver++});
-      table_.push_back(Change{ChangeKind::kDelete, row, ptime});
+      Materialize(ChangeKind::kDelete, row, ptime);
     }
   }
   for (const auto& [row, current_count] : state->current) {
@@ -35,7 +51,7 @@ Status MaterializationSink::Flush(const Row& key, KeyState* state,
     const int64_t last_count = it == state->last.end() ? 0 : it->second;
     for (int64_t i = last_count; i < current_count; ++i) {
       emissions_.push_back(Emission{row, false, ptime, state->next_ver++});
-      table_.push_back(Change{ChangeKind::kInsert, row, ptime});
+      Materialize(ChangeKind::kInsert, row, ptime);
     }
   }
   state->last = state->current;
@@ -122,7 +138,7 @@ Status MaterializationSink::OnElement(int, const Change& change) {
     // `current` and is not maintained in instant mode).
     emissions_.push_back(Emission{change.row, change.kind == ChangeKind::kDelete,
                                   change.ptime, state.next_ver++});
-    table_.push_back(Change{change.kind, change.row, change.ptime});
+    Materialize(change.kind, change.row, change.ptime);
     return Status::OK();
   }
 
@@ -187,6 +203,18 @@ Status MaterializationSink::AdvanceTo(Timestamp now, bool inclusive) {
     if (it == keys_.end()) continue;
     KeyState& state = it->second;
     state.deadline.reset();
+    // Combined EMIT AFTER WATERMARK + AFTER DELAY: the delay timer produces
+    // the *early* panes of the early/on-time/late pattern, but it must still
+    // respect the completeness gate. A grouping whose completeness timestamp
+    // is unknown (NULL so far) has no gate to fire against — in pure
+    // AFTER WATERMARK mode it would stay pending, so the timer must not
+    // materialize it either. (Previously the timer flushed it, leaking an
+    // ungated emission and silently suppressing the eventual on-time flush,
+    // because Flush had already advanced `last` to `current`.)
+    if (config_.after_watermark && !state.on_time_fired &&
+        !state.completeness.has_value()) {
+      continue;
+    }
     // Materialize the coalesced net change at the deadline instant.
     ONESQL_RETURN_NOT_OK(Flush(key, &state, deadline));
     MaybeReclaim(key);
@@ -195,11 +223,29 @@ Status MaterializationSink::AdvanceTo(Timestamp now, bool inclusive) {
 }
 
 std::vector<Row> MaterializationSink::SnapshotAt(Timestamp ptime) const {
-  return SnapshotOf(table_, ptime);
+  // Fast path: at or past the latest materialized change the snapshot is
+  // exactly the incrementally maintained bag — no changelog replay. The
+  // changelog (append order is non-decreasing in ptime) is only replayed for
+  // genuinely historical point-in-time queries.
+  if (table_.empty() || ptime >= table_.back().ptime) {
+    return CurrentSnapshot();
+  }
+  // Replay only the prefix with ptime <= `ptime` (the changelog is sorted by
+  // ptime, so binary search bounds the scan).
+  const auto end = std::upper_bound(
+      table_.begin(), table_.end(), ptime,
+      [](Timestamp t, const Change& c) { return t < c.ptime; });
+  changelog_entries_scanned_ +=
+      static_cast<int64_t>(std::distance(table_.begin(), end));
+  return SnapshotOf(Changelog(table_.begin(), end), Timestamp::Max());
 }
 
 std::vector<Row> MaterializationSink::CurrentSnapshot() const {
-  return SnapshotOf(table_, Timestamp::Max());
+  std::vector<Row> out;
+  for (const auto& [row, count] : snapshot_) {
+    for (int64_t i = 0; i < count; ++i) out.push_back(row);
+  }
+  return out;
 }
 
 size_t MaterializationSink::StateBytes() const {

@@ -1,0 +1,54 @@
+#include "exec/worker_pool.h"
+
+namespace onesql {
+namespace exec {
+
+WorkerPool::WorkerPool(int workers) {
+  threads_.reserve(workers > 0 ? workers : 0);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(const std::function<void(int)>& fn) {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  remaining_ = static_cast<int>(threads_.size());
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace onesql

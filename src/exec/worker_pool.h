@@ -1,0 +1,52 @@
+#ifndef ONESQL_EXEC_WORKER_POOL_H_
+#define ONESQL_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace onesql {
+namespace exec {
+
+/// A fixed pool of persistent worker threads executing fork-join epochs:
+/// `Run(fn)` invokes `fn(worker_index)` on every worker concurrently and
+/// blocks until all workers finish. Threads persist across epochs so the
+/// per-batch cost is two condition-variable rounds, not thread creation.
+///
+/// The mutex handoff at the epoch boundaries gives the caller a
+/// happens-before edge over everything the workers wrote (operator state,
+/// capture buffers), so the merge step may read shard output without locks.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `fn(i)` for every worker index i in [0, size()), returning once
+  /// every invocation completed. Not reentrant; single caller thread.
+  void Run(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;
+  uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_WORKER_POOL_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <limits>
+
 namespace onesql {
 namespace {
 
@@ -52,6 +55,69 @@ TEST(TimestampTest, IntervalArithmetic) {
   EXPECT_EQ(t - Interval::Minutes(7), Timestamp::FromHMS(8, 0));
   EXPECT_EQ(Timestamp::FromHMS(8, 10) - Timestamp::FromHMS(8, 7),
             Interval::Minutes(3));
+}
+
+TEST(TimestampTest, SentinelsAbsorbIntervalArithmetic) {
+  // -inf and +inf are absorbing: shifting the initial watermark by a
+  // lateness allowance (Min() - lateness) or pushing the final watermark
+  // (Max() + lateness) must stay at the sentinel instead of wrapping.
+  EXPECT_EQ(Timestamp::Min() + Interval::Hours(1), Timestamp::Min());
+  EXPECT_EQ(Timestamp::Min() - Interval::Hours(1), Timestamp::Min());
+  EXPECT_EQ(Timestamp::Max() + Interval::Hours(1), Timestamp::Max());
+  EXPECT_EQ(Timestamp::Max() - Interval::Hours(1), Timestamp::Max());
+  // Even maximal deltas cannot escape the sentinels.
+  const Interval huge =
+      Interval::Millis(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(Timestamp::Min() + huge, Timestamp::Min());
+  EXPECT_EQ(Timestamp::Max() - huge, Timestamp::Max());
+}
+
+TEST(TimestampTest, FiniteArithmeticSaturatesAtSentinels) {
+  // Finite timestamps clamp into [Min(), Max()] instead of wrapping past
+  // the sentinels (which would invert every comparison downstream).
+  const Timestamp t = Timestamp::FromHMS(8, 0);
+  const Interval huge =
+      Interval::Millis(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(t + huge, Timestamp::Max());
+  EXPECT_EQ(t - huge, Timestamp::Min());
+  EXPECT_EQ(t + (-huge), Timestamp::Min());
+  // One tick inside the sentinel saturates rather than overshooting.
+  const Timestamp near_max(Timestamp::Max().millis() - 1);
+  EXPECT_EQ(near_max + Interval::Millis(2), Timestamp::Max());
+  EXPECT_EQ(near_max + Interval::Millis(0), near_max);
+  const Timestamp near_min(Timestamp::Min().millis() + 1);
+  EXPECT_EQ(near_min - Interval::Millis(2), Timestamp::Min());
+  // Negative-interval negation is well-defined at int64 min.
+  EXPECT_EQ(t - Interval::Millis(std::numeric_limits<int64_t>::min()),
+            Timestamp::Max());
+}
+
+TEST(TimestampTest, DifferenceSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(Timestamp::Max() - Timestamp::Min(),
+            Interval::Millis(Timestamp::Max().millis() -
+                             Timestamp::Min().millis()));
+  // Differences that would overflow int64 clamp to the interval extremes.
+  const Timestamp big(std::numeric_limits<int64_t>::max() / 2);
+  const Timestamp small(std::numeric_limits<int64_t>::min() / 2);
+  EXPECT_GT((big - small).millis(), 0);
+  EXPECT_LT((small - big).millis(), 0);
+}
+
+TEST(TimestampTest, SaturationPreservesOrdering) {
+  // Monotonicity: for any base, adding a larger interval never yields a
+  // smaller timestamp (the property watermark math relies on).
+  const Timestamp bases[] = {Timestamp::Min(), Timestamp::FromHMS(0, 0),
+                             Timestamp::FromHMS(8, 13), Timestamp::Max()};
+  const Interval deltas[] = {
+      Interval::Millis(std::numeric_limits<int64_t>::min()),
+      -Interval::Hours(2), Interval::Millis(0), Interval::Hours(2),
+      Interval::Millis(std::numeric_limits<int64_t>::max())};
+  for (const Timestamp& base : bases) {
+    for (size_t i = 1; i < std::size(deltas); ++i) {
+      EXPECT_LE(base + deltas[i - 1], base + deltas[i])
+          << base.ToString() << " + " << deltas[i].ToString();
+    }
+  }
 }
 
 TEST(TimestampTest, ToStringPaperFormat) {

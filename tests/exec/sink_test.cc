@@ -197,6 +197,98 @@ TEST(SinkTest, CombinedDelayAndWatermark) {
   EXPECT_EQ(sink.emissions().size(), 3u);
 }
 
+TEST(SinkTest, DelayTimerRespectsWatermarkGateForUnknownCompleteness) {
+  // EMIT AFTER WATERMARK + AFTER DELAY, with the completeness column
+  // distinct from the grouping key so completeness can become known late.
+  SinkConfig config;
+  config.after_watermark = true;
+  config.delay = Interval::Minutes(5);
+  config.completeness_column = 0;
+  config.version_key_columns = {1};
+  MaterializationSink sink(config);
+
+  // A change arrives whose completeness timestamp is still NULL: the delay
+  // timer must NOT materialize it (there is no watermark gate to have
+  // passed). Previously the timer flushed it, leaking an ungated emission
+  // and — because Flush advanced `last` — suppressing part of the eventual
+  // on-time pane.
+  Row unknown = {Value::Null(), Value::Int64(1)};
+  ASSERT_TRUE(
+      sink.OnElement(0, Change{ChangeKind::kInsert, unknown, T(8, 0)}).ok());
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 6), true).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+
+  // Completeness becomes known (8:10) via a second change of the grouping.
+  Row known = {Value::Time(T(8, 10)), Value::Int64(1)};
+  ASSERT_TRUE(
+      sink.OnElement(0, Change{ChangeKind::kInsert, known, T(8, 7)}).ok());
+  // Until the watermark passes 8:10, nothing materializes (the re-armed
+  // delay timer keeps being gated).
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 9), true).ok());
+  EXPECT_TRUE(sink.emissions().empty());
+
+  // Watermark passes: the on-time pane flushes the complete grouping.
+  ASSERT_TRUE(sink.AdvanceTo(T(8, 12), false).ok());
+  ASSERT_TRUE(sink.OnWatermark(0, T(8, 11), T(8, 12)).ok());
+  ASSERT_EQ(sink.emissions().size(), 2u);
+  EXPECT_EQ(sink.emissions()[0].ptime, T(8, 12));
+  EXPECT_EQ(sink.emissions()[1].ptime, T(8, 12));
+
+  // The stale delay timer must not re-materialize the completed grouping.
+  ASSERT_TRUE(sink.AdvanceTo(T(9, 0), true).ok());
+  EXPECT_EQ(sink.emissions().size(), 2u);
+}
+
+TEST(SinkTest, UpToDateSnapshotsDoNotReplayTheChangelog) {
+  // Regression guard: SnapshotAt used to replay the whole changelog on
+  // every call (O(history) per lookup). Up-to-date queries must now be
+  // served from the incrementally maintained snapshot without touching the
+  // changelog at all.
+  MaterializationSink sink(GroupedConfig());
+  constexpr int kChanges = 2000;
+  for (int i = 0; i < kChanges; ++i) {
+    const Change change{ChangeKind::kInsert, R(8, i % 50, i % 7),
+                        Timestamp(i)};
+    ASSERT_TRUE(sink.OnElement(0, change).ok());
+  }
+  const Timestamp latest(kChanges - 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sink.CurrentSnapshot().size(),
+              static_cast<size_t>(kChanges));
+    EXPECT_EQ(sink.SnapshotAt(latest).size(), static_cast<size_t>(kChanges));
+    EXPECT_EQ(sink.SnapshotAt(Timestamp::Max()).size(),
+              static_cast<size_t>(kChanges));
+  }
+  EXPECT_EQ(sink.changelog_entries_scanned(), 0);
+
+  // Historical point-in-time queries replay only the bounded prefix.
+  const auto historical = sink.SnapshotAt(Timestamp(49));
+  EXPECT_EQ(historical.size(), 50u);
+  EXPECT_EQ(sink.changelog_entries_scanned(), 50);
+}
+
+TEST(SinkTest, IncrementalSnapshotMatchesChangelogReplay) {
+  // The incrementally maintained bag must render exactly what a full
+  // changelog replay renders (same rows, same multiset order), including
+  // across deletes that drop multiplicities back to zero.
+  MaterializationSink sink(GroupedConfig());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 1, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 2, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 3, R(8, 20, 2))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 4, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Del(8, 5, R(8, 10, 1))).ok());
+  ASSERT_TRUE(sink.OnElement(0, Ins(8, 6, R(8, 5, 3))).ok());
+
+  const std::vector<Row> current = sink.CurrentSnapshot();
+  // Historical replay at the frontier must agree with the incremental bag.
+  const std::vector<Row> replayed = sink.SnapshotAt(T(8, 5));
+  ASSERT_EQ(current.size(), 2u);
+  EXPECT_TRUE(RowsEqual(current[0], R(8, 5, 3)));
+  EXPECT_TRUE(RowsEqual(current[1], R(8, 20, 2)));
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE(RowsEqual(replayed[0], R(8, 20, 2)));
+}
+
 TEST(SinkTest, WholeRowKeyWhenNoVersionColumns) {
   SinkConfig config;  // no version key, no completeness
   MaterializationSink sink(config);

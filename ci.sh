@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verification (default build + full ctest suite),
-# then an ASan/UBSan sweep of the whole suite, then a TSan pass over the
-# threaded sharded-runtime tests. Every build compiles with
-# -Wall -Wextra -Werror.
+# CI entry point: tier-1 verification (default build + full ctest suite,
+# including the checkpoint/WAL/fault-injection durability suites), then an
+# ASan/UBSan sweep of the whole suite (the byte-flip and truncation fault
+# injections run under the sanitizers here — damaged files must fail with a
+# clean Status, never UB), then a TSan pass over the threaded
+# sharded-runtime tests including the sharded checkpoint/restore path.
+# Every build compiles with -Wall -Wextra -Werror.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,7 +36,11 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${WARN_FLAGS} -fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target engine_test
+cmake --build build-tsan -j"${JOBS}" --target engine_test recovery_test
 ./build-tsan/tests/engine_test --gtest_filter='ParallelRuntimeTest.*:EngineTest.*'
+# The sharded restore path: SaveState/LoadState across worker threads, and
+# recovery-equivalence at N ∈ {1, 2, 8}.
+./build-tsan/tests/recovery_test \
+  --gtest_filter='RecoveryEquivalenceTest.*:ShardCountChangingRestoreTest.*'
 
 echo "=== CI passed ==="

@@ -1,0 +1,23 @@
+#ifndef ONESQL_COMMON_CRC32_H_
+#define ONESQL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace onesql {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum used
+/// by the durability layer to frame write-ahead-log records and checkpoint
+/// sections so that truncated or bit-flipped files are detected instead of
+/// deserialized into garbage.
+///
+/// `Crc32(data, n)` computes the checksum of one buffer. For incremental
+/// computation, feed the previous result back in as `seed`:
+///
+///   uint32_t c = Crc32(a, na);
+///   c = Crc32(b, nb, c);            // == Crc32 of the concatenation a·b
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_CRC32_H_

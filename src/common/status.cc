@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

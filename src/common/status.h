@@ -22,6 +22,9 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kInternal,
+  /// Durable state (checkpoint / write-ahead log) was truncated, corrupted,
+  /// or fails its CRC — the file cannot be trusted and restore is refused.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code, e.g. "ParseError".
@@ -75,6 +78,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

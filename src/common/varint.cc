@@ -1,0 +1,41 @@
+#include "common/varint.h"
+
+namespace onesql {
+
+void AppendVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(const char** p, const char* end, uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  const char* q = *p;
+  while (q < end && shift <= 63) {
+    const uint64_t byte = static_cast<unsigned char>(*q++);
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated, or continuation past the 10th byte
+}
+
+void AppendSignedVarint64(std::string* out, int64_t v) {
+  AppendVarint64(out, ZigzagEncode(v));
+}
+
+bool GetSignedVarint64(const char** p, const char* end, int64_t* out) {
+  uint64_t raw = 0;
+  if (!GetVarint64(p, end, &raw)) return false;
+  *out = ZigzagDecode(raw);
+  return true;
+}
+
+}  // namespace onesql

@@ -1,0 +1,40 @@
+#ifndef ONESQL_COMMON_VARINT_H_
+#define ONESQL_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace onesql {
+
+/// LEB128-style base-128 varints, the integer encoding of the durability
+/// layer (WAL records and checkpoint sections). Unsigned values are encoded
+/// 7 bits per byte, little-endian group order, high bit = continuation;
+/// signed values are zigzag-mapped first so that small magnitudes of either
+/// sign stay short.
+
+/// Appends the varint encoding of `v` (at most 10 bytes) to `*out`.
+void AppendVarint64(std::string* out, uint64_t v);
+
+/// Decodes a varint from [*p, end). On success advances *p past the encoding
+/// and returns true; on truncated or over-long (> 10 byte) input returns
+/// false and leaves *p unspecified.
+bool GetVarint64(const char** p, const char* end, uint64_t* out);
+
+/// Zigzag mapping: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ... so sign extension
+/// never inflates the encoding.
+constexpr uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Signed helpers: zigzag + varint.
+void AppendSignedVarint64(std::string* out, int64_t v);
+bool GetSignedVarint64(const char** p, const char* end, int64_t* out);
+
+}  // namespace onesql
+
+#endif  // ONESQL_COMMON_VARINT_H_

@@ -8,6 +8,8 @@
 #include "plan/binder.h"
 #include "plan/optimizer.h"
 #include "sql/parser.h"
+#include "state/checkpoint.h"
+#include "state/frame.h"
 #include "tvr/tvr.h"
 
 namespace onesql {
@@ -128,6 +130,92 @@ exec::InputEvent ToInputEvent(const FeedEvent& event) {
   return out;
 }
 
+// -- Durable encodings -------------------------------------------------------
+
+constexpr const char kCheckpointFile[] = "/checkpoint.osql";
+constexpr const char kWalFile[] = "/feed.wal";
+
+state::WalRecord ToWalRecord(uint64_t seq, const FeedEvent& event) {
+  state::WalRecord rec;
+  rec.seq = seq;
+  switch (event.kind) {
+    case FeedEvent::Kind::kInsert:
+      rec.kind = state::WalRecord::Kind::kInsert;
+      break;
+    case FeedEvent::Kind::kDelete:
+      rec.kind = state::WalRecord::Kind::kDelete;
+      break;
+    case FeedEvent::Kind::kWatermark:
+      rec.kind = state::WalRecord::Kind::kWatermark;
+      break;
+  }
+  rec.source = event.source;
+  rec.ptime = event.ptime;
+  rec.row = event.row;
+  rec.watermark = event.watermark;
+  return rec;
+}
+
+FeedEvent FromWalRecord(const state::WalRecord& rec) {
+  FeedEvent event;
+  switch (rec.kind) {
+    case state::WalRecord::Kind::kInsert:
+      event.kind = FeedEvent::Kind::kInsert;
+      break;
+    case state::WalRecord::Kind::kDelete:
+      event.kind = FeedEvent::Kind::kDelete;
+      break;
+    case state::WalRecord::Kind::kWatermark:
+      event.kind = FeedEvent::Kind::kWatermark;
+      break;
+  }
+  event.source = rec.source;
+  event.ptime = rec.ptime;
+  event.row = rec.row;
+  event.watermark = rec.watermark;
+  return event;
+}
+
+void EncodeFeedEvent(state::Writer* w, const FeedEvent& event) {
+  w->PutU8(static_cast<uint8_t>(event.kind));
+  w->PutString(event.source);
+  w->PutTimestamp(event.ptime);
+  if (event.kind == FeedEvent::Kind::kWatermark) {
+    w->PutTimestamp(event.watermark);
+  } else {
+    w->PutRow(event.row);
+  }
+}
+
+Result<FeedEvent> DecodeFeedEvent(state::Reader* r) {
+  FeedEvent event;
+  ONESQL_ASSIGN_OR_RETURN(uint8_t kind, r->ReadU8());
+  if (kind > static_cast<uint8_t>(FeedEvent::Kind::kWatermark)) {
+    return Status::DataLoss("unknown feed event kind " + std::to_string(kind) +
+                            " in checkpoint");
+  }
+  event.kind = static_cast<FeedEvent::Kind>(kind);
+  ONESQL_ASSIGN_OR_RETURN(event.source, r->ReadString());
+  ONESQL_ASSIGN_OR_RETURN(event.ptime, r->ReadTimestamp());
+  if (event.kind == FeedEvent::Kind::kWatermark) {
+    ONESQL_ASSIGN_OR_RETURN(event.watermark, r->ReadTimestamp());
+  } else {
+    ONESQL_ASSIGN_OR_RETURN(event.row, r->ReadRow());
+  }
+  return event;
+}
+
+/// Sorted (deterministic) view of an unordered name-keyed map.
+template <typename Map>
+std::vector<typename Map::const_iterator> SortedByName(const Map& map) {
+  std::vector<typename Map::const_iterator> its;
+  its.reserve(map.size());
+  for (auto it = map.begin(); it != map.end(); ++it) its.push_back(it);
+  std::sort(its.begin(), its.end(),
+            [](const auto& a, const auto& b) { return a->first < b->first; });
+  return its;
+}
+
 }  // namespace
 
 Status Engine::RegisterStream(const std::string& name, Schema schema) {
@@ -206,6 +294,9 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
   }
   ONESQL_RETURN_NOT_OK(query->flow_->PushBatch(replay));
   query->last_ptime_ = last_ptime_;
+  query->sql_ = sql;
+  query->allowed_lateness_ = options.allowed_lateness;
+  query->resolved_shards_ = query->flow_->shard_count();
 
   ContinuousQuery* out = query.get();
   queries_.push_back(std::move(query));
@@ -240,13 +331,29 @@ Status Engine::Record(const FeedEvent& event) {
         "feed events must arrive in processing-time order (got " +
         event.ptime.ToString() + " after " + last_ptime_.ToString() + ")");
   }
+  // Log before mutating engine state: an event the WAL never saw must not
+  // become part of the replayable history.
+  ONESQL_RETURN_NOT_OK(AppendWal(event));
+  ++feed_seq_;
   last_ptime_ = event.ptime;
   history_.push_back(event);
   return Status::OK();
 }
 
+Status Engine::AppendWal(const FeedEvent& event) {
+  if (wal_ == nullptr || replaying_wal_) return Status::OK();
+  return wal_->Append(ToWalRecord(feed_seq_, event));
+}
+
+Status Engine::SyncWal() {
+  if (wal_ == nullptr || replaying_wal_) return Status::OK();
+  return wal_->Sync();
+}
+
 Status Engine::Dispatch(const FeedEvent& event) {
   ONESQL_RETURN_NOT_OK(Record(event));
+  // Durability barrier: the event hits disk before any query observes it.
+  ONESQL_RETURN_NOT_OK(SyncWal());
   for (auto& query : queries_) {
     query->last_ptime_ = event.ptime;
     switch (event.kind) {
@@ -343,6 +450,9 @@ Status Engine::Feed(const std::vector<FeedEvent>& events) {
     batch.push_back(ToInputEvent(event));
   }
   if (!batch.empty()) {
+    // One durability barrier for the whole batch: every recorded event is on
+    // disk before any query observes any of them.
+    ONESQL_RETURN_NOT_OK(SyncWal());
     const Timestamp batch_ptime = batch.back().ptime;
     for (auto& query : queries_) {
       query->last_ptime_ = batch_ptime;
@@ -409,6 +519,283 @@ void Engine::CompactHistory() {
     if (keep) kept.push_back(std::move(event));
   }
   history_ = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Durability: EnableDurability / Checkpoint / Restore
+// ---------------------------------------------------------------------------
+
+Status Engine::EnableDurability(const std::string& dir) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("durability is already enabled (log at '" +
+                                   wal_->path() + "')");
+  }
+  ONESQL_RETURN_NOT_OK(state::EnsureDirectory(dir));
+  ONESQL_ASSIGN_OR_RETURN(state::FeedLog log,
+                          state::FeedLog::Open(dir + kWalFile));
+  if (log.next_seq() != feed_seq_) {
+    return Status::InvalidArgument(
+        "feed log at '" + log.path() + "' holds " +
+        std::to_string(log.next_seq()) + " events but the engine has fed " +
+        std::to_string(feed_seq_) +
+        " — Restore() from this directory first (or start a fresh one)");
+  }
+  wal_ = std::make_unique<state::FeedLog>(std::move(log));
+  return Status::OK();
+}
+
+void Engine::SaveEngineSection(state::Writer* w, uint64_t* num_queries) const {
+  w->PutTimestamp(last_ptime_);
+  w->PutVarint(feed_seq_);
+  w->PutVarint(compact_at_);
+  w->PutBool(wal_ != nullptr);
+
+  // Catalog (std::map — already deterministic order).
+  w->PutVarint(catalog_.tables().size());
+  for (const auto& [key, def] : catalog_.tables()) {
+    (void)key;
+    w->PutString(def.name);
+    w->PutSchema(def.schema);
+    w->PutBool(def.unbounded);
+  }
+
+  // Static table contents, sorted by name for canonical bytes.
+  w->PutVarint(table_rows_.size());
+  for (const auto& it : SortedByName(table_rows_)) {
+    w->PutString(it->first);
+    w->PutVarint(it->second.size());
+    for (const Row& row : it->second) w->PutRow(row);
+  }
+
+  // Per-stream watermark positions (feed validation state).
+  w->PutVarint(stream_watermarks_.size());
+  for (const auto& it : SortedByName(stream_watermarks_)) {
+    w->PutString(it->first);
+    w->PutTimestamp(it->second);
+  }
+
+  // Retained (possibly compacted) history, replayed into queries executed
+  // after the restore.
+  w->PutVarint(history_.size());
+  for (const FeedEvent& event : history_) EncodeFeedEvent(w, event);
+
+  *num_queries = queries_.size();
+  w->PutVarint(queries_.size());
+}
+
+Status Engine::Checkpoint(const std::string& dir) {
+  // Never let a checkpoint run ahead of the feed log: everything the
+  // checkpoint captures must be re-derivable from log replay too.
+  ONESQL_RETURN_NOT_OK(SyncWal());
+  ONESQL_RETURN_NOT_OK(state::EnsureDirectory(dir));
+
+  state::CheckpointWriter ckpt;
+  {
+    state::Writer w;
+    uint64_t num_queries = 0;
+    SaveEngineSection(&w, &num_queries);
+    (void)num_queries;
+    ckpt.AddSection(std::move(w).TakeBuffer());
+  }
+  for (const auto& query : queries_) {
+    state::Writer w;
+    w.PutString(query->sql_);
+    w.PutInterval(query->allowed_lateness_);
+    w.PutVarint(static_cast<uint64_t>(query->resolved_shards_));
+    state::Writer runtime;
+    ONESQL_RETURN_NOT_OK(query->flow_->SaveState(&runtime));
+    w.PutBlob(runtime);
+    ckpt.AddSection(std::move(w).TakeBuffer());
+  }
+  return ckpt.WriteTo(dir + kCheckpointFile);
+}
+
+Status Engine::LoadEngineSection(state::Reader* r, uint64_t* num_queries,
+                                 bool* was_durable) {
+  ONESQL_ASSIGN_OR_RETURN(last_ptime_, r->ReadTimestamp());
+  ONESQL_ASSIGN_OR_RETURN(feed_seq_, r->ReadVarint());
+  ONESQL_ASSIGN_OR_RETURN(uint64_t compact_at, r->ReadVarint());
+  compact_at_ = static_cast<size_t>(compact_at);
+  ONESQL_ASSIGN_OR_RETURN(*was_durable, r->ReadBool());
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t ntables, r->ReadVarint());
+  if (ntables > r->remaining()) {
+    return Status::DataLoss("impossible catalog size in checkpoint");
+  }
+  for (uint64_t i = 0; i < ntables; ++i) {
+    plan::TableDef def;
+    ONESQL_ASSIGN_OR_RETURN(def.name, r->ReadString());
+    ONESQL_ASSIGN_OR_RETURN(def.schema, r->ReadSchema());
+    ONESQL_ASSIGN_OR_RETURN(def.unbounded, r->ReadBool());
+    ONESQL_RETURN_NOT_OK(catalog_.Register(std::move(def)));
+  }
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t ntable_rows, r->ReadVarint());
+  if (ntable_rows > r->remaining()) {
+    return Status::DataLoss("impossible table count in checkpoint");
+  }
+  for (uint64_t i = 0; i < ntable_rows; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    ONESQL_ASSIGN_OR_RETURN(uint64_t nrows, r->ReadVarint());
+    if (nrows > r->remaining()) {
+      return Status::DataLoss("impossible row count in checkpoint");
+    }
+    std::vector<Row>& rows = table_rows_[name];
+    rows.reserve(nrows);
+    for (uint64_t j = 0; j < nrows; ++j) {
+      ONESQL_ASSIGN_OR_RETURN(Row row, r->ReadRow());
+      rows.push_back(std::move(row));
+    }
+  }
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nmarks, r->ReadVarint());
+  if (nmarks > r->remaining()) {
+    return Status::DataLoss("impossible watermark count in checkpoint");
+  }
+  for (uint64_t i = 0; i < nmarks; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    ONESQL_ASSIGN_OR_RETURN(stream_watermarks_[name], r->ReadTimestamp());
+  }
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nhistory, r->ReadVarint());
+  if (nhistory > r->remaining()) {
+    return Status::DataLoss("impossible history size in checkpoint");
+  }
+  history_.reserve(nhistory);
+  for (uint64_t i = 0; i < nhistory; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(FeedEvent event, DecodeFeedEvent(r));
+    history_.push_back(std::move(event));
+  }
+
+  ONESQL_ASSIGN_OR_RETURN(*num_queries, r->ReadVarint());
+  return r->ExpectEnd();
+}
+
+Status Engine::RestoreQuerySection(state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(std::string sql, r->ReadString());
+  ONESQL_ASSIGN_OR_RETURN(Interval lateness, r->ReadInterval());
+  ONESQL_ASSIGN_OR_RETURN(uint64_t shards, r->ReadVarint());
+  if (shards == 0 || shards > 4096) {
+    return Status::DataLoss("impossible shard count " +
+                            std::to_string(shards) + " in checkpoint");
+  }
+
+  // Rebuild the runtime exactly as Execute() did — same plan, same resolved
+  // shard count — but load its operator state from the checkpoint instead of
+  // replaying history.
+  ONESQL_ASSIGN_OR_RETURN(plan::QueryPlan plan, Plan(sql));
+  plan.allowed_lateness = lateness;
+  ONESQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<exec::DataflowRuntime> flow,
+      exec::BuildDataflowRuntime(std::move(plan), static_cast<int>(shards)));
+
+  ONESQL_ASSIGN_OR_RETURN(state::Reader runtime, r->ReadBlob());
+  ONESQL_RETURN_NOT_OK(flow->LoadState(&runtime));
+  ONESQL_RETURN_NOT_OK(r->ExpectEnd());
+
+  auto query =
+      std::unique_ptr<ContinuousQuery>(new ContinuousQuery(std::move(flow)));
+  query->last_ptime_ = last_ptime_;
+  query->sql_ = std::move(sql);
+  query->allowed_lateness_ = lateness;
+  query->resolved_shards_ = static_cast<int>(shards);
+  queries_.push_back(std::move(query));
+  return Status::OK();
+}
+
+Status Engine::Restore(const std::string& dir) {
+  if (feed_seq_ != 0 || !history_.empty() || !queries_.empty() ||
+      wal_ != nullptr) {
+    return Status::InvalidArgument(
+        "Restore() requires an engine that has not fed events or started "
+        "queries yet");
+  }
+
+  // Load the checkpoint, if one exists.
+  bool ckpt_durable = false;
+  const std::string ckpt_path = dir + kCheckpointFile;
+  auto ckpt_or = state::CheckpointReader::Open(ckpt_path);
+  if (ckpt_or.ok()) {
+    if (!catalog_.tables().empty()) {
+      return Status::InvalidArgument(
+          "the checkpoint carries the catalog; restore into an engine with "
+          "no registered streams or tables");
+    }
+    const state::CheckpointReader& ckpt = ckpt_or.value();
+    if (ckpt.num_sections() == 0) {
+      return Status::DataLoss("checkpoint holds no engine section");
+    }
+    uint64_t num_queries = 0;
+    {
+      state::Reader r(ckpt.section(0));
+      ONESQL_RETURN_NOT_OK(LoadEngineSection(&r, &num_queries, &ckpt_durable));
+    }
+    if (ckpt.num_sections() != 1 + num_queries) {
+      return Status::DataLoss(
+          "checkpoint section count does not match its query count (" +
+          std::to_string(ckpt.num_sections()) + " sections, " +
+          std::to_string(num_queries) + " queries)");
+    }
+    for (uint64_t i = 0; i < num_queries; ++i) {
+      state::Reader r(ckpt.section(1 + i));
+      ONESQL_RETURN_NOT_OK(RestoreQuerySection(&r));
+    }
+  } else if (ckpt_or.status().code() != StatusCode::kNotFound) {
+    return ckpt_or.status();
+  }
+  // No checkpoint: cold start from the feed log alone. The catalog is not
+  // in the log, so the caller must have re-registered its streams.
+
+  // Replay the log suffix past the checkpoint's feed position.
+  const std::string wal_path = dir + kWalFile;
+  bool have_wal = true;
+  std::vector<state::WalRecord> records;
+  {
+    auto records_or = state::FeedLog::ReadAll(wal_path);
+    if (records_or.ok()) {
+      records = std::move(records_or).value();
+    } else if (records_or.status().code() == StatusCode::kNotFound) {
+      have_wal = false;
+    } else {
+      return records_or.status();
+    }
+  }
+  if (!have_wal && ckpt_durable) {
+    // The checkpointed engine had a feed log; its absence now is corruption,
+    // not a cold start.
+    return Status::DataLoss("checkpoint was taken with durability enabled "
+                            "but feed log '" +
+                            wal_path + "' is missing");
+  }
+  if (have_wal && records.size() < feed_seq_) {
+    return Status::DataLoss(
+        "feed log at '" + wal_path + "' holds " +
+        std::to_string(records.size()) +
+        " events but the checkpoint was taken at feed position " +
+        std::to_string(feed_seq_) + " (log truncated or from another run)");
+  }
+  if (records.size() > feed_seq_) {
+    std::vector<FeedEvent> suffix;
+    suffix.reserve(records.size() - feed_seq_);
+    for (size_t i = feed_seq_; i < records.size(); ++i) {
+      suffix.push_back(FromWalRecord(records[i]));
+    }
+    replaying_wal_ = true;
+    Status replayed = Feed(suffix);
+    replaying_wal_ = false;
+    ONESQL_RETURN_NOT_OK(replayed);
+  }
+
+  // Re-attach the log so the restored engine keeps appending where the
+  // crashed run left off.
+  if (have_wal) {
+    ONESQL_ASSIGN_OR_RETURN(state::FeedLog log, state::FeedLog::Open(wal_path));
+    if (log.next_seq() != feed_seq_) {
+      return Status::Internal("feed log position diverged during restore");
+    }
+    wal_ = std::make_unique<state::FeedLog>(std::move(log));
+  }
+  return Status::OK();
 }
 
 Status Engine::AdvanceTo(Timestamp ptime) {

@@ -10,6 +10,8 @@
 #include "common/schema.h"
 #include "exec/dataflow.h"
 #include "plan/catalog.h"
+#include "state/serde.h"
+#include "state/wal.h"
 
 namespace onesql {
 
@@ -93,6 +95,14 @@ class ContinuousQuery {
 
   std::unique_ptr<exec::DataflowRuntime> flow_;
   Timestamp last_ptime_ = Timestamp::Min();
+
+  // Recorded so Engine::Checkpoint can rebuild this query at restore time:
+  // the SQL text is re-planned (plans hold pointers, not bytes) and the
+  // runtime is rebuilt at exactly the shard count it resolved to, then its
+  // operator state is loaded from the checkpoint instead of replaying.
+  std::string sql_;
+  Interval allowed_lateness_{0};
+  int resolved_shards_ = 1;
 };
 
 /// The engine: a catalog of streams and tables, a set of running continuous
@@ -143,6 +153,46 @@ class Engine {
 
   const plan::Catalog& catalog() const { return catalog_; }
 
+  // -- Durability (see DESIGN.md §10) ---------------------------------------
+
+  /// Attaches a write-ahead feed log at `<dir>/feed.wal` (creating the
+  /// directory and file as needed). From this point every accepted feed
+  /// event is appended to the log — and fsync'd — *before* it is dispatched
+  /// to running queries, so a crash loses nothing the caller was told was
+  /// accepted. The log's tail sequence number must match the engine's feed
+  /// position (`feed_seq()`); restore first if the log already holds events.
+  Status EnableDurability(const std::string& dir);
+
+  /// Writes a checkpoint of the full engine state — catalog, static table
+  /// contents, stream watermarks, retained history, and every query's
+  /// operator state — to `<dir>/checkpoint.osql`, atomically. Must be called
+  /// at a feed boundary (between Feed/Insert calls). If a feed log is
+  /// attached it is synced first, so the checkpoint never runs ahead of the
+  /// log. Restoring replays only the log suffix past this checkpoint.
+  Status Checkpoint(const std::string& dir);
+
+  /// Restores engine state from `dir`: loads `checkpoint.osql` if present
+  /// (the engine must hold no data or queries yet), rebuilds every query at
+  /// its original shard count with its checkpointed operator state, then
+  /// replays the suffix of `feed.wal` past the checkpoint's feed position
+  /// and re-attaches the log. With no checkpoint file the whole log is
+  /// replayed (streams must be re-registered first in that case). Damaged
+  /// files — truncation, bit flips, sequence gaps — fail with
+  /// Status::DataLoss and leave no partially restored queries behind.
+  Status Restore(const std::string& dir);
+
+  /// Number of feed events accepted so far (the WAL sequence position).
+  uint64_t feed_seq() const { return feed_seq_; }
+
+  /// Queries running on this engine, in Execute() order — which is also the
+  /// checkpoint section order, so after Restore() the i-th query is the one
+  /// the i-th Execute() call returned in the checkpointed run.
+  size_t num_queries() const { return queries_.size(); }
+  ContinuousQuery* query(size_t i) { return queries_[i].get(); }
+
+  /// True when a write-ahead feed log is attached.
+  bool durable() const { return wal_ != nullptr; }
+
   /// Number of recorded feed events retained for replaying into queries
   /// executed later. Compaction (see CompactHistory) keeps this bounded:
   /// it no longer grows monotonically with the feed once every running
@@ -165,6 +215,23 @@ class Engine {
   void MaybeCompactHistory();
   void CompactHistory();
 
+  /// Appends `event` to the attached feed log (no-op when not durable or
+  /// when replaying the log itself).
+  Status AppendWal(const FeedEvent& event);
+  /// Fsyncs buffered log appends; called before dispatching to queries.
+  Status SyncWal();
+  /// Serializes the engine-level section of a checkpoint (everything but
+  /// the per-query runtime state).
+  void SaveEngineSection(state::Writer* w, uint64_t* num_queries) const;
+  /// `was_durable` reports whether the checkpointed engine had a feed log
+  /// attached — Restore() uses it to tell a never-durable checkpoint apart
+  /// from one whose log has gone missing (the latter is DataLoss).
+  Status LoadEngineSection(state::Reader* r, uint64_t* num_queries,
+                           bool* was_durable);
+  /// Rebuilds one checkpointed query (re-plan, rebuild runtime at the saved
+  /// shard count, load operator state) and appends it to `queries_`.
+  Status RestoreQuerySection(state::Reader* r);
+
   plan::Catalog catalog_;
   std::vector<std::unique_ptr<ContinuousQuery>> queries_;
   std::vector<FeedEvent> history_;
@@ -173,6 +240,15 @@ class Engine {
   Timestamp last_ptime_ = Timestamp::Min();
   /// Next history size at which compaction is attempted (doubling schedule).
   size_t compact_at_ = 4096;
+
+  // -- Durability state -----------------------------------------------------
+  std::unique_ptr<state::FeedLog> wal_;
+  /// Sequence number of the next feed event (counted whether or not a log
+  /// is attached, so checkpoints always record their feed position).
+  uint64_t feed_seq_ = 0;
+  /// Set while Restore replays the feed log, so the replayed events are not
+  /// appended to it a second time.
+  bool replaying_wal_ = false;
 };
 
 }  // namespace onesql

@@ -9,6 +9,35 @@ namespace {
 
 using plan::AggFn;
 
+/// Shared serialization for the value->multiplicity maps of MIN/MAX and
+/// DISTINCT: varint size, then (value, signed count) pairs in the map's
+/// deterministic value order.
+template <typename Map>
+void SaveCountMap(const Map& map, state::Writer* w) {
+  w->PutVarint(map.size());
+  for (const auto& [value, count] : map) {
+    w->PutValue(value);
+    w->PutSigned(count);
+  }
+}
+
+template <typename Map>
+Status LoadCountMap(Map* map, state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t n, r->ReadVarint());
+  if (n > r->remaining()) {
+    return Status::DataLoss("impossible count-map size in checkpoint");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Value value, r->ReadValue());
+    ONESQL_ASSIGN_OR_RETURN(int64_t count, r->ReadSigned());
+    if (count <= 0) {
+      return Status::DataLoss("non-positive multiplicity in checkpoint");
+    }
+    (*map)[value] += count;
+  }
+  return Status::OK();
+}
+
 class CountStarAccumulator : public Accumulator {
  public:
   Status Add(const Value&) override {
@@ -22,6 +51,11 @@ class CountStarAccumulator : public Accumulator {
   }
   Value Current() const override { return Value::Int64(count_); }
   size_t StateBytes() const override { return sizeof(count_); }
+  void SaveState(state::Writer* w) const override { w->PutSigned(count_); }
+  Status LoadState(state::Reader* r) override {
+    ONESQL_ASSIGN_OR_RETURN(count_, r->ReadSigned());
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -41,6 +75,11 @@ class CountAccumulator : public Accumulator {
   }
   Value Current() const override { return Value::Int64(count_); }
   size_t StateBytes() const override { return sizeof(count_); }
+  void SaveState(state::Writer* w) const override { w->PutSigned(count_); }
+  Status LoadState(state::Reader* r) override {
+    ONESQL_ASSIGN_OR_RETURN(count_, r->ReadSigned());
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -85,6 +124,20 @@ class SumAvgAccumulator : public Accumulator {
 
   size_t StateBytes() const override { return 3 * sizeof(int64_t); }
 
+  void SaveState(state::Writer* w) const override {
+    w->PutBool(integer_);
+    w->PutSigned(int_sum_);
+    w->PutDouble(double_sum_);
+    w->PutSigned(count_);
+  }
+  Status LoadState(state::Reader* r) override {
+    ONESQL_ASSIGN_OR_RETURN(integer_, r->ReadBool());
+    ONESQL_ASSIGN_OR_RETURN(int_sum_, r->ReadSigned());
+    ONESQL_ASSIGN_OR_RETURN(double_sum_, r->ReadDouble());
+    ONESQL_ASSIGN_OR_RETURN(count_, r->ReadSigned());
+    return Status::OK();
+  }
+
  private:
   bool is_avg_;
   bool integer_;
@@ -123,6 +176,13 @@ class MinMaxAccumulator : public Accumulator {
 
   size_t StateBytes() const override {
     return values_.size() * (sizeof(Value) + sizeof(int64_t) + 48);
+  }
+
+  void SaveState(state::Writer* w) const override {
+    SaveCountMap(values_, w);
+  }
+  Status LoadState(state::Reader* r) override {
+    return LoadCountMap(&values_, r);
   }
 
  private:
@@ -166,6 +226,19 @@ class DistinctAccumulator : public Accumulator {
   size_t StateBytes() const override {
     return inner_->StateBytes() +
            counts_.size() * (sizeof(Value) + sizeof(int64_t) + 48);
+  }
+
+  void SaveState(state::Writer* w) const override {
+    state::Writer nested;
+    inner_->SaveState(&nested);
+    w->PutBlob(nested);
+    SaveCountMap(counts_, w);
+  }
+  Status LoadState(state::Reader* r) override {
+    ONESQL_ASSIGN_OR_RETURN(state::Reader nested, r->ReadBlob());
+    ONESQL_RETURN_NOT_OK(inner_->LoadState(&nested));
+    ONESQL_RETURN_NOT_OK(nested.ExpectEnd());
+    return LoadCountMap(&counts_, r);
   }
 
  private:

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "plan/bound_expr.h"
+#include "state/serde.h"
 
 namespace onesql {
 namespace exec {
@@ -31,6 +32,16 @@ class Accumulator {
 
   /// Bytes of state held (approximate), for the state-size benchmarks.
   virtual size_t StateBytes() const = 0;
+
+  /// Serializes the accumulator state in the canonical encoding. A restored
+  /// accumulator (same aggregate call, fresh instance, LoadState from the
+  /// saved bytes) is observationally identical to the original.
+  virtual void SaveState(state::Writer* w) const = 0;
+
+  /// Restores state saved by SaveState into a freshly constructed
+  /// accumulator for the same aggregate call. Structural damage yields
+  /// Status::DataLoss.
+  virtual Status LoadState(state::Reader* r) = 0;
 };
 
 using AccumulatorPtr = std::unique_ptr<Accumulator>;

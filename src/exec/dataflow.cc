@@ -11,6 +11,36 @@ size_t CompiledChain::StateBytes() const {
   return total;
 }
 
+Status CompiledChain::SaveState(state::Writer* w) const {
+  w->PutVarint(operators.size());
+  for (const auto& op : operators) {
+    state::Writer nested;
+    ONESQL_RETURN_NOT_OK(op->SaveState(&nested));
+    w->PutBlob(nested);
+  }
+  return Status::OK();
+}
+
+Status CompiledChain::LoadState(state::Reader* r,
+                                const StateKeyFilter* filter) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t n, r->ReadVarint());
+  if (n != operators.size()) {
+    return Status::DataLoss(
+        "checkpointed chain has " + std::to_string(n) +
+        " operators, the plan compiles to " +
+        std::to_string(operators.size()) +
+        " (checkpoint incompatible with this query)");
+  }
+  // CompileChain builds the operator vector deterministically from the plan,
+  // so position i of the saved chain is the same operator as position i here.
+  for (auto& op : operators) {
+    ONESQL_ASSIGN_OR_RETURN(state::Reader section, r->ReadBlob());
+    ONESQL_RETURN_NOT_OK(op->LoadState(&section, filter));
+    ONESQL_RETURN_NOT_OK(section.ExpectEnd());
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Recursive chain builder shared by the sequential and sharded runtimes.
@@ -203,6 +233,42 @@ bool Dataflow::ReadsSource(const std::string& source) const {
 
 size_t Dataflow::StateBytes() const {
   return chain_.StateBytes() + sink_->StateBytes();
+}
+
+Status Dataflow::SaveState(state::Writer* w) const {
+  w->PutVarint(1);  // one chain section
+  state::Writer chain;
+  ONESQL_RETURN_NOT_OK(chain_.SaveState(&chain));
+  w->PutBlob(chain);
+  state::Writer sink;
+  ONESQL_RETURN_NOT_OK(sink_->SaveState(&sink));
+  w->PutBlob(sink);
+  w->PutVarint(0);  // the sequential runtime keeps no routing sequence
+  return Status::OK();
+}
+
+Status Dataflow::LoadState(state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nchains, r->ReadVarint());
+  if (nchains == 0) {
+    return Status::DataLoss("checkpoint holds no chain sections");
+  }
+  if (nchains > r->remaining()) {
+    return Status::DataLoss("impossible chain section count in checkpoint");
+  }
+  // A checkpoint taken at N shards merges into the single chain: keyed
+  // entries are disjoint across sections, watermarks merge by maximum, and
+  // counters sum (nullptr filter loads everything from every section).
+  for (uint64_t i = 0; i < nchains; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(state::Reader section, r->ReadBlob());
+    ONESQL_RETURN_NOT_OK(chain_.LoadState(&section, nullptr));
+    ONESQL_RETURN_NOT_OK(section.ExpectEnd());
+  }
+  ONESQL_ASSIGN_OR_RETURN(state::Reader sink_section, r->ReadBlob());
+  ONESQL_RETURN_NOT_OK(sink_->LoadState(&sink_section, nullptr));
+  ONESQL_RETURN_NOT_OK(sink_section.ExpectEnd());
+  ONESQL_ASSIGN_OR_RETURN(uint64_t seq, r->ReadVarint());
+  (void)seq;  // no routing sequence on the sequential runtime
+  return r->ExpectEnd();
 }
 
 }  // namespace exec

@@ -34,6 +34,17 @@ struct CompiledChain {
   std::vector<JoinOperator*> joins;
 
   size_t StateBytes() const;
+
+  /// Serializes every operator's state, in the chain's deterministic build
+  /// order, as one length-prefixed blob per operator.
+  Status SaveState(state::Writer* w) const;
+
+  /// Merges a saved chain section into this chain: operator blobs are
+  /// length-prefixed, each handed to the operator at the same position.
+  /// `filter` redistributes keyed state at restore time (see
+  /// StateKeyFilter); the chain structure (a pure function of the plan) must
+  /// match the saved one, or DataLoss is returned.
+  Status LoadState(state::Reader* r, const StateKeyFilter* filter);
 };
 
 /// Compiles the plan tree into an operator chain terminating at `terminal`.
@@ -93,6 +104,19 @@ class DataflowRuntime {
   /// Number of parallel shards (1 for the sequential runtime).
   virtual int shard_count() const = 0;
 
+  /// Serializes all runtime state (operator chains, sink, input sequence
+  /// counter) into `w`. Must be called at a feed boundary (between pushes).
+  /// The blob layout is shared by both runtimes: a varint chain count, one
+  /// length-prefixed section per chain, a length-prefixed sink section, and
+  /// the next input sequence number — so state saved at N shards can be
+  /// loaded at any other shard count (each loading chain takes the keyed
+  /// entries it owns; see StateKeyFilter).
+  virtual Status SaveState(state::Writer* w) const = 0;
+
+  /// Restores state saved by SaveState into a freshly built runtime for the
+  /// same plan. Structural mismatch or damage yields Status::DataLoss.
+  virtual Status LoadState(state::Reader* r) = 0;
+
   /// Introspection for tests and benchmarks. For the sharded runtime these
   /// are flattened across shards (shard-major order).
   virtual const std::vector<AggregateOperator*>& aggregates() const = 0;
@@ -119,6 +143,8 @@ class Dataflow : public DataflowRuntime {
   const plan::QueryPlan& plan() const override { return plan_; }
   size_t StateBytes() const override;
   int shard_count() const override { return 1; }
+  Status SaveState(state::Writer* w) const override;
+  Status LoadState(state::Reader* r) override;
   const std::vector<AggregateOperator*>& aggregates() const override {
     return chain_.aggregates;
   }

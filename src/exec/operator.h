@@ -1,13 +1,35 @@
 #ifndef ONESQL_EXEC_OPERATOR_H_
 #define ONESQL_EXEC_OPERATOR_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/changelog.h"
 #include "common/result.h"
+#include "common/row.h"
+#include "state/serde.h"
 
 namespace onesql {
 namespace exec {
+
+/// Restore-time filter for redistributing key-partitioned operator state
+/// across a possibly different shard count. When a checkpoint taken at N
+/// shards is restored at M shards, every target chain loads *all* N saved
+/// chain sections, keeping only the keyed entries (aggregation groups, join
+/// key buckets) it owns under the M-way routing. Stateless entries —
+/// watermarks — are merged by maximum regardless.
+struct StateKeyFilter {
+  virtual ~StateKeyFilter() = default;
+
+  /// True when the loading chain owns `state_key` (an aggregation group key
+  /// or a join equi-key tuple) under the restore target's routing.
+  virtual bool Keep(const Row& state_key) const = 0;
+
+  /// True for exactly one chain of the restore target: global counters
+  /// (late drops, expiry counts) are attributed to the primary chain so
+  /// restoring at M shards does not multiply totals by M.
+  bool primary = true;
+};
 
 /// Base class for push-based dataflow operators. Each operator consumes a
 /// changelog (INSERT/DELETE changes interleaved with watermark advances) on
@@ -37,6 +59,25 @@ class Operator {
 
   /// Approximate bytes of operator state (for the state-size benchmarks).
   virtual size_t StateBytes() const { return 0; }
+
+  /// Serializes this operator's state into `w` using the canonical encoding
+  /// of state/serde.h (keyed containers in deterministic key order). The
+  /// default writes nothing — the contract for stateless operators.
+  virtual Status SaveState(state::Writer* w) const {
+    (void)w;
+    return Status::OK();
+  }
+
+  /// Merges previously saved state from `r` into this operator. Called once
+  /// per saved chain section; keyed entries pass through `filter` (nullptr
+  /// keeps everything), watermarks merge by maximum, and counters load only
+  /// when `filter` is null or marks this chain primary. The default expects
+  /// an empty section (stateless operator) and fails with DataLoss
+  /// otherwise, so format drift is caught instead of silently skipped.
+  virtual Status LoadState(state::Reader* r, const StateKeyFilter* filter) {
+    (void)filter;
+    return r->ExpectEnd();
+  }
 
  protected:
   Status EmitElement(const Change& change) {
@@ -74,6 +115,31 @@ class WatermarkMerger {
   }
 
   Timestamp combined() const { return combined_; }
+
+  /// Canonical serialization: per-port marks then the combined minimum.
+  void SaveState(state::Writer* w) const {
+    w->PutVarint(marks_.size());
+    for (Timestamp m : marks_) w->PutTimestamp(m);
+    w->PutTimestamp(combined_);
+  }
+
+  /// Max-merges saved marks into this merger (sharded chains all observe the
+  /// same broadcast watermark stream, so the merge is idempotent).
+  Status LoadState(state::Reader* r) {
+    ONESQL_ASSIGN_OR_RETURN(uint64_t ports, r->ReadVarint());
+    if (ports != marks_.size()) {
+      return Status::DataLoss("checkpointed watermark merger has " +
+                              std::to_string(ports) + " ports, operator has " +
+                              std::to_string(marks_.size()));
+    }
+    for (Timestamp& m : marks_) {
+      ONESQL_ASSIGN_OR_RETURN(Timestamp saved, r->ReadTimestamp());
+      m = std::max(m, saved);
+    }
+    ONESQL_ASSIGN_OR_RETURN(Timestamp combined, r->ReadTimestamp());
+    combined_ = std::max(combined_, combined);
+    return Status::OK();
+  }
 
  private:
   std::vector<Timestamp> marks_;

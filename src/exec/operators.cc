@@ -176,6 +176,37 @@ size_t TemporalFilterOperator::StateBytes() const {
   return total;
 }
 
+Status TemporalFilterOperator::SaveState(state::Writer* w) const {
+  w->PutTimestamp(watermark_);
+  w->PutSigned(expired_);
+  w->PutVarint(live_.size());
+  // std::multimap iterates in key order with stable same-key order, so the
+  // encoding is canonical and reload preserves retraction order.
+  for (const auto& [t, row] : live_) {
+    w->PutSigned(t);
+    w->PutRow(row);
+  }
+  return Status::OK();
+}
+
+Status TemporalFilterOperator::LoadState(state::Reader* r,
+                                         const StateKeyFilter* filter) {
+  ONESQL_ASSIGN_OR_RETURN(Timestamp wm, r->ReadTimestamp());
+  watermark_ = std::max(watermark_, wm);
+  ONESQL_ASSIGN_OR_RETURN(int64_t expired, r->ReadSigned());
+  if (filter == nullptr || filter->primary) expired_ += expired;
+  ONESQL_ASSIGN_OR_RETURN(uint64_t n, r->ReadVarint());
+  if (n > r->remaining()) {
+    return Status::DataLoss("impossible live-row count in checkpoint");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(int64_t t, r->ReadSigned());
+    ONESQL_ASSIGN_OR_RETURN(Row row, r->ReadRow());
+    live_.emplace(t, std::move(row));
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Session windows
 // ---------------------------------------------------------------------------
@@ -362,6 +393,79 @@ size_t SessionOperator::NumSessions() const {
   return n;
 }
 
+Status SessionOperator::SaveState(state::Writer* w) const {
+  w->PutTimestamp(watermark_);
+  w->PutSigned(late_drops_);
+  // Canonical order: keys sorted by row comparison (the unordered_map's
+  // iteration order must not leak into the bytes). Keys whose session map
+  // emptied are semantically absent and are skipped.
+  std::vector<const std::pair<const Row, KeyState>*> entries;
+  entries.reserve(keys_.size());
+  for (const auto& entry : keys_) {
+    if (!entry.second.sessions.empty()) entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) {
+              return RowLess{}(a->first, b->first);
+            });
+  w->PutVarint(entries.size());
+  for (const auto* entry : entries) {
+    w->PutRow(entry->first);
+    w->PutVarint(entry->second.sessions.size());
+    for (const auto& [start, session] : entry->second.sessions) {
+      (void)start;  // == session.start
+      w->PutTimestamp(session.start);
+      w->PutTimestamp(session.end);
+      w->PutVarint(session.rows.size());
+      for (const auto& [rt, row] : session.rows) {
+        w->PutTimestamp(rt);
+        w->PutRow(row);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SessionOperator::LoadState(state::Reader* r,
+                                  const StateKeyFilter* filter) {
+  ONESQL_ASSIGN_OR_RETURN(Timestamp wm, r->ReadTimestamp());
+  watermark_ = std::max(watermark_, wm);
+  ONESQL_ASSIGN_OR_RETURN(int64_t drops, r->ReadSigned());
+  if (filter == nullptr || filter->primary) late_drops_ += drops;
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nkeys, r->ReadVarint());
+  if (nkeys > r->remaining()) {
+    return Status::DataLoss("impossible session key count in checkpoint");
+  }
+  for (uint64_t i = 0; i < nkeys; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Row key, r->ReadRow());
+    ONESQL_ASSIGN_OR_RETURN(uint64_t nsessions, r->ReadVarint());
+    if (nsessions > r->remaining()) {
+      return Status::DataLoss("impossible session count in checkpoint");
+    }
+    const bool keep = filter == nullptr || filter->Keep(key);
+    KeyState* ks = keep ? &keys_[key] : nullptr;
+    for (uint64_t s = 0; s < nsessions; ++s) {
+      Session session;
+      ONESQL_ASSIGN_OR_RETURN(session.start, r->ReadTimestamp());
+      ONESQL_ASSIGN_OR_RETURN(session.end, r->ReadTimestamp());
+      ONESQL_ASSIGN_OR_RETURN(uint64_t nrows, r->ReadVarint());
+      if (nrows > r->remaining()) {
+        return Status::DataLoss("impossible session row count in checkpoint");
+      }
+      for (uint64_t j = 0; j < nrows; ++j) {
+        ONESQL_ASSIGN_OR_RETURN(Timestamp rt, r->ReadTimestamp());
+        ONESQL_ASSIGN_OR_RETURN(Row row, r->ReadRow());
+        session.rows.emplace(rt, std::move(row));
+      }
+      if (ks != nullptr) {
+        const Timestamp start = session.start;
+        ks->sessions.emplace(start, std::move(session));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 size_t SessionOperator::StateBytes() const {
   size_t total = 0;
   for (const auto& [key, ks] : keys_) {
@@ -516,6 +620,83 @@ size_t AggregateOperator::StateBytes() const {
     for (const auto& acc : state.accumulators) total += acc->StateBytes();
   }
   return total;
+}
+
+Status AggregateOperator::SaveState(state::Writer* w) const {
+  w->PutTimestamp(watermark_);
+  w->PutSigned(late_drops_);
+  // Canonical order: groups sorted by key so the bytes do not depend on the
+  // unordered_map's iteration order.
+  std::vector<const std::pair<const Row, GroupState>*> entries;
+  entries.reserve(groups_.size());
+  for (const auto& entry : groups_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) {
+              return RowLess{}(a->first, b->first);
+            });
+  w->PutVarint(entries.size());
+  for (const auto* entry : entries) {
+    const GroupState& state = entry->second;
+    w->PutRow(entry->first);
+    w->PutSigned(state.row_count);
+    w->PutBool(state.has_output);
+    w->PutRow(state.last_output);
+    w->PutVarint(state.accumulators.size());
+    for (const auto& acc : state.accumulators) {
+      state::Writer nested;
+      acc->SaveState(&nested);
+      w->PutBlob(nested);
+    }
+  }
+  return Status::OK();
+}
+
+Status AggregateOperator::LoadState(state::Reader* r,
+                                    const StateKeyFilter* filter) {
+  ONESQL_ASSIGN_OR_RETURN(Timestamp wm, r->ReadTimestamp());
+  watermark_ = std::max(watermark_, wm);
+  ONESQL_ASSIGN_OR_RETURN(int64_t drops, r->ReadSigned());
+  if (filter == nullptr || filter->primary) late_drops_ += drops;
+  ONESQL_ASSIGN_OR_RETURN(uint64_t ngroups, r->ReadVarint());
+  if (ngroups > r->remaining()) {
+    return Status::DataLoss("impossible group count in checkpoint");
+  }
+  for (uint64_t i = 0; i < ngroups; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Row key, r->ReadRow());
+    GroupState state;
+    ONESQL_ASSIGN_OR_RETURN(state.row_count, r->ReadSigned());
+    if (state.row_count < 0) {
+      return Status::DataLoss("negative group row count in checkpoint");
+    }
+    ONESQL_ASSIGN_OR_RETURN(state.has_output, r->ReadBool());
+    ONESQL_ASSIGN_OR_RETURN(state.last_output, r->ReadRow());
+    ONESQL_ASSIGN_OR_RETURN(uint64_t naccs, r->ReadVarint());
+    if (naccs != node_->aggs().size()) {
+      return Status::DataLoss(
+          "checkpointed group has " + std::to_string(naccs) +
+          " accumulators, plan expects " +
+          std::to_string(node_->aggs().size()));
+    }
+    // All rows of one group hash to one shard, so under a filter each group
+    // appears in exactly one saved section and is loaded (or skipped) whole.
+    const bool keep = filter == nullptr || filter->Keep(key);
+    for (uint64_t j = 0; j < naccs; ++j) {
+      ONESQL_ASSIGN_OR_RETURN(state::Reader nested, r->ReadBlob());
+      if (!keep) continue;
+      ONESQL_ASSIGN_OR_RETURN(AccumulatorPtr acc,
+                              MakeAccumulator(node_->aggs()[j]));
+      ONESQL_RETURN_NOT_OK(acc->LoadState(&nested));
+      ONESQL_RETURN_NOT_OK(nested.ExpectEnd());
+      state.accumulators.push_back(std::move(acc));
+    }
+    if (!keep) continue;
+    const bool inserted =
+        groups_.emplace(std::move(key), std::move(state)).second;
+    if (!inserted) {
+      return Status::DataLoss("duplicate aggregation group in checkpoint");
+    }
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -673,6 +854,91 @@ size_t JoinOperator::StateBytes() const {
     }
   }
   return total;
+}
+
+void JoinOperator::SaveSide(const SideState& side, state::Writer* w) {
+  // Canonical order: key buckets sorted by the equi-key tuple; rows within a
+  // bucket are already ordered (std::map with RowLess).
+  std::vector<const std::pair<const Row, std::map<Row, int64_t, RowLess>>*>
+      entries;
+  entries.reserve(side.buckets.size());
+  for (const auto& entry : side.buckets) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) {
+              return RowLess{}(a->first, b->first);
+            });
+  w->PutVarint(entries.size());
+  for (const auto* entry : entries) {
+    w->PutRow(entry->first);
+    w->PutVarint(entry->second.size());
+    for (const auto& [row, mult] : entry->second) {
+      w->PutRow(row);
+      w->PutSigned(mult);
+    }
+  }
+  // The purge index: multimap order is deterministic (same-timestamp entries
+  // keep insertion order, which is the deterministic input order).
+  w->PutVarint(side.purge_index.size());
+  for (const auto& [et, key_and_row] : side.purge_index) {
+    w->PutSigned(et);
+    w->PutRow(key_and_row.first);
+    w->PutRow(key_and_row.second);
+  }
+}
+
+Status JoinOperator::LoadSide(SideState* side, state::Reader* r,
+                              const StateKeyFilter* filter) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nbuckets, r->ReadVarint());
+  if (nbuckets > r->remaining()) {
+    return Status::DataLoss("impossible join bucket count in checkpoint");
+  }
+  for (uint64_t i = 0; i < nbuckets; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Row key, r->ReadRow());
+    ONESQL_ASSIGN_OR_RETURN(uint64_t nrows, r->ReadVarint());
+    if (nrows > r->remaining()) {
+      return Status::DataLoss("impossible join row count in checkpoint");
+    }
+    // Both join sides key their state by the aligned equi-key tuple, so one
+    // filter covers both; a bucket lives in exactly one saved section.
+    const bool keep = filter == nullptr || filter->Keep(key);
+    for (uint64_t j = 0; j < nrows; ++j) {
+      ONESQL_ASSIGN_OR_RETURN(Row row, r->ReadRow());
+      ONESQL_ASSIGN_OR_RETURN(int64_t mult, r->ReadSigned());
+      if (mult <= 0) {
+        return Status::DataLoss("non-positive join multiplicity in checkpoint");
+      }
+      if (!keep) continue;
+      side->buckets[key][std::move(row)] += mult;
+      side->size += static_cast<size_t>(mult);
+    }
+  }
+  ONESQL_ASSIGN_OR_RETURN(uint64_t npurge, r->ReadVarint());
+  if (npurge > r->remaining()) {
+    return Status::DataLoss("impossible purge index size in checkpoint");
+  }
+  for (uint64_t i = 0; i < npurge; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(int64_t et, r->ReadSigned());
+    ONESQL_ASSIGN_OR_RETURN(Row key, r->ReadRow());
+    ONESQL_ASSIGN_OR_RETURN(Row row, r->ReadRow());
+    if (filter != nullptr && !filter->Keep(key)) continue;
+    side->purge_index.emplace(et, std::make_pair(std::move(key),
+                                                 std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status JoinOperator::SaveState(state::Writer* w) const {
+  merger_.SaveState(w);
+  SaveSide(left_, w);
+  SaveSide(right_, w);
+  return Status::OK();
+}
+
+Status JoinOperator::LoadState(state::Reader* r,
+                               const StateKeyFilter* filter) {
+  ONESQL_RETURN_NOT_OK(merger_.LoadState(r));
+  ONESQL_RETURN_NOT_OK(LoadSide(&left_, r, filter));
+  return LoadSide(&right_, r, filter);
 }
 
 }  // namespace exec

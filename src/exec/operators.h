@@ -80,6 +80,8 @@ class TemporalFilterOperator : public Operator {
   Status OnWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   size_t StateBytes() const override;
+  Status SaveState(state::Writer* w) const override;
+  Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
 
   size_t live_rows() const { return live_.size(); }
   int64_t expired_rows() const { return expired_; }
@@ -107,6 +109,8 @@ class SessionOperator : public Operator {
   Status OnWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   size_t StateBytes() const override;
+  Status SaveState(state::Writer* w) const override;
+  Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
 
   /// Live (non-final) sessions across all keys.
   size_t NumSessions() const;
@@ -150,6 +154,8 @@ class AggregateOperator : public Operator {
   Status OnWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   size_t StateBytes() const override;
+  Status SaveState(state::Writer* w) const override;
+  Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
 
   /// Number of live groups (state-size benchmarks).
   size_t NumGroups() const { return groups_.size(); }
@@ -188,6 +194,8 @@ class JoinOperator : public Operator {
   Status OnWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   size_t StateBytes() const override;
+  Status SaveState(state::Writer* w) const override;
+  Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
 
   size_t left_rows() const { return left_.size; }
   size_t right_rows() const { return right_.size; }
@@ -209,6 +217,9 @@ class JoinOperator : public Operator {
   Status PurgeSide(SideState* side,
                    const std::optional<plan::JoinPurgeSpec>& purge,
                    Timestamp watermark);
+  static void SaveSide(const SideState& side, state::Writer* w);
+  static Status LoadSide(SideState* side, state::Reader* r,
+                         const StateKeyFilter* filter);
 
   const plan::JoinNode* node_;
   SideState left_;

@@ -201,7 +201,8 @@ std::optional<PartitionSpec> ExtractPartitionSpec(
     PartitionSpec spec;
     std::string source;
     std::vector<size_t> cols;
-    for (const auto& key : stats.agg->keys()) {
+    for (size_t key_pos = 0; key_pos < stats.agg->keys().size(); ++key_pos) {
+      const auto& key = stats.agg->keys()[key_pos];
       if (key->kind != plan::BoundExpr::Kind::kInputRef) continue;
       if (key->input_index >= input.size()) continue;
       const ColumnOrigin& origin = input[key->input_index];
@@ -209,6 +210,10 @@ std::optional<PartitionSpec> ExtractPartitionSpec(
       if (!source.empty() && origin.source != source) continue;
       source = origin.source;
       cols.push_back(origin.column);
+      // The group-key row carries the same value at position `key_pos` as
+      // the source row carries at `origin.column` (verbatim forward), so
+      // hashing it routes saved group state to the inputs' shard.
+      spec.state_key_positions.push_back(key_pos);
     }
     // Rows of one group share every group-key value, so hashing any verbatim
     // source-column subset of the key colocates the group. At least one such
@@ -236,13 +241,20 @@ std::optional<PartitionSpec> ExtractPartitionSpec(
   const auto left_prov = Provenance(join.left());
   const auto right_prov = Provenance(join.right());
   std::vector<size_t> left_cols, right_cols;
-  for (const auto& [l, r] : join.equi_keys()) {
+  std::vector<size_t> key_positions;
+  for (size_t pair_pos = 0; pair_pos < join.equi_keys().size(); ++pair_pos) {
+    const auto& [l, r] = join.equi_keys()[pair_pos];
     if (l >= left_prov.size() || r >= right_prov.size()) continue;
     const ColumnOrigin& lo = left_prov[l];
     const ColumnOrigin& ro = right_prov[r];
     if (!lo.known || !ro.known) continue;
     left_cols.push_back(lo.column);
     right_cols.push_back(ro.column);
+    // The join's state key (the equi-key tuple, one entry per equi pair)
+    // carries the same value at `pair_pos` as either source row carries at
+    // the resolved column, so hashing it routes saved buckets to the shard
+    // that receives their future probes.
+    key_positions.push_back(pair_pos);
   }
   // Matching rows agree on every equi key, so hashing any aligned subset of
   // the pairs colocates them. At least one resolvable pair is required.
@@ -250,6 +262,7 @@ std::optional<PartitionSpec> ExtractPartitionSpec(
   PartitionSpec spec;
   spec.source_keys[left_source] = std::move(left_cols);
   spec.source_keys[right_source] = std::move(right_cols);
+  spec.state_key_positions = std::move(key_positions);
   return spec;
 }
 
@@ -266,6 +279,19 @@ int RouteShard(const PartitionSpec& spec, const std::string& source_lower,
   size_t h = 0;
   for (size_t col : it->second) {
     h = h * 1000003 ^ (col < row.size() ? row[col].Hash() : 0);
+  }
+  return static_cast<int>(h % static_cast<size_t>(num_shards));
+}
+
+int RouteStateKey(const PartitionSpec& spec, const Row& state_key,
+                  int num_shards) {
+  if (num_shards <= 1) return 0;
+  // The fold must match RouteShard exactly: position i of
+  // `state_key_positions` is pairwise aligned with position i of every
+  // per-source column list, and the state key carries the same values.
+  size_t h = 0;
+  for (size_t pos : spec.state_key_positions) {
+    h = h * 1000003 ^ (pos < state_key.size() ? state_key[pos].Hash() : 0);
   }
   return static_cast<int>(h % static_cast<size_t>(num_shards));
 }

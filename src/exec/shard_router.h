@@ -33,6 +33,17 @@ struct PartitionSpec {
   /// filter/project/window pipelines): any deterministic routing is correct,
   /// so changes are dealt round-robin by sequence number.
   bool stateless = false;
+
+  /// Positions within the keyed operator's *state key* that carry the hashed
+  /// routing columns, aligned (in order) with the per-source column lists in
+  /// `source_keys`. For an aggregation the state key is the group-key row
+  /// and the positions index the verbatim-source-column keys; for a join it
+  /// is the equi-key tuple and the positions index the resolvable key pairs.
+  /// `RouteStateKey` folds these exactly like `RouteShard` folds the source
+  /// columns, so a saved group/bucket lands on the shard that would receive
+  /// its future inputs — the property checkpoint restore at a different
+  /// shard count relies on. Empty for stateless specs.
+  std::vector<size_t> state_key_positions;
 };
 
 /// Derives the partition spec for `plan`, or nullopt when the plan cannot be
@@ -55,6 +66,13 @@ std::optional<PartitionSpec> ExtractPartitionSpec(const plan::QueryPlan& plan);
 /// number (used for stateless round-robin routing).
 int RouteShard(const PartitionSpec& spec, const std::string& source_lower,
                const Row& row, uint64_t seq, int num_shards);
+
+/// Routes one keyed-operator state key (aggregation group key or join
+/// equi-key tuple) to a shard, folding `spec.state_key_positions` with the
+/// same hash as `RouteShard`. Used at restore time to redistribute
+/// checkpointed state across an arbitrary shard count.
+int RouteStateKey(const PartitionSpec& spec, const Row& state_key,
+                  int num_shards);
 
 }  // namespace exec
 }  // namespace onesql

@@ -1,5 +1,7 @@
 #include "exec/sharded_dataflow.h"
 
+#include <algorithm>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -203,6 +205,79 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   }
   for (Shard& shard : shards_) shard.capture->records().clear();
   return merge_status;
+}
+
+Status ShardedDataflow::SaveState(state::Writer* w) const {
+  w->PutVarint(shards_.size());
+  for (const Shard& shard : shards_) {
+    state::Writer chain;
+    ONESQL_RETURN_NOT_OK(shard.chain.SaveState(&chain));
+    w->PutBlob(chain);
+  }
+  state::Writer sink;
+  ONESQL_RETURN_NOT_OK(sink_->SaveState(&sink));
+  w->PutBlob(sink);
+  w->PutVarint(next_seq_);
+  return Status::OK();
+}
+
+namespace {
+
+/// Keeps the keyed state owned by shard `shard` of `num_shards` under the
+/// spec's state-key routing; counters load into shard 0 only.
+struct ShardStateFilter : StateKeyFilter {
+  ShardStateFilter(const PartitionSpec* spec, int shard, int num_shards)
+      : spec_(spec), shard_(shard), num_shards_(num_shards) {
+    primary = shard == 0;
+  }
+  bool Keep(const Row& state_key) const override {
+    return RouteStateKey(*spec_, state_key, num_shards_) == shard_;
+  }
+
+ private:
+  const PartitionSpec* spec_;
+  int shard_;
+  int num_shards_;
+};
+
+}  // namespace
+
+Status ShardedDataflow::LoadState(state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nchains, r->ReadVarint());
+  if (nchains == 0) {
+    return Status::DataLoss("checkpoint holds no chain sections");
+  }
+  if (nchains > r->remaining()) {
+    return Status::DataLoss("impossible chain section count in checkpoint");
+  }
+  // Hold the raw bytes of every saved chain section so each target shard can
+  // re-decode all of them with its own ownership filter. A checkpoint taken
+  // at N shards thus restores at M shards with the same merged state: every
+  // group/bucket lands on the shard that will receive its future inputs.
+  std::vector<std::string_view> sections;
+  sections.reserve(static_cast<size_t>(nchains));
+  for (uint64_t i = 0; i < nchains; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(std::string_view bytes, r->ReadBlobBytes());
+    sections.push_back(bytes);
+  }
+  const int num_shards = shard_count();
+  for (int s = 0; s < num_shards; ++s) {
+    ShardStateFilter filter(&spec_, s, num_shards);
+    for (std::string_view bytes : sections) {
+      state::Reader section(bytes);
+      ONESQL_RETURN_NOT_OK(
+          shards_[static_cast<size_t>(s)].chain.LoadState(&section, &filter));
+      ONESQL_RETURN_NOT_OK(section.ExpectEnd());
+    }
+  }
+  ONESQL_ASSIGN_OR_RETURN(state::Reader sink_section, r->ReadBlob());
+  ONESQL_RETURN_NOT_OK(sink_->LoadState(&sink_section, nullptr));
+  ONESQL_RETURN_NOT_OK(sink_section.ExpectEnd());
+  ONESQL_ASSIGN_OR_RETURN(uint64_t seq, r->ReadVarint());
+  // Continue the input sequence so stateless round-robin routing stays
+  // deterministic across the restore boundary.
+  next_seq_ = std::max(next_seq_, seq);
+  return r->ExpectEnd();
 }
 
 Status ShardedDataflow::AdvanceTo(Timestamp ptime) {

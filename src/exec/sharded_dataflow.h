@@ -75,6 +75,13 @@ class ShardedDataflow : public DataflowRuntime {
     return aggregates_;
   }
   const std::vector<JoinOperator*>& joins() const override { return joins_; }
+  Status SaveState(state::Writer* w) const override;
+
+  /// Restores a checkpoint taken at *any* shard count: every target shard
+  /// re-reads all saved chain sections, keeping exactly the keyed state it
+  /// owns under this runtime's routing (RouteStateKey), so the merged state
+  /// is bit-identical regardless of the saving and loading shard counts.
+  Status LoadState(state::Reader* r) override;
 
  private:
   struct Shard {

@@ -248,6 +248,184 @@ std::vector<Row> MaterializationSink::CurrentSnapshot() const {
   return out;
 }
 
+namespace {
+
+void SaveRowCountMap(const std::map<Row, int64_t, RowLess>& map,
+                     state::Writer* w) {
+  w->PutVarint(map.size());
+  for (const auto& [row, count] : map) {
+    w->PutRow(row);
+    w->PutSigned(count);
+  }
+}
+
+Status LoadRowCountMap(std::map<Row, int64_t, RowLess>* map,
+                       state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t n, r->ReadVarint());
+  if (n > r->remaining()) {
+    return Status::DataLoss("impossible row-count map size in checkpoint");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Row row, r->ReadRow());
+    ONESQL_ASSIGN_OR_RETURN(int64_t count, r->ReadSigned());
+    (*map)[std::move(row)] += count;
+  }
+  return Status::OK();
+}
+
+void SaveOptionalTimestamp(const std::optional<Timestamp>& t,
+                           state::Writer* w) {
+  w->PutBool(t.has_value());
+  if (t.has_value()) w->PutTimestamp(*t);
+}
+
+Result<std::optional<Timestamp>> LoadOptionalTimestamp(state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(bool has, r->ReadBool());
+  if (!has) return std::optional<Timestamp>();
+  ONESQL_ASSIGN_OR_RETURN(Timestamp t, r->ReadTimestamp());
+  return std::optional<Timestamp>(t);
+}
+
+void SaveTimerQueue(const std::multimap<Timestamp, Row>& timers,
+                    state::Writer* w) {
+  // Multimap order (timestamp, then insertion order) is deterministic and
+  // reload preserves it, so restored timers fire in the original order.
+  w->PutVarint(timers.size());
+  for (const auto& [at, key] : timers) {
+    w->PutTimestamp(at);
+    w->PutRow(key);
+  }
+}
+
+Status LoadTimerQueue(std::multimap<Timestamp, Row>* timers,
+                      state::Reader* r) {
+  ONESQL_ASSIGN_OR_RETURN(uint64_t n, r->ReadVarint());
+  if (n > r->remaining()) {
+    return Status::DataLoss("impossible timer queue size in checkpoint");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Timestamp at, r->ReadTimestamp());
+    ONESQL_ASSIGN_OR_RETURN(Row key, r->ReadRow());
+    timers->emplace(at, std::move(key));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MaterializationSink::SaveState(state::Writer* w) const {
+  merger_.SaveState(w);
+  w->PutTimestamp(now_);
+  w->PutSigned(late_drops_);
+
+  // Key states, sorted by key for a canonical byte stream.
+  std::vector<const std::pair<const Row, KeyState>*> entries;
+  entries.reserve(keys_.size());
+  for (const auto& entry : keys_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) {
+              return RowLess{}(a->first, b->first);
+            });
+  w->PutVarint(entries.size());
+  for (const auto* entry : entries) {
+    const KeyState& state = entry->second;
+    w->PutRow(entry->first);
+    SaveRowCountMap(state.last, w);
+    SaveRowCountMap(state.current, w);
+    SaveOptionalTimestamp(state.deadline, w);
+    SaveOptionalTimestamp(state.completeness, w);
+    w->PutBool(state.on_time_fired);
+    w->PutBool(state.complete);
+    w->PutSigned(state.next_ver);
+  }
+
+  SaveTimerQueue(timers_, w);
+  SaveTimerQueue(pending_complete_, w);
+
+  w->PutVarint(emissions_.size());
+  for (const Emission& e : emissions_) {
+    w->PutRow(e.row);
+    w->PutBool(e.undo);
+    w->PutTimestamp(e.ptime);
+    w->PutSigned(e.ver);
+  }
+
+  // The changelog; the incrementally maintained snapshot is intentionally
+  // not serialized — LoadState rebuilds it from these changes.
+  w->PutVarint(table_.size());
+  for (const Change& change : table_) w->PutChange(change);
+  return Status::OK();
+}
+
+Status MaterializationSink::LoadState(state::Reader* r,
+                                      const StateKeyFilter* filter) {
+  (void)filter;  // the sink is shared across shards; loaded exactly once
+  ONESQL_RETURN_NOT_OK(merger_.LoadState(r));
+  ONESQL_ASSIGN_OR_RETURN(Timestamp now, r->ReadTimestamp());
+  now_ = std::max(now_, now);
+  ONESQL_ASSIGN_OR_RETURN(int64_t drops, r->ReadSigned());
+  late_drops_ += drops;
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nkeys, r->ReadVarint());
+  if (nkeys > r->remaining()) {
+    return Status::DataLoss("impossible sink key count in checkpoint");
+  }
+  for (uint64_t i = 0; i < nkeys; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Row key, r->ReadRow());
+    KeyState state;
+    ONESQL_RETURN_NOT_OK(LoadRowCountMap(&state.last, r));
+    ONESQL_RETURN_NOT_OK(LoadRowCountMap(&state.current, r));
+    ONESQL_ASSIGN_OR_RETURN(state.deadline, LoadOptionalTimestamp(r));
+    ONESQL_ASSIGN_OR_RETURN(state.completeness, LoadOptionalTimestamp(r));
+    ONESQL_ASSIGN_OR_RETURN(state.on_time_fired, r->ReadBool());
+    ONESQL_ASSIGN_OR_RETURN(state.complete, r->ReadBool());
+    ONESQL_ASSIGN_OR_RETURN(state.next_ver, r->ReadSigned());
+    const bool inserted =
+        keys_.emplace(std::move(key), std::move(state)).second;
+    if (!inserted) {
+      return Status::DataLoss("duplicate sink key state in checkpoint");
+    }
+  }
+
+  ONESQL_RETURN_NOT_OK(LoadTimerQueue(&timers_, r));
+  ONESQL_RETURN_NOT_OK(LoadTimerQueue(&pending_complete_, r));
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nemissions, r->ReadVarint());
+  if (nemissions > r->remaining()) {
+    return Status::DataLoss("impossible emission count in checkpoint");
+  }
+  emissions_.reserve(emissions_.size() + static_cast<size_t>(nemissions));
+  for (uint64_t i = 0; i < nemissions; ++i) {
+    Emission e;
+    ONESQL_ASSIGN_OR_RETURN(e.row, r->ReadRow());
+    ONESQL_ASSIGN_OR_RETURN(e.undo, r->ReadBool());
+    ONESQL_ASSIGN_OR_RETURN(e.ptime, r->ReadTimestamp());
+    ONESQL_ASSIGN_OR_RETURN(e.ver, r->ReadSigned());
+    emissions_.push_back(std::move(e));
+  }
+
+  ONESQL_ASSIGN_OR_RETURN(uint64_t nchanges, r->ReadVarint());
+  if (nchanges > r->remaining()) {
+    return Status::DataLoss("impossible changelog size in checkpoint");
+  }
+  table_.reserve(table_.size() + static_cast<size_t>(nchanges));
+  for (uint64_t i = 0; i < nchanges; ++i) {
+    ONESQL_ASSIGN_OR_RETURN(Change change, r->ReadChange());
+    // Rebuild the incrementally maintained snapshot from the changelog (the
+    // same fold Materialize applies), so they cannot diverge.
+    if (change.kind == ChangeKind::kInsert) {
+      snapshot_[change.row] += 1;
+    } else if (change.kind == ChangeKind::kDelete) {
+      auto it = snapshot_.find(change.row);
+      if (it != snapshot_.end()) {
+        if (--it->second == 0) snapshot_.erase(it);
+      }
+    }
+    table_.push_back(std::move(change));
+  }
+  return Status::OK();
+}
+
 size_t MaterializationSink::StateBytes() const {
   size_t total = 0;
   for (const auto& [key, state] : keys_) {

@@ -85,6 +85,17 @@ class MaterializationSink : public Operator {
   }
   size_t StateBytes() const override;
 
+  /// Serializes the whole sink — key states, timer queues, the emission
+  /// stream, and the result changelog — in the canonical encoding. The sink
+  /// is shared across shards, so unlike chain operators it is saved and
+  /// loaded exactly once regardless of the shard count; `filter` is ignored.
+  Status SaveState(state::Writer* w) const override;
+
+  /// Restores into a freshly constructed sink (same SinkConfig). The
+  /// incrementally maintained snapshot is rebuilt from the restored
+  /// changelog rather than deserialized, so the two can never diverge.
+  Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
+
  private:
   struct KeyState {
     // Net result rows already materialized / not yet materialized.

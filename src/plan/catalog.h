@@ -32,6 +32,10 @@ class Catalog {
 
   bool Contains(const std::string& name) const;
 
+  /// All registered relations, keyed by lowercased name (deterministic
+  /// order — used by the checkpoint writer to serialize the catalog).
+  const std::map<std::string, TableDef>& tables() const { return tables_; }
+
  private:
   std::map<std::string, TableDef> tables_;  // keyed by lowercased name
 };

@@ -1,0 +1,128 @@
+#include "state/frame.h"
+
+#include <cstdio>
+
+#include "common/crc32.h"
+
+#include <cerrno>
+
+#ifdef _WIN32
+#include <direct.h>
+#include <io.h>
+#else
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace onesql {
+namespace state {
+
+namespace {
+
+void PutU32LE(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32LE(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+int FsyncFile(std::FILE* f) {
+#ifdef _WIN32
+  return _commit(_fileno(f));
+#else
+  return ::fsync(fileno(f));
+#endif
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  const size_t start = out->size();
+  PutU32LE(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+  // CRC over length word + payload: a flipped length bit fails verification
+  // instead of re-framing the remainder of the file.
+  const uint32_t crc = Crc32(out->data() + start, 4 + payload.size());
+  PutU32LE(out, crc);
+}
+
+Result<std::string_view> ReadFrame(const char** p, const char* end) {
+  const char* q = *p;
+  if (end - q < 4) {
+    return Status::DataLoss("truncated frame: missing length header");
+  }
+  const uint32_t len = GetU32LE(q);
+  if (static_cast<uint64_t>(end - q) < 4 + static_cast<uint64_t>(len) + 4) {
+    return Status::DataLoss(
+        "truncated frame: payload or checksum cut short (frame claims " +
+        std::to_string(len) + " payload bytes, " +
+        std::to_string(end - q - 4) + " remain)");
+  }
+  const uint32_t want = GetU32LE(q + 4 + len);
+  const uint32_t got = Crc32(q, 4 + len);
+  if (want != got) {
+    return Status::DataLoss("frame checksum mismatch: stored CRC32 does not "
+                            "match the frame contents (corrupted file)");
+  }
+  std::string_view payload(q + 4, len);
+  *p = q + 4 + len + 4;
+  return payload;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::DataLoss("I/O error while reading '" + path + "'");
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + tmp + "' for writing");
+  }
+  const bool wrote =
+      data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const bool flushed = std::fflush(f) == 0 && FsyncFile(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::DataLoss("failed to write '" + tmp + "' durably");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::DataLoss("failed to rename '" + tmp + "' into place");
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+#ifdef _WIN32
+  if (_mkdir(path.c_str()) == 0 || errno == EEXIST) return Status::OK();
+#else
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+#endif
+  return Status::InvalidArgument("cannot create directory '" + path + "'");
+}
+
+}  // namespace state
+}  // namespace onesql

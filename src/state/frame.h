@@ -1,0 +1,49 @@
+#ifndef ONESQL_STATE_FRAME_H_
+#define ONESQL_STATE_FRAME_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace onesql {
+namespace state {
+
+/// CRC32-checksummed frames — the integrity unit shared by the write-ahead
+/// feed log and checkpoint files.
+///
+/// On-disk layout of one frame:
+///
+///   +----------------+---------------------+----------------+
+///   | length: u32 LE | payload bytes       | crc32: u32 LE  |
+///   +----------------+---------------------+----------------+
+///
+/// The CRC covers the payload *and* the length word, so a damaged length
+/// cannot silently re-frame the rest of the file: a bit flip anywhere in the
+/// frame fails verification. Truncation is detected by the length running
+/// past the end of the file (or a partial trailer).
+
+/// Appends one frame wrapping `payload` to `*out`.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Reads one frame from [*p, end): validates length and CRC, advances *p
+/// past the frame, and returns a view of the payload (into the same backing
+/// buffer). Truncated or corrupted frames yield Status::DataLoss.
+Result<std::string_view> ReadFrame(const char** p, const char* end);
+
+/// Reads a whole file into memory. Missing/unreadable files yield NotFound.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path` atomically: the bytes are written to a temporary
+/// sibling, flushed and fsync'd, then renamed into place — a crash during
+/// the write leaves either the old file or the new one, never a torn mix.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Creates directory `path` if it does not exist (one level; parents must
+/// already exist). Succeeds if the directory is already present.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace state
+}  // namespace onesql
+
+#endif  // ONESQL_STATE_FRAME_H_

@@ -1,0 +1,95 @@
+#ifndef ONESQL_STATE_WAL_H_
+#define ONESQL_STATE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/timestamp.h"
+
+namespace onesql {
+namespace state {
+
+/// One durably logged feed event. This mirrors the engine's FeedEvent but is
+/// defined here so the state layer does not depend on the engine layer; the
+/// engine converts between the two shapes at its WAL boundary.
+struct WalRecord {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1, kWatermark = 2 };
+
+  uint64_t seq = 0;  ///< Position in the global feed order, 0-based.
+  Kind kind = Kind::kInsert;
+  std::string source;
+  Timestamp ptime = Timestamp::Min();
+  Row row;                             ///< kInsert / kDelete
+  Timestamp watermark = Timestamp::Min();  ///< kWatermark
+};
+
+/// The write-ahead feed log: an append-only file of CRC32-framed WalRecords,
+/// preceded by a magic/version header frame. Every feed event is appended
+/// (and fsync'd at batch boundaries) *before* it is dispatched to running
+/// queries, so a crash loses at most events the caller was never told were
+/// accepted.
+///
+/// File layout:
+///
+///   frame 0:  "1SQLWAL1" magic + varint format version (currently 1)
+///   frame 1…: one WalRecord each (varint seq, u8 kind, string source,
+///             signed-varint ptime millis, then row or watermark payload)
+///
+/// Records carry explicit sequence numbers so recovery can replay exactly
+/// the suffix past a checkpoint's feed position. Sequence numbers must be
+/// contiguous; a gap or regression is reported as corruption.
+///
+/// Any structural damage — truncated frame, CRC mismatch, bad magic, wrong
+/// version, non-contiguous seq — fails with Status::DataLoss. The log is
+/// strict by design: a damaged WAL is surfaced to the operator rather than
+/// silently replayed up to the damage point.
+class FeedLog {
+ public:
+  FeedLog() = default;
+  ~FeedLog();
+
+  FeedLog(const FeedLog&) = delete;
+  FeedLog& operator=(const FeedLog&) = delete;
+  FeedLog(FeedLog&& other) noexcept;
+  FeedLog& operator=(FeedLog&& other) noexcept;
+
+  /// Opens (creating if absent) the log at `path` for appending. An existing
+  /// file is fully validated first — every frame checked, every record
+  /// decoded — and the next sequence number is recovered from its tail.
+  static Result<FeedLog> Open(const std::string& path);
+
+  /// Reads and validates every record of the log at `path` without opening
+  /// it for appending. An empty vector means a fresh (header-only) log.
+  static Result<std::vector<WalRecord>> ReadAll(const std::string& path);
+
+  /// Appends one record (buffered; call Sync before dispatching the event).
+  /// `record.seq` must equal next_seq().
+  Status Append(const WalRecord& record);
+
+  /// Flushes buffered appends to the OS and fsyncs the file.
+  Status Sync();
+
+  /// Closes the underlying file (Sync first if records were appended).
+  Status Close();
+
+  /// Sequence number the next Append must carry.
+  uint64_t next_seq() const { return next_seq_; }
+
+  const std::string& path() const { return path_; }
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t next_seq_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace state
+}  // namespace onesql
+
+#endif  // ONESQL_STATE_WAL_H_

@@ -1,0 +1,157 @@
+// LEB128 varints + zigzag: the integer encoding of the durability layer.
+// Checked for round-trips at every length boundary, canonical encoded sizes,
+// and strict rejection of truncated input.
+
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace onesql {
+namespace {
+
+uint64_t RoundTrip(uint64_t v, size_t* encoded_size = nullptr) {
+  std::string buf;
+  AppendVarint64(&buf, v);
+  if (encoded_size != nullptr) *encoded_size = buf.size();
+  const char* p = buf.data();
+  uint64_t out = 0;
+  EXPECT_TRUE(GetVarint64(&p, buf.data() + buf.size(), &out));
+  EXPECT_EQ(p, buf.data() + buf.size()) << "decoder must consume everything";
+  return out;
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const std::vector<uint64_t> values = {
+      0,
+      1,
+      127,
+      128,
+      16383,
+      16384,
+      (1ull << 21) - 1,
+      1ull << 21,
+      (1ull << 28) - 1,
+      1ull << 28,
+      1ull << 35,
+      1ull << 42,
+      1ull << 49,
+      1ull << 56,
+      1ull << 63,
+      std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    EXPECT_EQ(RoundTrip(v), v);
+  }
+}
+
+TEST(VarintTest, EncodedSizes) {
+  size_t size = 0;
+  RoundTrip(0, &size);
+  EXPECT_EQ(size, 1u);
+  RoundTrip(127, &size);
+  EXPECT_EQ(size, 1u);
+  RoundTrip(128, &size);
+  EXPECT_EQ(size, 2u);
+  RoundTrip(16383, &size);
+  EXPECT_EQ(size, 2u);
+  RoundTrip(16384, &size);
+  EXPECT_EQ(size, 3u);
+  RoundTrip(std::numeric_limits<uint64_t>::max(), &size);
+  EXPECT_EQ(size, 10u);
+}
+
+TEST(VarintTest, TruncatedInputIsRejected) {
+  std::string buf;
+  AppendVarint64(&buf, 1ull << 42);  // multi-byte encoding
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const char* p = buf.data();
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&p, buf.data() + cut, &out))
+        << "cut at " << cut << " of " << buf.size();
+  }
+}
+
+TEST(VarintTest, OverlongInputIsRejected) {
+  // 11 continuation bytes: no valid uint64_t is that long.
+  std::string buf(11, static_cast<char>(0x80));
+  buf.push_back(0x01);
+  const char* p = buf.data();
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint64(&p, buf.data() + buf.size(), &out));
+}
+
+TEST(VarintTest, ConcatenatedStream) {
+  std::string buf;
+  for (uint64_t v = 0; v < 1000; v += 7) AppendVarint64(&buf, v * v);
+  const char* p = buf.data();
+  const char* end = buf.data() + buf.size();
+  for (uint64_t v = 0; v < 1000; v += 7) {
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&p, end, &out));
+    EXPECT_EQ(out, v * v);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(ZigzagTest, KnownMapping) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagEncode(2), 4u);
+  EXPECT_EQ(ZigzagDecode(0), 0);
+  EXPECT_EQ(ZigzagDecode(1), -1);
+  EXPECT_EQ(ZigzagDecode(2), 1);
+}
+
+TEST(ZigzagTest, RoundTripsExtremes) {
+  const std::vector<int64_t> values = {0,
+                                       -1,
+                                       1,
+                                       -64,
+                                       63,
+                                       std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(SignedVarintTest, RoundTrips) {
+  const std::vector<int64_t> values = {0,
+                                       -1,
+                                       1,
+                                       -127,
+                                       128,
+                                       -100000,
+                                       1ll << 40,
+                                       std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  std::string buf;
+  for (int64_t v : values) AppendSignedVarint64(&buf, v);
+  const char* p = buf.data();
+  const char* end = buf.data() + buf.size();
+  for (int64_t v : values) {
+    int64_t out = 0;
+    ASSERT_TRUE(GetSignedVarint64(&p, end, &out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(SignedVarintTest, SmallMagnitudesStayShort) {
+  // The point of zigzag: -1 must not cost 10 bytes.
+  std::string buf;
+  AppendSignedVarint64(&buf, -1);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  AppendSignedVarint64(&buf, -63);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+}  // namespace
+}  // namespace onesql

@@ -199,6 +199,115 @@ TEST_F(EngineTest, FeedBatchApi) {
   EXPECT_EQ((*q)->watermark(), T(8, 1));
 }
 
+TEST_F(EngineTest, FeedDispatchesValidPrefixOnError) {
+  // Engine::Feed's contract: the batch is validated event by event, and on
+  // the first invalid event the valid prefix has already been recorded and
+  // dispatched — exactly matching the event-by-event path — with the error
+  // returned afterwards.
+  auto q = engine_.Execute("SELECT bidtime, price FROM Bid");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  auto insert = [](int pm, int64_t price) {
+    FeedEvent e;
+    e.kind = FeedEvent::Kind::kInsert;
+    e.source = "Bid";
+    e.ptime = T(8, pm);
+    e.row = {Value::Time(T(8, pm - 1)), Value::Int64(price),
+             Value::String("A")};
+    return e;
+  };
+  std::vector<FeedEvent> events = {insert(1, 10), insert(2, 20)};
+  FeedEvent bad = insert(3, 30);
+  bad.row.pop_back();  // arity mismatch
+  events.push_back(bad);
+  events.push_back(insert(4, 40));  // never reached
+
+  const Status s = engine_.Feed(events);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  // Exactly the two valid leading events were recorded and dispatched.
+  EXPECT_EQ(engine_.history_size(), 2u);
+  EXPECT_EQ(engine_.feed_seq(), 2u);
+  auto rows = (*q)->CurrentSnapshot();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+
+  // The engine is not poisoned: the tail (sans the bad event) still feeds.
+  EXPECT_TRUE(engine_.Feed({insert(4, 40)}).ok());
+  EXPECT_EQ(engine_.history_size(), 3u);
+
+  // A mid-batch ordering violation behaves the same: prefix dispatched,
+  // error deferred.
+  std::vector<FeedEvent> regress = {insert(5, 50), insert(2, 60)};
+  const Status s2 = engine_.Feed(regress);
+  EXPECT_EQ(s2.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.history_size(), 4u);
+  EXPECT_EQ((*q)->CurrentSnapshot()->size(), 4u);
+}
+
+TEST_F(EngineTest, CompactionRetainsWatermarkPositionPerSource) {
+  // The CompactHistory invariant: after compaction, a query executed later
+  // re-establishes each source's watermark position from the retained
+  // last-dominated watermark event — even for a source whose watermark
+  // stopped advancing long before the compaction floor.
+  ASSERT_TRUE(engine_
+                  .RegisterStream(
+                      "Ask", Schema({{"asktime", DataType::kTimestamp, true},
+                                     {"price", DataType::kBigint}}))
+                  .ok());
+  auto q = engine_.Execute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Ask's watermark advances once, early, then never again.
+  const Timestamp ask_mark = Timestamp(30 * 1000);
+  ASSERT_TRUE(
+      engine_.AdvanceWatermark("Ask", Timestamp(31 * 1000), ask_mark).ok());
+
+  // Phase 1: Bid watermarks rise with the feed. Phase 2: Bid's watermark
+  // freezes while events keep arriving, pushing the history over the
+  // compaction threshold with every watermark event dominated by the floor.
+  Timestamp bid_mark = Timestamp::Min();
+  constexpr int kEvents = 10000;
+  for (int i = 0; i < kEvents; ++i) {
+    const Timestamp ptime = Timestamp(static_cast<int64_t>(i + 60) * 1000);
+    ASSERT_TRUE(engine_
+                    .Insert("Bid", ptime,
+                            {Value::Time(ptime), Value::Int64(i % 50),
+                             Value::String("item")})
+                    .ok());
+    if (i < 3000 && i % 50 == 49) {
+      bid_mark = ptime - Interval::Minutes(1);
+      ASSERT_TRUE(engine_.AdvanceWatermark("Bid", ptime, bid_mark).ok());
+    }
+  }
+  // Compaction ran: far fewer events retained than fed.
+  ASSERT_LT(engine_.history_size(), 8000u);
+  ASSERT_EQ((*q)->watermark(), bid_mark);
+
+  // A late-executed Bid query recovers the frozen watermark position from
+  // the single retained dominated watermark event (every Bid watermark
+  // event is at or below the compaction floor, so only the last survives).
+  auto late_bid = engine_.Execute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend");
+  ASSERT_TRUE(late_bid.ok()) << late_bid.status().ToString();
+  EXPECT_EQ((*late_bid)->watermark(), bid_mark);
+
+  // Same for the idle source: its long-dominated watermark event survived
+  // compaction, so a late Ask query sees Ask's position, not Min().
+  auto late_ask = engine_.Execute(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Ask), timecol => DESCRIPTOR(asktime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend");
+  ASSERT_TRUE(late_ask.ok()) << late_ask.status().ToString();
+  EXPECT_EQ((*late_ask)->watermark(), ask_mark);
+}
+
 TEST_F(EngineTest, HistoryIsCompactedOnceWatermarksAdvance) {
   // Regression guard: Execute used to replay an unbounded history_, so the
   // engine's memory grew linearly with the feed forever. With a running

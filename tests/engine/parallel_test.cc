@@ -86,6 +86,7 @@ std::vector<FeedEvent> MakeBidFeed(int n) {
 
 struct RunResult {
   int shard_count = 0;
+  size_t state_bytes = 0;
   std::vector<Row> stream;
   std::vector<Row> snapshot;
 };
@@ -111,6 +112,7 @@ RunResult RunBidScenario(const std::string& sql, int shards,
   if (!execute_before_feed) run();
   if (query == nullptr) return result;
   result.shard_count = query->dataflow().shard_count();
+  result.state_bytes = query->StateBytes();
   result.stream = query->StreamRows();
   auto snapshot = query->CurrentSnapshot();
   EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
@@ -140,6 +142,10 @@ void ExpectDeterministicAcrossShardCounts(const std::string& sql,
                    " execute_before_feed=" + std::to_string(before));
       const RunResult run = RunBidScenario(sql, shards, feed, before);
       EXPECT_EQ(run.shard_count, expect_sharded ? shards : 1);
+      // Keyed operator state is accounted per entry, never per shard, so the
+      // total must be invariant under re-partitioning.
+      EXPECT_EQ(run.state_bytes, baseline.state_bytes)
+          << "StateBytes() must not depend on the shard count";
       ExpectSameRows(run.stream, baseline.stream, "stream rendering");
       ExpectSameRows(run.snapshot, baseline.snapshot, "snapshot");
     }

@@ -1,0 +1,119 @@
+// The checkpoint container: header validation, section round trips, atomic
+// overwrite, and DataLoss on every kind of file damage.
+
+#include "state/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "state/frame.h"
+#include "tests/state/temp_dir.h"
+
+namespace onesql {
+namespace state {
+namespace {
+
+TEST(CheckpointContainerTest, RoundTripsSections) {
+  const std::string path = NewTempDir("ckpt") + "/checkpoint.osql";
+  CheckpointWriter w;
+  w.AddSection("engine section");
+  w.AddSection(std::string("\x00\x01\x02", 3));
+  w.AddSection("");
+  w.AddSection(std::string(4096, 'q'));
+  ASSERT_TRUE(w.WriteTo(path).ok());
+
+  auto r = CheckpointReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_sections(), 4u);
+  EXPECT_EQ(r->section(0), "engine section");
+  EXPECT_EQ(r->section(1), std::string_view("\x00\x01\x02", 3));
+  EXPECT_EQ(r->section(2), "");
+  EXPECT_EQ(r->section(3), std::string(4096, 'q'));
+}
+
+TEST(CheckpointContainerTest, EmptyCheckpointHasHeaderOnly) {
+  const std::string path = NewTempDir("ckpt") + "/checkpoint.osql";
+  ASSERT_TRUE(CheckpointWriter().WriteTo(path).ok());
+  auto r = CheckpointReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_sections(), 0u);
+}
+
+TEST(CheckpointContainerTest, OverwriteReplacesAtomically) {
+  const std::string path = NewTempDir("ckpt") + "/checkpoint.osql";
+  CheckpointWriter v1;
+  v1.AddSection("version one");
+  ASSERT_TRUE(v1.WriteTo(path).ok());
+  CheckpointWriter v2;
+  v2.AddSection("version two");
+  v2.AddSection("extra");
+  ASSERT_TRUE(v2.WriteTo(path).ok());
+  auto r = CheckpointReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_sections(), 2u);
+  EXPECT_EQ(r->section(0), "version two");
+}
+
+TEST(CheckpointContainerTest, MissingFileIsNotFound) {
+  auto r = CheckpointReader::Open(NewTempDir("ckpt") + "/absent");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointContainerTest, NotACheckpointIsDataLoss) {
+  const std::string path = NewTempDir("ckpt") + "/checkpoint.osql";
+  ASSERT_TRUE(WriteFileAtomic(path, "random bytes, not a checkpoint").ok());
+  auto r = CheckpointReader::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointContainerTest, EveryByteFlipIsDataLoss) {
+  const std::string dir = NewTempDir("ckpt");
+  const std::string path = dir + "/checkpoint.osql";
+  CheckpointWriter w;
+  w.AddSection("abcdefgh");
+  w.AddSection("12345678");
+  ASSERT_TRUE(w.WriteTo(path).ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string damaged_path = dir + "/damaged.osql";
+  for (size_t byte = 0; byte < bytes->size(); ++byte) {
+    std::string damaged = *bytes;
+    damaged[byte] = static_cast<char>(damaged[byte] ^ 0x01);
+    ASSERT_TRUE(WriteFileAtomic(damaged_path, damaged).ok());
+    auto r = CheckpointReader::Open(damaged_path);
+    ASSERT_FALSE(r.ok()) << "flip at byte " << byte;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(CheckpointContainerTest, TruncationIsDataLossOrFewerSections) {
+  const std::string dir = NewTempDir("ckpt");
+  const std::string path = dir + "/checkpoint.osql";
+  CheckpointWriter w;
+  w.AddSection("first section");
+  w.AddSection("second section");
+  ASSERT_TRUE(w.WriteTo(path).ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string damaged_path = dir + "/damaged.osql";
+  for (size_t cut = 0; cut < bytes->size(); ++cut) {
+    ASSERT_TRUE(WriteFileAtomic(damaged_path, bytes->substr(0, cut)).ok());
+    auto r = CheckpointReader::Open(damaged_path);
+    if (r.ok()) {
+      // Acceptable only at exact frame boundaries (fewer whole sections).
+      EXPECT_LT(r->num_sections(), 2u) << "cut at " << cut;
+      continue;
+    }
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace state
+}  // namespace onesql

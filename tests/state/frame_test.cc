@@ -1,0 +1,106 @@
+// CRC32-checksummed frames and the atomic file helpers: round trips,
+// exhaustive single-bit fault injection, and truncation at every byte.
+
+#include "state/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tests/state/temp_dir.h"
+
+namespace onesql {
+namespace state {
+namespace {
+
+TEST(FrameTest, RoundTripsSeveralFrames) {
+  const std::vector<std::string> payloads = {"", "a", "hello frames",
+                                             std::string(10000, 'x'),
+                                             std::string("\x00\xff\x7f", 3)};
+  std::string buf;
+  for (const std::string& p : payloads) AppendFrame(&buf, p);
+
+  const char* p = buf.data();
+  const char* end = buf.data() + buf.size();
+  for (const std::string& want : payloads) {
+    auto payload = ReadFrame(&p, end);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    EXPECT_EQ(*payload, want);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(FrameTest, TruncationAtEveryByteIsDataLoss) {
+  std::string buf;
+  AppendFrame(&buf, "the only frame");
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const char* p = buf.data();
+    auto payload = ReadFrame(&p, buf.data() + cut);
+    ASSERT_FALSE(payload.ok()) << "cut at " << cut;
+    EXPECT_EQ(payload.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FrameTest, EveryBitFlipIsDetected) {
+  std::string buf;
+  AppendFrame(&buf, "fault injection target");
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = buf;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      const char* p = damaged.data();
+      auto payload = ReadFrame(&p, damaged.data() + damaged.size());
+      // A flipped length bit may also surface as truncation; either way the
+      // frame must not decode as valid.
+      ASSERT_FALSE(payload.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(payload.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(FrameTest, FlippedLengthCannotReframeFollowingFrames) {
+  // Two frames; growing the first frame's length must not make the reader
+  // accept bytes of the second frame as the first frame's payload.
+  std::string buf;
+  AppendFrame(&buf, "first");
+  AppendFrame(&buf, "second");
+  std::string damaged = buf;
+  damaged[0] = static_cast<char>(damaged[0] ^ 0x04);  // length 5 -> 1 or 9...
+  const char* p = damaged.data();
+  auto payload = ReadFrame(&p, damaged.data() + damaged.size());
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FileTest, WriteAtomicThenReadBack) {
+  const std::string dir = NewTempDir("frame");
+  const std::string path = dir + "/blob.bin";
+  const std::string data = std::string("binary\x00payload", 14);
+  ASSERT_TRUE(WriteFileAtomic(path, data).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+
+  // Overwrite is atomic too: the new contents fully replace the old.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "v2");
+}
+
+TEST(FileTest, MissingFileIsNotFound) {
+  auto read = ReadFileToString(NewTempDir("frame") + "/absent");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileTest, EnsureDirectoryIsIdempotent) {
+  const std::string dir = NewTempDir("frame") + "/sub";
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(WriteFileAtomic(dir + "/f", "x").ok());
+}
+
+}  // namespace
+}  // namespace state
+}  // namespace onesql

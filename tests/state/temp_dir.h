@@ -1,0 +1,37 @@
+#ifndef ONESQL_TESTS_STATE_TEMP_DIR_H_
+#define ONESQL_TESTS_STATE_TEMP_DIR_H_
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "state/frame.h"
+
+namespace onesql {
+namespace state {
+
+/// A fresh directory under gtest's temp root, unique per call within the
+/// process (tests run in one process per binary; parallel ctest shards run
+/// distinct binaries, so the pid disambiguates across them).
+inline std::string NewTempDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "onesql_" + tag + "_" +
+                          std::to_string(static_cast<long>(getpid())) + "_" +
+                          std::to_string(counter.fetch_add(1));
+  const Status s = EnsureDirectory(dir);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return dir;
+}
+
+}  // namespace state
+}  // namespace onesql
+
+#endif  // ONESQL_TESTS_STATE_TEMP_DIR_H_

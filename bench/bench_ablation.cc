@@ -184,7 +184,5 @@ BENCHMARK(BM_Ablation)->Arg(0)->Arg(1)->Arg(2);
 
 int main(int argc, char** argv) {
   onesql::bench::PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("ablation", &argc, &argv[0]);
 }

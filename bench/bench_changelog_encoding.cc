@@ -126,7 +126,5 @@ BENCHMARK(BM_SnapshotReconstruction);
 
 int main(int argc, char** argv) {
   onesql::bench::PrintEncodingSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("changelog_encoding", &argc, &argv[0]);
 }

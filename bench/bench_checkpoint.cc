@@ -215,4 +215,4 @@ BENCHMARK(BM_RestoreByReplay)
 }  // namespace bench
 }  // namespace onesql
 
-BENCHMARK_MAIN();
+ONESQL_BENCH_MAIN("checkpoint")

@@ -228,7 +228,5 @@ BENCHMARK(BM_SqlQ7AfterWatermark);
 int main(int argc, char** argv) {
   onesql::bench::PrintPaperComparison();
   onesql::bench::PrintDisorderSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("cql_baseline", &argc, &argv[0]);
 }

@@ -131,7 +131,5 @@ BENCHMARK_CAPTURE(BM_EmitVariant, after_watermark,
 
 int main(int argc, char** argv) {
   onesql::bench::PrintEmitSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("emit_controls", &argc, &argv[0]);
 }

@@ -161,7 +161,5 @@ BENCHMARK(BM_TemporalTailCount);
 int main(int argc, char** argv) {
   onesql::bench::PrintSessionStateSweep();
   onesql::bench::PrintTailStateSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("future_work", &argc, &argv[0]);
 }

@@ -158,7 +158,5 @@ BENCHMARK(BM_PaperQ7CompileOnly);
 
 int main(int argc, char** argv) {
   onesql::bench::PrintListings();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("listings", &argc, &argv[0]);
 }

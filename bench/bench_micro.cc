@@ -157,4 +157,4 @@ BENCHMARK(BM_EndToEndFilterProject);
 }  // namespace bench
 }  // namespace onesql
 
-BENCHMARK_MAIN();
+ONESQL_BENCH_MAIN("micro")

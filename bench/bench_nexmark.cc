@@ -101,7 +101,5 @@ BENCHMARK(BM_GeneratorOnly);
 
 int main(int argc, char** argv) {
   onesql::bench::PrintThroughputTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("nexmark", &argc, &argv[0]);
 }

@@ -139,4 +139,4 @@ BENCHMARK(BM_StatelessPipelineSharded)
 }  // namespace bench
 }  // namespace onesql
 
-BENCHMARK_MAIN();
+ONESQL_BENCH_MAIN("parallel")

@@ -125,7 +125,5 @@ BENCHMARK(BM_Q7WithoutWatermarks)->Arg(1000)->Arg(4000);
 
 int main(int argc, char** argv) {
   onesql::bench::PrintStateSeries();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return onesql::bench::RunBenchmarksAndDumpJson("state_cleanup", &argc, &argv[0]);
 }

@@ -1,7 +1,11 @@
 #ifndef ONESQL_BENCH_BENCH_UTIL_H_
 #define ONESQL_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -97,7 +101,117 @@ inline void PrintSection(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output
+// ---------------------------------------------------------------------------
+
+/// Console reporter that additionally collects every measured run and dumps a
+/// compact JSON summary — one record per benchmark instance with p50/p95/p99
+/// per-iteration time across its repetitions (a single repetition collapses
+/// the three to the same value) plus throughput counters when the benchmark
+/// reported them. Keeps the human-readable console table intact.
+class JsonBenchReporter : public ::benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string key = run.run_name.function_name;
+      if (!run.run_name.args.empty()) key += "/" + run.run_name.args;
+      Samples& s = samples_[key];
+      s.params = run.run_name.args;
+      s.iterations += run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      s.time_ns.push_back(run.real_accumulated_time / iters * 1e9);
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) s.items_per_second = items->second;
+      auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) s.bytes_per_second = bytes->second;
+    }
+  }
+
+  /// Writes `BENCH_<bench_name>.json` into the working directory.
+  bool WriteJson(const std::string& bench_name) {
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"benchmarks\":[", bench_name.c_str());
+    bool first = true;
+    for (auto& [name, s] : samples_) {
+      std::sort(s.time_ns.begin(), s.time_ns.end());
+      std::fprintf(
+          f,
+          "%s\n  {\"name\":\"%s\",\"params\":\"%s\",\"repetitions\":%zu,"
+          "\"iterations\":%lld,\"p50_ns\":%.1f,\"p95_ns\":%.1f,"
+          "\"p99_ns\":%.1f,\"items_per_second\":%.1f,"
+          "\"bytes_per_second\":%.1f}",
+          first ? "" : ",", Escape(name).c_str(), Escape(s.params).c_str(),
+          s.time_ns.size(), static_cast<long long>(s.iterations),
+          Percentile(s.time_ns, 50), Percentile(s.time_ns, 95),
+          Percentile(s.time_ns, 99), s.items_per_second, s.bytes_per_second);
+      first = false;
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Samples {
+    std::string params;
+    long long iterations = 0;
+    std::vector<double> time_ns;  // per-iteration time, one per repetition
+    double items_per_second = 0;
+    double bytes_per_second = 0;
+  };
+
+  static double Percentile(const std::vector<double>& sorted, int pct) {
+    if (sorted.empty()) return 0;
+    size_t rank = (sorted.size() * static_cast<size_t>(pct) + 99) / 100;
+    if (rank > 0) --rank;
+    if (rank >= sorted.size()) rank = sorted.size() - 1;
+    return sorted[rank];
+  }
+
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::map<std::string, Samples> samples_;
+};
+
+/// Shared driver for every bench binary: parses benchmark flags, runs the
+/// registered benchmarks through the JSON-collecting reporter, and writes
+/// BENCH_<bench_name>.json next to the console output.
+inline int RunBenchmarksAndDumpJson(const std::string& bench_name, int* argc,
+                                    char** argv) {
+  ::benchmark::Initialize(argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(*argc, argv)) return 1;
+  JsonBenchReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  const bool ok = reporter.WriteJson(bench_name);
+  ::benchmark::Shutdown();
+  return ok ? 0 : 1;
+}
+
 }  // namespace bench
 }  // namespace onesql
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits the JSON summary.
+#define ONESQL_BENCH_MAIN(bench_name)                                       \
+  int main(int argc, char** argv) {                                         \
+    return ::onesql::bench::RunBenchmarksAndDumpJson(bench_name, &argc,     \
+                                                     argv);                 \
+  }
 
 #endif  // ONESQL_BENCH_BENCH_UTIL_H_

@@ -4,10 +4,19 @@
 # ASan/UBSan sweep of the whole suite (the byte-flip and truncation fault
 # injections run under the sanitizers here — damaged files must fail with a
 # clean Status, never UB), then a TSan pass over the threaded
-# sharded-runtime tests including the sharded checkpoint/restore path.
+# sharded-runtime tests (including the sharded checkpoint/restore path) and
+# the observability suites: the lock-free metrics/trace primitives under a
+# concurrent-registry hammer, and end-to-end metrics on the 8-shard runtime.
 # Every build compiles with -Wall -Wextra -Werror.
-set -euo pipefail
+#
+# Fail-fast: `set -e` alone does not fire inside `if`/`&&`/`||` contexts and
+# says nothing about *where* a pipeline died, so every leg runs through
+# run_leg(), which propagates the exact exit code and names the failing
+# command. The ERR trap is inherited by functions/subshells via `set -E`.
+set -Eeuo pipefail
 cd "$(dirname "$0")"
+
+trap 'status=$?; echo "ci.sh: FAILED (exit ${status}) at: ${BASH_COMMAND}" >&2; exit "${status}"' ERR
 
 JOBS="${JOBS:-$(nproc)}"
 
@@ -15,32 +24,54 @@ JOBS="${JOBS:-$(nproc)}"
 # macro expansion (tests/common/value_test.cc); keep it non-fatal.
 WARN_FLAGS="-Wall -Wextra -Werror -Wno-error=free-nonheap-object"
 
+run_leg() {
+  local name="$1"
+  shift
+  echo "--- ${name}: $*"
+  local status=0
+  "$@" || status=$?
+  if [ "${status}" -ne 0 ]; then
+    echo "ci.sh: leg '${name}' FAILED (exit ${status}): $*" >&2
+    exit "${status}"
+  fi
+  echo "--- ${name}: ok"
+}
+
 echo "=== tier 1: default build + full test suite ==="
-cmake -B build -S . -DCMAKE_CXX_FLAGS="${WARN_FLAGS}" >/dev/null
-cmake --build build -j"${JOBS}"
-ctest --test-dir build -j"${JOBS}" --output-on-failure
+run_leg "tier1-configure" cmake -B build -S . -DCMAKE_CXX_FLAGS="${WARN_FLAGS}"
+run_leg "tier1-build" cmake --build build -j"${JOBS}"
+run_leg "tier1-ctest" ctest --test-dir build -j"${JOBS}" --output-on-failure
 
 echo "=== ASan/UBSan: full test suite ==="
 # GCC-12 emits -Wmaybe-uninitialized false positives inside std::variant
 # when optimizing under -fsanitize=address,undefined (std::basic_string
 # member of the Value payload); keep that one non-fatal here only.
-cmake -B build-asan -S . \
+run_leg "asan-configure" cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${WARN_FLAGS} -Wno-error=maybe-uninitialized -fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
-cmake --build build-asan -j"${JOBS}"
-ctest --test-dir build-asan -j"${JOBS}" --output-on-failure
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+run_leg "asan-build" cmake --build build-asan -j"${JOBS}"
+run_leg "asan-ctest" ctest --test-dir build-asan -j"${JOBS}" --output-on-failure
 
-echo "=== TSan: threaded sharded-runtime tests ==="
-cmake -B build-tsan -S . \
+echo "=== TSan: threaded sharded-runtime + observability tests ==="
+run_leg "tsan-configure" cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${WARN_FLAGS} -fsanitize=thread" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target engine_test recovery_test
-./build-tsan/tests/engine_test --gtest_filter='ParallelRuntimeTest.*:EngineTest.*'
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+run_leg "tsan-build" cmake --build build-tsan -j"${JOBS}" \
+  --target engine_test recovery_test obs_test observability_test
+run_leg "tsan-engine" ./build-tsan/tests/engine_test \
+  --gtest_filter='ParallelRuntimeTest.*:EngineTest.*'
 # The sharded restore path: SaveState/LoadState across worker threads, and
 # recovery-equivalence at N ∈ {1, 2, 8}.
-./build-tsan/tests/recovery_test \
+run_leg "tsan-recovery" ./build-tsan/tests/recovery_test \
   --gtest_filter='RecoveryEquivalenceTest.*:ShardCountChangingRestoreTest.*'
+# Observability primitives under contention: the sharded-counter /
+# histogram / registry hammer (8 threads racing registration, updates, and
+# snapshots) and the lock-free trace rings.
+run_leg "tsan-obs" ./build-tsan/tests/obs_test \
+  --gtest_filter='*Concurrent*:RegistryTest.*'
+# End-to-end metrics over the threaded runtime, 8 shards included.
+run_leg "tsan-observability" ./build-tsan/tests/observability_test
 
 echo "=== CI passed ==="

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "exec/expr_eval.h"
@@ -128,6 +129,15 @@ exec::InputEvent ToInputEvent(const FeedEvent& event) {
   out.row = event.row;
   out.watermark = event.watermark;
   return out;
+}
+
+/// Wall-clock source for durability latencies (checkpoint save/restore).
+/// Event-time metrics never use this — they run on the logical feed clock.
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 // -- Durable encodings -------------------------------------------------------
@@ -264,6 +274,9 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
 
   auto query = std::unique_ptr<ContinuousQuery>(
       new ContinuousQuery(std::move(flow)));
+  // Attach instruments before the history replay, so the query's metrics
+  // reflect everything its operators ever processed.
+  if (obs_ != nullptr) AttachQueryObs(query.get(), queries_.size());
 
   // Replay into the new query as one batch (a single fork-join barrier on
   // the sharded runtime): static tables first — contents at the beginning
@@ -337,6 +350,34 @@ Status Engine::Record(const FeedEvent& event) {
   ++feed_seq_;
   last_ptime_ = event.ptime;
   history_.push_back(event);
+  // Feed metrics run on the logical feed clock (event ptimes), so they are
+  // exact and deterministic at any shard count. WAL-suffix replay during
+  // Restore() goes through here too: a restored engine counts the replayed
+  // suffix as processing (which it is) and nothing before the checkpoint.
+  if (engine_metrics_ != nullptr) {
+    const obs::SourceMetrics* src = SourceObs(event.source);
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        engine_metrics_->feed_inserts->Increment();
+        src->rows->Increment();
+        break;
+      case FeedEvent::Kind::kDelete:
+        engine_metrics_->feed_deletes->Increment();
+        src->rows->Increment();
+        break;
+      case FeedEvent::Kind::kWatermark: {
+        engine_metrics_->feed_watermarks->Increment();
+        src->watermarks->Increment();
+        // Watermark lag: how far the source's watermark trails the
+        // processing time at which it was advanced.
+        int64_t lag_ms = (event.ptime - event.watermark).millis();
+        if (lag_ms < 0) lag_ms = 0;
+        src->watermark_lag_ms->Record(static_cast<uint64_t>(lag_ms));
+        src->watermark_lag_current_ms->Set(lag_ms);
+        break;
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -351,6 +392,8 @@ Status Engine::SyncWal() {
 }
 
 Status Engine::Dispatch(const FeedEvent& event) {
+  obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "feed", "engine");
+  span.set_aux(1);
   ONESQL_RETURN_NOT_OK(Record(event));
   // Durability barrier: the event hits disk before any query observes it.
   ONESQL_RETURN_NOT_OK(SyncWal());
@@ -423,6 +466,8 @@ Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
 }
 
 Status Engine::Feed(const std::vector<FeedEvent>& events) {
+  obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "feed", "engine");
+  span.set_aux(events.size());
   // Validate and record event by event (validation is order-sensitive:
   // watermark monotonicity and ptime ordering), accumulating the valid
   // prefix, then dispatch it to every query as one batch. Observable
@@ -541,6 +586,9 @@ Status Engine::EnableDurability(const std::string& dir) {
         " — Restore() from this directory first (or start a fresh one)");
   }
   wal_ = std::make_unique<state::FeedLog>(std::move(log));
+  if (obs_ != nullptr && obs_->registry() != nullptr) {
+    wal_->AttachMetrics(obs_->ForWal());
+  }
   return Status::OK();
 }
 
@@ -584,6 +632,9 @@ void Engine::SaveEngineSection(state::Writer* w, uint64_t* num_queries) const {
 }
 
 Status Engine::Checkpoint(const std::string& dir) {
+  obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "checkpoint",
+                 "engine");
+  const uint64_t start_us = engine_metrics_ != nullptr ? MonotonicMicros() : 0;
   // Never let a checkpoint run ahead of the feed log: everything the
   // checkpoint captures must be re-derivable from log replay too.
   ONESQL_RETURN_NOT_OK(SyncWal());
@@ -607,7 +658,17 @@ Status Engine::Checkpoint(const std::string& dir) {
     w.PutBlob(runtime);
     ckpt.AddSection(std::move(w).TakeBuffer());
   }
-  return ckpt.WriteTo(dir + kCheckpointFile);
+  const size_t payload_bytes = ckpt.payload_bytes();
+  ONESQL_RETURN_NOT_OK(ckpt.WriteTo(dir + kCheckpointFile));
+  if (engine_metrics_ != nullptr) {
+    engine_metrics_->checkpoint_saves->Increment();
+    engine_metrics_->checkpoint_save_ms->Record(
+        (MonotonicMicros() - start_us) / 1000);
+    engine_metrics_->checkpoint_bytes->Set(
+        static_cast<int64_t>(payload_bytes));
+  }
+  span.set_aux(payload_bytes);
+  return Status::OK();
 }
 
 Status Engine::LoadEngineSection(state::Reader* r, uint64_t* num_queries,
@@ -699,6 +760,9 @@ Status Engine::RestoreQuerySection(state::Reader* r) {
   query->sql_ = std::move(sql);
   query->allowed_lateness_ = lateness;
   query->resolved_shards_ = static_cast<int>(shards);
+  // Restored operator state is not counted (it was processed by the
+  // checkpointed run); the WAL-suffix replay that follows is.
+  if (obs_ != nullptr) AttachQueryObs(query.get(), queries_.size());
   queries_.push_back(std::move(query));
   return Status::OK();
 }
@@ -710,6 +774,9 @@ Status Engine::Restore(const std::string& dir) {
         "Restore() requires an engine that has not fed events or started "
         "queries yet");
   }
+  obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "restore",
+                 "engine");
+  const uint64_t start_us = engine_metrics_ != nullptr ? MonotonicMicros() : 0;
 
   // Load the checkpoint, if one exists.
   bool ckpt_durable = false;
@@ -794,8 +861,69 @@ Status Engine::Restore(const std::string& dir) {
       return Status::Internal("feed log position diverged during restore");
     }
     wal_ = std::make_unique<state::FeedLog>(std::move(log));
+    if (obs_ != nullptr && obs_->registry() != nullptr) {
+      wal_->AttachMetrics(obs_->ForWal());
+    }
+  }
+  if (engine_metrics_ != nullptr) {
+    engine_metrics_->checkpoint_restores->Increment();
+    engine_metrics_->checkpoint_restore_ms->Record(
+        (MonotonicMicros() - start_us) / 1000);
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+Status Engine::EnableObservability(const obs::ObsOptions& options) {
+  if (obs_ != nullptr) {
+    return Status::InvalidArgument("observability is already enabled");
+  }
+  if (!options.metrics && !options.tracing) {
+    return Status::InvalidArgument(
+        "observability options enable neither metrics nor tracing");
+  }
+  obs_ = std::make_unique<obs::ObsContext>(options);
+  if (obs_->registry() != nullptr) {
+    engine_metrics_ = obs_->ForEngine();
+    if (wal_ != nullptr) wal_->AttachMetrics(obs_->ForWal());
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    AttachQueryObs(queries_[i].get(), i);
+  }
+  return Status::OK();
+}
+
+void Engine::AttachQueryObs(ContinuousQuery* query, size_t index) {
+  query->flow_->AttachObs(obs_.get(), "q" + std::to_string(index),
+                          static_cast<int>(index));
+}
+
+const obs::SourceMetrics* Engine::SourceObs(const std::string& stream) {
+  const std::string key = ToLower(stream);
+  auto it = source_obs_.find(key);
+  if (it != source_obs_.end()) return it->second;
+  const obs::SourceMetrics* bundle = obs_->ForSource(key);
+  source_obs_.emplace(key, bundle);
+  return bundle;
+}
+
+obs::MetricsSnapshot Engine::MetricsSnapshot() {
+  if (obs_ == nullptr || obs_->registry() == nullptr) {
+    return obs::MetricsSnapshot{};
+  }
+  // Publish the sampled gauges (operator state bytes, sink queue depths,
+  // snapshot sizes) so the snapshot is coherent at the current position.
+  for (auto& query : queries_) query->flow_->SampleObsGauges();
+  engine_metrics_->queries->Set(static_cast<int64_t>(queries_.size()));
+  return obs_->registry()->Snapshot();
+}
+
+std::string Engine::DumpTraceJson() const {
+  if (obs_ == nullptr || obs_->trace() == nullptr) return "[]";
+  return obs_->trace()->DumpChromeJson();
 }
 
 Status Engine::AdvanceTo(Timestamp ptime) {

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/schema.h"
 #include "exec/dataflow.h"
+#include "obs/instruments.h"
 #include "plan/catalog.h"
 #include "state/serde.h"
 #include "state/wal.h"
@@ -184,6 +185,33 @@ class Engine {
   /// Number of feed events accepted so far (the WAL sequence position).
   uint64_t feed_seq() const { return feed_seq_; }
 
+  // -- Observability (see DESIGN.md §11) ------------------------------------
+
+  /// Switches the observability layer on. Metrics and tracing are opt-in and
+  /// off by default; when disabled the hot path pays a single null-pointer
+  /// check per instrumented site. Enabling attaches instruments to every
+  /// already-running query and (if durable) the feed log; queries executed
+  /// or restored later attach automatically. Counters are process-lifetime:
+  /// Checkpoint does not persist them and Restore starts a fresh registry —
+  /// only the WAL-suffix replay is counted as processing by the restored
+  /// engine, so nothing is double-counted.
+  Status EnableObservability(const obs::ObsOptions& options);
+
+  bool observability_enabled() const { return obs_ != nullptr; }
+
+  /// Point-in-time snapshot of every metric. Samples the gauges (operator
+  /// state bytes, sink queue depths, snapshot sizes) first, so the snapshot
+  /// is coherent at the current feed position. Empty when observability is
+  /// off or metrics are disabled. Must be called at a feed boundary.
+  obs::MetricsSnapshot MetricsSnapshot();
+
+  /// The recorded trace spans in Chrome trace_event JSON (load into
+  /// chrome://tracing or Perfetto). "[]" when tracing is disabled.
+  std::string DumpTraceJson() const;
+
+  /// The observability context (nullptr until EnableObservability).
+  obs::ObsContext* obs() { return obs_.get(); }
+
   /// Queries running on this engine, in Execute() order — which is also the
   /// checkpoint section order, so after Restore() the i-th query is the one
   /// the i-th Execute() call returned in the checkpointed run.
@@ -231,6 +259,21 @@ class Engine {
   /// Rebuilds one checkpointed query (re-plan, rebuild runtime at the saved
   /// shard count, load operator state) and appends it to `queries_`.
   Status RestoreQuerySection(state::Reader* r);
+
+  /// Attaches the observability context to a query's runtime. `index` is the
+  /// query's position in `queries_` (its metric label is "q<index>").
+  void AttachQueryObs(ContinuousQuery* query, size_t index);
+  /// Per-source instrument bundle, cached so Record() never takes the
+  /// registry lock. Null when metrics are disabled.
+  const obs::SourceMetrics* SourceObs(const std::string& stream);
+
+  // -- Observability state --------------------------------------------------
+  // Declared before the queries: members are destroyed in reverse order, so
+  // the context (and the instruments it owns) outlives every runtime that
+  // borrowed pointers into it.
+  std::unique_ptr<obs::ObsContext> obs_;
+  const obs::EngineMetrics* engine_metrics_ = nullptr;
+  std::unordered_map<std::string, const obs::SourceMetrics*> source_obs_;
 
   plan::Catalog catalog_;
   std::vector<std::unique_ptr<ContinuousQuery>> queries_;

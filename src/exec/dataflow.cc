@@ -11,6 +11,18 @@ size_t CompiledChain::StateBytes() const {
   return total;
 }
 
+void CompiledChain::AttachObs(obs::ObsContext* ctx,
+                              const std::string& query_label) {
+  if (ctx == nullptr || ctx->registry() == nullptr) return;
+  std::unordered_map<std::string, int> seen;
+  for (const auto& op : operators) {
+    std::string label = op->Name();
+    const int occurrence = ++seen[label];
+    if (occurrence > 1) label += "_" + std::to_string(occurrence);
+    op->AttachMetrics(ctx->ForOperator(query_label, label));
+  }
+}
+
 Status CompiledChain::SaveState(state::Writer* w) const {
   w->PutVarint(operators.size());
   for (const auto& op : operators) {
@@ -206,6 +218,8 @@ Status Dataflow::PushWatermark(const std::string& source, Timestamp ptime,
 }
 
 Status Dataflow::PushBatch(const std::vector<InputEvent>& events) {
+  obs::Span span(trace_, "push_batch", "dataflow", query_tag_, 0);
+  span.set_aux(events.size());
   for (const InputEvent& event : events) {
     switch (event.kind) {
       case InputEvent::Kind::kInsert:
@@ -229,6 +243,26 @@ Status Dataflow::AdvanceTo(Timestamp ptime) {
 
 bool Dataflow::ReadsSource(const std::string& source) const {
   return chain_.sources.count(ToLower(source)) > 0;
+}
+
+void Dataflow::AttachObs(obs::ObsContext* ctx, const std::string& query_label,
+                         int query_index) {
+  if (ctx == nullptr) return;
+  trace_ = ctx->trace();
+  query_tag_ = query_index;
+  chain_.AttachObs(ctx, query_label);
+  sink_->AttachSinkMetrics(ctx->ForSink(query_label));
+  sink_->AttachTrace(ctx->trace(), query_index);
+}
+
+void Dataflow::SampleObsGauges() {
+  for (const auto& op : chain_.operators) {
+    const obs::OperatorMetrics* m = op->metrics();
+    if (m != nullptr) {
+      m->state_bytes->Set(static_cast<int64_t>(op->StateBytes()));
+    }
+  }
+  sink_->SampleObs();
 }
 
 size_t Dataflow::StateBytes() const {

@@ -35,6 +35,12 @@ struct CompiledChain {
 
   size_t StateBytes() const;
 
+  /// Attaches per-operator instruments from `ctx` under `query_label`. The
+  /// `op` label is the operator's kind name, suffixed `_2`, `_3`, ... for
+  /// repeats in chain-build order — deterministic, so every shard copy of a
+  /// chain position resolves to the same shared instrument bundle.
+  void AttachObs(obs::ObsContext* ctx, const std::string& query_label);
+
   /// Serializes every operator's state, in the chain's deterministic build
   /// order, as one length-prefixed blob per operator.
   Status SaveState(state::Writer* w) const;
@@ -121,6 +127,18 @@ class DataflowRuntime {
   /// are flattened across shards (shard-major order).
   virtual const std::vector<AggregateOperator*>& aggregates() const = 0;
   virtual const std::vector<JoinOperator*>& joins() const = 0;
+
+  /// Attaches observability: per-operator and sink instruments resolved
+  /// from `ctx` under `query_label`, and trace spans tagged with
+  /// `query_index`. A null context (or one with everything disabled) leaves
+  /// all hooks detached — the default state. Call before pushing data.
+  virtual void AttachObs(obs::ObsContext* ctx, const std::string& query_label,
+                         int query_index) = 0;
+
+  /// Publishes instantaneous gauges — per-operator state bytes (summed
+  /// across shards), sink timer-queue depth, pending panes, snapshot rows.
+  /// Called single-threaded at snapshot time; a no-op when detached.
+  virtual void SampleObsGauges() = 0;
 };
 
 /// The sequential runtime: one operator chain feeding the sink directly.
@@ -151,6 +169,9 @@ class Dataflow : public DataflowRuntime {
   const std::vector<JoinOperator*>& joins() const override {
     return chain_.joins;
   }
+  void AttachObs(obs::ObsContext* ctx, const std::string& query_label,
+                 int query_index) override;
+  void SampleObsGauges() override;
 
  private:
   Dataflow() = default;
@@ -161,6 +182,8 @@ class Dataflow : public DataflowRuntime {
   std::unique_ptr<MaterializationSink> sink_holder_;
   MaterializationSink* sink_ = nullptr;
   CompiledChain chain_;
+  obs::TraceRecorder* trace_ = nullptr;
+  int32_t query_tag_ = -1;
 };
 
 }  // namespace exec

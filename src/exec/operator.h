@@ -7,6 +7,7 @@
 #include "common/changelog.h"
 #include "common/result.h"
 #include "common/row.h"
+#include "obs/instruments.h"
 #include "state/serde.h"
 
 namespace onesql {
@@ -49,13 +50,33 @@ class Operator {
     out_port_ = port;
   }
 
-  /// Processes one changelog entry arriving on `port`.
-  virtual Status OnElement(int port, const Change& change) = 0;
+  /// Processes one changelog entry arriving on `port`. Non-virtual counting
+  /// dispatcher: bumps rows_in when instruments are attached (one pointer
+  /// test when they are not — the off-by-default fast path), then delegates
+  /// to the subclass's ProcessElement. Deliberately not virtual so the
+  /// per-operator accounting cannot be forgotten by an override, and so
+  /// checkpoints see the exact same operator chain with or without metrics.
+  Status OnElement(int port, const Change& change) {
+    if (metrics_ != nullptr) metrics_->rows_in->Increment();
+    return ProcessElement(port, change);
+  }
 
   /// Processes a watermark advance on `port`. Watermarks are monotonic per
   /// port; multi-input operators forward the minimum across ports.
-  virtual Status OnWatermark(int port, Timestamp watermark,
-                             Timestamp ptime) = 0;
+  Status OnWatermark(int port, Timestamp watermark, Timestamp ptime) {
+    return ProcessWatermark(port, watermark, ptime);
+  }
+
+  /// Short stable operator-kind name, used as the `op` metric label.
+  virtual const char* Name() const = 0;
+
+  /// Attaches per-operator instruments (nullptr detaches — the default).
+  /// Shard copies of the same chain position share one bundle, so totals
+  /// are shard-count-invariant.
+  void AttachMetrics(const obs::OperatorMetrics* metrics) {
+    metrics_ = metrics;
+  }
+  const obs::OperatorMetrics* metrics() const { return metrics_; }
 
   /// Approximate bytes of operator state (for the state-size benchmarks).
   virtual size_t StateBytes() const { return 0; }
@@ -80,7 +101,13 @@ class Operator {
   }
 
  protected:
+  /// The virtual hooks subclasses implement (see OnElement/OnWatermark).
+  virtual Status ProcessElement(int port, const Change& change) = 0;
+  virtual Status ProcessWatermark(int port, Timestamp watermark,
+                                  Timestamp ptime) = 0;
+
   Status EmitElement(const Change& change) {
+    if (metrics_ != nullptr) metrics_->rows_out->Increment();
     return out_ != nullptr ? out_->OnElement(out_port_, change) : Status::OK();
   }
   Status EmitWatermark(Timestamp watermark, Timestamp ptime) {
@@ -88,9 +115,16 @@ class Operator {
                            : Status::OK();
   }
 
+  /// Bumps the per-operator late-drop counter (Aggregate/Session call this
+  /// alongside their own late_drops_ state counters).
+  void CountLateDrop() {
+    if (metrics_ != nullptr) metrics_->late_drops->Increment();
+  }
+
  private:
   Operator* out_ = nullptr;
   int out_port_ = 0;
+  const obs::OperatorMetrics* metrics_ = nullptr;
 };
 
 /// Helper for operators with `n` input ports: tracks per-port watermarks and

@@ -11,11 +11,11 @@ namespace exec {
 // Source
 // ---------------------------------------------------------------------------
 
-Status SourceOperator::OnElement(int, const Change& change) {
+Status SourceOperator::ProcessElement(int, const Change& change) {
   return EmitElement(change);
 }
 
-Status SourceOperator::OnWatermark(int, Timestamp watermark,
+Status SourceOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   return EmitWatermark(watermark, ptime);
 }
@@ -24,13 +24,13 @@ Status SourceOperator::OnWatermark(int, Timestamp watermark,
 // Filter
 // ---------------------------------------------------------------------------
 
-Status FilterOperator::OnElement(int, const Change& change) {
+Status FilterOperator::ProcessElement(int, const Change& change) {
   ONESQL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, change.row));
   if (pass) return EmitElement(change);
   return Status::OK();
 }
 
-Status FilterOperator::OnWatermark(int, Timestamp watermark,
+Status FilterOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   return EmitWatermark(watermark, ptime);
 }
@@ -39,7 +39,7 @@ Status FilterOperator::OnWatermark(int, Timestamp watermark,
 // Project
 // ---------------------------------------------------------------------------
 
-Status ProjectOperator::OnElement(int, const Change& change) {
+Status ProjectOperator::ProcessElement(int, const Change& change) {
   Change out;
   out.kind = change.kind;
   out.ptime = change.ptime;
@@ -51,7 +51,7 @@ Status ProjectOperator::OnElement(int, const Change& change) {
   return EmitElement(out);
 }
 
-Status ProjectOperator::OnWatermark(int, Timestamp watermark,
+Status ProjectOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   return EmitWatermark(watermark, ptime);
 }
@@ -87,7 +87,7 @@ std::vector<Timestamp> WindowOperator::AssignWindows(Timestamp t, Interval dur,
   return starts;
 }
 
-Status WindowOperator::OnElement(int, const Change& change) {
+Status WindowOperator::ProcessElement(int, const Change& change) {
   const Value& tv = change.row[node_->timecol()];
   if (tv.is_null()) {
     return Status::ExecutionError(
@@ -108,7 +108,7 @@ Status WindowOperator::OnElement(int, const Change& change) {
   return Status::OK();
 }
 
-Status WindowOperator::OnWatermark(int, Timestamp watermark,
+Status WindowOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   return EmitWatermark(watermark, ptime);
 }
@@ -117,7 +117,7 @@ Status WindowOperator::OnWatermark(int, Timestamp watermark,
 // Temporal filter (time-progressing predicate)
 // ---------------------------------------------------------------------------
 
-Status TemporalFilterOperator::OnElement(int, const Change& change) {
+Status TemporalFilterOperator::ProcessElement(int, const Change& change) {
   if (change.kind == ChangeKind::kUpsert) {
     return Status::ExecutionError("temporal filter cannot consume UPSERTs");
   }
@@ -148,7 +148,7 @@ Status TemporalFilterOperator::OnElement(int, const Change& change) {
       "temporal filter received a DELETE for a row that was never inserted");
 }
 
-Status TemporalFilterOperator::OnWatermark(int, Timestamp watermark,
+Status TemporalFilterOperator::ProcessWatermark(int, Timestamp watermark,
                                            Timestamp ptime) {
   if (watermark > watermark_) {
     watermark_ = watermark;
@@ -339,7 +339,7 @@ Status SessionOperator::HandleDelete(KeyState* ks, const Row& row,
   return Status::OK();
 }
 
-Status SessionOperator::OnElement(int, const Change& change) {
+Status SessionOperator::ProcessElement(int, const Change& change) {
   const Value& tv = change.row[node_->timecol()];
   if (tv.is_null()) {
     return Status::ExecutionError(
@@ -351,6 +351,7 @@ Status SessionOperator::OnElement(int, const Change& change) {
   // its session was finalized.
   if (t + node_->dur() + allowed_lateness_ <= watermark_) {
     ++late_drops_;
+    CountLateDrop();
     return Status::OK();
   }
   KeyState& ks = keys_[KeyOf(change.row)];
@@ -363,7 +364,7 @@ Status SessionOperator::OnElement(int, const Change& change) {
   return Status::ExecutionError("session window cannot consume UPSERTs");
 }
 
-Status SessionOperator::OnWatermark(int, Timestamp watermark,
+Status SessionOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   if (watermark > watermark_) {
     watermark_ = watermark;
@@ -547,7 +548,7 @@ Status AggregateOperator::EmitGroupUpdate(GroupState* state, const Row& key,
   return Status::OK();
 }
 
-Status AggregateOperator::OnElement(int, const Change& change) {
+Status AggregateOperator::ProcessElement(int, const Change& change) {
   if (change.kind == ChangeKind::kUpsert) {
     return Status::ExecutionError("aggregate cannot consume UPSERT changes");
   }
@@ -556,6 +557,7 @@ Status AggregateOperator::OnElement(int, const Change& change) {
   // Extension 2: inputs for already-complete groups are dropped.
   if (IsComplete(key, watermark_)) {
     ++late_drops_;
+    CountLateDrop();
     return Status::OK();
   }
 
@@ -595,7 +597,7 @@ Status AggregateOperator::OnElement(int, const Change& change) {
   return Status::OK();
 }
 
-Status AggregateOperator::OnWatermark(int, Timestamp watermark,
+Status AggregateOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   if (watermark > watermark_) {
     watermark_ = watermark;
@@ -789,7 +791,7 @@ Status JoinOperator::ApplyToState(
   return Status::OK();
 }
 
-Status JoinOperator::OnElement(int port, const Change& change) {
+Status JoinOperator::ProcessElement(int port, const Change& change) {
   if (change.kind == ChangeKind::kUpsert) {
     return Status::ExecutionError("join cannot consume UPSERT changes");
   }
@@ -831,7 +833,7 @@ Status JoinOperator::PurgeSide(SideState* side,
   return Status::OK();
 }
 
-Status JoinOperator::OnWatermark(int port, Timestamp watermark,
+Status JoinOperator::ProcessWatermark(int port, Timestamp watermark,
                                    Timestamp ptime) {
   if (merger_.Update(port, watermark)) {
     const Timestamp combined = merger_.combined();

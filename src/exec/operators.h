@@ -19,9 +19,10 @@ namespace exec {
 /// relation may feed several scans (the paper's Listing 2 scans Bid twice).
 class SourceOperator : public Operator {
  public:
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "source"; }
 };
 
 /// Stateless row filter: symmetric for INSERTs and DELETEs.
@@ -29,9 +30,10 @@ class FilterOperator : public Operator {
  public:
   explicit FilterOperator(const plan::BoundExpr* predicate)
       : predicate_(predicate) {}
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "filter"; }
 
  private:
   const plan::BoundExpr* predicate_;
@@ -42,9 +44,10 @@ class ProjectOperator : public Operator {
  public:
   explicit ProjectOperator(const std::vector<plan::BoundExprPtr>* exprs)
       : exprs_(exprs) {}
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "project"; }
 
  private:
   const std::vector<plan::BoundExprPtr>* exprs_;
@@ -55,9 +58,10 @@ class ProjectOperator : public Operator {
 class WindowOperator : public Operator {
  public:
   explicit WindowOperator(const plan::WindowNode* node) : node_(node) {}
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "window"; }
 
   /// Window starts containing event time `t` for the given parameters, in
   /// ascending order. Exposed for property tests.
@@ -76,9 +80,10 @@ class TemporalFilterOperator : public Operator {
  public:
   explicit TemporalFilterOperator(const plan::TemporalFilterNode* node)
       : node_(node) {}
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "temporal_filter"; }
   size_t StateBytes() const override;
   Status SaveState(state::Writer* w) const override;
   Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
@@ -105,9 +110,10 @@ class SessionOperator : public Operator {
  public:
   SessionOperator(const plan::WindowNode* node, Interval allowed_lateness)
       : node_(node), allowed_lateness_(allowed_lateness) {}
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "session"; }
   size_t StateBytes() const override;
   Status SaveState(state::Writer* w) const override;
   Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
@@ -150,9 +156,10 @@ class AggregateOperator : public Operator {
  public:
   AggregateOperator(const plan::AggregateNode* node,
                     Interval allowed_lateness);
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "aggregate"; }
   size_t StateBytes() const override;
   Status SaveState(state::Writer* w) const override;
   Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;
@@ -190,9 +197,10 @@ class AggregateOperator : public Operator {
 class JoinOperator : public Operator {
  public:
   explicit JoinOperator(const plan::JoinNode* node);
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "join"; }
   size_t StateBytes() const override;
   Status SaveState(state::Writer* w) const override;
   Status LoadState(state::Reader* r, const StateKeyFilter* filter) override;

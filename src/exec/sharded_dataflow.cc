@@ -10,7 +10,7 @@
 namespace onesql {
 namespace exec {
 
-Status CaptureOperator::OnElement(int /*port*/, const Change& change) {
+Status CaptureOperator::ProcessElement(int /*port*/, const Change& change) {
   Record record;
   record.seq = seq_;
   record.is_watermark = false;
@@ -19,7 +19,7 @@ Status CaptureOperator::OnElement(int /*port*/, const Change& change) {
   return Status::OK();
 }
 
-Status CaptureOperator::OnWatermark(int /*port*/, Timestamp watermark,
+Status CaptureOperator::ProcessWatermark(int /*port*/, Timestamp watermark,
                                     Timestamp ptime) {
   Record record;
   record.seq = seq_;
@@ -106,6 +106,8 @@ Status ShardedDataflow::PushWatermark(const std::string& source,
 
 Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   if (events.empty()) return Status::OK();
+  obs::Span batch_span(trace_, "push_batch", "dataflow", query_tag_);
+  batch_span.set_aux(events.size());
   const int num_shards = shard_count();
   const uint64_t base = next_seq_;
   next_seq_ += events.size();
@@ -117,16 +119,24 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   // stream, so every shard forwards the same watermark values).
   std::vector<std::string> lower(events.size());
   std::vector<int> owner(events.size(), 0);
-  for (size_t i = 0; i < events.size(); ++i) {
-    lower[i] = ToLower(events[i].source);
-    if (events[i].kind != InputEvent::Kind::kWatermark) {
-      owner[i] = RouteShard(spec_, lower[i], events[i].row, base + i,
-                            num_shards);
+  {
+    obs::Span route_span(trace_, "route", "dataflow", query_tag_);
+    route_span.set_aux(events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      lower[i] = ToLower(events[i].source);
+      if (events[i].kind != InputEvent::Kind::kWatermark) {
+        owner[i] = RouteShard(spec_, lower[i], events[i].row, base + i,
+                              num_shards);
+      }
     }
   }
 
   std::vector<Status> statuses(static_cast<size_t>(num_shards), Status::OK());
   auto work = [&](int s) {
+    // Worker-side span: one per shard per batch, recorded into the worker
+    // thread's own ring. Covers the full operator-chain processing of this
+    // shard's partition of the batch.
+    obs::Span shard_span(trace_, "shard_worker", "dataflow", query_tag_, s);
     Shard& shard = shards_[static_cast<size_t>(s)];
     for (size_t i = 0; i < events.size(); ++i) {
       const InputEvent& event = events[i];
@@ -170,6 +180,7 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   // only. Watermark outputs exist identically on every shard (watermarks
   // are broadcast and the partitionable operator set emits no elements on
   // watermarks), so shard 0's copy is delivered and the duplicates skipped.
+  obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
   std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
   auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
     auto& records = shards_[static_cast<size_t>(s)].capture->records();
@@ -292,6 +303,39 @@ size_t ShardedDataflow::StateBytes() const {
   size_t total = sink_->StateBytes();
   for (const Shard& shard : shards_) total += shard.chain.StateBytes();
   return total;
+}
+
+void ShardedDataflow::AttachObs(obs::ObsContext* ctx,
+                                const std::string& query_label,
+                                int query_index) {
+  if (ctx == nullptr) return;
+  trace_ = ctx->trace();
+  query_tag_ = query_index;
+  // Every shard chain resolves to the same instrument bundles (same query
+  // and op labels), so rows in/out totals are shard-count-invariant; the
+  // sharded Counter absorbs the concurrent writes.
+  for (Shard& shard : shards_) shard.chain.AttachObs(ctx, query_label);
+  sink_->AttachSinkMetrics(ctx->ForSink(query_label));
+  sink_->AttachTrace(ctx->trace(), query_index);
+}
+
+void ShardedDataflow::SampleObsGauges() {
+  if (!shards_.empty()) {
+    const size_t num_ops = shards_[0].chain.operators.size();
+    for (size_t pos = 0; pos < num_ops; ++pos) {
+      const obs::OperatorMetrics* m =
+          shards_[0].chain.operators[pos]->metrics();
+      if (m == nullptr) continue;
+      // All shard copies of a chain position share one bundle: publish the
+      // summed state so the gauge means the same thing at any shard count.
+      size_t total = 0;
+      for (const Shard& shard : shards_) {
+        total += shard.chain.operators[pos]->StateBytes();
+      }
+      m->state_bytes->Set(static_cast<int64_t>(total));
+    }
+  }
+  sink_->SampleObs();
 }
 
 Result<std::unique_ptr<DataflowRuntime>> BuildDataflowRuntime(

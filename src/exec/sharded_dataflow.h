@@ -32,8 +32,9 @@ class CaptureOperator : public Operator {
 
   std::vector<Record>& records() { return records_; }
 
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark, Timestamp ptime) override;
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark, Timestamp ptime) override;
+  const char* Name() const override { return "capture"; }
 
  private:
   uint64_t seq_ = 0;
@@ -83,6 +84,10 @@ class ShardedDataflow : public DataflowRuntime {
   /// is bit-identical regardless of the saving and loading shard counts.
   Status LoadState(state::Reader* r) override;
 
+  void AttachObs(obs::ObsContext* ctx, const std::string& query_label,
+                 int query_index) override;
+  void SampleObsGauges() override;
+
  private:
   struct Shard {
     std::unique_ptr<CaptureOperator> capture;
@@ -97,6 +102,8 @@ class ShardedDataflow : public DataflowRuntime {
   std::vector<Shard> shards_;
   std::unique_ptr<WorkerPool> pool_;
   uint64_t next_seq_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  int32_t query_tag_ = -1;
 
   // Introspection flattened across shards (shard-major order).
   std::vector<AggregateOperator*> aggregates_;

@@ -23,6 +23,12 @@ Row MaterializationSink::KeyOf(const Row& row) const {
 
 void MaterializationSink::Materialize(ChangeKind kind, const Row& row,
                                       Timestamp ptime) {
+  if (sink_metrics_ != nullptr) {
+    sink_metrics_->emissions->Increment();
+    (kind == ChangeKind::kDelete ? sink_metrics_->retractions
+                                 : sink_metrics_->inserts)
+        ->Increment();
+  }
   table_.push_back(Change{kind, row, ptime});
   // Mirror SnapshotOf's multiset semantics incrementally.
   if (kind == ChangeKind::kInsert) {
@@ -36,7 +42,9 @@ void MaterializationSink::Materialize(ChangeKind kind, const Row& row,
 }
 
 Status MaterializationSink::Flush(const Row& key, KeyState* state,
-                                  Timestamp ptime) {
+                                  Timestamp ptime, PaneKind pane) {
+  obs::Span span(trace_, "sink_flush", "sink", query_tag_);
+  const size_t emissions_before = emissions_.size();
   // Retractions first, then additions (Listing 14's undo-then-insert order).
   for (const auto& [row, last_count] : state->last) {
     auto it = state->current.find(row);
@@ -55,6 +63,28 @@ Status MaterializationSink::Flush(const Row& key, KeyState* state,
     }
   }
   state->last = state->current;
+  if (sink_metrics_ != nullptr && emissions_.size() > emissions_before) {
+    switch (pane) {
+      case PaneKind::kEarly:
+        sink_metrics_->panes_early->Increment();
+        break;
+      case PaneKind::kOnTime:
+        sink_metrics_->panes_on_time->Increment();
+        break;
+      case PaneKind::kLate:
+        sink_metrics_->panes_late->Increment();
+        break;
+    }
+    if (state->completeness.has_value()) {
+      // Event-time emit latency: how long past the pane's completeness
+      // timestamp the materialization happened. Both operands live on the
+      // feed's logical clock, so the value is deterministic and identical
+      // at any shard count.
+      const int64_t lag_ms = (ptime - *state->completeness).millis();
+      sink_metrics_->emit_latency_ms->Record(
+          lag_ms > 0 ? static_cast<uint64_t>(lag_ms) : 0);
+    }
+  }
   (void)key;
   return Status::OK();
 }
@@ -88,7 +118,7 @@ void MaterializationSink::MaybeReclaim(const Row& key) {
   keys_.erase(it);
 }
 
-Status MaterializationSink::OnElement(int, const Change& change) {
+Status MaterializationSink::ProcessElement(int, const Change& change) {
   if (change.kind == ChangeKind::kUpsert) {
     return Status::ExecutionError("sink cannot consume UPSERT changes");
   }
@@ -100,6 +130,7 @@ Status MaterializationSink::OnElement(int, const Change& change) {
     if (!cv.is_null() &&
         cv.AsTimestamp() + config_.allowed_lateness <= merger_.combined()) {
       ++late_drops_;
+      if (sink_metrics_ != nullptr) sink_metrics_->late_drops->Increment();
       return Status::OK();
     }
   }
@@ -109,6 +140,7 @@ Status MaterializationSink::OnElement(int, const Change& change) {
 
   if (state.complete) {
     ++late_drops_;
+    if (sink_metrics_ != nullptr) sink_metrics_->late_drops->Increment();
     return Status::OK();
   }
 
@@ -153,12 +185,12 @@ Status MaterializationSink::OnElement(int, const Change& change) {
   // Pure AFTER WATERMARK with allowed lateness: once the on-time pane fired,
   // late corrections materialize immediately (the "late pane").
   if (state.on_time_fired) {
-    ONESQL_RETURN_NOT_OK(Flush(key, &state, change.ptime));
+    ONESQL_RETURN_NOT_OK(Flush(key, &state, change.ptime, PaneKind::kLate));
   }
   return Status::OK();
 }
 
-Status MaterializationSink::OnWatermark(int port, Timestamp watermark,
+Status MaterializationSink::ProcessWatermark(int port, Timestamp watermark,
                                    Timestamp ptime) {
   if (!merger_.Update(port, watermark)) return Status::OK();
   if (!config_.after_watermark) return Status::OK();
@@ -174,7 +206,7 @@ Status MaterializationSink::OnWatermark(int port, Timestamp watermark,
       // On-time pane: materialize the result at the watermark's arrival
       // time (Listing 13: ptime is when the watermark passed the window
       // end).
-      ONESQL_RETURN_NOT_OK(Flush(key, &state, ptime));
+      ONESQL_RETURN_NOT_OK(Flush(key, &state, ptime, PaneKind::kOnTime));
       state.on_time_fired = true;
       if (config_.allowed_lateness.millis() > 0) {
         // Stay open for late corrections until the lateness budget passes.
@@ -184,7 +216,7 @@ Status MaterializationSink::OnWatermark(int port, Timestamp watermark,
       }
     } else {
       // Lateness budget exhausted: flush any outstanding correction.
-      ONESQL_RETURN_NOT_OK(Flush(key, &state, ptime));
+      ONESQL_RETURN_NOT_OK(Flush(key, &state, ptime, PaneKind::kLate));
     }
     state.complete = true;
     MaybeReclaim(key);
@@ -215,11 +247,25 @@ Status MaterializationSink::AdvanceTo(Timestamp now, bool inclusive) {
         !state.completeness.has_value()) {
       continue;
     }
-    // Materialize the coalesced net change at the deadline instant.
-    ONESQL_RETURN_NOT_OK(Flush(key, &state, deadline));
+    // Materialize the coalesced net change at the deadline instant. Under a
+    // completeness gate the timer pane is speculative (early) until the
+    // on-time pane fires and a late correction afterwards; in pure AFTER
+    // DELAY mode it is the only pane and counts as on-time.
+    const PaneKind pane = !config_.after_watermark ? PaneKind::kOnTime
+                          : state.on_time_fired    ? PaneKind::kLate
+                                                   : PaneKind::kEarly;
+    ONESQL_RETURN_NOT_OK(Flush(key, &state, deadline, pane));
     MaybeReclaim(key);
   }
   return Status::OK();
+}
+
+void MaterializationSink::SampleObs() const {
+  if (sink_metrics_ == nullptr) return;
+  sink_metrics_->timer_queue_depth->Set(static_cast<int64_t>(timers_.size()));
+  sink_metrics_->pending_panes->Set(
+      static_cast<int64_t>(pending_complete_.size()));
+  sink_metrics_->snapshot_rows->Set(static_cast<int64_t>(snapshot_.size()));
 }
 
 std::vector<Row> MaterializationSink::SnapshotAt(Timestamp ptime) const {

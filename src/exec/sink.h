@@ -54,9 +54,29 @@ class MaterializationSink : public Operator {
   explicit MaterializationSink(SinkConfig config)
       : config_(std::move(config)) {}
 
-  Status OnElement(int port, const Change& change) override;
-  Status OnWatermark(int port, Timestamp watermark,
+  Status ProcessElement(int port, const Change& change) override;
+  Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
+  const char* Name() const override { return "sink"; }
+
+  /// Attaches per-query sink instruments (nullptr detaches — the default).
+  /// Counter updates happen inline; queue-depth/snapshot gauges are sampled
+  /// by SampleObs so the hot path never touches them.
+  void AttachSinkMetrics(const obs::SinkMetrics* metrics) {
+    sink_metrics_ = metrics;
+  }
+
+  /// Attaches span recording: every Flush (pane materialization) records a
+  /// "sink_flush" span tagged with the query index.
+  void AttachTrace(obs::TraceRecorder* trace, int32_t query_tag) {
+    trace_ = trace;
+    query_tag_ = query_tag;
+  }
+
+  /// Publishes the sink's instantaneous sizes (timer queue depth, pending
+  /// panes, snapshot rows) to the attached gauges. Called at snapshot time,
+  /// single-threaded.
+  void SampleObs() const;
 
   /// Advances the sink's processing-time clock, firing AFTER DELAY timers
   /// with deadline < `now` (exclusive) or <= `now` (inclusive). The engine
@@ -108,11 +128,18 @@ class MaterializationSink : public Operator {
     int64_t next_ver = 0;
   };
 
+  /// Which pane of the early/on-time/late pattern a Flush materializes:
+  /// delay-timer flushes are speculative (early), completeness-driven
+  /// flushes are on-time, and corrections within the lateness budget are
+  /// late. A flush that materializes nothing counts no pane.
+  enum class PaneKind { kEarly, kOnTime, kLate };
+
   bool instant() const {
     return !config_.after_watermark && !config_.delay.has_value();
   }
   Row KeyOf(const Row& row) const;
-  Status Flush(const Row& key, KeyState* state, Timestamp ptime);
+  Status Flush(const Row& key, KeyState* state, Timestamp ptime,
+               PaneKind pane);
   void MaybeReclaim(const Row& key);
   /// Appends to the changelog and incrementally updates the snapshot bag.
   void Materialize(ChangeKind kind, const Row& row, Timestamp ptime);
@@ -133,6 +160,9 @@ class MaterializationSink : public Operator {
   Timestamp now_ = Timestamp::Min();
   int64_t late_drops_ = 0;
   mutable int64_t changelog_entries_scanned_ = 0;
+  const obs::SinkMetrics* sink_metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  int32_t query_tag_ = -1;
 };
 
 }  // namespace exec

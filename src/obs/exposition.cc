@@ -1,0 +1,162 @@
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace onesql {
+namespace obs {
+
+namespace {
+
+/// Prometheus-style label rendering with an extra `le` label appended (for
+/// histogram bucket series).
+std::string RenderLabelsWithLe(const Labels& labels, const std::string& le) {
+  Labels with_le = labels;
+  with_le.emplace_back("le", le);
+  return RenderLabels(with_le);
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+  *out += '"';
+}
+
+void AppendJsonLabels(std::string* out, const Labels& labels) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, k);
+    *out += ":";
+    AppendJsonString(out, v);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::string last_family;
+  for (const CounterSample& s : counters) {
+    if (s.name != last_family) {
+      out += "# TYPE " + s.name + " counter\n";
+      last_family = s.name;
+    }
+    out += s.name + RenderLabels(s.labels) + " " + std::to_string(s.value) +
+           "\n";
+  }
+  last_family.clear();
+  for (const GaugeSample& s : gauges) {
+    if (s.name != last_family) {
+      out += "# TYPE " + s.name + " gauge\n";
+      last_family = s.name;
+    }
+    out += s.name + RenderLabels(s.labels) + " " + std::to_string(s.value) +
+           "\n";
+  }
+  last_family.clear();
+  for (const HistogramSample& s : histograms) {
+    if (s.name != last_family) {
+      out += "# TYPE " + s.name + " histogram\n";
+      last_family = s.name;
+    }
+    // Cumulative buckets; empty interior buckets are skipped (their
+    // cumulative value is carried by the next non-empty boundary), keeping
+    // the exposition proportional to the data rather than the bucket layout.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i + 1 < HistogramData::kBuckets; ++i) {
+      if (s.data.counts[i] == 0) continue;
+      cumulative += s.data.counts[i];
+      out += s.name + "_bucket" +
+             RenderLabelsWithLe(
+                 s.labels,
+                 std::to_string(HistogramData::BucketUpperBound(i))) +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    // The +Inf bucket (which also absorbs the histogram's last slot) always
+    // carries the total count, as the format requires.
+    const uint64_t total = s.data.TotalCount();
+    out += s.name + "_bucket" + RenderLabelsWithLe(s.labels, "+Inf") + " " +
+           std::to_string(total) + "\n";
+    out += s.name + "_sum" + RenderLabels(s.labels) + " " +
+           std::to_string(s.data.sum) + "\n";
+    out += s.name + "_count" + RenderLabels(s.labels) + " " +
+           std::to_string(total) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n\"counters\":[";
+  bool first = true;
+  for (const CounterSample& s : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(&out, s.labels);
+    out += ",\"value\":" + std::to_string(s.value) + "}";
+  }
+  out += "],\n\"gauges\":[";
+  first = true;
+  for (const GaugeSample& s : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(&out, s.labels);
+    out += ",\"value\":" + std::to_string(s.value) + "}";
+  }
+  out += "],\n\"histograms\":[";
+  first = true;
+  for (const HistogramSample& s : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(&out, s.labels);
+    out += ",\"count\":" + std::to_string(s.data.TotalCount());
+    out += ",\"sum\":" + std::to_string(s.data.sum);
+    out += ",\"p50\":" + std::to_string(s.data.Percentile(50));
+    out += ",\"p95\":" + std::to_string(s.data.Percentile(95));
+    out += ",\"p99\":" + std::to_string(s.data.Percentile(99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t i = 0; i < HistogramData::kBuckets; ++i) {
+      if (s.data.counts[i] == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      const std::string le =
+          i + 1 >= HistogramData::kBuckets
+              ? "\"+Inf\""
+              : std::to_string(HistogramData::BucketUpperBound(i));
+      out += "{\"le\":" + le +
+             ",\"count\":" + std::to_string(s.data.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace onesql

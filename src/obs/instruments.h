@@ -1,0 +1,138 @@
+#ifndef ONESQL_OBS_INSTRUMENTS_H_
+#define ONESQL_OBS_INSTRUMENTS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace onesql {
+namespace obs {
+
+/// Observability knobs. Everything is off by default; a default-constructed
+/// engine carries no registry, no recorder, and every instrumentation site
+/// reduces to one null-pointer test.
+struct ObsOptions {
+  bool metrics = false;  ///< Counters, gauges, histograms.
+  bool tracing = false;  ///< Span recording into per-thread rings.
+  size_t trace_ring_capacity = 4096;  ///< Retained spans per thread.
+};
+
+// -- Typed instrument bundles ------------------------------------------------
+//
+// Components do not talk to the registry directly; they hold a const pointer
+// to a pre-resolved bundle (null when metrics are off). The metric catalog —
+// names and labels — therefore lives in exactly one place: ObsContext below.
+
+/// Per-operator counters, shared by all shard copies of one chain position
+/// (the sharded Counter absorbs the write contention), so totals match the
+/// sequential run at any shard count.
+struct OperatorMetrics {
+  Counter* rows_in = nullptr;
+  Counter* rows_out = nullptr;
+  Counter* late_drops = nullptr;
+  Gauge* state_bytes = nullptr;
+};
+
+/// Sink-side changelog and pane metrics for one query.
+struct SinkMetrics {
+  Counter* emissions = nullptr;     ///< Changelog entries materialized.
+  Counter* inserts = nullptr;       ///< Non-undo entries.
+  Counter* retractions = nullptr;   ///< Undo entries.
+  Counter* late_drops = nullptr;    ///< Inputs past the lateness horizon.
+  Counter* panes_early = nullptr;   ///< Speculative panes (AFTER DELAY ticks).
+  Counter* panes_on_time = nullptr; ///< Completeness-driven panes.
+  Counter* panes_late = nullptr;    ///< Corrections within allowed lateness.
+  /// Event-time pane emit latency: emission ptime minus the watermark-passing
+  /// ptime of the pane's window (deterministic, so tests can assert exact
+  /// sums at any shard count).
+  Histogram* emit_latency_ms = nullptr;
+  Gauge* timer_queue_depth = nullptr;
+  Gauge* pending_panes = nullptr;
+  Gauge* snapshot_rows = nullptr;
+};
+
+/// Per-source feed metrics.
+struct SourceMetrics {
+  Counter* rows = nullptr;
+  Counter* watermarks = nullptr;
+  /// Watermark lag — feed ptime minus the source's current watermark —
+  /// recorded per row event (histogram) and as the current value (gauge).
+  Histogram* watermark_lag_ms = nullptr;
+  Gauge* watermark_lag_current_ms = nullptr;
+};
+
+/// Write-ahead feed log metrics (wall-clock latencies, unlike the
+/// event-time metrics above).
+struct WalMetrics {
+  Counter* appends = nullptr;
+  Counter* syncs = nullptr;
+  Counter* bytes_written = nullptr;
+  Histogram* append_latency_us = nullptr;
+  Histogram* sync_latency_us = nullptr;
+};
+
+/// Engine-level feed and checkpoint metrics.
+struct EngineMetrics {
+  Counter* feed_inserts = nullptr;
+  Counter* feed_deletes = nullptr;
+  Counter* feed_watermarks = nullptr;
+  Counter* checkpoint_saves = nullptr;
+  Counter* checkpoint_restores = nullptr;
+  Histogram* checkpoint_save_ms = nullptr;
+  Histogram* checkpoint_restore_ms = nullptr;
+  Gauge* checkpoint_bytes = nullptr;
+  Gauge* queries = nullptr;
+};
+
+/// One engine's observability state: the registry, the trace recorder, and
+/// the resolved instrument bundles. The context owns the bundles; components
+/// borrow const pointers, so attaching observability never changes component
+/// lifetimes. All Get* methods return nullptr when metrics are disabled.
+class ObsContext {
+ public:
+  explicit ObsContext(const ObsOptions& options)
+      : options_(options),
+        registry_(options.metrics ? std::make_unique<MetricsRegistry>()
+                                  : nullptr),
+        trace_(options.tracing ? std::make_unique<TraceRecorder>(
+                                     options.trace_ring_capacity)
+                               : nullptr) {}
+
+  const ObsOptions& options() const { return options_; }
+  MetricsRegistry* registry() { return registry_.get(); }
+  TraceRecorder* trace() { return trace_.get(); }
+
+  /// Bundle factories; cached per key, so repeated calls (e.g. a query
+  /// rebuilt by Restore) return the same instruments.
+  const OperatorMetrics* ForOperator(const std::string& query,
+                                     const std::string& op);
+  const SinkMetrics* ForSink(const std::string& query);
+  const SourceMetrics* ForSource(const std::string& source);
+  const WalMetrics* ForWal();
+  const EngineMetrics* ForEngine();
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<TraceRecorder> trace_;
+
+  std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<OperatorMetrics>>>
+      operator_bundles_;
+  std::vector<std::pair<std::string, std::unique_ptr<SinkMetrics>>>
+      sink_bundles_;
+  std::vector<std::pair<std::string, std::unique_ptr<SourceMetrics>>>
+      source_bundles_;
+  std::unique_ptr<WalMetrics> wal_bundle_;
+  std::unique_ptr<EngineMetrics> engine_bundle_;
+};
+
+}  // namespace obs
+}  // namespace onesql
+
+#endif  // ONESQL_OBS_INSTRUMENTS_H_

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace onesql {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+std::atomic<uint32_t> g_next_tid{1};
+
+uint32_t ThisThreadTid() {
+  thread_local uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t ring_capacity)
+    : ring_capacity_(ring_capacity < 16 ? 16 : ring_capacity),
+      id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+uint64_t TraceRecorder::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  // One-entry TLS cache: (recorder id, ring). Recorder ids are process-unique
+  // and never reused, so a stale cache entry can only miss, never alias.
+  struct TlsCache {
+    uint64_t recorder_id = 0;
+    Ring* ring = nullptr;
+  };
+  thread_local TlsCache cache;
+  if (cache.recorder_id == id_ && cache.ring != nullptr) return cache.ring;
+
+  uint32_t tid = ThisThreadTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  // A thread that bounced between recorders re-finds its ring by tid rather
+  // than registering a duplicate.
+  for (const std::unique_ptr<Ring>& r : rings_) {
+    if (r->tid == tid) {
+      cache = {id_, r.get()};
+      return cache.ring;
+    }
+  }
+  rings_.push_back(std::make_unique<Ring>(ring_capacity_));
+  rings_.back()->tid = tid;
+  cache = {id_, rings_.back().get()};
+  return cache.ring;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  Ring* ring = RingForThisThread();
+  // Only this thread writes this ring, so the head load can be relaxed; the
+  // store is release so a drainer that acquires the head sees the slot.
+  uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % ring->slots.size()];
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.category.store(event.category, std::memory_order_relaxed);
+  slot.ts_us.store(event.ts_us, std::memory_order_relaxed);
+  slot.dur_us.store(event.dur_us, std::memory_order_relaxed);
+  slot.aux.store(event.aux, std::memory_order_relaxed);
+  slot.query.store(event.query, std::memory_order_relaxed);
+  slot.shard.store(event.shard, std::memory_order_relaxed);
+  ring->head.store(head + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t count = std::min<uint64_t>(head, ring->slots.size());
+    for (uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring->slots[i % ring->slots.size()];
+      TraceEvent ev;
+      ev.name = slot.name.load(std::memory_order_relaxed);
+      ev.category = slot.category.load(std::memory_order_relaxed);
+      ev.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      ev.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      ev.aux = slot.aux.load(std::memory_order_relaxed);
+      ev.query = slot.query.load(std::memory_order_relaxed);
+      ev.shard = slot.shard.load(std::memory_order_relaxed);
+      ev.tid = ring->tid;
+      if (ev.name != nullptr) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::string TraceRecorder::DumpChromeJson() const {
+  std::vector<TraceEvent> events = Drain();
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += ev.name;
+    out += "\",\"cat\":\"";
+    out += ev.category != nullptr ? ev.category : "engine";
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    out += std::to_string(ev.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(ev.dur_us);
+    out += ",\"args\":{\"query\":";
+    out += std::to_string(ev.query);
+    out += ",\"shard\":";
+    out += std::to_string(ev.shard);
+    out += ",\"aux\":";
+    out += std::to_string(ev.aux);
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace onesql

@@ -32,6 +32,14 @@ class CheckpointWriter {
   /// torn hybrid.
   Status WriteTo(const std::string& path) const;
 
+  /// Total bytes of section payloads added so far (excludes framing
+  /// overhead) — the checkpoint-size figure exposed by the metrics layer.
+  size_t payload_bytes() const {
+    size_t total = 0;
+    for (const auto& s : sections_) total += s.size();
+    return total;
+  }
+
  private:
   std::vector<std::string> sections_;
 };

@@ -1,7 +1,9 @@
 #include "state/wal.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/instruments.h"
 #include "state/frame.h"
 #include "state/serde.h"
 
@@ -84,6 +86,13 @@ int FsyncFile(std::FILE* f) {
 #endif
 }
 
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 bool FileExists(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
@@ -127,9 +136,11 @@ FeedLog::FeedLog(FeedLog&& other) noexcept
     : path_(std::move(other.path_)),
       file_(other.file_),
       next_seq_(other.next_seq_),
-      dirty_(other.dirty_) {
+      dirty_(other.dirty_),
+      metrics_(other.metrics_) {
   other.file_ = nullptr;
   other.dirty_ = false;
+  other.metrics_ = nullptr;
 }
 
 FeedLog& FeedLog::operator=(FeedLog&& other) noexcept {
@@ -139,8 +150,10 @@ FeedLog& FeedLog::operator=(FeedLog&& other) noexcept {
     file_ = other.file_;
     next_seq_ = other.next_seq_;
     dirty_ = other.dirty_;
+    metrics_ = other.metrics_;
     other.file_ = nullptr;
     other.dirty_ = false;
+    other.metrics_ = nullptr;
   }
   return *this;
 }
@@ -191,8 +204,14 @@ Status FeedLog::Append(const WalRecord& record) {
   }
   std::string frame;
   AppendFrame(&frame, EncodeRecord(record));
+  const uint64_t start = metrics_ != nullptr ? MonotonicMicros() : 0;
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::DataLoss("failed to append to feed log '" + path_ + "'");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->append_latency_us->Record(MonotonicMicros() - start);
+    metrics_->appends->Increment();
+    metrics_->bytes_written->Add(frame.size());
   }
   ++next_seq_;
   dirty_ = true;
@@ -204,8 +223,13 @@ Status FeedLog::Sync() {
     return Status::Internal("feed log is not open");
   }
   if (!dirty_) return Status::OK();
+  const uint64_t start = metrics_ != nullptr ? MonotonicMicros() : 0;
   if (std::fflush(file_) != 0 || FsyncFile(file_) != 0) {
     return Status::DataLoss("failed to sync feed log '" + path_ + "'");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->sync_latency_us->Record(MonotonicMicros() - start);
+    metrics_->syncs->Increment();
   }
   dirty_ = false;
   return Status::OK();

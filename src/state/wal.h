@@ -11,6 +11,11 @@
 #include "common/timestamp.h"
 
 namespace onesql {
+
+namespace obs {
+struct WalMetrics;
+}  // namespace obs
+
 namespace state {
 
 /// One durably logged feed event. This mirrors the engine's FeedEvent but is
@@ -82,11 +87,16 @@ class FeedLog {
   const std::string& path() const { return path_; }
   bool is_open() const { return file_ != nullptr; }
 
+  /// Attaches durability instruments (nullptr detaches — the default).
+  /// Append records its latency and byte count; Sync records fsync latency.
+  void AttachMetrics(const obs::WalMetrics* metrics) { metrics_ = metrics; }
+
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   uint64_t next_seq_ = 0;
   bool dirty_ = false;
+  const obs::WalMetrics* metrics_ = nullptr;
 };
 
 }  // namespace state

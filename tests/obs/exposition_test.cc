@@ -1,0 +1,141 @@
+// Tests for the exposition formats: Prometheus text and JSON renderings of
+// the same MetricsSnapshot must carry exactly the same values, histogram
+// buckets must be cumulative with a trailing +Inf equal to _count, and label
+// values must be escaped.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace onesql {
+namespace obs {
+namespace {
+
+/// Extracts the numeric token following `key` in `text` (first occurrence).
+std::string NumberAfter(const std::string& text, const std::string& key) {
+  size_t pos = text.find(key);
+  if (pos == std::string::npos) return "<missing:" + key + ">";
+  pos += key.size();
+  size_t end = pos;
+  while (end < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[end])) ||
+          text[end] == '-')) {
+    ++end;
+  }
+  return text.substr(pos, end - pos);
+}
+
+class ExpositionTest : public ::testing::Test {
+ protected:
+  ExpositionTest() {
+    reg_.GetCounter("onesql_sink_emissions_total", {{"query", "q0"}})
+        ->Add(12);
+    reg_.GetGauge("onesql_operator_state_bytes",
+                  {{"op", "aggregate"}, {"query", "q0"}})
+        ->Set(4096);
+    Histogram* h =
+        reg_.GetHistogram("onesql_sink_emit_latency_ms", {{"query", "q0"}});
+    h->Record(1);       // bucket 1 (le 1)
+    h->Record(1);
+    h->Record(100);     // bucket 7 (le 127)
+    h->Record(100000);  // bucket 17 (le 131071)
+  }
+
+  MetricsRegistry reg_;
+};
+
+TEST_F(ExpositionTest, PrometheusTextFormat) {
+  const std::string prom = reg_.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE onesql_sink_emissions_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("onesql_sink_emissions_total{query=\"q0\"} 12\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE onesql_operator_state_bytes gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "onesql_operator_state_bytes{op=\"aggregate\",query=\"q0\"} 4096\n"),
+      std::string::npos);
+  EXPECT_NE(prom.find("# TYPE onesql_sink_emit_latency_ms histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: 2 at le=1, 3 at le=127, 4 at le=131071 and +Inf.
+  EXPECT_NE(prom.find(
+                "onesql_sink_emit_latency_ms_bucket{query=\"q0\",le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "onesql_sink_emit_latency_ms_bucket{query=\"q0\",le=\"127\"} 3"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "onesql_sink_emit_latency_ms_bucket{query=\"q0\",le=\"131071\"} 4"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "onesql_sink_emit_latency_ms_bucket{query=\"q0\",le=\"+Inf\"} 4"),
+      std::string::npos);
+  EXPECT_NE(prom.find("onesql_sink_emit_latency_ms_sum{query=\"q0\"} 100102"),
+            std::string::npos);
+  EXPECT_NE(prom.find("onesql_sink_emit_latency_ms_count{query=\"q0\"} 4"),
+            std::string::npos);
+}
+
+TEST_F(ExpositionTest, JsonCarriesTheSameValues) {
+  const MetricsSnapshot snap = reg_.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"name\":\"onesql_sink_emissions_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4,\"sum\":100102"), std::string::npos);
+  // Percentiles resolve to bucket upper bounds: p50 of {1,1,100,100000} sits
+  // in the le=1 bucket, p95/p99 in the le=131071 bucket.
+  EXPECT_NE(json.find("\"p50\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":131071"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":131071"), std::string::npos);
+  // Per-bucket (non-cumulative) counts with the same boundaries as the text
+  // format.
+  EXPECT_NE(json.find("{\"le\":1,\"count\":2}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":127,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":131071,\"count\":1}"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, RoundTripSameScalars) {
+  // The same snapshot rendered both ways reports identical numbers.
+  const MetricsSnapshot snap = reg_.Snapshot();
+  const std::string prom = snap.ToPrometheus();
+  const std::string json = snap.ToJson();
+  EXPECT_EQ(
+      NumberAfter(prom, "onesql_sink_emissions_total{query=\"q0\"} "),
+      NumberAfter(json, "\"onesql_sink_emissions_total\",\"labels\":{\"query\""
+                        ":\"q0\"},\"value\":"));
+  EXPECT_EQ(NumberAfter(prom, "onesql_sink_emit_latency_ms_sum{query=\"q0\"} "),
+            NumberAfter(json, "\"sum\":"));
+  EXPECT_EQ(
+      NumberAfter(prom, "onesql_sink_emit_latency_ms_count{query=\"q0\"} "),
+      NumberAfter(json, "\"count\":"));
+}
+
+TEST(ExpositionEscapingTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("onesql_test_total", {{"source", "a\"b\\c"}})->Add(1);
+  const std::string prom = reg.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("source=\"a\\\"b\\\\c\""), std::string::npos);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"source\":\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+TEST(ExpositionEmptyTest, EmptySnapshotRendersEmpty) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(snap.ToPrometheus(), "");
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace onesql

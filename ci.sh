@@ -53,6 +53,16 @@ run_leg "asan-configure" cmake -B build-asan -S . \
 run_leg "asan-build" cmake --build build-asan -j"${JOBS}"
 run_leg "asan-ctest" ctest --test-dir build-asan -j"${JOBS}" --output-on-failure
 
+echo "=== fuzz: differential four-oracle sweep (ASan/UBSan) ==="
+# Fixed seed range so a red leg is reproducible verbatim: the driver prints
+# every failing seed, minimizes it, and drops the shrunk reproducer into
+# tests/fuzz/corpus/ — check it in and it replays forever in tier-1
+# (fuzz_test.CheckedInCorpusReplaysClean). The budget caps the sanitized
+# sweep's wall clock; the driver reports how far through the range it got.
+run_leg "fuzz-sweep" ./build-asan/tests/fuzz_driver \
+  --seed-start=1 --seed-count=10000 --budget-seconds=600 --wal-every=16 \
+  --corpus=tests/fuzz/corpus --corpus-out=tests/fuzz/corpus
+
 echo "=== TSan: threaded sharded-runtime + observability tests ==="
 run_leg "tsan-configure" cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -283,9 +283,15 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
   // of time, then a +inf watermark, since a bounded relation is a TVR that
   // never changes again — followed by the recorded history so the result
   // reflects all data so far.
+  // Tables iterate in sorted order: replay bytes must not depend on hash-map
+  // iteration order, or two engines with identical registrations could
+  // interleave multi-table replays differently (observable through join
+  // emission order).
   std::vector<exec::InputEvent> replay;
   replay.reserve(history_.size());
-  for (const auto& [name, rows] : table_rows_) {
+  for (const auto& it : SortedByName(table_rows_)) {
+    const std::string& name = it->first;
+    const std::vector<Row>& rows = it->second;
     if (!query->flow_->ReadsSource(name)) continue;
     for (const Row& row : rows) {
       exec::InputEvent event;
@@ -314,6 +320,24 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
   ContinuousQuery* out = query.get();
   queries_.push_back(std::move(query));
   return out;
+}
+
+Result<std::unique_ptr<Engine>> Engine::CloneRegistrations() const {
+  auto clone = std::make_unique<Engine>();
+  // catalog_.tables() is a std::map, so registration order is already
+  // canonical (sorted by lower-cased name) regardless of the order the
+  // original registrations happened in.
+  for (const auto& [key, def] : catalog_.tables()) {
+    if (def.unbounded) {
+      ONESQL_RETURN_NOT_OK(clone->RegisterStream(def.name, def.schema));
+    } else {
+      auto rows = table_rows_.find(key);
+      ONESQL_RETURN_NOT_OK(clone->RegisterTable(
+          def.name, def.schema,
+          rows != table_rows_.end() ? rows->second : std::vector<Row>{}));
+    }
+  }
+  return clone;
 }
 
 Status Engine::ValidateRow(const std::string& stream, const Row& row) const {

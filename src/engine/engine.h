@@ -129,6 +129,15 @@ class Engine {
   /// Compiles a query without starting it (plan inspection).
   Result<plan::QueryPlan> Plan(const std::string& sql) const;
 
+  /// Returns a fresh engine carrying the same registrations — every stream
+  /// and every static table (with its contents) — but no queries, no feed
+  /// history, and no durability/observability attachments. Registration
+  /// order is canonical (sorted by name), so two clones are bit-identical
+  /// starting points: the differential harness runs one recorded feed
+  /// through independently configured clones (shard counts, restore points)
+  /// and demands identical renderings.
+  Result<std::unique_ptr<Engine>> CloneRegistrations() const;
+
   /// Feeds one insertion into a stream at processing time `ptime`.
   /// Processing times must be non-decreasing across all feed calls.
   Status Insert(const std::string& stream, Timestamp ptime, Row row);

@@ -111,7 +111,15 @@ class SumAvgAccumulator : public Accumulator {
     if (count_ == 0) return Status::Internal("SUM retract below zero");
     if (integer_ && v.type() == DataType::kBigint) int_sum_ -= v.AsInt64();
     double_sum_ -= d;
-    --count_;
+    if (--count_ == 0) {
+      // A fully retracted accumulator must be indistinguishable from a fresh
+      // one. Float subtraction is not exact inverse addition, so without this
+      // reset a long insert/retract history leaves an epsilon (or -0.0)
+      // residue in double_sum_ that pollutes every SUM/AVG after the group
+      // refills.
+      int_sum_ = 0;
+      double_sum_ = 0.0;
+    }
     return Status::OK();
   }
 

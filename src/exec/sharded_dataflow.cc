@@ -131,7 +131,9 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
     }
   }
 
+  constexpr uint64_t kNoFailure = ~uint64_t{0};
   std::vector<Status> statuses(static_cast<size_t>(num_shards), Status::OK());
+  std::vector<uint64_t> fail_seq(static_cast<size_t>(num_shards), kNoFailure);
   auto work = [&](int s) {
     // Worker-side span: one per shard per batch, recorded into the worker
     // thread's own ring. Covers the full operator-chain processing of this
@@ -157,6 +159,7 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
         }
         if (!status.ok()) {
           statuses[static_cast<size_t>(s)] = std::move(status);
+          fail_seq[static_cast<size_t>(s)] = base + i;
           return;
         }
       }
@@ -166,10 +169,19 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   // everything the workers wrote, so the merge below reads the capture
   // buffers and operator state without locks.
   pool_->Run(work);
-  for (Status& status : statuses) {
-    if (!status.ok()) {
-      for (Shard& shard : shards_) shard.capture->records().clear();
-      return std::move(status);
+
+  // The error the batch surfaces must be the one the *sequential* runtime
+  // would hit: the earliest failing input event, not whichever failing
+  // shard happens to come first in shard order. (On a watermark — which
+  // every shard processes — ties across shards break to the lowest shard
+  // id, which is deterministic even if sequential, walking one combined
+  // state map, could surface a different group's error first.)
+  int failed_shard = -1;
+  uint64_t limit = kNoFailure;
+  for (int s = 0; s < num_shards; ++s) {
+    if (fail_seq[static_cast<size_t>(s)] < limit) {
+      limit = fail_seq[static_cast<size_t>(s)];
+      failed_shard = s;
     }
   }
 
@@ -180,6 +192,15 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   // only. Watermark outputs exist identically on every shard (watermarks
   // are broadcast and the partitionable operator set emits no elements on
   // watermarks), so shard 0's copy is delivered and the duplicates skipped.
+  //
+  // On failure the merge still runs, but only up to the failing event:
+  // sequential semantics are that everything before the first error has
+  // already reached the sink, and the failing element's own pre-error
+  // emissions (captured by its owning shard) have too. Discarding the
+  // captured prefix here — or delivering past the failure — would leave the
+  // sink shard-divergent from the sequential run. A failing *watermark*
+  // delivers nothing at its own seq: no single shard's partial output
+  // matches the partial walk of sequential's combined state map.
   obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
   std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
   auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
@@ -202,8 +223,15 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   Status merge_status = Status::OK();
   for (size_t i = 0; i < events.size(); ++i) {
     const uint64_t seq = base + i;
+    if (seq > limit) break;
     merge_status = sink_->AdvanceTo(events[i].ptime, /*inclusive=*/false);
     if (!merge_status.ok()) break;
+    if (seq == limit) {
+      if (events[i].kind != InputEvent::Kind::kWatermark) {
+        merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
+      }
+      break;
+    }
     if (events[i].kind == InputEvent::Kind::kWatermark) {
       for (int s = 0; s < num_shards; ++s) {
         merge_status = deliver(s, seq, /*deliver_records=*/s == 0);
@@ -215,7 +243,11 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
     if (!merge_status.ok()) break;
   }
   for (Shard& shard : shards_) shard.capture->records().clear();
-  return merge_status;
+  if (!merge_status.ok()) return merge_status;
+  if (failed_shard >= 0) {
+    return std::move(statuses[static_cast<size_t>(failed_shard)]);
+  }
+  return Status::OK();
 }
 
 Status ShardedDataflow::SaveState(state::Writer* w) const {

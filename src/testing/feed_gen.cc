@@ -1,0 +1,448 @@
+#include "testing/feed_gen.h"
+
+#include <algorithm>
+#include <map>
+
+namespace onesql {
+namespace testing {
+
+namespace {
+
+/// Self-contained splitmix64: the standard library's distributions are not
+/// specified bit-for-bit across implementations, and a corpus seed must
+/// reproduce the same case on every toolchain.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi], inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  bool Chance(int percent) { return Range(0, 99) < percent; }
+
+  template <typename T>
+  T Pick(std::initializer_list<T> options) {
+    auto it = options.begin();
+    std::advance(it, Range(0, static_cast<int64_t>(options.size()) - 1));
+    return *it;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kItems[] = {"alpha", "beta", "gamma", "delta", ""};
+
+std::string AggExpr(AggKind kind, size_t i) {
+  std::string expr;
+  switch (kind) {
+    case AggKind::kCountStar:      expr = "COUNT(*)"; break;
+    case AggKind::kCountV:         expr = "COUNT(v)"; break;
+    case AggKind::kSumV:           expr = "SUM(v)"; break;
+    case AggKind::kSumD:           expr = "SUM(d)"; break;
+    case AggKind::kAvgD:           expr = "AVG(d)"; break;
+    case AggKind::kMinV:           expr = "MIN(v)"; break;
+    case AggKind::kMaxV:           expr = "MAX(v)"; break;
+    case AggKind::kMinItem:        expr = "MIN(item)"; break;
+    case AggKind::kMaxItem:        expr = "MAX(item)"; break;
+    case AggKind::kCountDistinctV: expr = "COUNT(DISTINCT v)"; break;
+  }
+  return expr + " AS a" + std::to_string(i);
+}
+
+std::string IntervalMs(int64_t ms) {
+  return "INTERVAL '" + std::to_string(ms) + "' MILLISECONDS";
+}
+
+QuerySpec GenerateQuerySpec(Rng* rng) {
+  QuerySpec spec;
+  const int64_t roll = rng->Range(0, 99);
+  if (roll < 20) {
+    spec.shape = QueryShape::kFilterProject;
+  } else if (roll < 45) {
+    spec.shape = QueryShape::kTumbleAgg;
+  } else if (roll < 65) {
+    spec.shape = QueryShape::kHopAgg;
+  } else if (roll < 80) {
+    spec.shape = QueryShape::kSession;
+  } else {
+    spec.shape = QueryShape::kJoin;
+  }
+
+  switch (spec.shape) {
+    case QueryShape::kFilterProject:
+      spec.extra_proj = rng->Chance(50);
+      spec.has_filter = rng->Chance(60);
+      // Non-negative constants only: the fuzz grammar stays inside the
+      // subset every version of the parser accepts.
+      spec.filter_min_v = rng->Range(0, 60);
+      break;
+    case QueryShape::kTumbleAgg:
+    case QueryShape::kHopAgg: {
+      spec.dur_ms = rng->Pick<int64_t>(
+          {60'000, 120'000, 300'000, 450'000, 600'000, 900'000});
+      if (spec.shape == QueryShape::kHopAgg) {
+        // Dividing, non-dividing, and gap-producing (hop > dur) periods.
+        spec.hop_ms = rng->Pick<int64_t>(
+            {spec.dur_ms / 2, spec.dur_ms / 3, spec.dur_ms / 4,
+             (spec.dur_ms * 3) / 4, spec.dur_ms * 2});
+      }
+      spec.keyed = rng->Chance(70);
+      spec.gated = rng->Chance(40);
+      spec.has_filter = rng->Chance(40);
+      spec.filter_min_v = rng->Range(0, 60);
+      const int64_t num_aggs = rng->Range(1, 3);
+      for (int64_t i = 0; i < num_aggs; ++i) {
+        spec.aggs.push_back(rng->Pick<AggKind>(
+            {AggKind::kCountStar, AggKind::kCountV, AggKind::kSumV,
+             AggKind::kSumD, AggKind::kAvgD, AggKind::kMinV, AggKind::kMaxV,
+             AggKind::kMinItem, AggKind::kMaxItem,
+             AggKind::kCountDistinctV}));
+      }
+      break;
+    }
+    case QueryShape::kSession:
+      spec.gap_ms = rng->Pick<int64_t>(
+          {30'000, 60'000, 120'000, 300'000, 600'000});
+      break;
+    case QueryShape::kJoin:
+      spec.extra_join_cond = rng->Chance(50);
+      break;
+  }
+  spec.sql = RenderSql(spec);
+  return spec;
+}
+
+Value RandomK(Rng* rng, bool need_k) {
+  if (!need_k && rng->Chance(10)) return Value::Null();
+  return Value::Int64(rng->Range(0, 4));
+}
+
+Value RandomV(Rng* rng) {
+  if (rng->Chance(8)) return Value::Null();
+  return Value::Int64(rng->Range(-100, 100));
+}
+
+Value RandomD(Rng* rng) {
+  if (rng->Chance(8)) return Value::Null();
+  // Dyadic: n/64 with |n| <= 4096, so every sum of <= 48 values is exactly
+  // representable and independent of accumulation order.
+  return Value::Double(static_cast<double>(rng->Range(-4096, 4096)) / 64.0);
+}
+
+Value RandomItem(Rng* rng) {
+  if (rng->Chance(8)) return Value::Null();
+  return Value::String(kItems[rng->Range(0, 4)]);
+}
+
+}  // namespace
+
+const char* QueryShapeToString(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kFilterProject: return "filter_project";
+    case QueryShape::kTumbleAgg:     return "tumble_agg";
+    case QueryShape::kHopAgg:        return "hop_agg";
+    case QueryShape::kSession:       return "session";
+    case QueryShape::kJoin:          return "join";
+  }
+  return "unknown";
+}
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:      return "count_star";
+    case AggKind::kCountV:         return "count_v";
+    case AggKind::kSumV:           return "sum_v";
+    case AggKind::kSumD:           return "sum_d";
+    case AggKind::kAvgD:           return "avg_d";
+    case AggKind::kMinV:           return "min_v";
+    case AggKind::kMaxV:           return "max_v";
+    case AggKind::kMinItem:        return "min_item";
+    case AggKind::kMaxItem:        return "max_item";
+    case AggKind::kCountDistinctV: return "count_distinct_v";
+  }
+  return "unknown";
+}
+
+const char* FeedModeToString(FeedMode mode) {
+  switch (mode) {
+    case FeedMode::kDeletesPerfect:   return "deletes_perfect";
+    case FeedMode::kInsertOnlyPerfect: return "insert_only_perfect";
+    case FeedMode::kInsertOnlySloppy:  return "insert_only_sloppy";
+  }
+  return "unknown";
+}
+
+Schema FuzzStreamSchema() {
+  return Schema({{"ts", DataType::kTimestamp, /*is_event_time=*/true},
+                 {"k", DataType::kBigint},
+                 {"v", DataType::kBigint},
+                 {"d", DataType::kDouble},
+                 {"item", DataType::kVarchar}});
+}
+
+std::string RenderSql(const QuerySpec& spec) {
+  const std::string filter =
+      spec.has_filter ? " WHERE v >= " + std::to_string(spec.filter_min_v)
+                      : "";
+  switch (spec.shape) {
+    case QueryShape::kFilterProject: {
+      std::string sql = "SELECT ts, k, v, d, item";
+      if (spec.extra_proj) sql += ", v + k AS x";
+      return sql + " FROM S" + filter;
+    }
+    case QueryShape::kTumbleAgg:
+    case QueryShape::kHopAgg: {
+      std::string sql = "SELECT ";
+      if (spec.keyed) sql += "k, ";
+      sql += "wend";
+      for (size_t i = 0; i < spec.aggs.size(); ++i) {
+        sql += ", " + AggExpr(spec.aggs[i], i);
+      }
+      if (spec.shape == QueryShape::kTumbleAgg) {
+        sql += " FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(ts), "
+               "dur => " + IntervalMs(spec.dur_ms) + ") t";
+      } else {
+        sql += " FROM Hop(data => TABLE(S), timecol => DESCRIPTOR(ts), "
+               "dur => " + IntervalMs(spec.dur_ms) +
+               ", hopsize => " + IntervalMs(spec.hop_ms) + ") t";
+      }
+      sql += filter + " GROUP BY ";
+      if (spec.keyed) sql += "k, ";
+      sql += "wend";
+      if (spec.gated) sql += " EMIT AFTER WATERMARK";
+      return sql;
+    }
+    case QueryShape::kSession:
+      return "SELECT * FROM Session(data => TABLE(S), "
+             "timecol => DESCRIPTOR(ts), gap => " + IntervalMs(spec.gap_ms) +
+             ", key => DESCRIPTOR(k)) s";
+    case QueryShape::kJoin: {
+      std::string sql =
+          "SELECT a.ts AS ats, a.k AS k, a.v AS av, b.ts AS bts, b.v AS bv "
+          "FROM S a, R b WHERE a.k = b.k";
+      if (spec.extra_join_cond) sql += " AND a.v <= b.v";
+      return sql;
+    }
+  }
+  return "SELECT ts, k, v, d, item FROM S";
+}
+
+FuzzCase GenerateCase(uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fuzz;
+  fuzz.seed = seed;
+
+  const int64_t mode_roll = rng.Range(0, 9);
+  if (mode_roll < 4) {
+    fuzz.mode = FeedMode::kDeletesPerfect;
+  } else if (mode_roll < 7) {
+    fuzz.mode = FeedMode::kInsertOnlyPerfect;
+  } else {
+    fuzz.mode = FeedMode::kInsertOnlySloppy;
+  }
+
+  // Queries: one or two specs, validated against the planner. A spec the
+  // planner rejects falls back to a trivial projection; the fuzz smoke test
+  // asserts the fallback stays rare, so grammar drift is caught.
+  Engine prototype;
+  (void)prototype.RegisterStream(kFuzzStreamS, FuzzStreamSchema());
+  (void)prototype.RegisterStream(kFuzzStreamR, FuzzStreamSchema());
+  const int64_t num_queries = rng.Chance(35) ? 2 : 1;
+  for (int64_t i = 0; i < num_queries; ++i) {
+    QuerySpec spec = GenerateQuerySpec(&rng);
+    if (!prototype.Plan(spec.sql).ok()) {
+      spec = QuerySpec{};
+      spec.sql = RenderSql(spec);
+    }
+    fuzz.queries.push_back(std::move(spec));
+  }
+  const bool has_join = std::any_of(
+      fuzz.queries.begin(), fuzz.queries.end(),
+      [](const QuerySpec& q) { return q.shape == QueryShape::kJoin; });
+  const bool need_k = std::any_of(
+      fuzz.queries.begin(), fuzz.queries.end(), [](const QuerySpec& q) {
+        return q.shape == QueryShape::kJoin ||
+               q.shape == QueryShape::kSession;
+      });
+
+  // Base feed: inserts and (mode-dependent) deletes of live rows, with
+  // non-decreasing processing times. Event times are drawn from a window
+  // straddling the epoch so negative-timestamp alignment is exercised —
+  // except in the CQL-compared mode, whose baseline windowing is defined
+  // only for the paper's non-negative times.
+  const int64_t num_events = rng.Range(8, 48);
+  const int64_t ts_lo =
+      fuzz.mode == FeedMode::kInsertOnlyPerfect ? 0 : -3'600'000;
+  const int64_t ts_hi =
+      fuzz.mode == FeedMode::kInsertOnlyPerfect ? 7'200'000 : 3'600'000;
+  int64_t ptime = 0;
+  std::map<std::string, std::vector<Row>> live;
+  for (int64_t i = 0; i < num_events; ++i) {
+    ptime += rng.Range(0, 5'000);
+    const std::string source =
+        has_join ? (rng.Chance(50) ? kFuzzStreamR : kFuzzStreamS)
+                 : (rng.Chance(20) ? kFuzzStreamR : kFuzzStreamS);
+    FeedEvent event;
+    event.source = source;
+    event.ptime = Timestamp(ptime);
+    std::vector<Row>& pool = live[source];
+    if (fuzz.mode == FeedMode::kDeletesPerfect && !pool.empty() &&
+        rng.Chance(25)) {
+      const size_t idx = static_cast<size_t>(
+          rng.Range(0, static_cast<int64_t>(pool.size()) - 1));
+      event.kind = FeedEvent::Kind::kDelete;
+      event.row = pool[idx];
+      pool.erase(pool.begin() + static_cast<int64_t>(idx));
+    } else {
+      event.kind = FeedEvent::Kind::kInsert;
+      event.row = {Value::Time(Timestamp(rng.Range(ts_lo, ts_hi))),
+                   RandomK(&rng, need_k), RandomV(&rng), RandomD(&rng),
+                   RandomItem(&rng)};
+      pool.push_back(event.row);
+    }
+    fuzz.events.push_back(std::move(event));
+  }
+
+  if (fuzz.perfect_watermarks()) {
+    RegeneratePerfectWatermarks(&fuzz.events);
+  } else {
+    // Sloppy schedule: watermarks wander anywhere within the event-time
+    // domain (monotone per stream), so rows genuinely arrive late and drop.
+    std::vector<FeedEvent> with_marks;
+    std::map<std::string, Timestamp> last_wm;
+    for (FeedEvent& event : fuzz.events) {
+      const std::string source = event.source;
+      const Timestamp at = event.ptime;
+      with_marks.push_back(std::move(event));
+      if (!rng.Chance(33)) continue;
+      const Timestamp wm(rng.Range(ts_lo - 10'000, ts_hi + 10'000));
+      auto it = last_wm.find(source);
+      if (it != last_wm.end() && wm <= it->second) continue;
+      last_wm[source] = wm;
+      FeedEvent mark;
+      mark.kind = FeedEvent::Kind::kWatermark;
+      mark.source = source;
+      mark.ptime = at;
+      mark.watermark = wm;
+      with_marks.push_back(std::move(mark));
+    }
+    fuzz.events = std::move(with_marks);
+    // Input complete: every window closes, gated queries flush.
+    Timestamp final_ptime =
+        fuzz.events.empty() ? Timestamp(0) : fuzz.events.back().ptime;
+    for (const char* source : {kFuzzStreamS, kFuzzStreamR}) {
+      FeedEvent mark;
+      mark.kind = FeedEvent::Kind::kWatermark;
+      mark.source = source;
+      mark.ptime = final_ptime;
+      mark.watermark = Timestamp::Max();
+      fuzz.events.push_back(std::move(mark));
+    }
+  }
+  return fuzz;
+}
+
+void RegeneratePerfectWatermarks(std::vector<FeedEvent>* events) {
+  std::vector<FeedEvent> base;
+  base.reserve(events->size());
+  for (FeedEvent& event : *events) {
+    if (event.kind != FeedEvent::Kind::kWatermark) {
+      base.push_back(std::move(event));
+    }
+  }
+  const size_t n = base.size();
+  // min_future[i][source]: minimum row event time among base[i..] of that
+  // source. A watermark placed after event i at min_future - 1ms is
+  // "perfect": it is as tight as possible while provably never declaring a
+  // still-outstanding row (insert or its later delete) late.
+  std::map<std::string, Timestamp> running_min;
+  std::vector<std::map<std::string, Timestamp>> min_future(n + 1);
+  for (size_t i = n; i-- > 0;) {
+    min_future[i + 1] = running_min;
+    const Value& ts = base[i].row.empty() ? Value::Null() : base[i].row[0];
+    if (!ts.is_null()) {
+      auto [it, inserted] =
+          running_min.emplace(base[i].source, ts.AsTimestamp());
+      if (!inserted) it->second = std::min(it->second, ts.AsTimestamp());
+    }
+    if (i == 0) min_future[0] = running_min;
+  }
+
+  std::vector<FeedEvent> rebuilt;
+  rebuilt.reserve(n * 2 + 2);
+  std::map<std::string, Timestamp> last_wm;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string source = base[i].source;
+    const Timestamp at = base[i].ptime;
+    rebuilt.push_back(std::move(base[i]));
+    auto future = min_future[i + 1].find(source);
+    if (future == min_future[i + 1].end()) continue;  // no more rows: wait
+    const Timestamp wm = future->second - Interval::Millis(1);
+    auto it = last_wm.find(source);
+    if (it != last_wm.end() && wm <= it->second) continue;
+    last_wm[source] = wm;
+    FeedEvent mark;
+    mark.kind = FeedEvent::Kind::kWatermark;
+    mark.source = source;
+    mark.ptime = at;
+    mark.watermark = wm;
+    rebuilt.push_back(std::move(mark));
+  }
+  const Timestamp final_ptime =
+      rebuilt.empty() ? Timestamp(0) : rebuilt.back().ptime;
+  for (const char* source : {kFuzzStreamS, kFuzzStreamR}) {
+    FeedEvent mark;
+    mark.kind = FeedEvent::Kind::kWatermark;
+    mark.source = source;
+    mark.ptime = final_ptime;
+    mark.watermark = Timestamp::Max();
+    rebuilt.push_back(std::move(mark));
+  }
+  *events = std::move(rebuilt);
+}
+
+void RepairFeed(std::vector<FeedEvent>* events) {
+  std::vector<FeedEvent> kept;
+  kept.reserve(events->size());
+  std::map<std::string, std::map<Row, int64_t, RowLess>> live;
+  std::map<std::string, Timestamp> last_wm;
+  Timestamp last_ptime = Timestamp::Min();
+  for (FeedEvent& event : *events) {
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        live[event.source][event.row] += 1;
+        break;
+      case FeedEvent::Kind::kDelete: {
+        auto& pool = live[event.source];
+        auto it = pool.find(event.row);
+        if (it == pool.end()) continue;  // orphaned by a removed insert
+        if (--it->second == 0) pool.erase(it);
+        break;
+      }
+      case FeedEvent::Kind::kWatermark: {
+        auto it = last_wm.find(event.source);
+        if (it != last_wm.end() && event.watermark <= it->second) continue;
+        last_wm[event.source] = event.watermark;
+        break;
+      }
+    }
+    if (event.ptime < last_ptime) event.ptime = last_ptime;
+    last_ptime = event.ptime;
+    kept.push_back(std::move(event));
+  }
+  *events = std::move(kept);
+}
+
+}  // namespace testing
+}  // namespace onesql

@@ -1,0 +1,126 @@
+#ifndef ONESQL_TESTING_FEED_GEN_H_
+#define ONESQL_TESTING_FEED_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace onesql {
+namespace testing {
+
+/// The differential fuzzer's case space (DESIGN.md §12): one seed maps
+/// deterministically to a small bundle of continuous queries plus an
+/// out-of-order, timestamped, watermarked feed. Every generated case is
+/// valid by construction — deletes only target live rows, processing times
+/// and watermarks are monotone — so any oracle disagreement is an engine
+/// bug, not a malformed input.
+
+/// Shapes cover every operator family the planner can emit for a single
+/// statement: stateless pipelines, the three windowing TVFs, and the
+/// streaming equi-join.
+enum class QueryShape {
+  kFilterProject,
+  kTumbleAgg,
+  kHopAgg,
+  kSession,
+  kJoin,
+};
+
+/// Aggregate calls drawn for the windowed shapes. The double-typed ones are
+/// generated over a dyadic domain (multiples of 1/64, |d| <= 64) so every
+/// partial sum is exactly representable and bitwise comparison across
+/// evaluation orders is sound.
+enum class AggKind {
+  kCountStar,
+  kCountV,
+  kSumV,
+  kSumD,
+  kAvgD,
+  kMinV,
+  kMaxV,
+  kMinItem,
+  kMaxItem,
+  kCountDistinctV,
+};
+
+const char* QueryShapeToString(QueryShape shape);
+const char* AggKindToString(AggKind kind);
+
+struct QuerySpec {
+  QueryShape shape = QueryShape::kFilterProject;
+  int64_t dur_ms = 0;   // Tumble/Hop window length
+  int64_t hop_ms = 0;   // Hop period
+  int64_t gap_ms = 0;   // Session gap
+  bool keyed = false;   // GROUP BY k alongside wend
+  bool gated = false;   // EMIT AFTER WATERMARK (Tumble/Hop only)
+  bool has_filter = false;
+  int64_t filter_min_v = 0;  // WHERE v >= filter_min_v
+  bool extra_proj = false;   // kFilterProject: add "v + k AS x"
+  bool extra_join_cond = false;  // kJoin: add "AND a.v <= b.v"
+  std::vector<AggKind> aggs;
+  std::string sql;  // rendered statement (RenderSql)
+};
+
+/// How the feed is shaped, which decides the applicable oracles:
+///  - kDeletesPerfect: inserts + deletes, perfect watermarks. All four
+///    oracles apply (nothing is ever late, windows never close early).
+///  - kInsertOnlyPerfect: insert-only, perfect watermarks, non-negative
+///    event times. Adds the CQL baseline oracle for tumbling aggregates.
+///  - kInsertOnlySloppy: insert-only with arbitrary (monotone) watermarks,
+///    so rows genuinely drop late. The reference interpreter does not model
+///    lateness; only the self-consistency oracles (duality, shard
+///    invariance, crash equivalence) run.
+enum class FeedMode {
+  kDeletesPerfect,
+  kInsertOnlyPerfect,
+  kInsertOnlySloppy,
+};
+
+const char* FeedModeToString(FeedMode mode);
+
+struct FuzzCase {
+  uint64_t seed = 0;
+  FeedMode mode = FeedMode::kDeletesPerfect;
+  std::vector<QuerySpec> queries;
+  std::vector<FeedEvent> events;
+
+  bool perfect_watermarks() const { return mode != FeedMode::kInsertOnlySloppy; }
+};
+
+/// Schema shared by both fuzz streams, S and R:
+///   ts TIMESTAMP event-time, k BIGINT, v BIGINT, d DOUBLE, item VARCHAR.
+Schema FuzzStreamSchema();
+
+/// Names of the two registered streams.
+inline const char* kFuzzStreamS = "S";
+inline const char* kFuzzStreamR = "R";
+
+/// Renders spec into its SQL text (does not touch spec.sql).
+std::string RenderSql(const QuerySpec& spec);
+
+/// Deterministically expands one seed into a full case. The SQL of every
+/// query is validated against Engine::Plan; a spec the planner rejects is
+/// replaced by a trivial known-good projection (this keeps the generator
+/// total — a planner regression then shows up as mass fallback, caught by
+/// the smoke assertions in tests/fuzz).
+FuzzCase GenerateCase(uint64_t seed);
+
+/// Rebuilds the watermark schedule of `events` in place: strips every
+/// watermark event and re-inserts the perfect schedule (per stream, the
+/// minimum event time over all *future* insert/delete rows, minus 1ms),
+/// ending with a Timestamp::Max() watermark per stream. Used by the
+/// minimizer, whose event removals would otherwise break the
+/// perfect-watermark invariant the reference oracle relies on.
+void RegeneratePerfectWatermarks(std::vector<FeedEvent>* events);
+
+/// Drops delete events whose row no longer has a live matching insert
+/// before them (the minimizer creates such orphans when it removes insert
+/// events), and re-establishes watermark monotonicity per stream.
+void RepairFeed(std::vector<FeedEvent>* events);
+
+}  // namespace testing
+}  // namespace onesql
+
+#endif  // ONESQL_TESTING_FEED_GEN_H_

@@ -1,0 +1,75 @@
+#include "testing/minimizer.h"
+
+#include <algorithm>
+
+namespace onesql {
+namespace testing {
+
+namespace {
+
+/// Removes events [begin, begin+len) and restores every feed invariant the
+/// generator guarantees, so the shrunk case fails for the original reason
+/// and not because shrinking malformed the feed.
+FuzzCase WithoutEvents(const FuzzCase& fuzz, size_t begin, size_t len) {
+  FuzzCase candidate = fuzz;
+  candidate.events.erase(
+      candidate.events.begin() + static_cast<int64_t>(begin),
+      candidate.events.begin() + static_cast<int64_t>(begin + len));
+  RepairFeed(&candidate.events);
+  if (candidate.perfect_watermarks()) {
+    RegeneratePerfectWatermarks(&candidate.events);
+  }
+  return candidate;
+}
+
+}  // namespace
+
+FuzzCase MinimizeCase(const FuzzCase& failing, const StillFails& still_fails,
+                      int max_probes) {
+  FuzzCase best = failing;
+  int probes = 0;
+  auto try_candidate = [&](const FuzzCase& candidate) {
+    if (probes >= max_probes) return false;
+    ++probes;
+    if (!still_fails(candidate)) return false;
+    best = candidate;
+    return true;
+  };
+
+  // Drop whole queries first: each one removed halves the later search.
+  if (best.queries.size() > 1) {
+    for (size_t q = 0; q < best.queries.size() && best.queries.size() > 1;) {
+      FuzzCase candidate = best;
+      candidate.queries.erase(candidate.queries.begin() +
+                              static_cast<int64_t>(q));
+      if (!try_candidate(candidate)) ++q;
+    }
+  }
+
+  // ddmin over events: chunks from half the feed down to single events.
+  bool shrunk = true;
+  while (shrunk && probes < max_probes) {
+    shrunk = false;
+    for (size_t chunk = std::max<size_t>(best.events.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      for (size_t begin = 0;
+           begin < best.events.size() && probes < max_probes;) {
+        const size_t len = std::min(chunk, best.events.size() - begin);
+        if (len == best.events.size()) {
+          begin += len;  // never empty the feed entirely
+          continue;
+        }
+        if (try_candidate(WithoutEvents(best, begin, len))) {
+          shrunk = true;  // indices shifted; retry the same position
+        } else {
+          begin += len;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace testing
+}  // namespace onesql

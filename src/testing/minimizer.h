@@ -1,0 +1,29 @@
+#ifndef ONESQL_TESTING_MINIMIZER_H_
+#define ONESQL_TESTING_MINIMIZER_H_
+
+#include <functional>
+
+#include "testing/feed_gen.h"
+
+namespace onesql {
+namespace testing {
+
+/// True when the case still reproduces the failure being chased. The
+/// minimizer only keeps a shrink step if the predicate still holds.
+using StillFails = std::function<bool(const FuzzCase&)>;
+
+/// ddmin-style case shrinker: repeatedly tries to drop event subranges
+/// (halving the chunk size down to single events) and to drop whole
+/// queries, keeping each removal only if the case still fails. After every
+/// event removal the feed is repaired — orphaned deletes dropped, watermark
+/// monotonicity restored, and (for perfect-watermark modes) the perfect
+/// schedule regenerated, so the invariants the oracles rely on survive
+/// shrinking. `max_probes` bounds the total number of predicate
+/// evaluations; minimization is best-effort within that budget.
+FuzzCase MinimizeCase(const FuzzCase& failing, const StillFails& still_fails,
+                      int max_probes = 400);
+
+}  // namespace testing
+}  // namespace onesql
+
+#endif  // ONESQL_TESTING_MINIMIZER_H_

@@ -1,0 +1,353 @@
+#include "testing/oracles.h"
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "testing/reference.h"
+
+namespace onesql {
+namespace testing {
+
+namespace {
+
+/// splitmix64 finalizer: derives deterministic per-oracle choices (batch
+/// sizes, crash prefix) from the case seed without std::random.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Result<std::unique_ptr<Engine>> MakeBaseEngine() {
+  auto engine = std::make_unique<Engine>();
+  ONESQL_RETURN_NOT_OK(engine->RegisterStream(kFuzzStreamS, FuzzStreamSchema()));
+  ONESQL_RETURN_NOT_OK(engine->RegisterStream(kFuzzStreamR, FuzzStreamSchema()));
+  return engine;
+}
+
+Result<std::vector<ContinuousQuery*>> ExecuteAll(
+    Engine* engine, const std::vector<QuerySpec>& specs, int shards) {
+  ExecutionOptions options;
+  options.shards = shards;
+  std::vector<ContinuousQuery*> queries;
+  for (const QuerySpec& spec : specs) {
+    ONESQL_ASSIGN_OR_RETURN(ContinuousQuery * q,
+                            engine->Execute(spec.sql, options));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+Status ApplyEvent(Engine* engine, const FeedEvent& event) {
+  switch (event.kind) {
+    case FeedEvent::Kind::kInsert:
+      return engine->Insert(event.source, event.ptime, event.row);
+    case FeedEvent::Kind::kDelete:
+      return engine->Delete(event.source, event.ptime, event.row);
+    case FeedEvent::Kind::kWatermark:
+      return engine->AdvanceWatermark(event.source, event.ptime,
+                                      event.watermark);
+  }
+  return Status::Internal("unknown feed event kind");
+}
+
+/// Feeds `events` through Engine::Feed in deterministic pseudo-random
+/// batches of 1-7 events, exercising the batch dispatch path.
+Status FeedBatched(Engine* engine, const std::vector<FeedEvent>& events,
+                   uint64_t salt) {
+  size_t i = 0;
+  uint64_t state = salt;
+  while (i < events.size()) {
+    state = Mix(state);
+    const size_t take = std::min(events.size() - i, 1 + state % 7);
+    ONESQL_RETURN_NOT_OK(engine->Feed(std::vector<FeedEvent>(
+        events.begin() + i, events.begin() + i + take)));
+    i += take;
+  }
+  return Status::OK();
+}
+
+/// Folds a changelog into the relation it describes. Returns a diagnostic
+/// when an undo arrives for a row the changelog never asserted — itself a
+/// duality violation.
+std::string AccumulateEmissions(const std::vector<exec::Emission>& emissions,
+                                std::vector<Row>* out) {
+  std::map<Row, int64_t, RowLess> bag;
+  for (const exec::Emission& e : emissions) {
+    if (e.undo) {
+      auto it = bag.find(e.row);
+      if (it == bag.end()) {
+        return "changelog retracts a row it never emitted: " + e.ToString();
+      }
+      if (--it->second == 0) bag.erase(it);
+    } else {
+      bag[e.row] += 1;
+    }
+  }
+  for (const auto& [row, count] : bag) {
+    for (int64_t i = 0; i < count; ++i) out->push_back(row);
+  }
+  return "";
+}
+
+/// Bit-exact comparison of two changelogs, metadata included: same rows,
+/// same undo flags, same processing times, same revision counters, same
+/// order.
+std::string CompareEmissions(const std::vector<exec::Emission>& got,
+                             const std::vector<exec::Emission>& want) {
+  if (got.size() != want.size()) {
+    return "changelog length " + std::to_string(got.size()) + " vs " +
+           std::to_string(want.size());
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    const exec::Emission& g = got[i];
+    const exec::Emission& w = want[i];
+    if (!RowsEqual(g.row, w.row) || g.undo != w.undo || g.ptime != w.ptime ||
+        g.ver != w.ver) {
+      return "changelog entry " + std::to_string(i) + ": " + g.ToString() +
+             " vs " + w.ToString();
+    }
+  }
+  return "";
+}
+
+std::string CompareRowSequences(const std::vector<Row>& got,
+                                const std::vector<Row>& want) {
+  if (got.size() != want.size()) {
+    return "snapshot size " + std::to_string(got.size()) + " vs " +
+           std::to_string(want.size());
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!RowsEqual(got[i], want[i])) {
+      return "snapshot row " + std::to_string(i) + ": " +
+             RowToString(got[i]) + " vs " + RowToString(want[i]);
+    }
+  }
+  return "";
+}
+
+struct QueryRendering {
+  std::vector<exec::Emission> emissions;
+  std::vector<Row> snapshot;
+};
+
+Result<QueryRendering> Render(ContinuousQuery* query) {
+  QueryRendering r;
+  r.emissions = query->Emissions();
+  ONESQL_ASSIGN_OR_RETURN(r.snapshot, query->CurrentSnapshot());
+  return r;
+}
+
+std::string QueryLabel(const FuzzCase& fuzz, size_t i) {
+  return "query " + std::to_string(i) + " [" + fuzz.queries[i].sql + "]";
+}
+
+}  // namespace
+
+std::string CaseOutcome::ToString() const {
+  if (failures.empty()) return "ok";
+  std::ostringstream out;
+  for (const CaseFailure& f : failures) {
+    out << "[" << f.oracle << "] " << f.detail << "\n";
+  }
+  return out.str();
+}
+
+Result<CaseOutcome> RunCase(const FuzzCase& fuzz, const OracleOptions& opts) {
+  CaseOutcome outcome;
+  if (fuzz.queries.empty()) {
+    return Status::InvalidArgument("fuzz case has no queries");
+  }
+  const size_t n = fuzz.events.size();
+
+  // ---- Oracle 1: duality, over the sequential event-by-event baseline.
+  ONESQL_ASSIGN_OR_RETURN(auto baseline_engine, MakeBaseEngine());
+  ONESQL_ASSIGN_OR_RETURN(auto baseline_queries,
+                          ExecuteAll(baseline_engine.get(), fuzz.queries, 1));
+
+  std::set<size_t> duality_at;
+  for (int i = 1; i <= opts.duality_checks; ++i) {
+    duality_at.insert(n * static_cast<size_t>(i) /
+                      static_cast<size_t>(opts.duality_checks));
+  }
+  duality_at.insert(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Status fed = ApplyEvent(baseline_engine.get(), fuzz.events[i]);
+    if (!fed.ok()) {
+      outcome.failures.push_back(
+          {"feed", "event " + std::to_string(i) + ": " + fed.ToString()});
+      return outcome;
+    }
+    if (duality_at.count(i + 1) == 0) continue;
+    for (size_t q = 0; q < baseline_queries.size(); ++q) {
+      std::vector<Row> from_changelog;
+      std::string err = AccumulateEmissions(
+          baseline_queries[q]->Emissions(), &from_changelog);
+      if (err.empty()) {
+        auto snapshot = baseline_queries[q]->CurrentSnapshot();
+        if (!snapshot.ok()) {
+          return snapshot.status();
+        }
+        err = DiffRowMultisets(SortedRows(std::move(from_changelog)),
+                               SortedRows(std::move(*snapshot)));
+      }
+      if (!err.empty()) {
+        outcome.failures.push_back(
+            {"duality", QueryLabel(fuzz, q) + " at prefix " +
+                            std::to_string(i + 1) + ": " + err});
+      }
+    }
+  }
+
+  std::vector<QueryRendering> baseline;
+  for (ContinuousQuery* q : baseline_queries) {
+    ONESQL_ASSIGN_OR_RETURN(QueryRendering r, Render(q));
+    baseline.push_back(std::move(r));
+  }
+
+  // ---- Oracle 2: shard invariance, batched feed at each shard count.
+  for (int shards : opts.shard_counts) {
+    ONESQL_ASSIGN_OR_RETURN(auto sharded_engine,
+                            baseline_engine->CloneRegistrations());
+    ONESQL_ASSIGN_OR_RETURN(
+        auto sharded_queries,
+        ExecuteAll(sharded_engine.get(), fuzz.queries, shards));
+    const Status fed = FeedBatched(sharded_engine.get(), fuzz.events,
+                                   Mix(fuzz.seed) ^ static_cast<uint64_t>(shards));
+    if (!fed.ok()) {
+      outcome.failures.push_back(
+          {"shards", "shards=" + std::to_string(shards) +
+                         " rejected the feed: " + fed.ToString()});
+      continue;
+    }
+    for (size_t q = 0; q < sharded_queries.size(); ++q) {
+      ONESQL_ASSIGN_OR_RETURN(QueryRendering r, Render(sharded_queries[q]));
+      std::string err = CompareEmissions(r.emissions, baseline[q].emissions);
+      if (err.empty()) {
+        err = CompareRowSequences(r.snapshot, baseline[q].snapshot);
+      }
+      if (!err.empty()) {
+        outcome.failures.push_back(
+            {"shards", QueryLabel(fuzz, q) + " shards=" +
+                           std::to_string(shards) + ": " + err});
+      }
+    }
+  }
+
+  // ---- Oracle 3: crash equivalence at a seed-chosen prefix.
+  if (opts.run_crash && !opts.temp_dir.empty() && n >= 2) {
+    const size_t cut = 1 + Mix(fuzz.seed ^ 0xC4A54ULL) % (n - 1);
+    const std::string dir =
+        opts.temp_dir + "/fuzz_case_" + std::to_string(fuzz.seed);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::DataLoss("cannot create crash-oracle dir " + dir);
+    }
+    Status crash_status = Status::OK();
+    {
+      ONESQL_ASSIGN_OR_RETURN(auto crashing,
+                              baseline_engine->CloneRegistrations());
+      ONESQL_ASSIGN_OR_RETURN(auto ignored,
+                              ExecuteAll(crashing.get(), fuzz.queries, 1));
+      (void)ignored;
+      if (opts.crash_use_wal) {
+        crash_status = crashing->EnableDurability(dir);
+      }
+      if (crash_status.ok()) {
+        crash_status = crashing->Feed(std::vector<FeedEvent>(
+            fuzz.events.begin(),
+            fuzz.events.begin() + static_cast<int64_t>(cut)));
+      }
+      if (crash_status.ok()) crash_status = crashing->Checkpoint(dir);
+      if (crash_status.ok() && opts.crash_use_wal) {
+        // With a WAL attached the suffix is also logged before the "crash";
+        // restore must replay it without our help.
+        crash_status = crashing->Feed(std::vector<FeedEvent>(
+            fuzz.events.begin() + static_cast<int64_t>(cut),
+            fuzz.events.end()));
+      }
+      // Engine destroyed here with no shutdown handshake — the crash.
+    }
+    if (crash_status.ok()) {
+      Engine restored;
+      crash_status = restored.Restore(dir);
+      if (crash_status.ok() && !opts.crash_use_wal) {
+        crash_status = restored.Feed(std::vector<FeedEvent>(
+            fuzz.events.begin() + static_cast<int64_t>(cut),
+            fuzz.events.end()));
+      }
+      if (crash_status.ok()) {
+        if (restored.num_queries() != fuzz.queries.size()) {
+          outcome.failures.push_back(
+              {"crash", "restore lost queries: " +
+                            std::to_string(restored.num_queries()) + " of " +
+                            std::to_string(fuzz.queries.size())});
+        }
+        for (size_t q = 0; q < restored.num_queries(); ++q) {
+          ONESQL_ASSIGN_OR_RETURN(QueryRendering r,
+                                  Render(restored.query(q)));
+          std::string err =
+              CompareEmissions(r.emissions, baseline[q].emissions);
+          if (err.empty()) {
+            err = CompareRowSequences(r.snapshot, baseline[q].snapshot);
+          }
+          if (!err.empty()) {
+            outcome.failures.push_back(
+                {"crash", QueryLabel(fuzz, q) + " prefix=" +
+                              std::to_string(cut) +
+                              (opts.crash_use_wal ? " (wal)" : "") + ": " +
+                              err});
+          }
+        }
+      }
+    }
+    if (!crash_status.ok()) {
+      outcome.failures.push_back(
+          {"crash", "prefix=" + std::to_string(cut) +
+                        (opts.crash_use_wal ? " (wal)" : "") + ": " +
+                        crash_status.ToString()});
+    }
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  // ---- Oracle 4a: naive reference interpreter (perfect watermarks only).
+  if (opts.run_reference && fuzz.perfect_watermarks()) {
+    for (size_t q = 0; q < fuzz.queries.size(); ++q) {
+      ONESQL_ASSIGN_OR_RETURN(
+          std::vector<Row> expected,
+          ReferenceFinalSnapshot(fuzz.queries[q], fuzz.events));
+      const std::string err =
+          DiffRowMultisets(baseline[q].snapshot, expected);
+      if (!err.empty()) {
+        outcome.failures.push_back(
+            {"reference", QueryLabel(fuzz, q) + ": " + err});
+      }
+    }
+  }
+
+  // ---- Oracle 4b: CQL baseline (insert-only, in-order tumbling subset).
+  if (opts.run_cql && fuzz.mode == FeedMode::kInsertOnlyPerfect) {
+    for (size_t q = 0; q < fuzz.queries.size(); ++q) {
+      if (fuzz.queries[q].shape != QueryShape::kTumbleAgg) continue;
+      ONESQL_ASSIGN_OR_RETURN(
+          std::vector<Row> expected,
+          CqlTumbleSnapshot(fuzz.queries[q], fuzz.events));
+      const std::string err =
+          DiffRowMultisets(baseline[q].snapshot, expected);
+      if (!err.empty()) {
+        outcome.failures.push_back({"cql", QueryLabel(fuzz, q) + ": " + err});
+      }
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace testing
+}  // namespace onesql

@@ -1,0 +1,46 @@
+#ifndef ONESQL_TESTING_REFERENCE_H_
+#define ONESQL_TESTING_REFERENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "testing/feed_gen.h"
+
+namespace onesql {
+namespace testing {
+
+/// The reference oracle: a deliberately naive, non-incremental evaluator of
+/// the fuzz grammar. It ignores processing time, watermarks, and deltas
+/// entirely — it folds the feed into the final net multiset per stream and
+/// recomputes the query from scratch, the way a batch system would evaluate
+/// the TVR's final instant. Under perfect watermarks (nothing late, all
+/// windows eventually closed by the final +inf watermark) the engine's
+/// final table rendering must equal this, row for row as a multiset.
+///
+/// Kept independent of src/exec on purpose: it shares no window assignment,
+/// no accumulator, and no expression evaluator with the engine, so a bug in
+/// those layers cannot cancel out of the comparison.
+Result<std::vector<Row>> ReferenceFinalSnapshot(
+    const QuerySpec& query, const std::vector<FeedEvent>& events);
+
+/// The CQL baseline oracle (insert-only, in-order-subset agreement): rows
+/// are released in timestamp order through cql::HeartbeatBuffer using the
+/// feed's own watermark schedule as heartbeats, windowed with
+/// cql::SlidingWindow at RANGE = SLIDE = dur, and aggregated per boundary.
+/// For tumbling aggregates over non-negative event times this must equal
+/// the engine's final snapshot — the paper's claim that the watermark-based
+/// one-SQL semantics subsumes CQL on the inputs CQL can express.
+Result<std::vector<Row>> CqlTumbleSnapshot(
+    const QuerySpec& query, const std::vector<FeedEvent>& events);
+
+/// Sorts a row multiset into canonical order for comparison.
+std::vector<Row> SortedRows(std::vector<Row> rows);
+
+/// "" when the two multisets match, else a short human-readable diff.
+std::string DiffRowMultisets(const std::vector<Row>& got,
+                             const std::vector<Row>& want);
+
+}  // namespace testing
+}  // namespace onesql
+
+#endif  // ONESQL_TESTING_REFERENCE_H_

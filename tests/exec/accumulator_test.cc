@@ -67,6 +67,41 @@ TEST(AccumulatorTest, SumDouble) {
   EXPECT_EQ(acc->Current(), Value::Double(3.75));
 }
 
+TEST(AccumulatorTest, SumDoubleFullRetractionLeavesNoResidue) {
+  // Float subtraction is not an exact inverse of addition: adding 0.1 to a
+  // sum holding 1e16 rounds the 0.1 away entirely, so retracting both
+  // leaves a naive running sum at -0.1 — for a group whose surviving bag is
+  // EMPTY. The empty state renders NULL either way (count is exact), but
+  // the residue must not survive to pollute the values after the group
+  // refills.
+  for (plan::AggFn fn : {AggFn::kSum, AggFn::kAvg}) {
+    auto acc = Make(fn, DataType::kDouble);
+    ASSERT_TRUE(acc->Add(Value::Double(1e16)).ok());
+    ASSERT_TRUE(acc->Add(Value::Double(0.1)).ok());
+    ASSERT_TRUE(acc->Retract(Value::Double(1e16)).ok());
+    ASSERT_TRUE(acc->Retract(Value::Double(0.1)).ok());
+    EXPECT_TRUE(acc->Current().is_null());
+    ASSERT_TRUE(acc->Add(Value::Double(0.25)).ok());
+    EXPECT_EQ(acc->Current(), Value::Double(0.25))
+        << plan::AggFnToString(fn) << " after refill: "
+        << acc->Current().ToString();
+  }
+}
+
+TEST(AccumulatorTest, SumDoubleEmptyRefillCyclesDoNotDrift) {
+  // The drift compounds: each fill/empty cycle leaves its own residue, so a
+  // long-running group that repeatedly empties accumulates visible error.
+  auto acc = Make(AggFn::kSum, DataType::kDouble);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    ASSERT_TRUE(acc->Add(Value::Double(1e16)).ok());
+    ASSERT_TRUE(acc->Add(Value::Double(0.1)).ok());
+    ASSERT_TRUE(acc->Retract(Value::Double(1e16)).ok());
+    ASSERT_TRUE(acc->Retract(Value::Double(0.1)).ok());
+  }
+  ASSERT_TRUE(acc->Add(Value::Double(1.0)).ok());
+  EXPECT_EQ(acc->Current(), Value::Double(1.0));
+}
+
 TEST(AccumulatorTest, Avg) {
   auto acc = Make(AggFn::kAvg, DataType::kDouble);
   ASSERT_TRUE(acc->Add(Value::Int64(1)).ok());

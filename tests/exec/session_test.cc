@@ -278,5 +278,145 @@ TEST_P(SessionPropertyTest, MatchesOfflineSessionization) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// --------------------------------------------------------------------------
+// Gap-boundary semantics, pinned at N ∈ {1, 8}. The session window is
+// [min_t, max_t + gap) — half-open — so a row at exactly max_t + gap starts
+// a NEW session, and a delete that leaves two runs exactly gap apart splits
+// them. Session plans are not key-partitionable (merge/split state is
+// global), so the N = 8 engines exercise the sharded-request fallback path;
+// both shard counts must render bit-identically.
+// --------------------------------------------------------------------------
+
+class SessionBoundaryTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .RegisterStream(
+                        "Clicks", Schema({{"ts", DataType::kTimestamp, true},
+                                          {"user_id", DataType::kBigint},
+                                          {"page", DataType::kVarchar}}))
+                    .ok());
+    auto q = engine_.Execute(
+        "SELECT * FROM Session(data => TABLE(Clicks), "
+        "timecol => DESCRIPTOR(ts), gap => INTERVAL '5' MINUTES, "
+        "key => DESCRIPTOR(user_id)) s",
+        ExecutionOptions{.shards = GetParam()});
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = *q;
+  }
+
+  Status Click(int pm, int em, int64_t user, const std::string& page) {
+    return engine_.Insert(
+        "Clicks", T(9, pm),
+        {Value::Time(T(8, em)), Value::Int64(user), Value::String(page)});
+  }
+
+  Status Unclick(int pm, int em, int64_t user, const std::string& page) {
+    return engine_.Delete(
+        "Clicks", T(9, pm),
+        {Value::Time(T(8, em)), Value::Int64(user), Value::String(page)});
+  }
+
+  /// Sorted multiset of (wstart minute, wend minute) per snapshot row.
+  std::vector<std::pair<int64_t, int64_t>> Windows() {
+    auto rows = query_->CurrentSnapshot();
+    EXPECT_TRUE(rows.ok());
+    std::vector<std::pair<int64_t, int64_t>> out;
+    if (!rows.ok()) return out;
+    for (const Row& row : *rows) {
+      out.emplace_back((row[3].AsTimestamp() - T(8, 0)).millis() / 60'000,
+                       (row[4].AsTimestamp() - T(8, 0)).millis() / 60'000);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Engine engine_;
+  ContinuousQuery* query_ = nullptr;
+};
+
+TEST_P(SessionBoundaryTest, RowAtExactGapStartsNewSession) {
+  ASSERT_TRUE(Click(1, 0, 1, "a").ok());
+  ASSERT_TRUE(Click(2, 5, 1, "b").ok());   // at max_t + gap: separate
+  ASSERT_TRUE(Click(3, 10, 1, "c").ok());  // again exactly at the boundary
+  using W = std::vector<std::pair<int64_t, int64_t>>;
+  EXPECT_EQ(Windows(), (W{{0, 5}, {5, 10}, {10, 15}}));
+  // Inside the gap (8:14 < 8:15) merges into the last session.
+  ASSERT_TRUE(Click(4, 14, 1, "d").ok());
+  auto windows = Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.back(), (std::pair<int64_t, int64_t>{10, 19}));
+}
+
+TEST_P(SessionBoundaryTest, BridgingRowAtExactBoundariesMergesNeither) {
+  // Sessions [8:00, 8:05) and [8:10, 8:15); a row at 8:05 spans [8:05,
+  // 8:10) — flush against both neighbours, merging with neither.
+  ASSERT_TRUE(Click(1, 0, 1, "a").ok());
+  ASSERT_TRUE(Click(2, 10, 1, "b").ok());
+  ASSERT_TRUE(Click(3, 5, 1, "c").ok());
+  using W = std::vector<std::pair<int64_t, int64_t>>;
+  EXPECT_EQ(Windows(), (W{{0, 5}, {5, 10}, {10, 15}}));
+}
+
+TEST_P(SessionBoundaryTest, DeleteLeavingRunsExactlyGapApartSplits) {
+  // One session [8:00, 8:10) out of rows {8:00, 8:02, 8:05}; deleting 8:02
+  // leaves 8:00 and 8:05 exactly gap apart — they must split.
+  ASSERT_TRUE(Click(1, 0, 1, "a").ok());
+  ASSERT_TRUE(Click(2, 2, 1, "b").ok());
+  ASSERT_TRUE(Click(3, 5, 1, "c").ok());
+  using W = std::vector<std::pair<int64_t, int64_t>>;
+  EXPECT_EQ(Windows(), (W{{0, 10}, {0, 10}, {0, 10}}));
+  ASSERT_TRUE(Unclick(4, 2, 1, "b").ok());
+  EXPECT_EQ(Windows(), (W{{0, 5}, {5, 10}}));
+}
+
+TEST_P(SessionBoundaryTest, ShardCountsRenderIdentically) {
+  // The same boundary-heavy feed rendered at this shard count must equal
+  // the sequential rendering bit-for-bit (stream metadata included).
+  auto run = [](int shards) {
+    Engine engine;
+    EXPECT_TRUE(engine
+                    .RegisterStream(
+                        "Clicks", Schema({{"ts", DataType::kTimestamp, true},
+                                          {"user_id", DataType::kBigint},
+                                          {"page", DataType::kVarchar}}))
+                    .ok());
+    auto q = engine.Execute(
+        "SELECT * FROM Session(data => TABLE(Clicks), "
+        "timecol => DESCRIPTOR(ts), gap => INTERVAL '5' MINUTES, "
+        "key => DESCRIPTOR(user_id)) s",
+        ExecutionOptions{.shards = shards});
+    EXPECT_TRUE(q.ok());
+    const int boundary_minutes[] = {0, 5, 10, 2, 7, 15, 5, 0};
+    int pm = 1;
+    for (int em : boundary_minutes) {
+      EXPECT_TRUE(engine
+                      .Insert("Clicks", T(9, pm++),
+                              {Value::Time(T(8, em)), Value::Int64(em % 2),
+                               Value::String("p")})
+                      .ok());
+    }
+    EXPECT_TRUE(engine
+                    .Delete("Clicks", T(9, pm),
+                            {Value::Time(T(8, 2)), Value::Int64(0),
+                             Value::String("p")})
+                    .ok());
+    return (*q)->StreamRows();
+  };
+  const std::vector<Row> seq = run(1);
+  const std::vector<Row> par = run(GetParam());
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(seq[i], par[i]))
+        << "row " << i << ": " << RowToString(seq[i]) << " vs "
+        << RowToString(par[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SessionBoundaryTest, ::testing::Values(1, 8),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace onesql

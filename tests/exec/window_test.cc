@@ -75,6 +75,32 @@ TEST(WindowAssignTest, NegativeTimesFloorCorrectly) {
   EXPECT_EQ(w[0], Timestamp(-10));
 }
 
+TEST(WindowAssignTest, PreEpochTimesFloorCorrectly) {
+  // Truncating division would round these toward zero (up, for negative
+  // values) and mis-assign every pre-epoch row; alignment must floor.
+  // A day before the epoch, 8:07 "local": window [day-1 08:00, day-1 08:10).
+  const int64_t day = 86'400'000;
+  auto w = WindowOperator::AssignWindows(
+      Timestamp(-day + 8 * 3'600'000 + 7 * 60'000), Interval::Minutes(10),
+      Interval::Minutes(10), Interval(0));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], Timestamp(-day + 8 * 3'600'000));
+
+  // A boundary row exactly at a negative multiple of dur owns its window.
+  auto w2 = WindowOperator::AssignWindows(Timestamp(-day), Interval::Minutes(10),
+                                          Interval::Minutes(10), Interval(0));
+  ASSERT_EQ(w2.size(), 1u);
+  EXPECT_EQ(w2[0], Timestamp(-day));
+
+  // Overlapping hops straddling the epoch: t = -2ms, dur 10ms, hop 5ms
+  // belongs to [-10, 0) and [-5, 5), never to the truncation artifact [0, 10).
+  auto w3 = WindowOperator::AssignWindows(Timestamp(-2), Interval::Millis(10),
+                                          Interval::Millis(5), Interval(0));
+  ASSERT_EQ(w3.size(), 2u);
+  EXPECT_EQ(w3[0], Timestamp(-10));
+  EXPECT_EQ(w3[1], Timestamp(-5));
+}
+
 // --------------------------------------------------------------------------
 // Property sweep over (dur, hop, offset): coverage, containment, count.
 // --------------------------------------------------------------------------
@@ -93,7 +119,13 @@ TEST_P(WindowPropertyTest, AssignmentInvariants) {
   const Interval hop = Interval::Millis(hop_ms);
   const Interval offset = Interval::Millis(offset_ms);
 
-  for (int64_t t = -50; t <= 200; ++t) {
+  // Sweep a span straddling the epoch and one deep in pre-epoch territory
+  // (a year of milliseconds below zero): the invariants are translation-free,
+  // so truncating (round-toward-zero) alignment shows up as a containment or
+  // exhaustiveness violation on the negative side.
+  const int64_t bases[] = {0, -31'536'000'000};
+  for (const int64_t base : bases) {
+  for (int64_t t = base - 50; t <= base + 200; ++t) {
     const Timestamp ts(t);
     const auto windows = WindowOperator::AssignWindows(ts, dur, hop, offset);
 
@@ -133,6 +165,7 @@ TEST_P(WindowPropertyTest, AssignmentInvariants) {
           << "missing window start " << s << " for t=" << t;
     }
   }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -144,11 +177,17 @@ INSTANTIATE_TEST_SUITE_P(
                       WindowParam{10, 3, 2},    // overlap + offset
                       WindowParam{5, 10, 0},    // gaps
                       WindowParam{7, 13, 5},    // gaps + offset
+                      WindowParam{10, 10, -3},  // negative offset tumble
+                      WindowParam{10, 3, -7},   // negative offset overlap
                       WindowParam{1, 1, 0}),    // degenerate
     [](const auto& info) {
-      return "dur" + std::to_string(info.param.dur_ms) + "_hop" +
-             std::to_string(info.param.hop_ms) + "_off" +
-             std::to_string(info.param.offset_ms);
+      std::string name = "dur" + std::to_string(info.param.dur_ms) + "_hop" +
+                         std::to_string(info.param.hop_ms) + "_off" +
+                         std::to_string(info.param.offset_ms);
+      for (char& c : name) {
+        if (c == '-') c = 'm';
+      }
+      return name;
     });
 
 }  // namespace

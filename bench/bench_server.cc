@@ -1,0 +1,155 @@
+// Experiment SERVER: multi-tenant plan sharing on the standing-query
+// server (DESIGN.md §13). N tenant sessions each submit a cosmetically
+// distinct variant of the NEXMark Q7 windowed-max subquery — alias renames
+// that canonicalize to the same plan fingerprint. With "share":true every
+// tenant rides ONE operator tree (per-subscriber cost is a sink-side
+// fan-out cursor); without it the engine runs N independent trees. The
+// benchmark times the steady-state path — feed a batch that closes one
+// window, fan the delta out to all N subscribers — at N = 1, 100, 10000.
+// Shared mode scales with the fan-out (payload encoded once, queued N
+// times); unshared mode scales with N full operator trees per event.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/json.h"
+#include "server/server_core.h"
+
+namespace onesql {
+namespace bench {
+namespace {
+
+using server::Json;
+using server::ServerCore;
+using server::ServerOptions;
+
+constexpr int64_t kWindowMs = 600000;  // INTERVAL '10' MINUTES
+constexpr int kInsertsPerBatch = 8;
+
+/// Alias-renamed variants of the Q7 windowed-max: identical fingerprints.
+std::string TumbleMaxSql(int salt) {
+  const std::string s = std::to_string(salt);
+  return "SELECT wstart, wend, MAX(price) AS max" + s +
+         " FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+         "dur => INTERVAL '10' MINUTES) t" + s +
+         " GROUP BY wend EMIT STREAM";
+}
+
+Json Call(ServerCore* core, uint64_t session, const std::string& line) {
+  auto parsed = Json::Parse(core->HandleLine(session, line));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad response to %s\n", line.c_str());
+    std::abort();
+  }
+  const Json* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->AsBool()) {
+    std::fprintf(stderr, "%s -> %s\n", line.c_str(),
+                 parsed->Serialize().c_str());
+    std::abort();
+  }
+  return *std::move(parsed);
+}
+
+/// A server with one feeder session and N subscribed tenants.
+struct Tenancy {
+  std::unique_ptr<ServerCore> core;
+  uint64_t feeder = 0;
+  std::vector<uint64_t> tenants;
+  int64_t window = 0;  // next window index the feed loop will close
+
+  Tenancy(int n, bool shared) {
+    ServerOptions options;
+    options.max_sessions = n + 2;
+    options.max_queries = n + 2;
+    options.max_session_queue = 1 << 16;
+    auto created = ServerCore::Create(options);
+    if (!created.ok()) std::abort();
+    core = std::move(created).value();
+    feeder = core->OpenSession().value();
+    Call(core.get(), feeder,
+         R"({"cmd":"register_stream","name":"Bid","schema":)"
+         R"([{"name":"bidtime","type":"TIMESTAMP","event_time":true},)"
+         R"({"name":"price","type":"BIGINT"},)"
+         R"({"name":"item","type":"VARCHAR"}]})");
+    for (int i = 0; i < n; ++i) {
+      const uint64_t session = core->OpenSession().value();
+      tenants.push_back(session);
+      Json submitted =
+          Call(core.get(), session,
+               R"({"cmd":"submit","sql":")" + TumbleMaxSql(i) +
+                   R"(","share":)" + (shared ? "true" : "false") + "}");
+      Call(core.get(), session,
+           R"({"cmd":"subscribe","query":")" +
+               submitted.Find("query")->AsString() + R"("})");
+    }
+  }
+
+  /// Feeds one batch that closes exactly one window, then drains every
+  /// tenant's push queue. Returns the number of delta lines fanned out.
+  size_t FeedOneWindow() {
+    const int64_t base = window * kWindowMs;
+    std::string cmd = R"({"cmd":"feed","events":[)";
+    for (int k = 0; k < kInsertsPerBatch; ++k) {
+      const int64_t t = base + (k + 1) * 1000;
+      cmd += R"({"kind":"insert","source":"Bid","ptime":)" +
+             std::to_string(t) + R"(,"row":[)" + std::to_string(t) + "," +
+             std::to_string(100 + k) + R"(,"A"]},)";
+    }
+    cmd += R"({"kind":"watermark","source":"Bid","ptime":)" +
+           std::to_string(base + kWindowMs) + R"(,"watermark":)" +
+           std::to_string(base + kWindowMs) + "}]}";
+    Call(core.get(), feeder, cmd);
+    ++window;
+    size_t deltas = 0;
+    for (const uint64_t tenant : tenants) {
+      deltas += core->DrainOutbound(tenant).size();
+    }
+    return deltas;
+  }
+};
+
+void BM_ServerFanout(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) != 0;
+  Tenancy tenancy(n, shared);
+  // Warm one window through untimed so every sink has assigned state.
+  // EMIT STREAM pushes a delta per aggregate update, so each batch fans
+  // out several lines per tenant — all tenants must see the same count.
+  const size_t per_tenant = tenancy.FeedOneWindow() / n;
+  if (per_tenant == 0) std::abort();
+  size_t deltas = 0;
+  for (auto _ : state) {
+    deltas += tenancy.FeedOneWindow();
+  }
+  if (deltas != per_tenant * n * state.iterations()) std::abort();
+  state.SetItemsProcessed(static_cast<int64_t>(deltas));
+  state.counters["tenants"] = n;
+  state.counters["plans"] = static_cast<double>(tenancy.core->num_plans());
+  state.counters["engine_queries"] =
+      static_cast<double>(tenancy.core->engine()->num_queries());
+  state.SetLabel(shared ? "shared" : "unshared");
+}
+// Fixed iteration counts: the expensive part of the unshared/10000 config
+// is submitting 10k plans, which re-runs on every iteration-estimation
+// probe — pinning the count keeps setup to one pass per config.
+BENCHMARK(BM_ServerFanout)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({100, 1})
+    ->Args({100, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace onesql
+
+ONESQL_BENCH_MAIN("server")

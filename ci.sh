@@ -6,7 +6,9 @@
 # clean Status, never UB), then a TSan pass over the threaded
 # sharded-runtime tests (including the sharded checkpoint/restore path) and
 # the observability suites: the lock-free metrics/trace primitives under a
-# concurrent-registry hammer, and end-to-end metrics on the 8-shard runtime.
+# concurrent-registry hammer, and end-to-end metrics on the 8-shard runtime,
+# and the standing-query server (socket reader/writer threads racing the
+# command dispatcher, subscription fan-out, and slow-subscriber teardown).
 # Every build compiles with -Wall -Wextra -Werror.
 #
 # Fail-fast: `set -e` alone does not fire inside `if`/`&&`/`||` contexts and
@@ -53,7 +55,7 @@ run_leg "asan-configure" cmake -B build-asan -S . \
 run_leg "asan-build" cmake --build build-asan -j"${JOBS}"
 run_leg "asan-ctest" ctest --test-dir build-asan -j"${JOBS}" --output-on-failure
 
-echo "=== fuzz: differential four-oracle sweep (ASan/UBSan) ==="
+echo "=== fuzz: differential five-oracle sweep (ASan/UBSan) ==="
 # Fixed seed range so a red leg is reproducible verbatim: the driver prints
 # every failing seed, minimizes it, and drops the shrunk reproducer into
 # tests/fuzz/corpus/ — check it in and it replays forever in tier-1
@@ -69,7 +71,7 @@ run_leg "tsan-configure" cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="${WARN_FLAGS} -fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 run_leg "tsan-build" cmake --build build-tsan -j"${JOBS}" \
-  --target engine_test recovery_test obs_test observability_test
+  --target engine_test recovery_test obs_test observability_test server_test
 run_leg "tsan-engine" ./build-tsan/tests/engine_test \
   --gtest_filter='ParallelRuntimeTest.*:EngineTest.*'
 # The sharded restore path: SaveState/LoadState across worker threads, and
@@ -83,5 +85,11 @@ run_leg "tsan-obs" ./build-tsan/tests/obs_test \
   --gtest_filter='*Concurrent*:RegistryTest.*'
 # End-to-end metrics over the threaded runtime, 8 shards included.
 run_leg "tsan-observability" ./build-tsan/tests/observability_test
+# The standing-query server: TCP reader/writer/accept threads against the
+# core's session registry, plus the in-process overflow-teardown path. The
+# 10k-subscriber fan-out test is skipped under TSan (instrumented planning
+# of 10k submissions dominates, not the threading under test).
+run_leg "tsan-server" ./build-tsan/tests/server_test \
+  --gtest_filter='-ServerCoreTest.TenThousandSharedSubscribersOneOperator'
 
 echo "=== CI passed ==="

@@ -268,15 +268,26 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
     return Status::InvalidArgument("allowed lateness must be non-negative");
   }
   plan.allowed_lateness = options.allowed_lateness;
+  plan::PlanFingerprint fingerprint = plan::FingerprintPlan(plan);
+  if (options.share && FindQuery(fingerprint) != nullptr) {
+    // The caller opted into sharing: an identical standing query is already
+    // running, so starting a second operator tree would be pure waste.
+    // Attach to the running one via FindQuery + RefQuery instead.
+    return Status::AlreadyExists(
+        "an identical standing query is already running (fingerprint " +
+        fingerprint.ToHex() + ")");
+  }
   ONESQL_ASSIGN_OR_RETURN(
       std::unique_ptr<exec::DataflowRuntime> flow,
       exec::BuildDataflowRuntime(std::move(plan), options.shards));
 
   auto query = std::unique_ptr<ContinuousQuery>(
       new ContinuousQuery(std::move(flow)));
+  query->fingerprint_ = std::move(fingerprint);
+  query->obs_label_ = next_query_label_++;
   // Attach instruments before the history replay, so the query's metrics
   // reflect everything its operators ever processed.
-  if (obs_ != nullptr) AttachQueryObs(query.get(), queries_.size());
+  if (obs_ != nullptr) AttachQueryObs(query.get());
 
   // Replay into the new query as one batch (a single fork-join barrier on
   // the sharded runtime): static tables first — contents at the beginning
@@ -320,6 +331,40 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
   ContinuousQuery* out = query.get();
   queries_.push_back(std::move(query));
   return out;
+}
+
+ContinuousQuery* Engine::FindQuery(const plan::PlanFingerprint& fingerprint) {
+  for (auto& query : queries_) {
+    if (query->fingerprint_ == fingerprint) return query.get();
+  }
+  return nullptr;
+}
+
+Status Engine::RefQuery(ContinuousQuery* query) {
+  for (auto& q : queries_) {
+    if (q.get() == query) {
+      ++query->refs_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("query is not running on this engine");
+}
+
+Status Engine::DropQuery(ContinuousQuery* query) {
+  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+    if (it->get() == query) {
+      if (--query->refs_ > 0) return Status::OK();
+      // Zero the sampled gauges before destruction, or the exposition would
+      // keep reporting the dead tree's last state bytes and queue depths
+      // forever (counters stay — totals are cumulative by design).
+      if (obs_ != nullptr && obs_->registry() != nullptr) {
+        query->flow_->ZeroObsGauges();
+      }
+      queries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("query is not running on this engine");
 }
 
 Result<std::unique_ptr<Engine>> Engine::CloneRegistrations() const {
@@ -770,6 +815,7 @@ Status Engine::RestoreQuerySection(state::Reader* r) {
   // replaying history.
   ONESQL_ASSIGN_OR_RETURN(plan::QueryPlan plan, Plan(sql));
   plan.allowed_lateness = lateness;
+  plan::PlanFingerprint fingerprint = plan::FingerprintPlan(plan);
   ONESQL_ASSIGN_OR_RETURN(
       std::unique_ptr<exec::DataflowRuntime> flow,
       exec::BuildDataflowRuntime(std::move(plan), static_cast<int>(shards)));
@@ -784,9 +830,11 @@ Status Engine::RestoreQuerySection(state::Reader* r) {
   query->sql_ = std::move(sql);
   query->allowed_lateness_ = lateness;
   query->resolved_shards_ = static_cast<int>(shards);
+  query->fingerprint_ = std::move(fingerprint);
+  query->obs_label_ = next_query_label_++;
   // Restored operator state is not counted (it was processed by the
   // checkpointed run); the WAL-suffix replay that follows is.
-  if (obs_ != nullptr) AttachQueryObs(query.get(), queries_.size());
+  if (obs_ != nullptr) AttachQueryObs(query.get());
   queries_.push_back(std::move(query));
   return Status::OK();
 }
@@ -914,15 +962,17 @@ Status Engine::EnableObservability(const obs::ObsOptions& options) {
     engine_metrics_ = obs_->ForEngine();
     if (wal_ != nullptr) wal_->AttachMetrics(obs_->ForWal());
   }
-  for (size_t i = 0; i < queries_.size(); ++i) {
-    AttachQueryObs(queries_[i].get(), i);
-  }
+  for (auto& query : queries_) AttachQueryObs(query.get());
   return Status::OK();
 }
 
-void Engine::AttachQueryObs(ContinuousQuery* query, size_t index) {
-  query->flow_->AttachObs(obs_.get(), "q" + std::to_string(index),
-                          static_cast<int>(index));
+void Engine::AttachQueryObs(ContinuousQuery* query) {
+  // The label is the query's monotonic birth number, not its position in
+  // `queries_`: positions shift when a query is dropped, and reusing a
+  // label would conflate a new query's counters with a dead one's.
+  query->flow_->AttachObs(obs_.get(),
+                          "q" + std::to_string(query->obs_label_),
+                          static_cast<int>(query->obs_label_));
 }
 
 const obs::SourceMetrics* Engine::SourceObs(const std::string& stream) {
@@ -940,8 +990,13 @@ obs::MetricsSnapshot Engine::MetricsSnapshot() {
   }
   // Publish the sampled gauges (operator state bytes, sink queue depths,
   // snapshot sizes) so the snapshot is coherent at the current position.
-  for (auto& query : queries_) query->flow_->SampleObsGauges();
+  size_t operators = 0;
+  for (auto& query : queries_) {
+    query->flow_->SampleObsGauges();
+    operators += query->flow_->NumOperators();
+  }
   engine_metrics_->queries->Set(static_cast<int64_t>(queries_.size()));
+  engine_metrics_->operators->Set(static_cast<int64_t>(operators));
   return obs_->registry()->Snapshot();
 }
 

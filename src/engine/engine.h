@@ -11,6 +11,7 @@
 #include "exec/dataflow.h"
 #include "obs/instruments.h"
 #include "plan/catalog.h"
+#include "plan/fingerprint.h"
 #include "state/serde.h"
 #include "state/wal.h"
 
@@ -43,6 +44,15 @@ struct ExecutionOptions {
   /// bit-identical to the sequential run, so this is purely a throughput
   /// knob.
   int shards = 0;
+
+  /// Opt into multi-query sharing (DESIGN.md §13): when a query with the same
+  /// plan fingerprint is already running, Execute returns
+  /// Status::AlreadyExists instead of silently starting a second identical
+  /// operator tree. The caller then locates the running query via
+  /// Engine::FindQuery and attaches to it with Engine::RefQuery — this is how
+  /// the standing-query server routes 10k subscribers of one Q7 variant onto
+  /// a single windowed-aggregation operator.
+  bool share = false;
 };
 
 /// A running continuous query: both renderings of its result TVR are
@@ -84,6 +94,17 @@ class ContinuousQuery {
   /// State held by this query's operators, in bytes.
   size_t StateBytes() const { return flow_->StateBytes(); }
 
+  /// Canonical identity of this query's plan (DESIGN.md §13): invariant
+  /// under alias renaming and filter-conjunct order, distinct across window
+  /// widths, EMIT clauses, and allowed lateness. Two queries with equal
+  /// fingerprints render bit-identically, which is the sharing contract the
+  /// standing-query server (and the fuzzer's sharing oracle) relies on.
+  const plan::PlanFingerprint& plan_fingerprint() const { return fingerprint_; }
+
+  /// Number of callers holding this query alive (Engine::RefQuery /
+  /// Engine::DropQuery). A freshly executed query has one reference.
+  int refs() const { return refs_; }
+
   /// The underlying runtime (sequential or sharded; see shard_count()).
   const exec::DataflowRuntime& dataflow() const { return *flow_; }
 
@@ -96,6 +117,8 @@ class ContinuousQuery {
 
   std::unique_ptr<exec::DataflowRuntime> flow_;
   Timestamp last_ptime_ = Timestamp::Min();
+  plan::PlanFingerprint fingerprint_;
+  int refs_ = 1;
 
   // Recorded so Engine::Checkpoint can rebuild this query at restore time:
   // the SQL text is re-planned (plans hold pointers, not bytes) and the
@@ -104,6 +127,10 @@ class ContinuousQuery {
   std::string sql_;
   Interval allowed_lateness_{0};
   int resolved_shards_ = 1;
+  /// Stable observability label suffix ("q<label>"); not a position in
+  /// Engine::queries_ — positions shift when queries are dropped, labels
+  /// never do.
+  uint64_t obs_label_ = 0;
 };
 
 /// The engine: a catalog of streams and tables, a set of running continuous
@@ -128,6 +155,23 @@ class Engine {
 
   /// Compiles a query without starting it (plan inspection).
   Result<plan::QueryPlan> Plan(const std::string& sql) const;
+
+  /// Returns the running query with this plan fingerprint, or nullptr. When
+  /// several identical queries run (duplicates executed without `share`),
+  /// the earliest one wins.
+  ContinuousQuery* FindQuery(const plan::PlanFingerprint& fingerprint);
+
+  /// Adds a reference to a running query (multi-query sharing: one engine
+  /// query, many subscribers). Fails if `query` is not running here.
+  Status RefQuery(ContinuousQuery* query);
+
+  /// Releases one reference to `query`. When the last reference drops, the
+  /// query is stopped and destroyed: its operator state is released, its
+  /// observability gauges are zeroed (counters are process-lifetime and
+  /// remain), and later Execute calls may reuse nothing from it. Pointers to
+  /// the query are invalid after the final drop. Fails with NotFound if
+  /// `query` is not running here.
+  Status DropQuery(ContinuousQuery* query);
 
   /// Returns a fresh engine carrying the same registrations — every stream
   /// and every static table (with its contents) — but no queries, no feed
@@ -269,9 +313,9 @@ class Engine {
   /// shard count, load operator state) and appends it to `queries_`.
   Status RestoreQuerySection(state::Reader* r);
 
-  /// Attaches the observability context to a query's runtime. `index` is the
-  /// query's position in `queries_` (its metric label is "q<index>").
-  void AttachQueryObs(ContinuousQuery* query, size_t index);
+  /// Attaches the observability context to a query's runtime under its
+  /// stable label ("q<obs_label_>").
+  void AttachQueryObs(ContinuousQuery* query);
   /// Per-source instrument bundle, cached so Record() never takes the
   /// registry lock. Null when metrics are disabled.
   const obs::SourceMetrics* SourceObs(const std::string& stream);
@@ -286,6 +330,11 @@ class Engine {
 
   plan::Catalog catalog_;
   std::vector<std::unique_ptr<ContinuousQuery>> queries_;
+  /// Metric label suffix for the next query ("q<label>"). Monotonic — labels
+  /// of dropped queries are never reused, so their (process-lifetime)
+  /// counters are never conflated with a later query's. Identical to
+  /// queries_.size() until the first DropQuery.
+  uint64_t next_query_label_ = 0;
   std::vector<FeedEvent> history_;
   std::unordered_map<std::string, std::vector<Row>> table_rows_;
   std::unordered_map<std::string, Timestamp> stream_watermarks_;

@@ -265,6 +265,14 @@ void Dataflow::SampleObsGauges() {
   sink_->SampleObs();
 }
 
+void Dataflow::ZeroObsGauges() {
+  for (const auto& op : chain_.operators) {
+    const obs::OperatorMetrics* m = op->metrics();
+    if (m != nullptr) m->state_bytes->Set(0);
+  }
+  sink_->ZeroObs();
+}
+
 size_t Dataflow::StateBytes() const {
   return chain_.StateBytes() + sink_->StateBytes();
 }

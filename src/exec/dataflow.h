@@ -139,6 +139,17 @@ class DataflowRuntime {
   /// across shards), sink timer-queue depth, pending panes, snapshot rows.
   /// Called single-threaded at snapshot time; a no-op when detached.
   virtual void SampleObsGauges() = 0;
+
+  /// Zeroes the same gauges SampleObsGauges publishes. Called when the
+  /// runtime is being torn down (Engine::DropQuery) so the exposition stops
+  /// reporting state for a dead operator tree. A no-op when detached.
+  virtual void ZeroObsGauges() = 0;
+
+  /// Live operator instances in this runtime, counting every shard copy of
+  /// every chain position plus the sink. The engine sums this into the
+  /// `onesql_engine_operators` gauge — the number the multi-tenant sharing
+  /// tests pin (10k subscribers behind one shared plan must not move it).
+  virtual size_t NumOperators() const = 0;
 };
 
 /// The sequential runtime: one operator chain feeding the sink directly.
@@ -172,6 +183,8 @@ class Dataflow : public DataflowRuntime {
   void AttachObs(obs::ObsContext* ctx, const std::string& query_label,
                  int query_index) override;
   void SampleObsGauges() override;
+  void ZeroObsGauges() override;
+  size_t NumOperators() const override { return chain_.operators.size() + 1; }
 
  private:
   Dataflow() = default;

@@ -370,6 +370,16 @@ void ShardedDataflow::SampleObsGauges() {
   sink_->SampleObs();
 }
 
+void ShardedDataflow::ZeroObsGauges() {
+  if (!shards_.empty()) {
+    for (const auto& op : shards_[0].chain.operators) {
+      const obs::OperatorMetrics* m = op->metrics();
+      if (m != nullptr) m->state_bytes->Set(0);
+    }
+  }
+  sink_->ZeroObs();
+}
+
 Result<std::unique_ptr<DataflowRuntime>> BuildDataflowRuntime(
     plan::QueryPlan plan, int shards) {
   int n = shards;

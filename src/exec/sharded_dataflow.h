@@ -87,6 +87,10 @@ class ShardedDataflow : public DataflowRuntime {
   void AttachObs(obs::ObsContext* ctx, const std::string& query_label,
                  int query_index) override;
   void SampleObsGauges() override;
+  void ZeroObsGauges() override;
+  size_t NumOperators() const override {
+    return shards_.size() * shards_[0].chain.operators.size() + 1;
+  }
 
  private:
   struct Shard {

@@ -268,6 +268,13 @@ void MaterializationSink::SampleObs() const {
   sink_metrics_->snapshot_rows->Set(static_cast<int64_t>(snapshot_.size()));
 }
 
+void MaterializationSink::ZeroObs() const {
+  if (sink_metrics_ == nullptr) return;
+  sink_metrics_->timer_queue_depth->Set(0);
+  sink_metrics_->pending_panes->Set(0);
+  sink_metrics_->snapshot_rows->Set(0);
+}
+
 std::vector<Row> MaterializationSink::SnapshotAt(Timestamp ptime) const {
   // Fast path: at or past the latest materialized change the snapshot is
   // exactly the incrementally maintained bag — no changelog replay. The

@@ -78,6 +78,10 @@ class MaterializationSink : public Operator {
   /// single-threaded.
   void SampleObs() const;
 
+  /// Zeroes the same gauges SampleObs publishes; called when the sink's
+  /// query is dropped so the exposition stops reporting its sizes.
+  void ZeroObs() const;
+
   /// Advances the sink's processing-time clock, firing AFTER DELAY timers
   /// with deadline < `now` (exclusive) or <= `now` (inclusive). The engine
   /// fires exclusively before delivering an event at `now` and inclusively

@@ -120,8 +120,69 @@ const EngineMetrics* ObsContext::ForEngine() {
     engine_bundle_->checkpoint_bytes =
         registry_->GetGauge("onesql_checkpoint_bytes");
     engine_bundle_->queries = registry_->GetGauge("onesql_engine_queries");
+    engine_bundle_->operators = registry_->GetGauge("onesql_engine_operators");
   }
   return engine_bundle_.get();
+}
+
+const ServerMetrics* ObsContext::ForServer() {
+  if (registry_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (server_bundle_ == nullptr) {
+    server_bundle_ = std::make_unique<ServerMetrics>();
+    server_bundle_->sessions = registry_->GetGauge("onesql_server_sessions");
+    server_bundle_->standing_queries =
+        registry_->GetGauge("onesql_server_standing_queries");
+    server_bundle_->subscriptions =
+        registry_->GetGauge("onesql_server_subscriptions");
+    server_bundle_->commands =
+        registry_->GetCounter("onesql_server_commands_total");
+    server_bundle_->command_errors =
+        registry_->GetCounter("onesql_server_command_errors_total");
+    server_bundle_->deltas_pushed =
+        registry_->GetCounter("onesql_server_deltas_pushed_total");
+    server_bundle_->shared_hits =
+        registry_->GetCounter("onesql_server_shared_plan_hits_total");
+    server_bundle_->sessions_opened =
+        registry_->GetCounter("onesql_server_sessions_opened_total");
+    server_bundle_->sessions_overflowed =
+        registry_->GetCounter("onesql_server_sessions_overflowed_total");
+  }
+  return server_bundle_.get();
+}
+
+const SessionMetrics* ObsContext::ForSession(const std::string& session) {
+  if (registry_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, bundle] : session_bundles_) {
+    if (k == session) return bundle.get();
+  }
+  Labels labels = {{"session", session}};
+  auto bundle = std::make_unique<SessionMetrics>();
+  bundle->commands =
+      registry_->GetCounter("onesql_session_commands_total", labels);
+  bundle->deltas_pushed =
+      registry_->GetCounter("onesql_session_deltas_pushed_total", labels);
+  bundle->queue_depth =
+      registry_->GetGauge("onesql_session_queue_depth", labels);
+  session_bundles_.emplace_back(session, std::move(bundle));
+  return session_bundles_.back().second.get();
+}
+
+const SharedPlanMetrics* ObsContext::ForSharedPlan(const std::string& plan) {
+  if (registry_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, bundle] : shared_plan_bundles_) {
+    if (k == plan) return bundle.get();
+  }
+  Labels labels = {{"plan", plan}};
+  auto bundle = std::make_unique<SharedPlanMetrics>();
+  bundle->subscribers =
+      registry_->GetGauge("onesql_shared_plan_subscribers", labels);
+  bundle->deltas_pushed =
+      registry_->GetCounter("onesql_shared_plan_deltas_pushed_total", labels);
+  shared_plan_bundles_.emplace_back(plan, std::move(bundle));
+  return shared_plan_bundles_.back().second.get();
 }
 
 }  // namespace obs

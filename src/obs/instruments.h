@@ -87,6 +87,36 @@ struct EngineMetrics {
   Histogram* checkpoint_restore_ms = nullptr;
   Gauge* checkpoint_bytes = nullptr;
   Gauge* queries = nullptr;
+  /// Live operator instances across all running queries (chains × shards +
+  /// sinks). The multi-tenant sharing tests assert on this: 10k subscribers
+  /// behind one shared plan must not move it.
+  Gauge* operators = nullptr;
+};
+
+/// Standing-query server totals (DESIGN.md §13).
+struct ServerMetrics {
+  Gauge* sessions = nullptr;          ///< Open sessions.
+  Gauge* standing_queries = nullptr;  ///< Live engine queries behind the cache.
+  Gauge* subscriptions = nullptr;     ///< Active changelog subscriptions.
+  Counter* commands = nullptr;        ///< Wire commands handled.
+  Counter* command_errors = nullptr;  ///< Commands answered with an error.
+  Counter* deltas_pushed = nullptr;   ///< Changelog lines fanned out.
+  Counter* shared_hits = nullptr;     ///< Submits routed onto a running plan.
+  Counter* sessions_opened = nullptr;
+  Counter* sessions_overflowed = nullptr;  ///< Slow subscribers dropped.
+};
+
+/// Per-session server metrics (label: session="s<id>").
+struct SessionMetrics {
+  Counter* commands = nullptr;
+  Counter* deltas_pushed = nullptr;
+  Gauge* queue_depth = nullptr;  ///< Outbound lines awaiting the socket.
+};
+
+/// Per-shared-plan fan-out metrics (label: plan="p<qid>").
+struct SharedPlanMetrics {
+  Gauge* subscribers = nullptr;
+  Counter* deltas_pushed = nullptr;
 };
 
 /// One engine's observability state: the registry, the trace recorder, and
@@ -115,6 +145,9 @@ class ObsContext {
   const SourceMetrics* ForSource(const std::string& source);
   const WalMetrics* ForWal();
   const EngineMetrics* ForEngine();
+  const ServerMetrics* ForServer();
+  const SessionMetrics* ForSession(const std::string& session);
+  const SharedPlanMetrics* ForSharedPlan(const std::string& plan);
 
  private:
   ObsOptions options_;
@@ -128,8 +161,13 @@ class ObsContext {
       sink_bundles_;
   std::vector<std::pair<std::string, std::unique_ptr<SourceMetrics>>>
       source_bundles_;
+  std::vector<std::pair<std::string, std::unique_ptr<SessionMetrics>>>
+      session_bundles_;
+  std::vector<std::pair<std::string, std::unique_ptr<SharedPlanMetrics>>>
+      shared_plan_bundles_;
   std::unique_ptr<WalMetrics> wal_bundle_;
   std::unique_ptr<EngineMetrics> engine_bundle_;
+  std::unique_ptr<ServerMetrics> server_bundle_;
 };
 
 }  // namespace obs

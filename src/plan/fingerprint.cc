@@ -1,0 +1,253 @@
+#include "plan/fingerprint.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace onesql {
+namespace plan {
+
+namespace {
+
+// Canonical expression rendering: positional references, typed literals,
+// operator names. No identifier ever appears, so aliases cannot leak in.
+std::string CanonExpr(const BoundExpr& e) {
+  switch (e.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return std::string("lit<") + DataTypeToString(e.literal.type()) + ">" +
+             e.literal.ToString();
+    case BoundExpr::Kind::kInputRef:
+      return "#" + std::to_string(e.input_index) + "<" +
+             DataTypeToString(e.type) + ">";
+    case BoundExpr::Kind::kOp: {
+      std::string out = ScalarOpToString(e.op);
+      out += "<";
+      out += DataTypeToString(e.type);
+      out += ">(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += CanonExpr(*e.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+/// Flattens an AND tree into its conjuncts.
+void CollectConjuncts(const BoundExpr& e, std::vector<const BoundExpr*>* out) {
+  if (e.kind == BoundExpr::Kind::kOp && e.op == ScalarOp::kAnd) {
+    for (const auto& child : e.children) CollectConjuncts(*child, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Filter predicates are order-insensitive per conjunct (a filter never
+/// reorders rows), so the canonical form sorts the conjunct renderings.
+std::string CanonPredicate(const BoundExpr& predicate) {
+  std::vector<const BoundExpr*> conjuncts;
+  CollectConjuncts(predicate, &conjuncts);
+  std::vector<std::string> rendered;
+  rendered.reserve(conjuncts.size());
+  for (const BoundExpr* c : conjuncts) rendered.push_back(CanonExpr(*c));
+  std::sort(rendered.begin(), rendered.end());
+  std::string out = "and{";
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) out += ";";
+    out += rendered[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::string CanonNode(const LogicalNode& node) {
+  switch (node.kind()) {
+    case LogicalNode::Kind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      // Source names are catalog identity, not aliases: lower-cased so the
+      // fingerprint matches the catalog's case-insensitive resolution.
+      std::string out = "scan(" + ToLower(scan.source());
+      // Column types (not names) pin the source's shape, so a re-registered
+      // source with a different schema cannot collide.
+      for (const Field& f : scan.schema().fields()) {
+        out += ",";
+        out += DataTypeToString(f.type);
+        if (f.is_event_time) out += "*";
+      }
+      out += ")";
+      return out;
+    }
+    case LogicalNode::Kind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      return "filter(" + CanonPredicate(filter.predicate()) + "," +
+             CanonNode(filter.input()) + ")";
+    }
+    case LogicalNode::Kind::kProject: {
+      const auto& project = static_cast<const ProjectNode&>(node);
+      std::string out = "project([";
+      for (size_t i = 0; i < project.exprs().size(); ++i) {
+        if (i > 0) out += ",";
+        out += CanonExpr(*project.exprs()[i]);
+      }
+      out += "],";
+      out += CanonNode(project.input());
+      out += ")";
+      return out;
+    }
+    case LogicalNode::Kind::kTemporalFilter: {
+      const auto& tf = static_cast<const TemporalFilterNode&>(node);
+      return "temporal(#" + std::to_string(tf.et_col()) + "," +
+             std::to_string(tf.horizon().millis()) + "," +
+             CanonNode(tf.input()) + ")";
+    }
+    case LogicalNode::Kind::kWindow: {
+      const auto& w = static_cast<const WindowNode&>(node);
+      std::string out = std::string("window(") +
+                        WindowKindToString(w.window_kind()) + ",#" +
+                        std::to_string(w.timecol()) + ",dur=" +
+                        std::to_string(w.dur().millis()) + ",hop=" +
+                        std::to_string(w.hop().millis()) + ",off=" +
+                        std::to_string(w.offset().millis());
+      if (w.session_key().has_value()) {
+        out += ",key=#" + std::to_string(*w.session_key());
+      }
+      out += "," + CanonNode(w.input()) + ")";
+      return out;
+    }
+    case LogicalNode::Kind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      // Key order and call order both decide output column order and flush
+      // order, so they stay order-sensitive.
+      std::string out = "agg(keys=[";
+      for (size_t i = 0; i < agg.keys().size(); ++i) {
+        if (i > 0) out += ",";
+        out += CanonExpr(*agg.keys()[i]);
+      }
+      out += "],et=[";
+      for (size_t i = 0; i < agg.event_time_key_indexes().size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(agg.event_time_key_indexes()[i]);
+      }
+      out += "],calls=[";
+      for (size_t i = 0; i < agg.aggs().size(); ++i) {
+        const AggregateCall& call = agg.aggs()[i];
+        if (i > 0) out += ",";
+        out += AggFnToString(call.fn);
+        if (call.distinct) out += " distinct";
+        out += "(";
+        if (call.arg != nullptr) out += CanonExpr(*call.arg);
+        out += ")<";
+        out += DataTypeToString(call.result_type);
+        out += ">";
+      }
+      out += "]," + CanonNode(agg.input()) + ")";
+      return out;
+    }
+    case LogicalNode::Kind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      // The residual condition keeps source order (short-circuit evaluation
+      // order is not observable, but equi-key extraction order decides probe
+      // key layout, so the conservative choice is to keep everything).
+      std::string out =
+          "join(type=" + std::to_string(static_cast<int>(join.join_type()));
+      out += ",cond=";
+      out += join.condition() != nullptr ? CanonExpr(*join.condition()) : "-";
+      out += ",keys=[";
+      for (size_t i = 0; i < join.equi_keys().size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(join.equi_keys()[i].first) + "=" +
+               std::to_string(join.equi_keys()[i].second);
+      }
+      out += "]";
+      auto purge = [&](const char* side,
+                       const std::optional<JoinPurgeSpec>& spec) {
+        out += ",";
+        out += side;
+        if (spec.has_value()) {
+          out += "#" + std::to_string(spec->et_col) + "+" +
+                 std::to_string(spec->slack.millis());
+        } else {
+          out += "-";
+        }
+      };
+      purge("lp=", join.left_purge());
+      purge("rp=", join.right_purge());
+      out += "," + CanonNode(join.left()) + "," + CanonNode(join.right()) +
+             ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+uint64_t Fnv1a64(const std::string& data, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string PlanFingerprint::ToHex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t word = i < 8 ? hi : lo;
+    const int shift = 60 - 8 * (i % 8);
+    out[static_cast<size_t>(2 * i)] = kHex[(word >> shift) & 0xF];
+    out[static_cast<size_t>(2 * i + 1)] = kHex[(word >> (shift - 4)) & 0xF];
+  }
+  return out;
+}
+
+PlanFingerprint FingerprintPlan(const QueryPlan& plan) {
+  std::ostringstream text;
+  text << "v1;" << CanonNode(*plan.root) << ";emit=";
+  if (plan.emit.has_value()) {
+    text << (plan.emit->stream ? "S" : "") << (plan.emit->after_watermark ? "W" : "");
+    if (plan.emit->delay.has_value()) {
+      text << "D" << plan.emit->delay->millis();
+    }
+  } else {
+    text << "-";
+  }
+  text << ";order=[";
+  for (size_t i = 0; i < plan.order_by.size(); ++i) {
+    if (i > 0) text << ",";
+    text << CanonExpr(*plan.order_by[i].first)
+         << (plan.order_by[i].second ? " desc" : " asc");
+  }
+  text << "];limit=";
+  if (plan.limit.has_value()) {
+    text << *plan.limit;
+  } else {
+    text << "-";
+  }
+  text << ";lateness=" << plan.allowed_lateness.millis();
+  text << ";complete=";
+  if (plan.completeness_column.has_value()) {
+    text << *plan.completeness_column;
+  } else {
+    text << "-";
+  }
+  text << ";verkey=[";
+  for (size_t i = 0; i < plan.version_key_columns.size(); ++i) {
+    if (i > 0) text << ",";
+    text << plan.version_key_columns[i];
+  }
+  text << "]";
+
+  PlanFingerprint fp;
+  fp.canonical = text.str();
+  fp.hi = Fnv1a64(fp.canonical, 0);
+  fp.lo = Fnv1a64(fp.canonical, 0x9E3779B97F4A7C15ULL);
+  return fp;
+}
+
+}  // namespace plan
+}  // namespace onesql

@@ -1,0 +1,412 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace onesql {
+namespace server {
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::Add(Json item) {
+  array_.push_back(std::move(item));
+  return *this;
+}
+
+Json& Json::Set(const std::string& key, Json v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Json::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[32];
+        // %.17g round-trips every double; JSON has no NaN/Inf, so those
+        // serialize as null (they cannot occur in engine rows anyway).
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        *out += buf;
+        // Keep the number recognizably non-integral so it parses back as a
+        // double ("2" would come back as an int).
+        if (out->find_first_of(".eE", out->size() - std::strlen(buf)) ==
+            std::string::npos) {
+          *out += ".0";
+        }
+      } else {
+        *out += "null";
+      }
+      break;
+    }
+    case Kind::kString:
+      AppendJsonString(string_, out);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        array_[i].SerializeTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendJsonString(object_[i].first, out);
+        out->push_back(':');
+        object_[i].second.SerializeTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the wire line. Depth-limited so a
+/// maliciously nested line cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    ONESQL_ASSIGN_OR_RETURN(Json doc, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after JSON document");
+    }
+    return doc;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::ParseError(std::string("expected '") + c +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Status::ParseError("JSON nesting exceeds depth limit");
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of JSON document");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      ONESQL_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (ConsumeWord("null")) return Json::Null();
+    if (ConsumeWord("true")) return Json::Bool(true);
+    if (ConsumeWord("false")) return Json::Bool(false);
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject(int depth) {
+    ONESQL_RETURN_NOT_OK(Expect('{'));
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      ONESQL_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      ONESQL_RETURN_NOT_OK(Expect(':'));
+      ONESQL_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj.Set(key, std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      ONESQL_RETURN_NOT_OK(Expect('}'));
+      return obj;
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    ONESQL_RETURN_NOT_OK(Expect('['));
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      ONESQL_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      arr.Add(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      ONESQL_RETURN_NOT_OK(Expect(']'));
+      return arr;
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ONESQL_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          ONESQL_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pair: combine into one code point. A high surrogate
+          // must be followed by a low one (and vice versa) — unpaired
+          // surrogates are not encodable as UTF-8 and are rejected.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Status::ParseError("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            ONESQL_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Status::ParseError("invalid low surrogate in \\u escape");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Status::ParseError("unpaired low surrogate in \\u escape");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Status::ParseError(std::string("invalid escape '\\") + esc +
+                                    "'");
+      }
+    }
+    return Status::ParseError("unterminated JSON string");
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Status::ParseError("truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status::ParseError("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    const size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    // JSON forbids leading zeros: "0" is fine, "01" is not.
+    if (pos_ - digits_start > 1 && text_[digits_start] == '0') {
+      return Status::ParseError("leading zero in number at offset " +
+                                std::to_string(start));
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Status::ParseError("invalid JSON value at offset " +
+                                std::to_string(start));
+    }
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::Int(static_cast<int64_t>(v));
+      }
+      // Out of int64 range: fall through to double.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::ParseError("malformed number '" + token + "'");
+    }
+    return Json::Double(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace server
+}  // namespace onesql

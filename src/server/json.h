@@ -1,0 +1,120 @@
+#ifndef ONESQL_SERVER_JSON_H_
+#define ONESQL_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace onesql {
+namespace server {
+
+/// A minimal JSON document model for the wire protocol (DESIGN.md §13).
+/// Self-contained on purpose: the container bakes in no JSON dependency, and
+/// the protocol needs only what RFC 8259 requires — objects, arrays, strings
+/// with \uXXXX escapes, numbers, booleans, null.
+///
+/// Numbers keep int64 fidelity: a literal with no fraction or exponent parses
+/// as an integer (BIGINT values and millisecond timestamps round-trip
+/// exactly); everything else is a double, serialized with enough digits to
+/// round-trip.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = v;
+    return j;
+  }
+  static Json Int(int64_t v) {
+    Json j;
+    j.kind_ = Kind::kInt;
+    j.int_ = v;
+    return j;
+  }
+  static Json Double(double v) {
+    Json j;
+    j.kind_ = Kind::kDouble;
+    j.double_ = v;
+    return j;
+  }
+  static Json Str(std::string v) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.string_ = std::move(v);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const { return int_; }
+  /// Numeric reading of either number kind.
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Json>& items() const { return array_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  /// Object member lookup (nullptr when absent or not an object).
+  const Json* Find(const std::string& key) const;
+
+  /// Builders. Add() returns *this for chaining.
+  Json& Add(Json item);                       // arrays
+  Json& Set(const std::string& key, Json v);  // objects
+
+  /// Compact single-line rendering (no spaces), valid as one wire line.
+  std::string Serialize() const;
+  void SerializeTo(std::string* out) const;
+
+  /// Parses one complete JSON document; trailing non-whitespace is an error.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Appends `s` to `out` as a quoted JSON string, escaping as required
+/// (control characters to \uXXXX; non-UTF-8 bytes pass through verbatim so
+/// arbitrary VARCHAR payloads survive a round-trip with a matching parser).
+void AppendJsonString(const std::string& s, std::string* out);
+
+}  // namespace server
+}  // namespace onesql
+
+#endif  // ONESQL_SERVER_JSON_H_

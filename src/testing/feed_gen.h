@@ -64,7 +64,7 @@ struct QuerySpec {
 };
 
 /// How the feed is shaped, which decides the applicable oracles:
-///  - kDeletesPerfect: inserts + deletes, perfect watermarks. All four
+///  - kDeletesPerfect: inserts + deletes, perfect watermarks. All five
 ///    oracles apply (nothing is ever late, windows never close early).
 ///  - kInsertOnlyPerfect: insert-only, perfect watermarks, non-negative
 ///    event times. Adds the CQL baseline oracle for tumbling aggregates.

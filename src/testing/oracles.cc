@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "server/server_core.h"
+#include "server/wire.h"
 #include "testing/reference.h"
 
 namespace onesql {
@@ -144,6 +146,204 @@ Result<QueryRendering> Render(ContinuousQuery* query) {
 
 std::string QueryLabel(const FuzzCase& fuzz, size_t i) {
   return "query " + std::to_string(i) + " [" + fuzz.queries[i].sql + "]";
+}
+
+/// Issues one wire command against the server core and parses the response.
+/// Returns a non-empty diagnostic when the command is rejected or the
+/// response is malformed.
+std::string ServerCall(server::ServerCore* core, uint64_t session,
+                       const server::Json& request, server::Json* response) {
+  Result<server::Json> parsed =
+      server::Json::Parse(core->HandleLine(session, request.Serialize()));
+  if (!parsed.ok()) {
+    return "unparseable response to " + request.Serialize() + ": " +
+           parsed.status().ToString();
+  }
+  *response = std::move(parsed).value();
+  const server::Json* ok = response->Find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
+    return "server rejected " + request.Serialize() + ": " +
+           response->Serialize();
+  }
+  return "";
+}
+
+/// Oracle 5 (run_sharing): serves the case through a ServerCore wrapping a
+/// CloneRegistrations() clone of the baseline engine. Two sessions submit
+/// every query with {"share": true} — the second must attach to the first
+/// session's operator tree — and both subscribe from seq 0. After feeding
+/// the case over the wire, each subscription's pushed lines must be
+/// byte-identical to EncodeDeltaLine over the dedicated baseline changelog,
+/// and the served snapshots must match the baseline snapshots. Returns a
+/// diagnostic, or "" on agreement.
+std::string RunSharingOracle(const FuzzCase& fuzz, Engine* baseline_engine,
+                             const std::vector<QueryRendering>& baseline) {
+  auto clone = baseline_engine->CloneRegistrations();
+  if (!clone.ok()) {
+    return "CloneRegistrations: " + clone.status().ToString();
+  }
+  server::ServerOptions options;
+  // The final watermark can flush every pane at once; keep a whole case's
+  // pushed backlog inside the slow-subscriber overflow bound.
+  options.max_session_queue = 1 << 20;
+  auto created = server::ServerCore::Create(options, std::move(clone).value());
+  if (!created.ok()) {
+    return "ServerCore::Create: " + created.status().ToString();
+  }
+  std::unique_ptr<server::ServerCore> core = std::move(created).value();
+
+  Result<uint64_t> first = core->OpenSession();
+  Result<uint64_t> second = core->OpenSession();
+  if (!first.ok() || !second.ok()) {
+    return "OpenSession failed";
+  }
+  const uint64_t sessions[2] = {first.value(), second.value()};
+
+  // Submit every query from both sessions (the second session's submit must
+  // report it attached to a shared plan), then subscribe both from seq 0.
+  std::vector<std::string> names(fuzz.queries.size());
+  std::set<std::string> fingerprints;
+  std::map<uint64_t, size_t> sub_query;      // subscription id -> query index
+  std::map<uint64_t, uint64_t> sub_session;  // subscription id -> session
+  for (int s = 0; s < 2; ++s) {
+    for (size_t q = 0; q < fuzz.queries.size(); ++q) {
+      server::Json submit = server::Json::Object();
+      submit.Set("cmd", server::Json::Str("submit"));
+      submit.Set("sql", server::Json::Str(fuzz.queries[q].sql));
+      submit.Set("share", server::Json::Bool(true));
+      server::Json response;
+      std::string err = ServerCall(core.get(), sessions[s], submit, &response);
+      if (!err.empty()) return QueryLabel(fuzz, q) + ": " + err;
+      const server::Json* name = response.Find("query");
+      const server::Json* fp = response.Find("fingerprint");
+      const server::Json* shared = response.Find("shared");
+      if (name == nullptr || !name->is_string() || fp == nullptr ||
+          !fp->is_string() || shared == nullptr || !shared->is_bool()) {
+        return QueryLabel(fuzz, q) + ": malformed submit response " +
+               response.Serialize();
+      }
+      if (s == 0) {
+        // Two generated queries can canonicalize identically, so the first
+        // session's submit may itself land on a shared plan; only the
+        // second session's must.
+        names[q] = name->AsString();
+        fingerprints.insert(fp->AsString());
+      } else {
+        if (!shared->AsBool()) {
+          return QueryLabel(fuzz, q) +
+                 ": second session was not routed onto the shared plan";
+        }
+        if (name->AsString() != names[q]) {
+          return QueryLabel(fuzz, q) + ": shared submit named " +
+                 name->AsString() + ", first session got " + names[q];
+        }
+      }
+
+      server::Json subscribe = server::Json::Object();
+      subscribe.Set("cmd", server::Json::Str("subscribe"));
+      subscribe.Set("query", server::Json::Str(name->AsString()));
+      subscribe.Set("from_seq", server::Json::Int(0));
+      err = ServerCall(core.get(), sessions[s], subscribe, &response);
+      if (!err.empty()) return QueryLabel(fuzz, q) + ": " + err;
+      const server::Json* sub = response.Find("sub");
+      if (sub == nullptr || !sub->is_int()) {
+        return QueryLabel(fuzz, q) + ": malformed subscribe response " +
+               response.Serialize();
+      }
+      sub_query[static_cast<uint64_t>(sub->AsInt())] = q;
+      sub_session[static_cast<uint64_t>(sub->AsInt())] = sessions[s];
+    }
+  }
+  // Distinct fingerprints must map one-to-one onto live operator trees: the
+  // cache never duplicates a plan and never conflates two distinct ones.
+  if (core->num_plans() != fingerprints.size()) {
+    return "plan cache holds " + std::to_string(core->num_plans()) +
+           " entries for " + std::to_string(fingerprints.size()) +
+           " distinct fingerprints";
+  }
+
+  // Feed the case over the wire in deterministic batches, alternating the
+  // submitting session and draining both push queues as we go.
+  std::map<uint64_t, std::vector<std::string>> pushed;  // sub id -> lines
+  auto drain = [&](uint64_t session) -> std::string {
+    for (const auto& line : core->DrainOutbound(session)) {
+      Result<server::Json> parsed = server::Json::Parse(*line);
+      if (!parsed.ok()) return "unparseable push line: " + *line;
+      const server::Json* kind = parsed.value().Find("push");
+      const server::Json* sub = parsed.value().Find("sub");
+      if (kind == nullptr || !kind->is_string() ||
+          kind->AsString() != "delta" || sub == nullptr || !sub->is_int()) {
+        return "unexpected push line: " + *line;
+      }
+      pushed[static_cast<uint64_t>(sub->AsInt())].push_back(*line);
+    }
+    return "";
+  };
+  size_t i = 0;
+  uint64_t state = Mix(fuzz.seed ^ 0x5A1E5ULL);
+  while (i < fuzz.events.size()) {
+    state = Mix(state);
+    const size_t take = std::min(fuzz.events.size() - i, 1 + state % 7);
+    server::Json feed = server::Json::Object();
+    feed.Set("cmd", server::Json::Str("feed"));
+    server::Json events = server::Json::Array();
+    for (size_t e = i; e < i + take; ++e) {
+      events.Add(server::EncodeFeedEvent(fuzz.events[e]));
+    }
+    feed.Set("events", std::move(events));
+    server::Json response;
+    std::string err = ServerCall(core.get(), sessions[i % 2], feed, &response);
+    if (!err.empty()) return "event " + std::to_string(i) + ": " + err;
+    for (uint64_t session : sessions) {
+      err = drain(session);
+      if (!err.empty()) return err;
+    }
+    i += take;
+  }
+
+  // Every subscription must have received exactly the baseline changelog,
+  // byte-for-byte in the shared wire encoding.
+  for (const auto& [sub, q] : sub_query) {
+    const std::vector<exec::Emission>& want = baseline[q].emissions;
+    const std::vector<std::string>& got = pushed[sub];
+    if (got.size() != want.size()) {
+      return QueryLabel(fuzz, q) + " sub " + std::to_string(sub) +
+             ": pushed " + std::to_string(got.size()) + " deltas, baseline " +
+             std::to_string(want.size());
+    }
+    for (size_t e = 0; e < want.size(); ++e) {
+      const std::string expect = server::EncodeDeltaLine(sub, e, want[e]);
+      if (got[e] != expect) {
+        return QueryLabel(fuzz, q) + " sub " + std::to_string(sub) +
+               " delta " + std::to_string(e) + ": " + got[e] + " vs " + expect;
+      }
+    }
+  }
+
+  // And the served snapshot must match the baseline's, for both tenants.
+  for (const auto& [sub, q] : sub_query) {
+    server::Json snapshot = server::Json::Object();
+    snapshot.Set("cmd", server::Json::Str("snapshot"));
+    snapshot.Set("query", server::Json::Str(names[q]));
+    server::Json response;
+    std::string err =
+        ServerCall(core.get(), sub_session[sub], snapshot, &response);
+    if (!err.empty()) return QueryLabel(fuzz, q) + ": " + err;
+    const server::Json* rows = response.Find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+      return QueryLabel(fuzz, q) + ": malformed snapshot response " +
+             response.Serialize();
+    }
+    server::Json expect = server::Json::Array();
+    for (const Row& row : baseline[q].snapshot) {
+      expect.Add(server::EncodeRow(row));
+    }
+    if (rows->Serialize() != expect.Serialize()) {
+      return QueryLabel(fuzz, q) + " snapshot: " + rows->Serialize() +
+             " vs " + expect.Serialize();
+    }
+  }
+  return "";
 }
 
 }  // namespace
@@ -344,6 +544,13 @@ Result<CaseOutcome> RunCase(const FuzzCase& fuzz, const OracleOptions& opts) {
         outcome.failures.push_back({"cql", QueryLabel(fuzz, q) + ": " + err});
       }
     }
+  }
+
+  // ---- Oracle 5: multi-tenant plan sharing over the standing-query server.
+  if (opts.run_sharing) {
+    const std::string err =
+        RunSharingOracle(fuzz, baseline_engine.get(), baseline);
+    if (!err.empty()) outcome.failures.push_back({"sharing", err});
   }
 
   return outcome;

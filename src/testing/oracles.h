@@ -33,11 +33,15 @@ struct OracleOptions {
   bool run_reference = true;  // auto-skipped for sloppy-watermark feeds
   bool run_cql = true;        // applies to tumbling aggregates, mode B only
   bool run_crash = true;
+  /// Serve the case through the standing-query server with two sessions
+  /// sharing each query's operator tree, and require every subscriber's
+  /// pushed changelog to render bit-identically to the dedicated baseline.
+  bool run_sharing = true;
 };
 
 /// One oracle disagreement. `oracle` is the stable machine-readable name:
-/// "duality", "shards", "crash", "reference", "cql", or "feed" (the feed
-/// itself was rejected, which a generated case never is).
+/// "duality", "shards", "crash", "reference", "cql", "sharing", or "feed"
+/// (the feed itself was rejected, which a generated case never is).
 struct CaseFailure {
   std::string oracle;
   std::string detail;
@@ -63,6 +67,11 @@ struct CaseOutcome {
 ///  4. Reference semantics: the final snapshot must equal the naive
 ///     interpreter's from-scratch evaluation (perfect-watermark modes), and
 ///     the CQL baseline's (insert-only tumbling aggregates).
+///  5. Sharing: serving the case through the standing-query server with two
+///     sessions riding one shared plan per query (submit {"share": true}),
+///     every subscriber's pushed delta stream must be byte-identical to the
+///     wire encoding of the dedicated baseline's changelog, and the served
+///     snapshots must match the baseline's.
 ///
 /// Returns an error only when the harness itself cannot run (a query fails
 /// to plan, registration fails) — engine disagreements are reported as

@@ -1,5 +1,5 @@
 // Tier-1 face of the differential fuzzer (DESIGN.md §12): a fixed-seed
-// sweep through all four oracles, replay of the checked-in minimized
+// sweep through all five oracles, replay of the checked-in minimized
 // corpus, and unit coverage of the generator/corpus/minimizer plumbing.
 // The open-ended seed exploration lives in ci.sh's fuzz leg (fuzz_driver).
 

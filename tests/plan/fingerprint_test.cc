@@ -1,0 +1,133 @@
+// Canonical plan fingerprints (plan/fingerprint.h) back the server's
+// multi-tenant plan sharing, so these tests pin the contract exactly:
+// fingerprints must be invariant under cosmetic rewrites (alias renaming,
+// AND-conjunct order) and distinct for anything observable (window width,
+// EMIT clause, lateness, projection order, filter thresholds). A false
+// merge here would silently serve one tenant another tenant's query.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "plan/fingerprint.h"
+
+namespace onesql {
+namespace {
+
+Schema BidSchema() {
+  return Schema({{"bidtime", DataType::kTimestamp, true},
+                 {"price", DataType::kBigint},
+                 {"item", DataType::kVarchar}});
+}
+
+/// Plans `sql` on a fresh engine with the Bid stream registered and
+/// fingerprints the result.
+plan::PlanFingerprint Fingerprint(const std::string& sql,
+                                  Interval lateness = Interval::Millis(0)) {
+  Engine engine;
+  EXPECT_TRUE(engine.RegisterStream("Bid", BidSchema()).ok());
+  auto plan = engine.Plan(sql);
+  EXPECT_TRUE(plan.ok()) << sql << ": " << plan.status().ToString();
+  plan->allowed_lateness = lateness;
+  return plan::FingerprintPlan(*plan);
+}
+
+constexpr const char* kTumbleMax =
+    "SELECT wstart, wend, MAX(price) AS maxPrice "
+    "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' MINUTES) t GROUP BY wend "
+    "EMIT STREAM";
+
+TEST(PlanFingerprintTest, SameQuerySameFingerprint) {
+  const plan::PlanFingerprint a = Fingerprint(kTumbleMax);
+  const plan::PlanFingerprint b = Fingerprint(kTumbleMax);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToHex(), b.ToHex());
+  EXPECT_FALSE(a.canonical.empty());
+  EXPECT_EQ(a.ToHex().size(), 32u);  // two 64-bit halves in hex
+}
+
+TEST(PlanFingerprintTest, AliasRenamingIsInvariant) {
+  // Output aliases and TVF table aliases are client-side names; canonical
+  // plans refer to columns positionally, so renames must collide.
+  const plan::PlanFingerprint a = Fingerprint(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend "
+      "EMIT STREAM");
+  const plan::PlanFingerprint b = Fingerprint(
+      "SELECT wstart, wend, MAX(price) AS highestBid "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) windowed GROUP BY wend "
+      "EMIT STREAM");
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlanFingerprintTest, ConjunctOrderIsInvariant) {
+  const plan::PlanFingerprint a = Fingerprint(
+      "SELECT bidtime, price FROM Bid "
+      "WHERE price >= 3 AND price <= 7 EMIT STREAM");
+  const plan::PlanFingerprint b = Fingerprint(
+      "SELECT bidtime, price FROM Bid "
+      "WHERE price <= 7 AND price >= 3 EMIT STREAM");
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlanFingerprintTest, WindowWidthIsDistinct) {
+  const plan::PlanFingerprint ten = Fingerprint(kTumbleMax);
+  const plan::PlanFingerprint five = Fingerprint(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '5' MINUTES) t GROUP BY wend "
+      "EMIT STREAM");
+  EXPECT_NE(ten, five);
+}
+
+TEST(PlanFingerprintTest, EmitClauseIsDistinct) {
+  const plan::PlanFingerprint stream = Fingerprint(kTumbleMax);
+  const plan::PlanFingerprint gated = Fingerprint(
+      "SELECT wstart, wend, MAX(price) AS maxPrice "
+      "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+      "dur => INTERVAL '10' MINUTES) t GROUP BY wend "
+      "EMIT STREAM AFTER WATERMARK");
+  EXPECT_NE(stream, gated);
+}
+
+TEST(PlanFingerprintTest, AllowedLatenessIsDistinct) {
+  // Lateness changes which rows a shared operator drops, so two tenants
+  // with different lateness budgets must not share state.
+  const plan::PlanFingerprint none = Fingerprint(kTumbleMax);
+  const plan::PlanFingerprint two_minutes =
+      Fingerprint(kTumbleMax, Interval::Millis(120000));
+  EXPECT_NE(none, two_minutes);
+}
+
+TEST(PlanFingerprintTest, ProjectionOrderIsDistinct) {
+  // Column order is observable in every rendered row; reordering the select
+  // list is a different query.
+  const plan::PlanFingerprint a =
+      Fingerprint("SELECT bidtime, price FROM Bid EMIT STREAM");
+  const plan::PlanFingerprint b =
+      Fingerprint("SELECT price, bidtime FROM Bid EMIT STREAM");
+  EXPECT_NE(a, b);
+}
+
+TEST(PlanFingerprintTest, FilterThresholdIsDistinct) {
+  const plan::PlanFingerprint a = Fingerprint(
+      "SELECT bidtime, price FROM Bid WHERE price >= 3 EMIT STREAM");
+  const plan::PlanFingerprint b = Fingerprint(
+      "SELECT bidtime, price FROM Bid WHERE price >= 4 EMIT STREAM");
+  EXPECT_NE(a, b);
+}
+
+TEST(PlanFingerprintTest, ExecuteExposesTheFingerprint) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream("Bid", BidSchema()).ok());
+  auto q = engine.Execute(kTumbleMax);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->plan_fingerprint(), Fingerprint(kTumbleMax));
+}
+
+}  // namespace
+}  // namespace onesql

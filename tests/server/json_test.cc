@@ -1,0 +1,119 @@
+// The wire protocol's JSON codec (server/json.h). The invariants that
+// matter on the wire: int64 fidelity (BIGINT values and millisecond
+// timestamps round-trip exactly), doubles round-trip bit-exactly, strings
+// survive escaping, and malformed documents are rejected rather than
+// misread.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "server/json.h"
+
+namespace onesql {
+namespace server {
+namespace {
+
+Json ParseOk(const std::string& text) {
+  auto parsed = Json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+  return parsed.ok() ? *parsed : Json::Null();
+}
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json::Null().Serialize(), "null");
+  EXPECT_EQ(Json::Bool(true).Serialize(), "true");
+  EXPECT_EQ(Json::Bool(false).Serialize(), "false");
+  EXPECT_EQ(Json::Int(0).Serialize(), "0");
+  EXPECT_EQ(Json::Int(-42).Serialize(), "-42");
+  EXPECT_EQ(Json::Str("hi").Serialize(), "\"hi\"");
+
+  EXPECT_TRUE(ParseOk("null").is_null());
+  EXPECT_TRUE(ParseOk("true").AsBool());
+  EXPECT_EQ(ParseOk("-42").AsInt(), -42);
+  EXPECT_EQ(ParseOk("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, Int64Fidelity) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  for (int64_t v : {max, min, int64_t{0}, int64_t{1} << 53}) {
+    const Json parsed = ParseOk(Json::Int(v).Serialize());
+    ASSERT_TRUE(parsed.is_int()) << v;
+    EXPECT_EQ(parsed.AsInt(), v);
+  }
+  // A fraction or exponent demotes to double; a plain integer never does.
+  EXPECT_TRUE(ParseOk("9223372036854775807").is_int());
+  EXPECT_FALSE(ParseOk("1.5").is_int());
+  EXPECT_FALSE(ParseOk("1e3").is_int());
+  // Past the int64 range the parser falls back to double instead of
+  // wrapping around.
+  const Json overflow = ParseOk("9223372036854775808");
+  EXPECT_TRUE(overflow.is_number());
+  EXPECT_FALSE(overflow.is_int());
+}
+
+TEST(JsonTest, DoubleRoundTrips) {
+  for (double v : {0.5, -1.25, 1e-9, 12345.6789, 1.0 / 3.0}) {
+    const Json parsed = ParseOk(Json::Double(v).Serialize());
+    ASSERT_TRUE(parsed.is_number());
+    EXPECT_EQ(parsed.AsDouble(), v);
+  }
+  // Whole-valued doubles keep a marker so they re-parse as doubles, not
+  // ints — the wire must not silently change a value's JSON kind.
+  const std::string two = Json::Double(2).Serialize();
+  EXPECT_NE(two.find_first_of(".eE"), std::string::npos) << two;
+  EXPECT_FALSE(ParseOk(two).is_int());
+}
+
+TEST(JsonTest, StringEscapes) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const Json parsed = ParseOk(Json::Str(nasty).Serialize());
+  EXPECT_EQ(parsed.AsString(), nasty);
+
+  EXPECT_EQ(ParseOk("\"\\u0041\"").AsString(), "A");
+  // Surrogate pair -> UTF-8 (U+1F600).
+  EXPECT_EQ(ParseOk("\"\\uD83D\\uDE00\"").AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, NestedDocumentRoundTrips) {
+  Json doc = Json::Object();
+  doc.Set("cmd", Json::Str("feed"));
+  Json rows = Json::Array();
+  rows.Add(Json::Int(1)).Add(Json::Null()).Add(Json::Str("x"));
+  doc.Set("rows", std::move(rows));
+  const std::string text = doc.Serialize();
+  EXPECT_EQ(text, "{\"cmd\":\"feed\",\"rows\":[1,null,\"x\"]}");
+
+  const Json parsed = ParseOk(text);
+  ASSERT_NE(parsed.Find("rows"), nullptr);
+  EXPECT_EQ(parsed.Find("rows")->items().size(), 3u);
+  EXPECT_EQ(parsed.Serialize(), text);
+}
+
+TEST(JsonTest, FindOnNonObjectIsNull) {
+  EXPECT_EQ(Json::Int(1).Find("x"), nullptr);
+  EXPECT_EQ(ParseOk("{\"a\":1}").Find("b"), nullptr);
+}
+
+TEST(JsonTest, MalformedDocumentsAreRejected) {
+  for (const char* bad :
+       {"", "{", "[1,", "\"unterminated", "{\"a\"}", "01", "+1", "nul",
+        "1 2", "{\"a\":1} trailing", "\"bad\\escape\"", "\"\\uD83D\""}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(Json::Parse(deep).ok());
+  EXPECT_TRUE(Json::Parse("[[[[[[[[1]]]]]]]]").ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace onesql

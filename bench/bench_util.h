@@ -131,9 +131,20 @@ class JsonBenchReporter : public ::benchmark::ConsoleReporter {
     }
   }
 
-  /// Writes `BENCH_<bench_name>.json` into the working directory.
+  /// Writes `BENCH_<bench_name>.json` into the working directory. Refuses
+  /// (and fails the process) when no benchmark entry was collected: an empty
+  /// baseline silently disarms every downstream regression comparison, which
+  /// is exactly how an all-filtered run once shipped an empty
+  /// BENCH_nexmark.json.
   bool WriteJson(const std::string& bench_name) {
     const std::string path = "BENCH_" + bench_name + ".json";
+    if (samples_.empty()) {
+      std::fprintf(stderr,
+                   "refusing to write %s: zero benchmark entries were "
+                   "collected (over-broad --benchmark_filter?)\n",
+                   path.c_str());
+      return false;
+    }
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());

@@ -44,6 +44,27 @@ run_leg "tier1-configure" cmake -B build -S . -DCMAKE_CXX_FLAGS="${WARN_FLAGS}"
 run_leg "tier1-build" cmake --build build -j"${JOBS}"
 run_leg "tier1-ctest" ctest --test-dir build -j"${JOBS}" --output-on-failure
 
+echo "=== perf: bench regression vs checked-in baselines ==="
+# Runs the NEXMark end-to-end bench and the kernel microbenches from the
+# tier-1 build and compares throughput per benchmark against the committed
+# BENCH_*.json baselines. Thresholds are loose (fail below 50%, warn below
+# 85%) because CI machines are single-core and noisy: the leg exists to lock
+# in the vectorization-scale wins, not percent-level drift. Refresh a
+# baseline by copying the regenerated JSON from the bench's working
+# directory over the checked-in file.
+PERF_DIR="build/perf-run"
+rm -rf "${PERF_DIR}" && mkdir -p "${PERF_DIR}"
+run_leg "perf-nexmark-run" \
+  env -C "${PERF_DIR}" ../bench/bench_nexmark --benchmark_min_time=0.1
+run_leg "perf-micro-run" \
+  env -C "${PERF_DIR}" ../bench/bench_micro --benchmark_min_time=0.1
+# The e2e leg gets extra headroom: full-engine NEXMark runs swing harder
+# under co-tenant load than the kernel microbenches do.
+run_leg "perf-nexmark-compare" python3 tools/bench_compare.py \
+  BENCH_nexmark.json "${PERF_DIR}/BENCH_nexmark.json" --fail=0.35 --warn=0.7
+run_leg "perf-micro-compare" python3 tools/bench_compare.py \
+  BENCH_micro.json "${PERF_DIR}/BENCH_micro.json"
+
 echo "=== ASan/UBSan: full test suite ==="
 # GCC-12 emits -Wmaybe-uninitialized false positives inside std::variant
 # when optimizing under -fsanitize=address,undefined (std::basic_string

@@ -299,7 +299,7 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
   // interleave multi-table replays differently (observable through join
   // emission order).
   std::vector<exec::InputEvent> replay;
-  replay.reserve(history_.size());
+  replay.reserve(history_events_);
   for (const auto& it : SortedByName(table_rows_)) {
     const std::string& name = it->first;
     const std::vector<Row>& rows = it->second;
@@ -319,8 +319,10 @@ Result<ContinuousQuery*> Engine::Execute(const std::string& sql,
     mark.watermark = Timestamp::Max();
     replay.push_back(std::move(mark));
   }
-  for (const FeedEvent& event : history_) {
-    replay.push_back(ToInputEvent(event));
+  std::vector<HistoryEvent> hist;
+  MaterializeHistory(&hist);
+  for (const HistoryEvent& h : hist) {
+    replay.push_back(ToInputEvent(h.event));
   }
   ONESQL_RETURN_NOT_OK(query->flow_->PushBatch(replay));
   query->last_ptime_ = last_ptime_;
@@ -385,71 +387,6 @@ Result<std::unique_ptr<Engine>> Engine::CloneRegistrations() const {
   return clone;
 }
 
-Status Engine::ValidateRow(const std::string& stream, const Row& row) const {
-  ONESQL_ASSIGN_OR_RETURN(const plan::TableDef* def, catalog_.Lookup(stream));
-  if (!def->unbounded) {
-    return Status::InvalidArgument("cannot feed events into static table '" +
-                                   stream + "'");
-  }
-  if (row.size() != def->schema.num_fields()) {
-    return Status::InvalidArgument("row arity mismatch for stream '" + stream +
-                                   "'");
-  }
-  for (size_t i = 0; i < row.size(); ++i) {
-    if (!IsImplicitlyCoercible(row[i].type(), def->schema.field(i).type)) {
-      return Status::InvalidArgument(
-          "type mismatch for column '" + def->schema.field(i).name + "' of '" +
-          stream + "': expected " +
-          DataTypeToString(def->schema.field(i).type) + ", got " +
-          DataTypeToString(row[i].type()));
-    }
-  }
-  return Status::OK();
-}
-
-Status Engine::Record(const FeedEvent& event) {
-  if (event.ptime < last_ptime_) {
-    return Status::InvalidArgument(
-        "feed events must arrive in processing-time order (got " +
-        event.ptime.ToString() + " after " + last_ptime_.ToString() + ")");
-  }
-  // Log before mutating engine state: an event the WAL never saw must not
-  // become part of the replayable history.
-  ONESQL_RETURN_NOT_OK(AppendWal(event));
-  ++feed_seq_;
-  last_ptime_ = event.ptime;
-  history_.push_back(event);
-  // Feed metrics run on the logical feed clock (event ptimes), so they are
-  // exact and deterministic at any shard count. WAL-suffix replay during
-  // Restore() goes through here too: a restored engine counts the replayed
-  // suffix as processing (which it is) and nothing before the checkpoint.
-  if (engine_metrics_ != nullptr) {
-    const obs::SourceMetrics* src = SourceObs(event.source);
-    switch (event.kind) {
-      case FeedEvent::Kind::kInsert:
-        engine_metrics_->feed_inserts->Increment();
-        src->rows->Increment();
-        break;
-      case FeedEvent::Kind::kDelete:
-        engine_metrics_->feed_deletes->Increment();
-        src->rows->Increment();
-        break;
-      case FeedEvent::Kind::kWatermark: {
-        engine_metrics_->feed_watermarks->Increment();
-        src->watermarks->Increment();
-        // Watermark lag: how far the source's watermark trails the
-        // processing time at which it was advanced.
-        int64_t lag_ms = (event.ptime - event.watermark).millis();
-        if (lag_ms < 0) lag_ms = 0;
-        src->watermark_lag_ms->Record(static_cast<uint64_t>(lag_ms));
-        src->watermark_lag_current_ms->Set(lag_ms);
-        break;
-      }
-    }
-  }
-  return Status::OK();
-}
-
 Status Engine::AppendWal(const FeedEvent& event) {
   if (wal_ == nullptr || replaying_wal_) return Status::OK();
   return wal_->Append(ToWalRecord(feed_seq_, event));
@@ -460,130 +397,285 @@ Status Engine::SyncWal() {
   return wal_->Sync();
 }
 
-Status Engine::Dispatch(const FeedEvent& event) {
-  obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "feed", "engine");
-  span.set_aux(1);
-  ONESQL_RETURN_NOT_OK(Record(event));
-  // Durability barrier: the event hits disk before any query observes it.
-  ONESQL_RETURN_NOT_OK(SyncWal());
-  for (auto& query : queries_) {
-    query->last_ptime_ = event.ptime;
-    switch (event.kind) {
-      case FeedEvent::Kind::kInsert:
-        ONESQL_RETURN_NOT_OK(
-            query->flow_->PushRow(event.source, event.ptime, event.row));
-        break;
-      case FeedEvent::Kind::kDelete:
-        ONESQL_RETURN_NOT_OK(
-            query->flow_->PushDelete(event.source, event.ptime, event.row));
-        break;
-      case FeedEvent::Kind::kWatermark:
-        ONESQL_RETURN_NOT_OK(query->flow_->PushWatermark(
-            event.source, event.ptime, event.watermark));
-        break;
-    }
-  }
-  MaybeCompactHistory();
-  return Status::OK();
-}
-
 Status Engine::Insert(const std::string& stream, Timestamp ptime, Row row) {
-  ONESQL_RETURN_NOT_OK(ValidateRow(stream, row));
   FeedEvent event;
   event.kind = FeedEvent::Kind::kInsert;
   event.source = stream;
   event.ptime = ptime;
   event.row = std::move(row);
-  return Dispatch(event);
+  std::vector<FeedEvent> events;
+  events.push_back(std::move(event));
+  return Feed(events);
 }
 
 Status Engine::Delete(const std::string& stream, Timestamp ptime, Row row) {
-  ONESQL_RETURN_NOT_OK(ValidateRow(stream, row));
   FeedEvent event;
   event.kind = FeedEvent::Kind::kDelete;
   event.source = stream;
   event.ptime = ptime;
   event.row = std::move(row);
-  return Dispatch(event);
-}
-
-Status Engine::ValidateWatermark(const std::string& stream,
-                                 Timestamp watermark) {
-  ONESQL_ASSIGN_OR_RETURN(const plan::TableDef* def, catalog_.Lookup(stream));
-  if (!def->unbounded) {
-    return Status::InvalidArgument("static table '" + stream +
-                                   "' has no watermark to advance");
-  }
-  Timestamp& current = stream_watermarks_[ToLower(stream)];
-  if (watermark < current) {
-    return Status::InvalidArgument("watermark for '" + stream +
-                                   "' must be monotonic");
-  }
-  current = watermark;
-  return Status::OK();
+  std::vector<FeedEvent> events;
+  events.push_back(std::move(event));
+  return Feed(events);
 }
 
 Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
                                 Timestamp watermark) {
-  ONESQL_RETURN_NOT_OK(ValidateWatermark(stream, watermark));
   FeedEvent event;
   event.kind = FeedEvent::Kind::kWatermark;
   event.source = stream;
   event.ptime = ptime;
   event.watermark = watermark;
-  return Dispatch(event);
+  std::vector<FeedEvent> events;
+  events.push_back(std::move(event));
+  return Feed(events);
 }
 
 Status Engine::Feed(const std::vector<FeedEvent>& events) {
   obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "feed", "engine");
   span.set_aux(events.size());
-  // Validate and record event by event (validation is order-sensitive:
-  // watermark monotonicity and ptime ordering), accumulating the valid
-  // prefix, then dispatch it to every query as one batch. Observable
-  // semantics match the event-by-event path exactly; the sharded runtime
-  // additionally gets to amortize its fork-join barrier over the batch.
-  std::vector<exec::InputEvent> batch;
-  batch.reserve(events.size());
+  // One fused pass: validate, WAL-append, and record each event straight
+  // into the chunked history (validation is order-sensitive — watermark
+  // monotonicity and ptime ordering — so it stays event by event). The new
+  // chunks are then dispatched to every query wholesale: rows were
+  // columnarized exactly once, on the way into the history.
+  const size_t first_chunk = history_.size();
+  exec::ChunkBuilder builder(&history_, feed_seq_);
+  // Per-call validation cache, keyed by the source's exact spelling: the
+  // catalog lookup (lower-casing + map walk) happens once per source.
+  std::unordered_map<std::string, SourceFeedState> sources;
+  auto source_state = [&](const std::string& name) -> Result<SourceFeedState*> {
+    auto it = sources.find(name);
+    if (it != sources.end()) return &it->second;
+    ONESQL_ASSIGN_OR_RETURN(const plan::TableDef* def, catalog_.Lookup(name));
+    SourceFeedState state;
+    state.def = def;
+    state.decl.reserve(def->schema.num_fields());
+    for (size_t i = 0; i < def->schema.num_fields(); ++i) {
+      state.decl.push_back(def->schema.field(i).type);
+    }
+    return &sources.emplace(name, std::move(state)).first->second;
+  };
+
   Status deferred = Status::OK();
+  size_t accepted = 0;
+  Timestamp batch_ptime = last_ptime_;
   for (const FeedEvent& event : events) {
     Status status = Status::OK();
-    switch (event.kind) {
-      case FeedEvent::Kind::kInsert:
-      case FeedEvent::Kind::kDelete:
-        status = ValidateRow(event.source, event.row);
-        break;
-      case FeedEvent::Kind::kWatermark:
-        status = ValidateWatermark(event.source, event.watermark);
-        break;
+    SourceFeedState* state = nullptr;
+    {
+      auto state_or = source_state(event.source);
+      if (state_or.ok()) {
+        state = state_or.value();
+      } else {
+        status = state_or.status();
+      }
     }
-    if (status.ok()) status = Record(event);
+    if (status.ok()) {
+      switch (event.kind) {
+        case FeedEvent::Kind::kInsert:
+        case FeedEvent::Kind::kDelete: {
+          const plan::TableDef* def = state->def;
+          if (!def->unbounded) {
+            status = Status::InvalidArgument(
+                "cannot feed events into static table '" + event.source + "'");
+            break;
+          }
+          if (event.row.size() != def->schema.num_fields()) {
+            status = Status::InvalidArgument("row arity mismatch for stream '" +
+                                             event.source + "'");
+            break;
+          }
+          for (size_t i = 0; i < event.row.size(); ++i) {
+            if (!IsImplicitlyCoercible(event.row[i].type(),
+                                       def->schema.field(i).type)) {
+              status = Status::InvalidArgument(
+                  "type mismatch for column '" + def->schema.field(i).name +
+                  "' of '" + event.source + "': expected " +
+                  DataTypeToString(def->schema.field(i).type) + ", got " +
+                  DataTypeToString(event.row[i].type()));
+              break;
+            }
+          }
+          break;
+        }
+        case FeedEvent::Kind::kWatermark: {
+          if (!state->def->unbounded) {
+            status = Status::InvalidArgument("static table '" + event.source +
+                                             "' has no watermark to advance");
+            break;
+          }
+          if (state->watermark == nullptr) {
+            state->watermark = &stream_watermarks_[ToLower(event.source)];
+          }
+          if (event.watermark < *state->watermark) {
+            status = Status::InvalidArgument("watermark for '" + event.source +
+                                             "' must be monotonic");
+            break;
+          }
+          *state->watermark = event.watermark;
+          break;
+        }
+      }
+    }
+    if (status.ok() && event.ptime < last_ptime_) {
+      status = Status::InvalidArgument(
+          "feed events must arrive in processing-time order (got " +
+          event.ptime.ToString() + " after " + last_ptime_.ToString() + ")");
+    }
+    // Log before mutating engine state: an event the WAL never saw must not
+    // become part of the replayable history.
+    if (status.ok()) status = AppendWal(event);
     if (!status.ok()) {
       deferred = std::move(status);
       break;
     }
-    batch.push_back(ToInputEvent(event));
+    ++feed_seq_;
+    last_ptime_ = event.ptime;
+    batch_ptime = event.ptime;
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        builder.AddElementTyped(event.source, &state->decl, event.row, +1,
+                                event.ptime);
+        break;
+      case FeedEvent::Kind::kDelete:
+        builder.AddElementTyped(event.source, &state->decl, event.row, -1,
+                                event.ptime);
+        break;
+      case FeedEvent::Kind::kWatermark:
+        builder.AddWatermark(event.source, event.watermark, event.ptime);
+        break;
+    }
+    ++accepted;
+    // Feed metrics run on the logical feed clock (event ptimes), so they are
+    // exact and deterministic at any shard count. WAL-suffix replay during
+    // Restore() goes through here too: a restored engine counts the replayed
+    // suffix as processing (which it is) and nothing before the checkpoint.
+    if (engine_metrics_ != nullptr) {
+      const obs::SourceMetrics* src = SourceObs(event.source);
+      switch (event.kind) {
+        case FeedEvent::Kind::kInsert:
+          engine_metrics_->feed_inserts->Increment();
+          src->rows->Increment();
+          break;
+        case FeedEvent::Kind::kDelete:
+          engine_metrics_->feed_deletes->Increment();
+          src->rows->Increment();
+          break;
+        case FeedEvent::Kind::kWatermark: {
+          engine_metrics_->feed_watermarks->Increment();
+          src->watermarks->Increment();
+          // Watermark lag: how far the source's watermark trails the
+          // processing time at which it was advanced.
+          int64_t lag_ms = (event.ptime - event.watermark).millis();
+          if (lag_ms < 0) lag_ms = 0;
+          src->watermark_lag_ms->Record(static_cast<uint64_t>(lag_ms));
+          src->watermark_lag_current_ms->Set(lag_ms);
+          break;
+        }
+      }
+    }
   }
-  if (!batch.empty()) {
+  builder.CloseAll();
+  history_events_ += accepted;
+  if (accepted > 0) {
     // One durability barrier for the whole batch: every recorded event is on
     // disk before any query observes any of them.
     ONESQL_RETURN_NOT_OK(SyncWal());
-    const Timestamp batch_ptime = batch.back().ptime;
+    std::vector<const exec::InputChunk*> chunks;
+    chunks.reserve(history_.size() - first_chunk);
+    for (size_t i = first_chunk; i < history_.size(); ++i) {
+      chunks.push_back(&history_[i]);
+    }
     for (auto& query : queries_) {
       query->last_ptime_ = batch_ptime;
-      ONESQL_RETURN_NOT_OK(query->flow_->PushBatch(batch));
+      ONESQL_RETURN_NOT_OK(query->flow_->PushChunks(chunks));
     }
     MaybeCompactHistory();
   }
   return deferred;
 }
 
+void Engine::MaterializeHistory(std::vector<HistoryEvent>* out) const {
+  out->clear();
+  out->reserve(history_events_);
+  // Active-cursor sweep: chunks are ordered by first seq, but open element
+  // runs interleave with other sources' chunks, so merge on per-event seqs.
+  struct Cursor {
+    const exec::InputChunk* chunk;
+    size_t row = 0;
+  };
+  std::vector<Cursor> active;
+  size_t next = 0;
+  while (true) {
+    size_t best = active.size();
+    uint64_t best_seq = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const Cursor& cursor = active[i];
+      const uint64_t seq =
+          cursor.chunk->kind == exec::InputChunk::Kind::kRows
+              ? cursor.chunk->batch.seqs[cursor.row]
+              : cursor.chunk->seq;
+      if (best == active.size() || seq < best_seq) {
+        best = i;
+        best_seq = seq;
+      }
+    }
+    if (next < history_.size() &&
+        (best == active.size() || history_[next].FirstSeq() < best_seq)) {
+      const exec::InputChunk* chunk = &history_[next++];
+      if (chunk->NumEvents() > 0) active.push_back(Cursor{chunk, 0});
+      continue;
+    }
+    if (best == active.size()) break;
+    Cursor& cursor = active[best];
+    const exec::InputChunk* chunk = cursor.chunk;
+    HistoryEvent out_event;
+    switch (chunk->kind) {
+      case exec::InputChunk::Kind::kRows:
+        out_event.seq = chunk->batch.seqs[cursor.row];
+        out_event.event.kind = chunk->batch.weights[cursor.row] < 0
+                                   ? FeedEvent::Kind::kDelete
+                                   : FeedEvent::Kind::kInsert;
+        out_event.event.source = chunk->source;
+        out_event.event.ptime = chunk->batch.ptimes[cursor.row];
+        out_event.event.row = chunk->batch.RowAt(cursor.row);
+        break;
+      case exec::InputChunk::Kind::kWatermark:
+        out_event.seq = chunk->seq;
+        out_event.event.kind = FeedEvent::Kind::kWatermark;
+        out_event.event.source = chunk->source;
+        out_event.event.ptime = chunk->ptime;
+        out_event.event.watermark = chunk->watermark;
+        break;
+      case exec::InputChunk::Kind::kSingle:
+        out_event.seq = chunk->seq;
+        out_event.event.kind = chunk->event_kind == ChangeKind::kDelete
+                                   ? FeedEvent::Kind::kDelete
+                                   : FeedEvent::Kind::kInsert;
+        out_event.event.source = chunk->source;
+        out_event.event.ptime = chunk->ptime;
+        out_event.event.row = chunk->row;
+        break;
+    }
+    out->push_back(std::move(out_event));
+    ++cursor.row;
+    const bool done = chunk->kind != exec::InputChunk::Kind::kRows ||
+                      cursor.row >= chunk->batch.num_rows;
+    if (done) {
+      active[best] = active.back();
+      active.pop_back();
+    }
+  }
+}
+
 void Engine::MaybeCompactHistory() {
-  if (history_.size() < compact_at_) return;
+  if (history_events_ < compact_at_) return;
   CompactHistory();
   // Doubling schedule keeps the amortized compaction cost linear in the
   // feed while guaranteeing the history stops growing once watermarks
   // advance: the next attempt happens only after the retained tail doubles.
-  compact_at_ = std::max<size_t>(4096, history_.size() * 2);
+  compact_at_ = std::max<size_t>(4096, history_events_ * 2);
 }
 
 void Engine::CompactHistory() {
@@ -602,21 +694,27 @@ void Engine::CompactHistory() {
   }
   if (floor == Timestamp::Min()) return;  // a query has seen no watermark yet
 
+  std::vector<HistoryEvent> hist;
+  MaterializeHistory(&hist);
+
   // Keep the last dominated watermark event per source so a replay still
   // re-establishes the watermark position the running queries reached.
   std::unordered_map<std::string, size_t> last_dominated;
-  for (size_t i = 0; i < history_.size(); ++i) {
-    const FeedEvent& event = history_[i];
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const FeedEvent& event = hist[i].event;
     if (event.kind == FeedEvent::Kind::kWatermark &&
         event.watermark <= floor) {
       last_dominated[ToLower(event.source)] = i;
     }
   }
 
-  std::vector<FeedEvent> kept;
-  kept.reserve(history_.size());
-  for (size_t i = 0; i < history_.size(); ++i) {
-    FeedEvent& event = history_[i];
+  // Rebuild the chunk list from the kept events, preserving their original
+  // sequence numbers so cross-source merge order is unchanged.
+  std::vector<exec::InputChunk> kept;
+  exec::ChunkBuilder builder(&kept, 0);
+  size_t kept_events = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const FeedEvent& event = hist[i].event;
     bool keep = true;
     switch (event.kind) {
       case FeedEvent::Kind::kInsert:
@@ -630,9 +728,26 @@ void Engine::CompactHistory() {
         break;
       }
     }
-    if (keep) kept.push_back(std::move(event));
+    if (!keep) continue;
+    ++kept_events;
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        builder.AddElementAt(hist[i].seq, event.source, nullptr, event.row, +1,
+                             event.ptime);
+        break;
+      case FeedEvent::Kind::kDelete:
+        builder.AddElementAt(hist[i].seq, event.source, nullptr, event.row, -1,
+                             event.ptime);
+        break;
+      case FeedEvent::Kind::kWatermark:
+        builder.AddWatermarkAt(hist[i].seq, event.source, event.watermark,
+                               event.ptime);
+        break;
+    }
   }
+  builder.CloseAll();
   history_ = std::move(kept);
+  history_events_ = kept_events;
 }
 
 // ---------------------------------------------------------------------------
@@ -692,9 +807,12 @@ void Engine::SaveEngineSection(state::Writer* w, uint64_t* num_queries) const {
   }
 
   // Retained (possibly compacted) history, replayed into queries executed
-  // after the restore.
-  w->PutVarint(history_.size());
-  for (const FeedEvent& event : history_) EncodeFeedEvent(w, event);
+  // after the restore. Serialized as the scalar event stream (byte-identical
+  // to the pre-columnar format) in global sequence order.
+  std::vector<HistoryEvent> hist;
+  MaterializeHistory(&hist);
+  w->PutVarint(hist.size());
+  for (const HistoryEvent& h : hist) EncodeFeedEvent(w, h.event);
 
   *num_queries = queries_.size();
   w->PutVarint(queries_.size());
@@ -791,11 +909,26 @@ Status Engine::LoadEngineSection(state::Reader* r, uint64_t* num_queries,
   if (nhistory > r->remaining()) {
     return Status::DataLoss("impossible history size in checkpoint");
   }
-  history_.reserve(nhistory);
+  // Re-chunk the decoded event stream. Synthetic sequence numbers 0..H-1
+  // preserve the serialized order; they stay below feed_seq_ (compaction
+  // only shrinks the history), so post-restore feeds keep seqs ascending.
+  exec::ChunkBuilder builder(&history_, 0);
   for (uint64_t i = 0; i < nhistory; ++i) {
     ONESQL_ASSIGN_OR_RETURN(FeedEvent event, DecodeFeedEvent(r));
-    history_.push_back(std::move(event));
+    switch (event.kind) {
+      case FeedEvent::Kind::kInsert:
+        builder.AddElement(event.source, event.row, +1, event.ptime);
+        break;
+      case FeedEvent::Kind::kDelete:
+        builder.AddElement(event.source, event.row, -1, event.ptime);
+        break;
+      case FeedEvent::Kind::kWatermark:
+        builder.AddWatermark(event.source, event.watermark, event.ptime);
+        break;
+    }
   }
+  builder.CloseAll();
+  history_events_ = nhistory;
 
   ONESQL_ASSIGN_OR_RETURN(*num_queries, r->ReadVarint());
   return r->ExpectEnd();

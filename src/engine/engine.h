@@ -278,14 +278,27 @@ class Engine {
   /// executed later. Compaction (see CompactHistory) keeps this bounded:
   /// it no longer grows monotonically with the feed once every running
   /// query's watermark advances.
-  size_t history_size() const { return history_.size(); }
+  size_t history_size() const { return history_events_; }
 
  private:
-  Status ValidateRow(const std::string& stream, const Row& row) const;
-  Status ValidateWatermark(const std::string& stream, Timestamp watermark);
-  /// Ordering check + history append shared by all feed paths.
-  Status Record(const FeedEvent& event);
-  Status Dispatch(const FeedEvent& event);
+  /// One retained feed event materialized out of the chunked history,
+  /// tagged with its original sequence number (checkpoint encoding and
+  /// compaction preserve the original inter-event order through it).
+  struct HistoryEvent {
+    uint64_t seq = 0;
+    FeedEvent event;
+  };
+  /// Per-feed-call cache of a source's validation state, so the hot loop
+  /// resolves the catalog (and the watermark slot) once per source rather
+  /// than once per event.
+  struct SourceFeedState {
+    const plan::TableDef* def = nullptr;
+    std::vector<DataType> decl;         // declared column types
+    Timestamp* watermark = nullptr;     // lazily bound monotonicity slot
+  };
+
+  /// Flattens the chunked history back to per-event form, in sequence order.
+  void MaterializeHistory(std::vector<HistoryEvent>* out) const;
   /// Amortized history compaction: triggers when the history doubles past a
   /// floor derived from the running queries' watermarks. Retained invariant:
   /// every event a running query could still accept (above its watermark
@@ -316,8 +329,8 @@ class Engine {
   /// Attaches the observability context to a query's runtime under its
   /// stable label ("q<obs_label_>").
   void AttachQueryObs(ContinuousQuery* query);
-  /// Per-source instrument bundle, cached so Record() never takes the
-  /// registry lock. Null when metrics are disabled.
+  /// Per-source instrument bundle, cached so the Feed() hot loop never takes
+  /// the registry lock. Null when metrics are disabled.
   const obs::SourceMetrics* SourceObs(const std::string& stream);
 
   // -- Observability state --------------------------------------------------
@@ -335,7 +348,15 @@ class Engine {
   /// counters are never conflated with a later query's. Identical to
   /// queries_.size() until the first DropQuery.
   uint64_t next_query_label_ = 0;
-  std::vector<FeedEvent> history_;
+  /// The recorded feed, retained in chunked columnar form — the exact form
+  /// the runtimes consume (PushChunks), so the hot Feed path appends each
+  /// event once and dispatches the same chunks to every query without
+  /// re-materializing rows. Chunk seqs are the events' feed positions
+  /// (synthetic but order-preserving after a checkpoint restore), strictly
+  /// ascending across the vector.
+  std::vector<exec::InputChunk> history_;
+  /// Number of feed events the chunks carry (chunk count ≠ event count).
+  size_t history_events_ = 0;
   std::unordered_map<std::string, std::vector<Row>> table_rows_;
   std::unordered_map<std::string, Timestamp> stream_watermarks_;
   Timestamp last_ptime_ = Timestamp::Min();

@@ -218,23 +218,196 @@ Status Dataflow::PushWatermark(const std::string& source, Timestamp ptime,
 }
 
 Status Dataflow::PushBatch(const std::vector<InputEvent>& events) {
-  obs::Span span(trace_, "push_batch", "dataflow", query_tag_, 0);
-  span.set_aux(events.size());
+  std::vector<InputChunk> chunks;
+  ChunkBuilder builder(&chunks, 0);
   for (const InputEvent& event : events) {
     switch (event.kind) {
       case InputEvent::Kind::kInsert:
-        ONESQL_RETURN_NOT_OK(PushRow(event.source, event.ptime, event.row));
+        builder.AddElement(event.source, event.row, +1, event.ptime);
         break;
       case InputEvent::Kind::kDelete:
-        ONESQL_RETURN_NOT_OK(PushDelete(event.source, event.ptime, event.row));
+        builder.AddElement(event.source, event.row, -1, event.ptime);
         break;
       case InputEvent::Kind::kWatermark:
-        ONESQL_RETURN_NOT_OK(
-            PushWatermark(event.source, event.ptime, event.watermark));
+        builder.AddWatermark(event.source, event.watermark, event.ptime);
         break;
     }
   }
+  builder.CloseAll();
+  std::vector<const InputChunk*> refs;
+  refs.reserve(chunks.size());
+  for (const InputChunk& chunk : chunks) refs.push_back(&chunk);
+  return PushChunks(refs);
+}
+
+bool Dataflow::CanPushWholeBatches(
+    const std::vector<const InputChunk*>& chunks) const {
+  if (chain_.sources.size() != 1) return false;
+  if (chain_.sources.begin()->second.size() != 1) return false;
+  const std::string& source = chain_.sources.begin()->first;
+  // Relevant chunks must be strictly seq-ordered: case-variant spellings of
+  // one source open separate chunks whose runs can interleave, and replaying
+  // such chunks whole would reorder events. (Chunks are internally ordered
+  // by construction.)
+  bool any = false;
+  uint64_t last_seq = 0;
+  for (const InputChunk* chunk : chunks) {
+    if (chunk->source_lower != source) continue;
+    if (chunk->NumEvents() == 0) continue;
+    if (any && chunk->FirstSeq() <= last_seq) return false;
+    last_seq = chunk->LastSeq();
+    any = true;
+  }
+  return true;
+}
+
+Status Dataflow::PushChunksWhole(const std::vector<const InputChunk*>& chunks) {
+  const std::string& source = chain_.sources.begin()->first;
+  SourceOperator* op = chain_.sources.begin()->second[0];
+  Timestamp max_ptime = Timestamp::Min();
+  for (const InputChunk* chunk : chunks) {
+    const Timestamp chunk_max = chunk->MaxPtime();
+    if (chunk_max > max_ptime) max_ptime = chunk_max;
+    if (chunk->source_lower != source) continue;
+    switch (chunk->kind) {
+      case InputChunk::Kind::kRows: {
+        Status status = op->OnBatch(0, chunk->batch);
+        if (!status.ok()) {
+          // The scalar path advances the sink to the failing event's ptime
+          // before delivering it; the batch path reports that row out of
+          // band, so catch the sink up before surfacing the error.
+          const BatchFailure& failure = GetBatchFailure();
+          if (failure.has) {
+            ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(failure.ptime,
+                                                  /*inclusive=*/false));
+          }
+          return status;
+        }
+        break;
+      }
+      case InputChunk::Kind::kWatermark:
+        ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(chunk->ptime,
+                                              /*inclusive=*/false));
+        ONESQL_RETURN_NOT_OK(op->OnWatermark(0, chunk->watermark,
+                                             chunk->ptime));
+        break;
+      case InputChunk::Kind::kSingle: {
+        ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(chunk->ptime,
+                                              /*inclusive=*/false));
+        Change change{chunk->event_kind, chunk->row, chunk->ptime};
+        ONESQL_RETURN_NOT_OK(op->OnElement(0, change));
+        break;
+      }
+    }
+  }
+  // Events of unread sources only move the sink's processing-time clock;
+  // one advance to the batch frontier reproduces the scalar timer firings
+  // (each timer flushes at its own deadline, not at the advance instant).
+  if (max_ptime > Timestamp::Min()) {
+    ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(max_ptime, /*inclusive=*/false));
+  }
   return Status::OK();
+}
+
+Status Dataflow::PushChunksMerged(
+    const std::vector<const InputChunk*>& chunks) {
+  // Replay events in exact seq order across chunks. Chunks are ordered by
+  // first event; at any instant at most one open run per source spelling is
+  // live, so a linear scan over the small active set finds the next event.
+  struct Cursor {
+    const InputChunk* chunk;
+    size_t row = 0;  // kRows only
+    const std::vector<SourceOperator*>* ops;  // nullptr: source not read
+  };
+  std::vector<Cursor> active;
+  size_t next = 0;
+  Change scratch;
+  while (true) {
+    size_t best = active.size();
+    uint64_t best_seq = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const Cursor& cursor = active[i];
+      const uint64_t seq = cursor.chunk->kind == InputChunk::Kind::kRows
+                               ? cursor.chunk->batch.seqs[cursor.row]
+                               : cursor.chunk->seq;
+      if (best == active.size() || seq < best_seq) {
+        best = i;
+        best_seq = seq;
+      }
+    }
+    if (next < chunks.size() &&
+        (best == active.size() || chunks[next]->FirstSeq() < best_seq)) {
+      const InputChunk* chunk = chunks[next++];
+      if (chunk->NumEvents() == 0) continue;
+      Cursor cursor;
+      cursor.chunk = chunk;
+      auto it = chain_.sources.find(chunk->source_lower);
+      cursor.ops = it == chain_.sources.end() ? nullptr : &it->second;
+      active.push_back(cursor);
+      continue;
+    }
+    if (best == active.size()) break;
+    Cursor& cursor = active[best];
+    const InputChunk* chunk = cursor.chunk;
+    switch (chunk->kind) {
+      case InputChunk::Kind::kRows: {
+        ONESQL_RETURN_NOT_OK(
+            sink_->AdvanceTo(chunk->batch.ptimes[cursor.row],
+                             /*inclusive=*/false));
+        if (cursor.ops != nullptr) {
+          chunk->batch.MaterializeChange(cursor.row, &scratch);
+          for (SourceOperator* op : *cursor.ops) {
+            ONESQL_RETURN_NOT_OK(op->OnElement(0, scratch));
+          }
+        }
+        ++cursor.row;
+        break;
+      }
+      case InputChunk::Kind::kWatermark:
+        ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(chunk->ptime,
+                                              /*inclusive=*/false));
+        if (cursor.ops != nullptr) {
+          for (SourceOperator* op : *cursor.ops) {
+            ONESQL_RETURN_NOT_OK(op->OnWatermark(0, chunk->watermark,
+                                                 chunk->ptime));
+          }
+        }
+        cursor.row = 1;
+        break;
+      case InputChunk::Kind::kSingle:
+        ONESQL_RETURN_NOT_OK(sink_->AdvanceTo(chunk->ptime,
+                                              /*inclusive=*/false));
+        if (cursor.ops != nullptr) {
+          scratch.kind = chunk->event_kind;
+          scratch.row = chunk->row;
+          scratch.ptime = chunk->ptime;
+          for (SourceOperator* op : *cursor.ops) {
+            ONESQL_RETURN_NOT_OK(op->OnElement(0, scratch));
+          }
+        }
+        cursor.row = 1;
+        break;
+    }
+    const bool done = chunk->kind == InputChunk::Kind::kRows
+                          ? cursor.row >= chunk->batch.num_rows
+                          : cursor.row > 0;
+    if (done) {
+      active[best] = active.back();
+      active.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+Status Dataflow::PushChunks(const std::vector<const InputChunk*>& chunks) {
+  if (chunks.empty()) return Status::OK();
+  obs::Span span(trace_, "push_batch", "dataflow", query_tag_, 0);
+  size_t nevents = 0;
+  for (const InputChunk* chunk : chunks) nevents += chunk->NumEvents();
+  span.set_aux(nevents);
+  ClearBatchFailure();
+  if (CanPushWholeBatches(chunks)) return PushChunksWhole(chunks);
+  return PushChunksMerged(chunks);
 }
 
 Status Dataflow::AdvanceTo(Timestamp ptime) {

@@ -93,6 +93,14 @@ class DataflowRuntime {
   /// feeding batches amortizes the per-event synchronization cost.
   virtual Status PushBatch(const std::vector<InputEvent>& events) = 0;
 
+  /// Pushes pre-chunked input: columnar element runs, watermark advances and
+  /// singleton events, ordered across chunks by per-event sequence number
+  /// (see ChunkBuilder). This is the batch hot path — single-source chains
+  /// consume whole ChangeBatches through the vectorized operator kernels;
+  /// everything else decomposes back to the scalar per-event delivery in
+  /// exact sequence order, so output bytes are identical either way.
+  virtual Status PushChunks(const std::vector<const InputChunk*>& chunks) = 0;
+
   /// Advances the processing-time clock to `ptime`, firing all AFTER DELAY
   /// timers due at or before it. Call before observing results at `ptime`.
   virtual Status AdvanceTo(Timestamp ptime) = 0;
@@ -165,6 +173,7 @@ class Dataflow : public DataflowRuntime {
   Status PushWatermark(const std::string& source, Timestamp ptime,
                        Timestamp watermark) override;
   Status PushBatch(const std::vector<InputEvent>& events) override;
+  Status PushChunks(const std::vector<const InputChunk*>& chunks) override;
   Status AdvanceTo(Timestamp ptime) override;
   bool ReadsSource(const std::string& source) const override;
 
@@ -190,6 +199,14 @@ class Dataflow : public DataflowRuntime {
   Dataflow() = default;
 
   Status PushChange(const std::string& source, const Change& change);
+  /// True when the chain reads exactly one source through exactly one scan,
+  /// and the chunks relevant to it arrive in strictly ascending seq order —
+  /// the conditions under which whole batches flow through OnBatch without
+  /// changing the per-event delivery order.
+  bool CanPushWholeBatches(
+      const std::vector<const InputChunk*>& chunks) const;
+  Status PushChunksWhole(const std::vector<const InputChunk*>& chunks);
+  Status PushChunksMerged(const std::vector<const InputChunk*>& chunks);
 
   plan::QueryPlan plan_;
   std::unique_ptr<MaterializationSink> sink_holder_;

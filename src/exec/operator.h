@@ -7,6 +7,7 @@
 #include "common/changelog.h"
 #include "common/result.h"
 #include "common/row.h"
+#include "exec/change_batch.h"
 #include "obs/instruments.h"
 #include "state/serde.h"
 
@@ -61,6 +62,19 @@ class Operator {
     return ProcessElement(port, change);
   }
 
+  /// Processes a whole columnar batch arriving on `port`. The counting
+  /// dispatcher mirrors OnElement: rows_in advances by the batch cardinality
+  /// (so per-operator row totals are exactly what the scalar path counts),
+  /// then the subclass's ProcessBatch runs. The default ProcessBatch
+  /// decomposes row by row, so operators without a native batch kernel stay
+  /// bit-identical automatically.
+  Status OnBatch(int port, const ChangeBatch& batch) {
+    if (metrics_ != nullptr && batch.num_rows > 0) {
+      metrics_->rows_in->Add(batch.num_rows);
+    }
+    return ProcessBatch(port, batch);
+  }
+
   /// Processes a watermark advance on `port`. Watermarks are monotonic per
   /// port; multi-input operators forward the minimum across ports.
   Status OnWatermark(int port, Timestamp watermark, Timestamp ptime) {
@@ -106,9 +120,35 @@ class Operator {
   virtual Status ProcessWatermark(int port, Timestamp watermark,
                                   Timestamp ptime) = 0;
 
+  /// Batch hook. The default decomposes into per-row ProcessElement calls
+  /// (not OnElement — rows_in was already counted once by OnBatch) and
+  /// records the failing row's seq/ptime in the thread-local BatchFailure
+  /// context on error, preserving the scalar valid-prefix contract.
+  virtual Status ProcessBatch(int port, const ChangeBatch& batch) {
+    Change scratch;
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      batch.MaterializeChange(i, &scratch);
+      Status status = ProcessElement(port, scratch);
+      if (!status.ok()) {
+        SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                        batch.ptimes[i]);
+        return status;
+      }
+    }
+    return Status::OK();
+  }
+
   Status EmitElement(const Change& change) {
     if (metrics_ != nullptr) metrics_->rows_out->Increment();
     return out_ != nullptr ? out_->OnElement(out_port_, change) : Status::OK();
+  }
+
+  /// Emits a whole batch downstream, counting its cardinality as rows_out —
+  /// totals match the scalar path's per-row EmitElement counting exactly.
+  Status EmitBatch(const ChangeBatch& batch) {
+    if (batch.num_rows == 0) return Status::OK();
+    if (metrics_ != nullptr) metrics_->rows_out->Add(batch.num_rows);
+    return out_ != nullptr ? out_->OnBatch(out_port_, batch) : Status::OK();
   }
   Status EmitWatermark(Timestamp watermark, Timestamp ptime) {
     return out_ != nullptr ? out_->OnWatermark(out_port_, watermark, ptime)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/expr_eval.h"
+#include "exec/vector_kernels.h"
 
 namespace onesql {
 namespace exec {
@@ -13,6 +14,10 @@ namespace exec {
 
 Status SourceOperator::ProcessElement(int, const Change& change) {
   return EmitElement(change);
+}
+
+Status SourceOperator::ProcessBatch(int, const ChangeBatch& batch) {
+  return EmitBatch(batch);
 }
 
 Status SourceOperator::ProcessWatermark(int, Timestamp watermark,
@@ -28,6 +33,38 @@ Status FilterOperator::ProcessElement(int, const Change& change) {
   ONESQL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, change.row));
   if (pass) return EmitElement(change);
   return Status::OK();
+}
+
+Status FilterOperator::ProcessBatch(int, const ChangeBatch& batch) {
+  if (batch.num_rows == 0) return Status::OK();
+  if (EvalPredicateBatch(*predicate_, batch, &keep_)) {
+    size_t kept = 0;
+    for (size_t i = 0; i < batch.num_rows; ++i) kept += keep_[i];
+    if (kept == batch.num_rows) return EmitBatch(batch);
+    if (kept == 0) return Status::OK();
+    out_batch_.ResetLike(batch);
+    out_batch_.Reserve(kept);
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      if (keep_[i]) out_batch_.AppendRowFrom(batch, i);
+    }
+    return EmitBatch(out_batch_);
+  }
+  // The predicate is outside the vectorizable subset for this batch: gather
+  // passing rows with the scalar evaluator. On error, the passing prefix is
+  // still emitted (exactly the rows the scalar path would have emitted).
+  out_batch_.ResetLike(batch);
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    batch.MaterializeRow(i, &scratch_row_);
+    Result<bool> pass = EvalPredicate(*predicate_, scratch_row_);
+    if (!pass.ok()) {
+      ONESQL_RETURN_NOT_OK(EmitBatch(out_batch_));
+      SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                      batch.ptimes[i]);
+      return pass.status();
+    }
+    if (*pass) out_batch_.AppendRowFrom(batch, i);
+  }
+  return EmitBatch(out_batch_);
 }
 
 Status FilterOperator::ProcessWatermark(int, Timestamp watermark,
@@ -51,6 +88,57 @@ Status ProjectOperator::ProcessElement(int, const Change& change) {
   return EmitElement(out);
 }
 
+Status ProjectOperator::ProcessBatch(int, const ChangeBatch& batch) {
+  if (batch.num_rows == 0) return Status::OK();
+  const size_t nexprs = exprs_->size();
+  out_batch_.Clear();
+  out_batch_.columns.resize(nexprs);
+  // Vectorize each output column independently; columns outside the subset
+  // fall back to the scalar evaluator row by row below.
+  std::vector<size_t> fallback;
+  for (size_t j = 0; j < nexprs; ++j) {
+    if (!EvalExprBatch(*(*exprs_)[j], batch, &out_batch_.columns[j])) {
+      out_batch_.columns[j].Reset((*exprs_)[j]->type);
+      out_batch_.columns[j].Reserve(batch.num_rows);
+      fallback.push_back(j);
+    }
+  }
+  if (!fallback.empty()) {
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      batch.MaterializeRow(i, &scratch_row_);
+      for (size_t j : fallback) {
+        Result<Value> v = EvalExpr(*(*exprs_)[j], scratch_row_);
+        if (!v.ok()) {
+          // Truncate every column to the `i` complete rows and emit that
+          // prefix — the rows the scalar path would have emitted.
+          for (ColumnVector& col : out_batch_.columns) {
+            if (col.size() > i) col.Truncate(i);
+          }
+          FillMetaPrefix(batch, i);
+          ONESQL_RETURN_NOT_OK(EmitBatch(out_batch_));
+          SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                          batch.ptimes[i]);
+          return v.status();
+        }
+        out_batch_.columns[j].Append(*v);
+      }
+    }
+  }
+  FillMetaPrefix(batch, batch.num_rows);
+  return EmitBatch(out_batch_);
+}
+
+void ProjectOperator::FillMetaPrefix(const ChangeBatch& batch, size_t n) {
+  out_batch_.weights.assign(batch.weights.begin(), batch.weights.begin() + n);
+  out_batch_.ptimes.assign(batch.ptimes.begin(), batch.ptimes.begin() + n);
+  if (batch.seqs.size() >= n) {
+    out_batch_.seqs.assign(batch.seqs.begin(), batch.seqs.begin() + n);
+  } else {
+    out_batch_.seqs.clear();
+  }
+  out_batch_.num_rows = n;
+}
+
 Status ProjectOperator::ProcessWatermark(int, Timestamp watermark,
                                    Timestamp ptime) {
   return EmitWatermark(watermark, ptime);
@@ -72,18 +160,28 @@ int64_t FloorAlign(int64_t t, int64_t step, int64_t offset) {
 
 }  // namespace
 
-std::vector<Timestamp> WindowOperator::AssignWindows(Timestamp t, Interval dur,
-                                                     Interval hop,
-                                                     Interval offset) {
-  std::vector<Timestamp> starts;
+void WindowOperator::AssignWindowsInto(Timestamp t, Interval dur, Interval hop,
+                                       Interval offset,
+                                       std::vector<int64_t>* out) {
+  out->clear();
   const int64_t last_start =
       FloorAlign(t.millis(), hop.millis(), offset.millis());
   // Walk backwards over hop-aligned starts whose window still covers t.
   for (int64_t s = last_start; s + dur.millis() > t.millis();
        s -= hop.millis()) {
-    starts.push_back(Timestamp(s));
+    out->push_back(s);
   }
-  std::reverse(starts.begin(), starts.end());
+  std::reverse(out->begin(), out->end());
+}
+
+std::vector<Timestamp> WindowOperator::AssignWindows(Timestamp t, Interval dur,
+                                                     Interval hop,
+                                                     Interval offset) {
+  std::vector<int64_t> raw;
+  AssignWindowsInto(t, dur, hop, offset, &raw);
+  std::vector<Timestamp> starts;
+  starts.reserve(raw.size());
+  for (int64_t s : raw) starts.push_back(Timestamp(s));
   return starts;
 }
 
@@ -95,8 +193,10 @@ Status WindowOperator::ProcessElement(int, const Change& change) {
         node_->input().schema().field(node_->timecol()).name + "'");
   }
   const Timestamp t = tv.AsTimestamp();
-  for (Timestamp start :
-       AssignWindows(t, node_->dur(), node_->hop(), node_->offset())) {
+  AssignWindowsInto(t, node_->dur(), node_->hop(), node_->offset(),
+                    &starts_scratch_);
+  for (int64_t s : starts_scratch_) {
+    const Timestamp start(s);
     Change out;
     out.kind = change.kind;
     out.ptime = change.ptime;
@@ -106,6 +206,81 @@ Status WindowOperator::ProcessElement(int, const Change& change) {
     ONESQL_RETURN_NOT_OK(EmitElement(out));
   }
   return Status::OK();
+}
+
+Status WindowOperator::ProcessBatch(int, const ChangeBatch& batch) {
+  if (batch.num_rows == 0) return Status::OK();
+  const size_t tcol = node_->timecol();
+  const size_t arity = batch.columns.size();
+  const ColumnVector& tc = batch.columns[tcol];
+
+  // Output layout: the input columns plus wstart/wend.
+  out_batch_.ResetLike(batch);
+  out_batch_.columns.resize(arity + 2);
+  out_batch_.columns[arity].Reset(DataType::kTimestamp);
+  out_batch_.columns[arity + 1].Reset(DataType::kTimestamp);
+
+  const Interval dur = node_->dur();
+  const Interval hop = node_->hop();
+  const Interval offset = node_->offset();
+
+  // Tumbling fast path: exactly one window per row, the timestamp column is
+  // in its typed lane, and every timestamp is non-NULL — wstart/wend compute
+  // in a tight loop and the other columns copy through wholesale.
+  if (dur.millis() == hop.millis() && tc.lane() == ColumnVector::Lane::kI64 &&
+      std::find(tc.valid().begin(), tc.valid().end(), 0) == tc.valid().end()) {
+    for (size_t c = 0; c < arity; ++c) out_batch_.columns[c] = batch.columns[c];
+    ColumnVector& ws = out_batch_.columns[arity];
+    ColumnVector& we = out_batch_.columns[arity + 1];
+    std::vector<int64_t>& wsv = *ws.mutable_i64();
+    std::vector<int64_t>& wev = *we.mutable_i64();
+    wsv.resize(batch.num_rows);
+    wev.resize(batch.num_rows);
+    ws.mutable_valid()->assign(batch.num_rows, 1);
+    we.mutable_valid()->assign(batch.num_rows, 1);
+    const int64_t step = hop.millis();
+    const int64_t off = offset.millis();
+    const std::vector<int64_t>& ts = tc.i64();
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      const int64_t start = FloorAlign(ts[i], step, off);
+      wsv[i] = start;
+      wev[i] = (Timestamp(start) + dur).millis();
+    }
+    out_batch_.weights = batch.weights;
+    out_batch_.ptimes = batch.ptimes;
+    out_batch_.seqs = batch.seqs;
+    out_batch_.num_rows = batch.num_rows;
+    return EmitBatch(out_batch_);
+  }
+
+  // General path (hopping windows, NULL timestamps, demoted column): expand
+  // row by row. On a NULL timestamp the complete prefix is emitted before
+  // the error, exactly as the scalar path would have.
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    const Value tv = tc.ValueAt(i);
+    if (tv.is_null()) {
+      ONESQL_RETURN_NOT_OK(EmitBatch(out_batch_));
+      SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                      batch.ptimes[i]);
+      return Status::ExecutionError(
+          "NULL event timestamp in windowing column '" +
+          node_->input().schema().field(node_->timecol()).name + "'");
+    }
+    AssignWindowsInto(tv.AsTimestamp(), dur, hop, offset, &starts_scratch_);
+    for (int64_t s : starts_scratch_) {
+      const Timestamp start(s);
+      for (size_t c = 0; c < arity; ++c) {
+        out_batch_.columns[c].Append(batch.columns[c].ValueAt(i));
+      }
+      out_batch_.columns[arity].Append(Value::Time(start));
+      out_batch_.columns[arity + 1].Append(Value::Time(start + dur));
+      out_batch_.weights.push_back(batch.weights[i]);
+      out_batch_.ptimes.push_back(batch.ptimes[i]);
+      if (i < batch.seqs.size()) out_batch_.seqs.push_back(batch.seqs[i]);
+      ++out_batch_.num_rows;
+    }
+  }
+  return EmitBatch(out_batch_);
 }
 
 Status WindowOperator::ProcessWatermark(int, Timestamp watermark,
@@ -548,6 +723,15 @@ Status AggregateOperator::EmitGroupUpdate(GroupState* state, const Row& key,
   return Status::OK();
 }
 
+Status AggregateOperator::MakeGroup(GroupState* state) {
+  state->accumulators.reserve(node_->aggs().size());
+  for (const auto& call : node_->aggs()) {
+    ONESQL_ASSIGN_OR_RETURN(AccumulatorPtr acc, MakeAccumulator(call));
+    state->accumulators.push_back(std::move(acc));
+  }
+  return Status::OK();
+}
+
 Status AggregateOperator::ProcessElement(int, const Change& change) {
   if (change.kind == ChangeKind::kUpsert) {
     return Status::ExecutionError("aggregate cannot consume UPSERT changes");
@@ -561,17 +745,16 @@ Status AggregateOperator::ProcessElement(int, const Change& change) {
     return Status::OK();
   }
 
-  auto it = groups_.find(key);
-  if (it == groups_.end()) {
-    GroupState state;
-    state.accumulators.reserve(node_->aggs().size());
-    for (const auto& call : node_->aggs()) {
-      ONESQL_ASSIGN_OR_RETURN(AccumulatorPtr acc, MakeAccumulator(call));
-      state.accumulators.push_back(std::move(acc));
-    }
-    it = groups_.emplace(std::move(key), std::move(state)).first;
+  const size_t hash = HashRow(key);
+  GroupState* state = groups_.Find(key, hash);
+  if (state == nullptr) {
+    // Build the accumulators before inserting, so a MakeAccumulator failure
+    // leaves no empty group behind.
+    GroupState fresh;
+    ONESQL_RETURN_NOT_OK(MakeGroup(&fresh));
+    state = groups_.FindOrInsert(key, hash);
+    *state = std::move(fresh);
   }
-  GroupState& state = it->second;
 
   for (size_t i = 0; i < node_->aggs().size(); ++i) {
     const plan::AggregateCall& call = node_->aggs()[i];
@@ -580,20 +763,97 @@ Status AggregateOperator::ProcessElement(int, const Change& change) {
       ONESQL_ASSIGN_OR_RETURN(arg, EvalExpr(*call.arg, change.row));
     }
     if (change.kind == ChangeKind::kInsert) {
-      ONESQL_RETURN_NOT_OK(state.accumulators[i]->Add(arg));
+      ONESQL_RETURN_NOT_OK(state->accumulators[i]->Add(arg));
     } else {
-      ONESQL_RETURN_NOT_OK(state.accumulators[i]->Retract(arg));
+      ONESQL_RETURN_NOT_OK(state->accumulators[i]->Retract(arg));
     }
   }
-  state.row_count += change.kind == ChangeKind::kInsert ? 1 : -1;
-  if (state.row_count < 0) {
+  state->row_count += change.kind == ChangeKind::kInsert ? 1 : -1;
+  if (state->row_count < 0) {
     return Status::ExecutionError(
         "aggregate received a DELETE for a row that was never inserted");
   }
 
-  ONESQL_RETURN_NOT_OK(EmitGroupUpdate(&state, it->first, change.ptime));
+  ONESQL_RETURN_NOT_OK(EmitGroupUpdate(state, key, change.ptime));
 
-  if (state.row_count == 0) groups_.erase(it);
+  if (state->row_count == 0) groups_.Erase(key, hash);
+  return Status::OK();
+}
+
+Status AggregateOperator::ApplyRow(ChangeKind kind, const Row& key,
+                                   size_t hash, const Value* args,
+                                   Timestamp ptime) {
+  if (IsComplete(key, watermark_)) {
+    ++late_drops_;
+    CountLateDrop();
+    return Status::OK();
+  }
+  GroupState* state = groups_.Find(key, hash);
+  if (state == nullptr) {
+    GroupState fresh;
+    ONESQL_RETURN_NOT_OK(MakeGroup(&fresh));
+    state = groups_.FindOrInsert(key, hash);
+    *state = std::move(fresh);
+  }
+  const size_t naggs = node_->aggs().size();
+  for (size_t i = 0; i < naggs; ++i) {
+    if (kind == ChangeKind::kInsert) {
+      ONESQL_RETURN_NOT_OK(state->accumulators[i]->Add(args[i]));
+    } else {
+      ONESQL_RETURN_NOT_OK(state->accumulators[i]->Retract(args[i]));
+    }
+  }
+  state->row_count += kind == ChangeKind::kInsert ? 1 : -1;
+  if (state->row_count < 0) {
+    return Status::ExecutionError(
+        "aggregate received a DELETE for a row that was never inserted");
+  }
+  ONESQL_RETURN_NOT_OK(EmitGroupUpdate(state, key, ptime));
+  if (state->row_count == 0) groups_.Erase(key, hash);
+  return Status::OK();
+}
+
+Status AggregateOperator::ProcessBatch(int port, const ChangeBatch& batch) {
+  if (batch.num_rows == 0) return Status::OK();
+  const auto& keys = node_->keys();
+  const auto& aggs = node_->aggs();
+
+  // Vectorize every key and argument expression, or decompose the whole
+  // batch row by row (pre-evaluating args would reorder errors otherwise).
+  bool vectorized = true;
+  key_cols_.resize(keys.size());
+  for (size_t k = 0; k < keys.size() && vectorized; ++k) {
+    vectorized = EvalExprBatch(*keys[k], batch, &key_cols_[k]);
+  }
+  arg_cols_.resize(aggs.size());
+  for (size_t a = 0; a < aggs.size() && vectorized; ++a) {
+    if (aggs[a].arg == nullptr) continue;  // COUNT(*): NULL placeholder
+    vectorized = EvalExprBatch(*aggs[a].arg, batch, &arg_cols_[a]);
+  }
+  if (!vectorized) return Operator::ProcessBatch(port, batch);
+
+  HashRowsBatch(batch, key_cols_, &hash_scratch_);
+
+  key_scratch_.resize(keys.size());
+  arg_scratch_.resize(aggs.size());
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      key_scratch_[k] = key_cols_[k].ValueAt(i);
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      arg_scratch_[a] = aggs[a].arg != nullptr ? arg_cols_[a].ValueAt(i)
+                                               : Value();
+    }
+    const ChangeKind kind =
+        batch.weights[i] < 0 ? ChangeKind::kDelete : ChangeKind::kInsert;
+    Status status = ApplyRow(kind, key_scratch_, hash_scratch_[i],
+                             arg_scratch_.data(), batch.ptimes[i]);
+    if (!status.ok()) {
+      SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                      batch.ptimes[i]);
+      return status;
+    }
+  }
   return Status::OK();
 }
 
@@ -603,23 +863,19 @@ Status AggregateOperator::ProcessWatermark(int, Timestamp watermark,
     watermark_ = watermark;
     // Extension 2: groups whose event-time keys are below the watermark are
     // complete — their results are final, so state can be released.
-    for (auto it = groups_.begin(); it != groups_.end();) {
-      if (IsComplete(it->first, watermark_)) {
-        it = groups_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    groups_.EraseIf([this](const FlatRowMap<GroupState>::Slot& slot) {
+      return IsComplete(slot.key, watermark_);
+    });
   }
   return EmitWatermark(watermark, ptime);
 }
 
 size_t AggregateOperator::StateBytes() const {
   size_t total = 0;
-  for (const auto& [key, state] : groups_) {
-    total += key.size() * sizeof(Value) + 64;
-    total += state.last_output.size() * sizeof(Value);
-    for (const auto& acc : state.accumulators) total += acc->StateBytes();
+  for (const auto& slot : groups_.slots()) {
+    total += slot.key.size() * sizeof(Value) + 64;
+    total += slot.value.last_output.size() * sizeof(Value);
+    for (const auto& acc : slot.value.accumulators) total += acc->StateBytes();
   }
   return total;
 }
@@ -628,18 +884,18 @@ Status AggregateOperator::SaveState(state::Writer* w) const {
   w->PutTimestamp(watermark_);
   w->PutSigned(late_drops_);
   // Canonical order: groups sorted by key so the bytes do not depend on the
-  // unordered_map's iteration order.
-  std::vector<const std::pair<const Row, GroupState>*> entries;
+  // hash map's iteration order.
+  std::vector<const FlatRowMap<GroupState>::Slot*> entries;
   entries.reserve(groups_.size());
-  for (const auto& entry : groups_) entries.push_back(&entry);
+  for (const auto& slot : groups_.slots()) entries.push_back(&slot);
   std::sort(entries.begin(), entries.end(),
             [](const auto* a, const auto* b) {
-              return RowLess{}(a->first, b->first);
+              return RowLess{}(a->key, b->key);
             });
   w->PutVarint(entries.size());
   for (const auto* entry : entries) {
-    const GroupState& state = entry->second;
-    w->PutRow(entry->first);
+    const GroupState& state = entry->value;
+    w->PutRow(entry->key);
     w->PutSigned(state.row_count);
     w->PutBool(state.has_output);
     w->PutRow(state.last_output);
@@ -692,11 +948,12 @@ Status AggregateOperator::LoadState(state::Reader* r,
       state.accumulators.push_back(std::move(acc));
     }
     if (!keep) continue;
-    const bool inserted =
-        groups_.emplace(std::move(key), std::move(state)).second;
+    bool inserted = false;
+    GroupState* slot = groups_.FindOrInsert(key, HashRow(key), &inserted);
     if (!inserted) {
       return Status::DataLoss("duplicate aggregation group in checkpoint");
     }
+    *slot = std::move(state);
   }
   return Status::OK();
 }

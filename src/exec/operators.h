@@ -9,6 +9,7 @@
 #include "common/row.h"
 #include "exec/accumulator.h"
 #include "exec/operator.h"
+#include "exec/row_map.h"
 #include "plan/logical_plan.h"
 
 namespace onesql {
@@ -20,6 +21,7 @@ namespace exec {
 class SourceOperator : public Operator {
  public:
   Status ProcessElement(int port, const Change& change) override;
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   const char* Name() const override { return "source"; }
@@ -31,12 +33,18 @@ class FilterOperator : public Operator {
   explicit FilterOperator(const plan::BoundExpr* predicate)
       : predicate_(predicate) {}
   Status ProcessElement(int port, const Change& change) override;
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   const char* Name() const override { return "filter"; }
 
  private:
   const plan::BoundExpr* predicate_;
+  // Batch-path scratch (capacity reused across batches; downstream consumes
+  // an emitted batch synchronously before the next one is built).
+  std::vector<uint8_t> keep_;
+  ChangeBatch out_batch_;
+  Row scratch_row_;
 };
 
 /// Stateless projection.
@@ -45,12 +53,18 @@ class ProjectOperator : public Operator {
   explicit ProjectOperator(const std::vector<plan::BoundExprPtr>* exprs)
       : exprs_(exprs) {}
   Status ProcessElement(int port, const Change& change) override;
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   const char* Name() const override { return "project"; }
 
  private:
+  /// Copies the first `n` weights/ptimes/seqs of `batch` into out_batch_.
+  void FillMetaPrefix(const ChangeBatch& batch, size_t n);
+
   const std::vector<plan::BoundExprPtr>* exprs_;
+  ChangeBatch out_batch_;
+  Row scratch_row_;
 };
 
 /// Windowing TVF (Extension 3): appends wstart/wend. Stateless — DELETEs map
@@ -59,6 +73,7 @@ class WindowOperator : public Operator {
  public:
   explicit WindowOperator(const plan::WindowNode* node) : node_(node) {}
   Status ProcessElement(int port, const Change& change) override;
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   const char* Name() const override { return "window"; }
@@ -69,7 +84,14 @@ class WindowOperator : public Operator {
                                               Interval hop, Interval offset);
 
  private:
+  /// Appends the window starts containing `t` to `out` (no allocation in
+  /// the common tumble case; `out` is caller scratch).
+  static void AssignWindowsInto(Timestamp t, Interval dur, Interval hop,
+                                Interval offset, std::vector<int64_t>* out);
+
   const plan::WindowNode* node_;
+  ChangeBatch out_batch_;
+  std::vector<int64_t> starts_scratch_;
 };
 
 /// Time-progressing predicate (Section 8 future work): keeps the sliding
@@ -157,6 +179,7 @@ class AggregateOperator : public Operator {
   AggregateOperator(const plan::AggregateNode* node,
                     Interval allowed_lateness);
   Status ProcessElement(int port, const Change& change) override;
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   const char* Name() const override { return "aggregate"; }
@@ -178,15 +201,28 @@ class AggregateOperator : public Operator {
   };
 
   Result<Row> EvalKey(const Row& input) const;
+  /// Builds the accumulator set for a fresh group.
+  Status MakeGroup(GroupState* state);
   /// True when every event-time key of `key` is at or below the watermark.
   bool IsComplete(const Row& key, Timestamp watermark) const;
   Status EmitGroupUpdate(GroupState* state, const Row& key, Timestamp ptime);
+  /// Batch-path per-row core: the key row, its hash, and the per-call
+  /// argument values are already evaluated (by vectorized kernels, which
+  /// cannot fail — so pre-evaluation cannot reorder errors).
+  Status ApplyRow(ChangeKind kind, const Row& key, size_t hash,
+                  const Value* args, Timestamp ptime);
 
   const plan::AggregateNode* node_;
   Interval allowed_lateness_{0};
-  std::unordered_map<Row, GroupState, RowHash, RowEq> groups_;
+  FlatRowMap<GroupState> groups_;
   Timestamp watermark_ = Timestamp::Min();
   int64_t late_drops_ = 0;
+  // Batch-path scratch: key/argument columns evaluated a vector at a time.
+  std::vector<ColumnVector> key_cols_;
+  std::vector<ColumnVector> arg_cols_;
+  std::vector<size_t> hash_scratch_;
+  std::vector<Value> arg_scratch_;
+  Row key_scratch_;
 };
 
 /// Materializing binary join (inner/cross). Both inputs are kept as

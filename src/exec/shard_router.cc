@@ -283,6 +283,24 @@ int RouteShard(const PartitionSpec& spec, const std::string& source_lower,
   return static_cast<int>(h % static_cast<size_t>(num_shards));
 }
 
+int RouteShardBatch(const PartitionSpec& spec, const std::string& source_lower,
+                    const exec::ChangeBatch& batch, size_t i, uint64_t seq,
+                    int num_shards) {
+  if (num_shards <= 1) return 0;
+  if (spec.stateless) {
+    return static_cast<int>(seq % static_cast<uint64_t>(num_shards));
+  }
+  auto it = spec.source_keys.find(source_lower);
+  if (it == spec.source_keys.end()) return 0;
+  size_t h = 0;
+  for (size_t col : it->second) {
+    h = h * 1000003 ^
+        (col < batch.columns.size() ? batch.columns[col].ValueAt(i).Hash()
+                                    : 0);
+  }
+  return static_cast<int>(h % static_cast<size_t>(num_shards));
+}
+
 int RouteStateKey(const PartitionSpec& spec, const Row& state_key,
                   int num_shards) {
   if (num_shards <= 1) return 0;

@@ -19,6 +19,17 @@ Status CaptureOperator::ProcessElement(int /*port*/, const Change& change) {
   return Status::OK();
 }
 
+Status CaptureOperator::ProcessBatch(int /*port*/, const ChangeBatch& batch) {
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    Record record;
+    record.seq = i < batch.seqs.size() ? batch.seqs[i] : seq_;
+    record.is_watermark = false;
+    batch.MaterializeChange(i, &record.change);
+    records_.push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
 Status CaptureOperator::ProcessWatermark(int /*port*/, Timestamp watermark,
                                     Timestamp ptime) {
   Record record;
@@ -233,6 +244,250 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
       break;
     }
     if (events[i].kind == InputEvent::Kind::kWatermark) {
+      for (int s = 0; s < num_shards; ++s) {
+        merge_status = deliver(s, seq, /*deliver_records=*/s == 0);
+        if (!merge_status.ok()) break;
+      }
+    } else {
+      merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
+    }
+    if (!merge_status.ok()) break;
+  }
+  for (Shard& shard : shards_) shard.capture->records().clear();
+  if (!merge_status.ok()) return merge_status;
+  if (failed_shard >= 0) {
+    return std::move(statuses[static_cast<size_t>(failed_shard)]);
+  }
+  return Status::OK();
+}
+
+Status ShardedDataflow::PushChunks(
+    const std::vector<const InputChunk*>& chunks) {
+  // Flatten the chunk list back to one globally seq-ordered event list.
+  // Routing, scatter and merge all walk this list, so the runtime behaves
+  // exactly like PushBatch over the same events — the difference is that
+  // element payloads stay columnar: stateless chains receive whole per-shard
+  // sub-batches through the vectorized kernels, and keyed chains materialize
+  // rows on the owning worker instead of on the caller.
+  struct Ref {
+    const InputChunk* chunk;
+    uint32_t row = 0;  // kRows row index
+  };
+  std::vector<Ref> refs;
+  {
+    size_t total = 0;
+    for (const InputChunk* chunk : chunks) total += chunk->NumEvents();
+    refs.reserve(total);
+    struct Cursor {
+      const InputChunk* chunk;
+      size_t row = 0;
+    };
+    std::vector<Cursor> active;
+    size_t next = 0;
+    while (true) {
+      size_t best = active.size();
+      uint64_t best_seq = 0;
+      for (size_t i = 0; i < active.size(); ++i) {
+        const Cursor& cursor = active[i];
+        const uint64_t seq = cursor.chunk->kind == InputChunk::Kind::kRows
+                                 ? cursor.chunk->batch.seqs[cursor.row]
+                                 : cursor.chunk->seq;
+        if (best == active.size() || seq < best_seq) {
+          best = i;
+          best_seq = seq;
+        }
+      }
+      if (next < chunks.size() &&
+          (best == active.size() || chunks[next]->FirstSeq() < best_seq)) {
+        const InputChunk* chunk = chunks[next++];
+        if (chunk->NumEvents() > 0) active.push_back(Cursor{chunk, 0});
+        continue;
+      }
+      if (best == active.size()) break;
+      Cursor& cursor = active[best];
+      refs.push_back(Ref{cursor.chunk, static_cast<uint32_t>(cursor.row)});
+      ++cursor.row;
+      const bool done = cursor.chunk->kind != InputChunk::Kind::kRows ||
+                        cursor.row >= cursor.chunk->batch.num_rows;
+      if (done) {
+        active[best] = active.back();
+        active.pop_back();
+      }
+    }
+  }
+  if (refs.empty()) return Status::OK();
+
+  obs::Span batch_span(trace_, "push_batch", "dataflow", query_tag_);
+  batch_span.set_aux(refs.size());
+  const int num_shards = shard_count();
+  const uint64_t base = next_seq_;
+  next_seq_ += refs.size();
+
+  std::vector<int> owner(refs.size(), 0);
+  {
+    obs::Span route_span(trace_, "route", "dataflow", query_tag_);
+    route_span.set_aux(refs.size());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      const Ref& ref = refs[i];
+      switch (ref.chunk->kind) {
+        case InputChunk::Kind::kRows:
+          owner[i] = RouteShardBatch(spec_, ref.chunk->source_lower,
+                                     ref.chunk->batch, ref.row, base + i,
+                                     num_shards);
+          break;
+        case InputChunk::Kind::kSingle:
+          owner[i] = RouteShard(spec_, ref.chunk->source_lower,
+                                ref.chunk->row, base + i, num_shards);
+          break;
+        case InputChunk::Kind::kWatermark:
+          break;
+      }
+    }
+  }
+
+  // Whole sub-batches can only flow into chains whose capture re-attributes
+  // per row (one scan per source: a second scan of the same source would
+  // interleave its records per event, which per-operator batch delivery
+  // cannot reproduce). Stateless chains are single-scan in practice, but
+  // verify rather than assume.
+  bool batch_scatter = spec_.stateless;
+  for (const auto& [name, ops] : shards_[0].chain.sources) {
+    if (ops.size() != 1) batch_scatter = false;
+  }
+
+  constexpr uint64_t kNoFailure = ~uint64_t{0};
+  std::vector<Status> statuses(static_cast<size_t>(num_shards), Status::OK());
+  std::vector<uint64_t> fail_seq(static_cast<size_t>(num_shards), kNoFailure);
+  auto work = [&](int s) {
+    obs::Span shard_span(trace_, "shard_worker", "dataflow", query_tag_, s);
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    ClearBatchFailure();
+    ChangeBatch sub;  // batch_scatter: owned rows awaiting delivery
+    const std::vector<SourceOperator*>* sub_ops = nullptr;
+    uint64_t fail = kNoFailure;
+    auto flush = [&]() -> Status {
+      if (sub.num_rows == 0) return Status::OK();
+      for (SourceOperator* op : *sub_ops) {
+        Status status = op->OnBatch(0, sub);
+        if (!status.ok()) {
+          const BatchFailure& failure = GetBatchFailure();
+          fail = failure.has ? failure.seq : sub.seqs.front();
+          return status;
+        }
+      }
+      sub.Clear();
+      return Status::OK();
+    };
+    Status status;
+    for (size_t i = 0; i < refs.size() && status.ok(); ++i) {
+      const Ref& ref = refs[i];
+      const InputChunk* chunk = ref.chunk;
+      const uint64_t rseq = base + i;
+      if (chunk->kind == InputChunk::Kind::kWatermark) {
+        auto it = shard.chain.sources.find(chunk->source_lower);
+        if (it == shard.chain.sources.end()) continue;
+        status = flush();
+        if (!status.ok()) break;
+        shard.capture->set_seq(rseq);
+        for (SourceOperator* op : it->second) {
+          status = op->OnWatermark(0, chunk->watermark, chunk->ptime);
+          if (!status.ok()) {
+            fail = rseq;
+            break;
+          }
+        }
+        continue;
+      }
+      if (owner[i] != s) continue;
+      auto it = shard.chain.sources.find(chunk->source_lower);
+      if (it == shard.chain.sources.end()) continue;
+      if (batch_scatter && chunk->kind == InputChunk::Kind::kRows) {
+        if (sub_ops != nullptr && sub_ops != &it->second) {
+          status = flush();
+          if (!status.ok()) break;
+        }
+        sub_ops = &it->second;
+        if (sub.num_rows == 0) sub.ResetLike(chunk->batch);
+        sub.AppendRowFrom(chunk->batch, ref.row);
+        sub.seqs.back() = rseq;  // runtime seq: routing + merge attribution
+        continue;
+      }
+      status = flush();
+      if (!status.ok()) break;
+      shard.capture->set_seq(rseq);
+      Change change;
+      if (chunk->kind == InputChunk::Kind::kRows) {
+        chunk->batch.MaterializeChange(ref.row, &change);
+      } else {
+        change.kind = chunk->event_kind;
+        change.row = chunk->row;
+        change.ptime = chunk->ptime;
+      }
+      for (SourceOperator* op : it->second) {
+        status = op->OnElement(0, change);
+        if (!status.ok()) {
+          fail = rseq;
+          break;
+        }
+      }
+    }
+    if (status.ok()) status = flush();
+    if (!status.ok()) {
+      statuses[static_cast<size_t>(s)] = std::move(status);
+      fail_seq[static_cast<size_t>(s)] = fail;
+    }
+  };
+  pool_->Run(work);
+
+  int failed_shard = -1;
+  uint64_t limit = kNoFailure;
+  for (int s = 0; s < num_shards; ++s) {
+    if (fail_seq[static_cast<size_t>(s)] < limit) {
+      limit = fail_seq[static_cast<size_t>(s)];
+      failed_shard = s;
+    }
+  }
+
+  // Deterministic merge, exactly as PushBatch: advance the sink per event,
+  // deliver the owning shard's captures (shard 0's copy for watermarks), and
+  // stop at the earliest failing event.
+  obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
+  std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
+  auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
+    auto& records = shards_[static_cast<size_t>(s)].capture->records();
+    size_t& c = cursor[static_cast<size_t>(s)];
+    while (c < records.size() && records[c].seq == seq) {
+      const CaptureOperator::Record& record = records[c];
+      if (deliver_records) {
+        if (record.is_watermark) {
+          ONESQL_RETURN_NOT_OK(
+              sink_->OnWatermark(0, record.watermark, record.ptime));
+        } else {
+          ONESQL_RETURN_NOT_OK(sink_->OnElement(0, record.change));
+        }
+      }
+      ++c;
+    }
+    return Status::OK();
+  };
+  Status merge_status = Status::OK();
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const uint64_t seq = base + i;
+    if (seq > limit) break;
+    const Ref& ref = refs[i];
+    const bool is_watermark = ref.chunk->kind == InputChunk::Kind::kWatermark;
+    const Timestamp ptime = ref.chunk->kind == InputChunk::Kind::kRows
+                                ? ref.chunk->batch.ptimes[ref.row]
+                                : ref.chunk->ptime;
+    merge_status = sink_->AdvanceTo(ptime, /*inclusive=*/false);
+    if (!merge_status.ok()) break;
+    if (seq == limit) {
+      if (!is_watermark) {
+        merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
+      }
+      break;
+    }
+    if (is_watermark) {
       for (int s = 0; s < num_shards; ++s) {
         merge_status = deliver(s, seq, /*deliver_records=*/s == 0);
         if (!merge_status.ok()) break;

@@ -33,6 +33,11 @@ class CaptureOperator : public Operator {
   std::vector<Record>& records() { return records_; }
 
   Status ProcessElement(int port, const Change& change) override;
+  /// Batch-path capture: records one element per row, attributed to the
+  /// row's own sequence number (sub-batches scattered to a shard carry the
+  /// runtime seqs), so the merge stays input-ordered without decomposing the
+  /// batch upstream.
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark, Timestamp ptime) override;
   const char* Name() const override { return "capture"; }
 
@@ -63,6 +68,7 @@ class ShardedDataflow : public DataflowRuntime {
   Status PushWatermark(const std::string& source, Timestamp ptime,
                        Timestamp watermark) override;
   Status PushBatch(const std::vector<InputEvent>& events) override;
+  Status PushChunks(const std::vector<const InputChunk*>& chunks) override;
   Status AdvanceTo(Timestamp ptime) override;
   bool ReadsSource(const std::string& source) const override;
 

@@ -22,7 +22,7 @@ Row MaterializationSink::KeyOf(const Row& row) const {
 }
 
 void MaterializationSink::Materialize(ChangeKind kind, const Row& row,
-                                      Timestamp ptime) {
+                                      Timestamp ptime, size_t hash) {
   if (sink_metrics_ != nullptr) {
     sink_metrics_->emissions->Increment();
     (kind == ChangeKind::kDelete ? sink_metrics_->retractions
@@ -32,11 +32,11 @@ void MaterializationSink::Materialize(ChangeKind kind, const Row& row,
   table_.push_back(Change{kind, row, ptime});
   // Mirror SnapshotOf's multiset semantics incrementally.
   if (kind == ChangeKind::kInsert) {
-    snapshot_[row] += 1;
+    *snapshot_.FindOrInsert(row, hash) += 1;
   } else if (kind == ChangeKind::kDelete) {
-    auto it = snapshot_.find(row);
-    if (it != snapshot_.end()) {
-      if (--it->second == 0) snapshot_.erase(it);
+    int64_t* count = snapshot_.Find(row, hash);
+    if (count != nullptr) {
+      if (--*count == 0) snapshot_.Erase(row, hash);
     }
   }
 }
@@ -51,7 +51,7 @@ Status MaterializationSink::Flush(const Row& key, KeyState* state,
     const int64_t current_count = it == state->current.end() ? 0 : it->second;
     for (int64_t i = current_count; i < last_count; ++i) {
       emissions_.push_back(Emission{row, true, ptime, state->next_ver++});
-      Materialize(ChangeKind::kDelete, row, ptime);
+      Materialize(ChangeKind::kDelete, row, ptime, HashRow(row));
     }
   }
   for (const auto& [row, current_count] : state->current) {
@@ -59,7 +59,7 @@ Status MaterializationSink::Flush(const Row& key, KeyState* state,
     const int64_t last_count = it == state->last.end() ? 0 : it->second;
     for (int64_t i = last_count; i < current_count; ++i) {
       emissions_.push_back(Emission{row, false, ptime, state->next_ver++});
-      Materialize(ChangeKind::kInsert, row, ptime);
+      Materialize(ChangeKind::kInsert, row, ptime, HashRow(row));
     }
   }
   state->last = state->current;
@@ -118,9 +118,35 @@ void MaterializationSink::MaybeReclaim(const Row& key) {
   keys_.erase(it);
 }
 
+Status MaterializationSink::ApplyInstant(bool is_delete, const Row& row,
+                                         Timestamp ptime) {
+  const size_t hash = HashRow(row);
+  InstantState& state = *instant_keys_.FindOrInsert(row, hash);
+  if (is_delete) {
+    if (state.count == 0) {
+      return Status::ExecutionError(
+          "sink received a DELETE for a row that is not in the result");
+    }
+    state.count -= 1;
+  } else {
+    state.count += 1;
+  }
+  emissions_.push_back(Emission{row, is_delete, ptime, state.next_ver++});
+  Materialize(is_delete ? ChangeKind::kDelete : ChangeKind::kInsert, row,
+              ptime, hash);
+  return Status::OK();
+}
+
 Status MaterializationSink::ProcessElement(int, const Change& change) {
   if (change.kind == ChangeKind::kUpsert) {
     return Status::ExecutionError("sink cannot consume UPSERT changes");
+  }
+  // Instant mode with whole-row version keys (the default view semantics):
+  // the key state degenerates to a (count, next_ver) pair in a flat hash
+  // table, with the row hashed exactly once for key state and snapshot.
+  if (instant_whole_row()) {
+    return ApplyInstant(change.kind == ChangeKind::kDelete, change.row,
+                        change.ptime);
   }
   // In AFTER WATERMARK mode a change whose completeness timestamp is already
   // below the watermark belongs to a grouping that was declared complete —
@@ -170,7 +196,7 @@ Status MaterializationSink::ProcessElement(int, const Change& change) {
     // `current` and is not maintained in instant mode).
     emissions_.push_back(Emission{change.row, change.kind == ChangeKind::kDelete,
                                   change.ptime, state.next_ver++});
-    Materialize(change.kind, change.row, change.ptime);
+    Materialize(change.kind, change.row, change.ptime, HashRow(change.row));
     return Status::OK();
   }
 
@@ -186,6 +212,38 @@ Status MaterializationSink::ProcessElement(int, const Change& change) {
   // late corrections materialize immediately (the "late pane").
   if (state.on_time_fired) {
     ONESQL_RETURN_NOT_OK(Flush(key, &state, change.ptime, PaneKind::kLate));
+  }
+  return Status::OK();
+}
+
+Status MaterializationSink::ProcessBatch(int port, const ChangeBatch& batch) {
+  // The scalar runtime advances the sink's processing-time clock before
+  // delivering each event; a batch delivers that interleaving itself, so
+  // AFTER DELAY timers fire at exactly the scalar instants.
+  if (instant_whole_row()) {
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      ONESQL_RETURN_NOT_OK(AdvanceTo(batch.ptimes[i], false));
+      batch.MaterializeRow(i, &row_scratch_);
+      Status status =
+          ApplyInstant(batch.weights[i] < 0, row_scratch_, batch.ptimes[i]);
+      if (!status.ok()) {
+        SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                        batch.ptimes[i]);
+        return status;
+      }
+    }
+    return Status::OK();
+  }
+  Change scratch;
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    ONESQL_RETURN_NOT_OK(AdvanceTo(batch.ptimes[i], false));
+    batch.MaterializeChange(i, &scratch);
+    Status status = ProcessElement(port, scratch);
+    if (!status.ok()) {
+      SetBatchFailure(i < batch.seqs.size() ? batch.seqs[i] : 0,
+                      batch.ptimes[i]);
+      return status;
+    }
   }
   return Status::OK();
 }
@@ -294,9 +352,17 @@ std::vector<Row> MaterializationSink::SnapshotAt(Timestamp ptime) const {
 }
 
 std::vector<Row> MaterializationSink::CurrentSnapshot() const {
+  // The flat map iterates in insertion-perturbed order; sort slot pointers
+  // to reproduce the canonical RowLess order of the old std::map rendering.
+  std::vector<const FlatRowMap<int64_t>::Slot*> sorted;
+  sorted.reserve(snapshot_.size());
+  for (const auto& slot : snapshot_.slots()) sorted.push_back(&slot);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return RowLess{}(a->key, b->key);
+  });
   std::vector<Row> out;
-  for (const auto& [row, count] : snapshot_) {
-    for (int64_t i = 0; i < count; ++i) out.push_back(row);
+  for (const auto* slot : sorted) {
+    for (int64_t i = 0; i < slot->value; ++i) out.push_back(slot->key);
   }
   return out;
 }
@@ -371,25 +437,56 @@ Status MaterializationSink::SaveState(state::Writer* w) const {
   w->PutTimestamp(now_);
   w->PutSigned(late_drops_);
 
-  // Key states, sorted by key for a canonical byte stream.
-  std::vector<const std::pair<const Row, KeyState>*> entries;
-  entries.reserve(keys_.size());
-  for (const auto& entry : keys_) entries.push_back(&entry);
-  std::sort(entries.begin(), entries.end(),
-            [](const auto* a, const auto* b) {
-              return RowLess{}(a->first, b->first);
-            });
-  w->PutVarint(entries.size());
-  for (const auto* entry : entries) {
-    const KeyState& state = entry->second;
-    w->PutRow(entry->first);
-    SaveRowCountMap(state.last, w);
-    SaveRowCountMap(state.current, w);
-    SaveOptionalTimestamp(state.deadline, w);
-    SaveOptionalTimestamp(state.completeness, w);
-    w->PutBool(state.on_time_fired);
-    w->PutBool(state.complete);
-    w->PutSigned(state.next_ver);
+  if (instant_whole_row()) {
+    // Synthesize the legacy KeyState layout from the degenerate instant
+    // states so the checkpoint format is identical in every mode: key = the
+    // row, `last` empty (never flushed), `current` = {row: count} when live,
+    // no deadline/completeness, flags false.
+    std::vector<const FlatRowMap<InstantState>::Slot*> entries;
+    entries.reserve(instant_keys_.size());
+    for (const auto& slot : instant_keys_.slots()) entries.push_back(&slot);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) {
+                return RowLess{}(a->key, b->key);
+              });
+    w->PutVarint(entries.size());
+    for (const auto* entry : entries) {
+      w->PutRow(entry->key);
+      w->PutVarint(0);  // last
+      if (entry->value.count > 0) {  // current
+        w->PutVarint(1);
+        w->PutRow(entry->key);
+        w->PutSigned(entry->value.count);
+      } else {
+        w->PutVarint(0);
+      }
+      w->PutBool(false);  // deadline
+      w->PutBool(false);  // completeness
+      w->PutBool(false);  // on_time_fired
+      w->PutBool(false);  // complete
+      w->PutSigned(entry->value.next_ver);
+    }
+  } else {
+    // Key states, sorted by key for a canonical byte stream.
+    std::vector<const std::pair<const Row, KeyState>*> entries;
+    entries.reserve(keys_.size());
+    for (const auto& entry : keys_) entries.push_back(&entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) {
+                return RowLess{}(a->first, b->first);
+              });
+    w->PutVarint(entries.size());
+    for (const auto* entry : entries) {
+      const KeyState& state = entry->second;
+      w->PutRow(entry->first);
+      SaveRowCountMap(state.last, w);
+      SaveRowCountMap(state.current, w);
+      SaveOptionalTimestamp(state.deadline, w);
+      SaveOptionalTimestamp(state.completeness, w);
+      w->PutBool(state.on_time_fired);
+      w->PutBool(state.complete);
+      w->PutSigned(state.next_ver);
+    }
   }
 
   SaveTimerQueue(timers_, w);
@@ -433,6 +530,24 @@ Status MaterializationSink::LoadState(state::Reader* r,
     ONESQL_ASSIGN_OR_RETURN(state.on_time_fired, r->ReadBool());
     ONESQL_ASSIGN_OR_RETURN(state.complete, r->ReadBool());
     ONESQL_ASSIGN_OR_RETURN(state.next_ver, r->ReadSigned());
+    if (instant_whole_row()) {
+      // Fold the legacy layout back into the degenerate instant state (the
+      // key is the row; `current` holds at most that row).
+      int64_t count = 0;
+      for (const auto& [row, c] : state.current) {
+        (void)row;
+        count += c;
+      }
+      bool inserted = false;
+      InstantState* slot =
+          instant_keys_.FindOrInsert(key, HashRow(key), &inserted);
+      if (!inserted) {
+        return Status::DataLoss("duplicate sink key state in checkpoint");
+      }
+      slot->count = count;
+      slot->next_ver = state.next_ver;
+      continue;
+    }
     const bool inserted =
         keys_.emplace(std::move(key), std::move(state)).second;
     if (!inserted) {
@@ -466,12 +581,13 @@ Status MaterializationSink::LoadState(state::Reader* r,
     ONESQL_ASSIGN_OR_RETURN(Change change, r->ReadChange());
     // Rebuild the incrementally maintained snapshot from the changelog (the
     // same fold Materialize applies), so they cannot diverge.
+    const size_t hash = HashRow(change.row);
     if (change.kind == ChangeKind::kInsert) {
-      snapshot_[change.row] += 1;
+      *snapshot_.FindOrInsert(change.row, hash) += 1;
     } else if (change.kind == ChangeKind::kDelete) {
-      auto it = snapshot_.find(change.row);
-      if (it != snapshot_.end()) {
-        if (--it->second == 0) snapshot_.erase(it);
+      int64_t* count = snapshot_.Find(change.row, hash);
+      if (count != nullptr) {
+        if (--*count == 0) snapshot_.Erase(change.row, hash);
       }
     }
     table_.push_back(std::move(change));
@@ -481,6 +597,17 @@ Status MaterializationSink::LoadState(state::Reader* r,
 
 size_t MaterializationSink::StateBytes() const {
   size_t total = 0;
+  if (instant_whole_row()) {
+    // The same formula the generic path charges: 64 bytes per key entry plus
+    // 48 per live `current` row (`last` is never maintained in instant mode).
+    for (const auto& slot : instant_keys_.slots()) {
+      total += slot.key.size() * sizeof(Value) + 64;
+      if (slot.value.count > 0) {
+        total += slot.key.size() * sizeof(Value) + 48;
+      }
+    }
+    return total;
+  }
   for (const auto& [key, state] : keys_) {
     total += key.size() * sizeof(Value) + 64;
     for (const auto& [row, count] : state.last) {

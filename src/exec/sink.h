@@ -9,6 +9,7 @@
 #include "common/changelog.h"
 #include "common/schema.h"
 #include "exec/operator.h"
+#include "exec/row_map.h"
 
 namespace onesql {
 namespace exec {
@@ -55,6 +56,7 @@ class MaterializationSink : public Operator {
       : config_(std::move(config)) {}
 
   Status ProcessElement(int port, const Change& change) override;
+  Status ProcessBatch(int port, const ChangeBatch& batch) override;
   Status ProcessWatermark(int port, Timestamp watermark,
                      Timestamp ptime) override;
   const char* Name() const override { return "sink"; }
@@ -138,18 +140,36 @@ class MaterializationSink : public Operator {
   /// late. A flush that materializes nothing counts no pane.
   enum class PaneKind { kEarly, kOnTime, kLate };
 
+  /// Per-key state of the instant whole-row fast path. With no EMIT clause
+  /// and whole-row version keys, a KeyState degenerates to this pair: `last`
+  /// is never maintained, `current` holds at most the key row itself, and no
+  /// deadline/completeness machinery engages. SaveState synthesizes the
+  /// legacy KeyState byte layout from it, so checkpoints are format-stable.
+  struct InstantState {
+    int64_t count = 0;
+    int64_t next_ver = 0;
+  };
+
   bool instant() const {
     return !config_.after_watermark && !config_.delay.has_value();
+  }
+  bool instant_whole_row() const {
+    return instant() && config_.version_key_columns.empty();
   }
   Row KeyOf(const Row& row) const;
   Status Flush(const Row& key, KeyState* state, Timestamp ptime,
                PaneKind pane);
   void MaybeReclaim(const Row& key);
   /// Appends to the changelog and incrementally updates the snapshot bag.
-  void Materialize(ChangeKind kind, const Row& row, Timestamp ptime);
+  /// `hash` is HashRow(row) (hot callers already have it).
+  void Materialize(ChangeKind kind, const Row& row, Timestamp ptime,
+                   size_t hash);
+  /// Shared instant-mode core (scalar and batch paths).
+  Status ApplyInstant(bool is_delete, const Row& row, Timestamp ptime);
 
   SinkConfig config_;
   std::unordered_map<Row, KeyState, RowHash, RowEq> keys_;
+  FlatRowMap<InstantState> instant_keys_;  // instant_whole_row() mode only
   // deadline -> keys with AFTER DELAY timers.
   std::multimap<Timestamp, Row> timers_;
   // completeness timestamp -> keys awaiting the watermark.
@@ -159,7 +179,9 @@ class MaterializationSink : public Operator {
   Changelog table_;  // changelog kept for point-in-time (SnapshotAt) queries
   // Incrementally maintained current snapshot (row -> multiplicity), so
   // CurrentSnapshot/SnapshotAt-at-the-frontier never replay `table_`.
-  std::map<Row, int64_t, RowLess> snapshot_;
+  // CurrentSnapshot sorts on the way out, matching the old std::map order.
+  FlatRowMap<int64_t> snapshot_;
+  Row row_scratch_;  // batch-path scratch
   WatermarkMerger merger_{1};
   Timestamp now_ = Timestamp::Min();
   int64_t late_drops_ = 0;

@@ -1,0 +1,543 @@
+#include "exec/vector_kernels.h"
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+namespace onesql {
+namespace exec {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::ScalarOp;
+
+/// Scratch columns for intermediate expression results, pooled per thread so
+/// repeated batch evaluations reuse vector capacity instead of reallocating
+/// one column per expression node per batch (batches between watermarks are
+/// small, so per-batch allocation would dominate the kernels). The pool is a
+/// deque: growth must not invalidate columns already handed out. Entries are
+/// recycled wholesale at each public kernel entry point (the kernels do not
+/// re-enter themselves).
+thread_local std::deque<ColumnVector> g_scratch_pool;
+thread_local size_t g_scratch_used = 0;
+
+ColumnVector* AcquireScratch() {
+  if (g_scratch_used == g_scratch_pool.size()) g_scratch_pool.emplace_back();
+  return &g_scratch_pool[g_scratch_used++];
+}
+
+/// Result of evaluating one expression node over a batch: either a borrowed
+/// pointer to an input column (kInputRef) or a pooled scratch column. Every
+/// writer fully resets/overwrites the scratch before use, so stale pooled
+/// contents are never observable.
+struct Temp {
+  const ColumnVector* ptr = nullptr;
+  ColumnVector* owned = nullptr;
+
+  const ColumnVector& col() const { return *ptr; }
+  ColumnVector* own() {
+    if (owned == nullptr) owned = AcquireScratch();
+    ptr = owned;
+    return owned;
+  }
+};
+
+bool IsNumericLane(const ColumnVector& c) {
+  return (c.lane() == ColumnVector::Lane::kI64 &&
+          c.decl() == DataType::kBigint) ||
+         c.lane() == ColumnVector::Lane::kF64;
+}
+
+/// Splats a literal into a column of length n.
+bool SplatLiteral(const Value& v, size_t n, ColumnVector* out) {
+  switch (v.type()) {
+    case DataType::kBigint:
+      out->Reset(DataType::kBigint);
+      out->mutable_i64()->assign(n, v.AsInt64());
+      out->mutable_valid()->assign(n, 1);
+      return true;
+    case DataType::kDouble:
+      out->Reset(DataType::kDouble);
+      out->mutable_f64()->assign(n, v.AsDouble());
+      out->mutable_valid()->assign(n, 1);
+      return true;
+    case DataType::kBoolean:
+      out->Reset(DataType::kBoolean);
+      out->mutable_b8()->assign(n, v.AsBool() ? 1 : 0);
+      out->mutable_valid()->assign(n, 1);
+      return true;
+    case DataType::kTimestamp:
+      out->Reset(DataType::kTimestamp);
+      out->mutable_i64()->assign(n, v.AsTimestamp().millis());
+      out->mutable_valid()->assign(n, 1);
+      return true;
+    case DataType::kInterval:
+      out->Reset(DataType::kInterval);
+      out->mutable_i64()->assign(n, v.AsInterval().millis());
+      out->mutable_valid()->assign(n, 1);
+      return true;
+    case DataType::kNull:
+      // A NULL literal is invalid everywhere; the i64/BIGINT lane keeps it
+      // usable by the arithmetic kernels (0 op x is total), and validity
+      // propagation makes every combined result NULL, matching the scalar
+      // NULL-propagation rules.
+      out->Reset(DataType::kBigint);
+      out->mutable_i64()->assign(n, 0);
+      out->mutable_valid()->assign(n, 0);
+      return true;
+    case DataType::kVarchar:
+      out->Reset(DataType::kVarchar);
+      out->mutable_generic()->assign(n, v);
+      out->mutable_valid()->assign(n, 1);
+      return true;
+  }
+  return false;
+}
+
+/// A literal divisor that makes / and % statically safe: non-NULL and
+/// non-zero (the only runtime error EvalArithmetic can raise for these ops
+/// on numeric inputs is "division by zero").
+bool IsSafeLiteralDivisor(const BoundExpr& e) {
+  if (e.kind != BoundExpr::Kind::kLiteral) return false;
+  if (e.literal.type() == DataType::kBigint) return e.literal.AsInt64() != 0;
+  if (e.literal.type() == DataType::kDouble) return e.literal.AsDouble() != 0.0;
+  return false;
+}
+
+bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t);
+
+/// Numeric binary arithmetic over typed lanes, replicating EvalArithmetic:
+/// both BIGINT -> int64 ops; either side DOUBLE -> both widened to double.
+/// Invalid (NULL) leaf entries are stored as 0, so every loop body is total
+/// — validity masks carry the NULL-propagation.
+bool ArithKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
+                 ColumnVector* out) {
+  const ColumnVector& a = l.col();
+  const ColumnVector& b = r.col();
+  if (!IsNumericLane(a) || !IsNumericLane(b)) return false;
+  const bool either_double = a.lane() == ColumnVector::Lane::kF64 ||
+                             b.lane() == ColumnVector::Lane::kF64;
+  const std::vector<uint8_t>& va = a.valid();
+  const std::vector<uint8_t>& vb = b.valid();
+  if (!either_double) {
+    const std::vector<int64_t>& xa = a.i64();
+    const std::vector<int64_t>& xb = b.i64();
+    out->Reset(DataType::kBigint);
+    std::vector<int64_t>* xo = out->mutable_i64();
+    std::vector<uint8_t>* vo = out->mutable_valid();
+    xo->resize(n);
+    vo->resize(n);
+    switch (op) {
+      case ScalarOp::kAdd:
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = xa[i] + xb[i];
+        break;
+      case ScalarOp::kSub:
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = xa[i] - xb[i];
+        break;
+      case ScalarOp::kMul:
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = xa[i] * xb[i];
+        break;
+      case ScalarOp::kDiv:
+        // Reached only with a literal divisor splat: all-valid, non-zero.
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = xa[i] / xb[i];
+        break;
+      case ScalarOp::kMod:
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = xa[i] % xb[i];
+        break;
+      default:
+        return false;
+    }
+    for (size_t i = 0; i < n; ++i) (*vo)[i] = va[i] & vb[i];
+    return true;
+  }
+  // Either-side-DOUBLE widening: EvalArithmetic computes
+  // *l.ToNumeric() op *r.ToNumeric(), i.e. both sides as double.
+  out->Reset(DataType::kDouble);
+  std::vector<double>* xo = out->mutable_f64();
+  std::vector<uint8_t>* vo = out->mutable_valid();
+  xo->resize(n);
+  vo->resize(n);
+  auto at = [](const ColumnVector& c, size_t i) -> double {
+    return c.lane() == ColumnVector::Lane::kF64
+               ? c.f64()[i]
+               : static_cast<double>(c.i64()[i]);
+  };
+  switch (op) {
+    case ScalarOp::kAdd:
+      for (size_t i = 0; i < n; ++i) (*xo)[i] = at(a, i) + at(b, i);
+      break;
+    case ScalarOp::kSub:
+      for (size_t i = 0; i < n; ++i) (*xo)[i] = at(a, i) - at(b, i);
+      break;
+    case ScalarOp::kMul:
+      for (size_t i = 0; i < n; ++i) (*xo)[i] = at(a, i) * at(b, i);
+      break;
+    case ScalarOp::kDiv:
+      // Literal divisor splat: non-zero everywhere.
+      for (size_t i = 0; i < n; ++i) (*xo)[i] = at(a, i) / at(b, i);
+      break;
+    default:
+      return false;
+  }
+  for (size_t i = 0; i < n; ++i) (*vo)[i] = va[i] & vb[i];
+  return true;
+}
+
+template <typename CmpFn>
+void CompareLoop(ScalarOp op, size_t n, const std::vector<uint8_t>& va,
+                 const std::vector<uint8_t>& vb, CmpFn cmp,
+                 ColumnVector* out) {
+  out->Reset(DataType::kBoolean);
+  std::vector<uint8_t>* xo = out->mutable_b8();
+  std::vector<uint8_t>* vo = out->mutable_valid();
+  xo->resize(n);
+  vo->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t v = va[i] & vb[i];
+    (*vo)[i] = v;
+    if (!v) {
+      (*xo)[i] = 0;
+      continue;
+    }
+    const int c = cmp(i);
+    bool res = false;
+    switch (op) {
+      case ScalarOp::kEq:
+        res = c == 0;
+        break;
+      case ScalarOp::kNeq:
+        res = c != 0;
+        break;
+      case ScalarOp::kLt:
+        res = c < 0;
+        break;
+      case ScalarOp::kLe:
+        res = c <= 0;
+        break;
+      case ScalarOp::kGt:
+        res = c > 0;
+        break;
+      case ScalarOp::kGe:
+        res = c >= 0;
+        break;
+      default:
+        break;
+    }
+    (*xo)[i] = res ? 1 : 0;
+  }
+}
+
+/// Same-representation or mixed-numeric comparison, replicating
+/// Value::Compare + EvalComparison ternary semantics.
+bool CompareKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
+                   ColumnVector* out) {
+  const ColumnVector& a = l.col();
+  const ColumnVector& b = r.col();
+  const auto& va = a.valid();
+  const auto& vb = b.valid();
+  const bool anum = IsNumericLane(a);
+  const bool bnum = IsNumericLane(b);
+  if (anum && bnum && a.lane() == ColumnVector::Lane::kI64 &&
+      b.lane() == ColumnVector::Lane::kI64) {
+    const auto& xa = a.i64();
+    const auto& xb = b.i64();
+    CompareLoop(
+        op, n, va, vb,
+        [&](size_t i) { return xa[i] < xb[i] ? -1 : (xa[i] > xb[i] ? 1 : 0); },
+        out);
+    return true;
+  }
+  if (anum && bnum) {
+    auto at = [](const ColumnVector& c, size_t i) -> double {
+      return c.lane() == ColumnVector::Lane::kF64
+                 ? c.f64()[i]
+                 : static_cast<double>(c.i64()[i]);
+    };
+    CompareLoop(
+        op, n, va, vb,
+        [&](size_t i) {
+          const double x = at(a, i), y = at(b, i);
+          return x < y ? -1 : (x > y ? 1 : 0);
+        },
+        out);
+    return true;
+  }
+  if (a.lane() == ColumnVector::Lane::kI64 &&
+      b.lane() == ColumnVector::Lane::kI64 && a.decl() == b.decl()) {
+    // TIMESTAMP/TIMESTAMP and INTERVAL/INTERVAL: millis compare.
+    const auto& xa = a.i64();
+    const auto& xb = b.i64();
+    CompareLoop(
+        op, n, va, vb,
+        [&](size_t i) { return xa[i] < xb[i] ? -1 : (xa[i] > xb[i] ? 1 : 0); },
+        out);
+    return true;
+  }
+  if (a.lane() == ColumnVector::Lane::kBool &&
+      b.lane() == ColumnVector::Lane::kBool) {
+    const auto& xa = a.b8();
+    const auto& xb = b.b8();
+    CompareLoop(
+        op, n, va, vb,
+        [&](size_t i) {
+          return static_cast<int>(xa[i]) - static_cast<int>(xb[i]);
+        },
+        out);
+    return true;
+  }
+  return false;
+}
+
+bool BoolLane(const ColumnVector& c) {
+  return c.lane() == ColumnVector::Lane::kBool;
+}
+
+bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
+  const size_t n = batch.num_rows;
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return SplatLiteral(expr.literal, n, t->own());
+    case BoundExpr::Kind::kInputRef: {
+      if (expr.input_index >= batch.columns.size()) return false;
+      const ColumnVector& col = batch.columns[expr.input_index];
+      if (col.lane() == ColumnVector::Lane::kGeneric &&
+          col.decl() != DataType::kVarchar) {
+        // Demoted column (mixed value tags) — per-batch scalar fallback.
+        return false;
+      }
+      t->ptr = &col;
+      return true;
+    }
+    case BoundExpr::Kind::kOp:
+      break;
+  }
+  switch (expr.op) {
+    case ScalarOp::kAdd:
+    case ScalarOp::kSub:
+    case ScalarOp::kMul: {
+      if (expr.children.size() != 2) return false;
+      Temp l, r;
+      if (!EvalRec(*expr.children[0], batch, &l)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r)) return false;
+      return ArithKernel(expr.op, l, r, n, t->own());
+    }
+    case ScalarOp::kDiv:
+    case ScalarOp::kMod: {
+      if (expr.children.size() != 2) return false;
+      if (!IsSafeLiteralDivisor(*expr.children[1])) return false;
+      if (expr.op == ScalarOp::kMod &&
+          expr.children[1]->literal.type() != DataType::kBigint) {
+        return false;  // scalar kMod is BIGINT % BIGINT only
+      }
+      Temp l, r;
+      if (!EvalRec(*expr.children[0], batch, &l)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r)) return false;
+      if (expr.op == ScalarOp::kMod &&
+          (l.col().lane() != ColumnVector::Lane::kI64 ||
+           l.col().decl() != DataType::kBigint)) {
+        return false;
+      }
+      return ArithKernel(expr.op, l, r, n, t->own());
+    }
+    case ScalarOp::kNeg: {
+      if (expr.children.size() != 1) return false;
+      Temp c;
+      if (!EvalRec(*expr.children[0], batch, &c)) return false;
+      const ColumnVector& a = c.col();
+      if (!IsNumericLane(a)) return false;
+      ColumnVector* out = t->own();
+      if (a.lane() == ColumnVector::Lane::kF64) {
+        out->Reset(DataType::kDouble);
+        std::vector<double>* xo = out->mutable_f64();
+        xo->resize(n);
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = -a.f64()[i];
+      } else {
+        out->Reset(DataType::kBigint);
+        std::vector<int64_t>* xo = out->mutable_i64();
+        xo->resize(n);
+        for (size_t i = 0; i < n; ++i) (*xo)[i] = -a.i64()[i];
+      }
+      *out->mutable_valid() = a.valid();
+      return true;
+    }
+    case ScalarOp::kEq:
+    case ScalarOp::kNeq:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe: {
+      if (expr.children.size() != 2) return false;
+      Temp l, r;
+      if (!EvalRec(*expr.children[0], batch, &l)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r)) return false;
+      return CompareKernel(expr.op, l, r, n, t->own());
+    }
+    case ScalarOp::kAnd:
+    case ScalarOp::kOr: {
+      if (expr.children.size() != 2) return false;
+      Temp l, r;
+      if (!EvalRec(*expr.children[0], batch, &l)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r)) return false;
+      if (!BoolLane(l.col()) || !BoolLane(r.col())) return false;
+      const auto& xa = l.col().b8();
+      const auto& va = l.col().valid();
+      const auto& xb = r.col().b8();
+      const auto& vb = r.col().valid();
+      ColumnVector* out = t->own();
+      out->Reset(DataType::kBoolean);
+      std::vector<uint8_t>* xo = out->mutable_b8();
+      std::vector<uint8_t>* vo = out->mutable_valid();
+      xo->resize(n);
+      vo->resize(n);
+      if (expr.op == ScalarOp::kAnd) {
+        for (size_t i = 0; i < n; ++i) {
+          // FALSE dominates NULL, matching the scalar short-circuit (the
+          // evaluation-order difference is unobservable: kernels are total).
+          const bool f = (va[i] && !xa[i]) || (vb[i] && !xb[i]);
+          const uint8_t v = f || (va[i] && vb[i]);
+          (*vo)[i] = v;
+          (*xo)[i] = (v && !f) ? 1 : 0;
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          const bool tr = (va[i] && xa[i]) || (vb[i] && xb[i]);
+          const uint8_t v = tr || (va[i] && vb[i]);
+          (*vo)[i] = v;
+          (*xo)[i] = tr ? 1 : 0;
+        }
+      }
+      return true;
+    }
+    case ScalarOp::kNot: {
+      if (expr.children.size() != 1) return false;
+      Temp c;
+      if (!EvalRec(*expr.children[0], batch, &c)) return false;
+      if (!BoolLane(c.col())) return false;
+      ColumnVector* out = t->own();
+      out->Reset(DataType::kBoolean);
+      std::vector<uint8_t>* xo = out->mutable_b8();
+      xo->resize(n);
+      *out->mutable_valid() = c.col().valid();
+      const auto& xb = c.col().b8();
+      for (size_t i = 0; i < n; ++i) (*xo)[i] = xb[i] ? 0 : 1;
+      return true;
+    }
+    case ScalarOp::kIsNull:
+    case ScalarOp::kIsNotNull: {
+      if (expr.children.size() != 1) return false;
+      // Validity is tracked in every lane (including generic), so NULL tests
+      // vectorize over any directly referenced column; computed children go
+      // through EvalRec (total by construction).
+      const BoundExpr& child = *expr.children[0];
+      Temp c;
+      bool have = false;
+      if (child.kind == BoundExpr::Kind::kInputRef &&
+          child.input_index < batch.columns.size()) {
+        c.ptr = &batch.columns[child.input_index];
+        have = true;
+      } else {
+        have = EvalRec(child, batch, &c);
+      }
+      if (!have) return false;
+      const auto& vc = c.col().valid();
+      ColumnVector* out = t->own();
+      out->Reset(DataType::kBoolean);
+      std::vector<uint8_t>* xo = out->mutable_b8();
+      xo->resize(n);
+      out->mutable_valid()->assign(n, 1);
+      const bool want_null = expr.op == ScalarOp::kIsNull;
+      for (size_t i = 0; i < n; ++i) {
+        (*xo)[i] = (vc[i] == 0) == want_null ? 1 : 0;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalExprBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
+                   ColumnVector* out) {
+  g_scratch_used = 0;
+  Temp t;
+  if (!EvalRec(expr, batch, &t)) return false;
+  // Copy (not move): pooled scratch keeps its capacity for the next batch,
+  // and `out` reuses its own capacity across batches. Typed lanes are flat
+  // memcpy.
+  *out = *t.ptr;
+  return true;
+}
+
+bool EvalPredicateBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
+                        std::vector<uint8_t>* keep) {
+  g_scratch_used = 0;
+  Temp t;
+  if (!EvalRec(expr, batch, &t)) return false;
+  const ColumnVector& c = t.col();
+  if (c.lane() != ColumnVector::Lane::kBool) return false;
+  const size_t n = batch.num_rows;
+  keep->resize(n);
+  const auto& v = c.valid();
+  const auto& b = c.b8();
+  for (size_t i = 0; i < n; ++i) (*keep)[i] = v[i] & b[i];
+  return true;
+}
+
+void HashRowsBatch(const ChangeBatch& batch,
+                   const std::vector<ColumnVector>& key_columns,
+                   std::vector<size_t>* out) {
+  const size_t n = batch.num_rows;
+  out->assign(n, 0x345678);
+  // Per-value hashes must match Value::Hash exactly (payload hash salted by
+  // the variant tag) so precomputed vectors probe Row-keyed tables.
+  constexpr uint64_t kPhi = 0x9e3779b97f4a7c15ULL;
+  auto tag_of = [](DataType t) -> size_t {
+    switch (t) {
+      case DataType::kNull:
+        return 0;
+      case DataType::kBoolean:
+        return 1;
+      case DataType::kBigint:
+        return 2;
+      case DataType::kDouble:
+        return 3;
+      case DataType::kVarchar:
+        return 4;
+      case DataType::kTimestamp:
+        return 5;
+      case DataType::kInterval:
+        return 6;
+    }
+    return 0;
+  };
+  for (const ColumnVector& c : key_columns) {
+    const size_t salt = tag_of(c.decl()) * kPhi;
+    for (size_t i = 0; i < n; ++i) {
+      size_t vh;
+      switch (c.lane()) {
+        case ColumnVector::Lane::kI64:
+          vh = c.IsValid(i) ? std::hash<int64_t>()(c.i64()[i]) ^ salt : 0;
+          break;
+        case ColumnVector::Lane::kF64:
+          vh = c.IsValid(i) ? std::hash<double>()(c.f64()[i]) ^ salt : 0;
+          break;
+        case ColumnVector::Lane::kBool:
+          vh = c.IsValid(i) ? std::hash<bool>()(c.b8()[i] != 0) ^ salt : 0;
+          break;
+        case ColumnVector::Lane::kGeneric:
+        default:
+          vh = c.generic()[i].Hash();
+          break;
+      }
+      (*out)[i] = (*out)[i] * 1000003 ^ vh;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) (*out)[i] ^= key_columns.size();
+}
+
+}  // namespace exec
+}  // namespace onesql

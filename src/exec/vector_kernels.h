@@ -1,0 +1,57 @@
+#ifndef ONESQL_EXEC_VECTOR_KERNELS_H_
+#define ONESQL_EXEC_VECTOR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/change_batch.h"
+#include "plan/bound_expr.h"
+
+namespace onesql {
+namespace exec {
+
+/// Vectorized expression evaluation: typed tight loops over ChangeBatch
+/// columns instead of per-row `Value` variant dispatch (expr_eval.cc).
+///
+/// The vectorizable subset is chosen so a kernel can never fail at runtime —
+/// anything that could raise an execution error (division by a non-literal
+/// divisor, casts, string functions, CASE) is excluded and falls back to the
+/// scalar evaluator row by row. The subset also depends on the *batch*, not
+/// just the expression: a referenced column that arrived demoted to the
+/// generic lane (mixed value tags) makes the expression fall back for that
+/// batch only. These are the scalar-fallback rules documented in DESIGN §14.
+///
+/// Covered when every referenced column is in a matching typed lane:
+///  - literals and column references of any type
+///  - +, -, *, unary - over BIGINT/DOUBLE (exact EvalArithmetic semantics,
+///    including the either-side-DOUBLE widening)
+///  - / and % when the divisor is a non-NULL, non-zero literal (the only
+///    case where "division by zero" is statically impossible)
+///  - comparisons over same-lane operands (BIGINT, DOUBLE, TIMESTAMP,
+///    INTERVAL, BOOLEAN) with SQL ternary NULL semantics
+///  - AND/OR/NOT (three-valued; short-circuit differences are unobservable
+///    because kernels cannot fail), IS NULL / IS NOT NULL
+///
+/// Returns false without touching `out` when the expression is outside the
+/// subset for this batch; returns true and fills `out` (one entry per batch
+/// row) otherwise. A true return never carries an error.
+bool EvalExprBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
+                   ColumnVector* out);
+
+/// Vectorized predicate: fills `keep` (one byte per row, 1 = row passes,
+/// i.e. the expression is non-NULL TRUE). Same fallback contract as
+/// EvalExprBatch.
+bool EvalPredicateBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
+                        std::vector<uint8_t>* keep);
+
+/// Row-wise hash of `key_columns` over the batch, one hash per row. Matches
+/// HashRow over the materialized key row, so hash-aggregate probes can reuse
+/// a vector of precomputed hashes against Row-keyed tables.
+void HashRowsBatch(const ChangeBatch& batch,
+                   const std::vector<ColumnVector>& key_columns,
+                   std::vector<size_t>* out);
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_VECTOR_KERNELS_H_

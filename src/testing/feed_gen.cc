@@ -123,26 +123,57 @@ QuerySpec GenerateQuerySpec(Rng* rng) {
   return spec;
 }
 
-Value RandomK(Rng* rng, bool need_k) {
-  if (!need_k && rng->Chance(10)) return Value::Null();
+Value RandomK(Rng* rng, bool need_k, int null_pct = 10) {
+  if (!need_k && rng->Chance(null_pct)) return Value::Null();
   return Value::Int64(rng->Range(0, 4));
 }
 
-Value RandomV(Rng* rng) {
-  if (rng->Chance(8)) return Value::Null();
+Value RandomV(Rng* rng, int null_pct = 8) {
+  if (rng->Chance(null_pct)) return Value::Null();
   return Value::Int64(rng->Range(-100, 100));
 }
 
-Value RandomD(Rng* rng) {
-  if (rng->Chance(8)) return Value::Null();
+Value RandomD(Rng* rng, int null_pct = 8) {
+  if (rng->Chance(null_pct)) return Value::Null();
   // Dyadic: n/64 with |n| <= 4096, so every sum of <= 48 values is exactly
   // representable and independent of accumulation order.
   return Value::Double(static_cast<double>(rng->Range(-4096, 4096)) / 64.0);
 }
 
-Value RandomItem(Rng* rng) {
-  if (rng->Chance(8)) return Value::Null();
+Value RandomItem(Rng* rng, int null_pct = 8) {
+  if (rng->Chance(null_pct)) return Value::Null();
   return Value::String(kItems[rng->Range(0, 4)]);
+}
+
+/// Draws 1–2 query specs, each validated against a prototype engine's
+/// planner with the trivial-projection fallback (shared by GenerateCase and
+/// the boundary templates).
+void GenerateQueries(Rng* rng, FuzzCase* fuzz) {
+  Engine prototype;
+  (void)prototype.RegisterStream(kFuzzStreamS, FuzzStreamSchema());
+  (void)prototype.RegisterStream(kFuzzStreamR, FuzzStreamSchema());
+  const int64_t num_queries = rng->Chance(35) ? 2 : 1;
+  for (int64_t i = 0; i < num_queries; ++i) {
+    QuerySpec spec = GenerateQuerySpec(rng);
+    if (!prototype.Plan(spec.sql).ok()) {
+      spec = QuerySpec{};
+      spec.sql = RenderSql(spec);
+    }
+    fuzz->queries.push_back(std::move(spec));
+  }
+}
+
+bool HasShape(const FuzzCase& fuzz, QueryShape shape) {
+  return std::any_of(
+      fuzz.queries.begin(), fuzz.queries.end(),
+      [shape](const QuerySpec& q) { return q.shape == shape; });
+}
+
+bool NeedsK(const FuzzCase& fuzz) {
+  return std::any_of(
+      fuzz.queries.begin(), fuzz.queries.end(), [](const QuerySpec& q) {
+        return q.shape == QueryShape::kJoin || q.shape == QueryShape::kSession;
+      });
 }
 
 }  // namespace
@@ -255,26 +286,9 @@ FuzzCase GenerateCase(uint64_t seed) {
   // Queries: one or two specs, validated against the planner. A spec the
   // planner rejects falls back to a trivial projection; the fuzz smoke test
   // asserts the fallback stays rare, so grammar drift is caught.
-  Engine prototype;
-  (void)prototype.RegisterStream(kFuzzStreamS, FuzzStreamSchema());
-  (void)prototype.RegisterStream(kFuzzStreamR, FuzzStreamSchema());
-  const int64_t num_queries = rng.Chance(35) ? 2 : 1;
-  for (int64_t i = 0; i < num_queries; ++i) {
-    QuerySpec spec = GenerateQuerySpec(&rng);
-    if (!prototype.Plan(spec.sql).ok()) {
-      spec = QuerySpec{};
-      spec.sql = RenderSql(spec);
-    }
-    fuzz.queries.push_back(std::move(spec));
-  }
-  const bool has_join = std::any_of(
-      fuzz.queries.begin(), fuzz.queries.end(),
-      [](const QuerySpec& q) { return q.shape == QueryShape::kJoin; });
-  const bool need_k = std::any_of(
-      fuzz.queries.begin(), fuzz.queries.end(), [](const QuerySpec& q) {
-        return q.shape == QueryShape::kJoin ||
-               q.shape == QueryShape::kSession;
-      });
+  GenerateQueries(&rng, &fuzz);
+  const bool has_join = HasShape(fuzz, QueryShape::kJoin);
+  const bool need_k = NeedsK(fuzz);
 
   // Base feed: inserts and (mode-dependent) deletes of live rows, with
   // non-decreasing processing times. Event times are drawn from a window
@@ -410,6 +424,150 @@ void RegeneratePerfectWatermarks(std::vector<FeedEvent>* events) {
     rebuilt.push_back(std::move(mark));
   }
   *events = std::move(rebuilt);
+}
+
+const char* BoundaryTemplateToString(BoundaryTemplate t) {
+  switch (t) {
+    case BoundaryTemplate::kSingletonBatches: return "singleton_batches";
+    case BoundaryTemplate::kOddRuns:          return "odd_runs";
+    case BoundaryTemplate::kNullHeavy:        return "null_heavy";
+    case BoundaryTemplate::kRetractionDense:  return "retraction_dense";
+  }
+  return "unknown";
+}
+
+FuzzCase GenerateBoundaryCase(uint64_t seed, BoundaryTemplate t) {
+  // Decorrelated from GenerateCase(seed): the template tag perturbs the
+  // splitmix64 state, so boundary cases explore their own corner of the
+  // space without disturbing the frozen seed-to-case mapping.
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(t) + 1);
+  FuzzCase fuzz;
+  fuzz.seed = seed;
+
+  switch (t) {
+    case BoundaryTemplate::kSingletonBatches: {
+      // Insert-only with strictly ascending event times per stream: the
+      // perfect watermark schedule then advances after every single row, so
+      // every rows-chunk the engine builds holds exactly one row.
+      fuzz.mode = FeedMode::kInsertOnlyPerfect;
+      GenerateQueries(&rng, &fuzz);
+      const bool has_join = HasShape(fuzz, QueryShape::kJoin);
+      const bool need_k = NeedsK(fuzz);
+      const int64_t num_events = rng.Range(8, 32);
+      int64_t ptime = 0;
+      std::map<std::string, int64_t> next_ts;
+      for (int64_t i = 0; i < num_events; ++i) {
+        ptime += rng.Range(0, 5'000);
+        const std::string source =
+            has_join ? (rng.Chance(50) ? kFuzzStreamR : kFuzzStreamS)
+                     : (rng.Chance(20) ? kFuzzStreamR : kFuzzStreamS);
+        auto [it, inserted] = next_ts.emplace(source, rng.Range(0, 60'000));
+        if (!inserted) it->second += rng.Range(1, 60'000);
+        FeedEvent event;
+        event.kind = FeedEvent::Kind::kInsert;
+        event.source = source;
+        event.ptime = Timestamp(ptime);
+        event.row = {Value::Time(Timestamp(it->second)),
+                     RandomK(&rng, need_k), RandomV(&rng), RandomD(&rng),
+                     RandomItem(&rng)};
+        fuzz.events.push_back(std::move(event));
+      }
+      break;
+    }
+    case BoundaryTemplate::kOddRuns: {
+      // Insert-only runs of odd length, one stream per run, event times
+      // descending inside the run and jumping up between runs. The perfect
+      // watermark for a stream is min-future-minus-1ms, which equals the
+      // run's own minimum until its last row lands — so the schedule only
+      // advances at run boundaries and every chunk has an odd row count.
+      fuzz.mode = FeedMode::kInsertOnlyPerfect;
+      GenerateQueries(&rng, &fuzz);
+      const bool has_join = HasShape(fuzz, QueryShape::kJoin);
+      const bool need_k = NeedsK(fuzz);
+      const int64_t num_runs = rng.Range(3, 8);
+      int64_t ptime = 0;
+      int64_t base_ts = rng.Range(0, 60'000);
+      std::map<std::string, bool> seen;
+      for (int64_t r = 0; r < num_runs; ++r) {
+        int64_t len = rng.Pick<int64_t>({1, 3, 5, 7, 9});
+        const std::string source =
+            has_join ? (rng.Chance(50) ? kFuzzStreamR : kFuzzStreamS)
+                     : (rng.Chance(30) ? kFuzzStreamR : kFuzzStreamS);
+        // A stream's very first row has no prior watermark, so the perfect
+        // schedule marks right after it regardless of the run shape; keep
+        // that forced boundary odd by making the first run a singleton.
+        if (!seen[source]) {
+          seen[source] = true;
+          len = 1;
+        }
+        for (int64_t j = 0; j < len; ++j) {
+          ptime += rng.Range(0, 2'000);
+          FeedEvent event;
+          event.kind = FeedEvent::Kind::kInsert;
+          event.source = source;
+          event.ptime = Timestamp(ptime);
+          event.row = {Value::Time(Timestamp(base_ts + (len - 1 - j) * 1'000)),
+                       RandomK(&rng, need_k), RandomV(&rng), RandomD(&rng),
+                       RandomItem(&rng)};
+          fuzz.events.push_back(std::move(event));
+        }
+        // Next run sits strictly above every timestamp of this one.
+        base_ts += len * 1'000 + rng.Range(60'000, 120'000);
+      }
+      break;
+    }
+    case BoundaryTemplate::kNullHeavy:
+    case BoundaryTemplate::kRetractionDense: {
+      // Same feed skeleton as GenerateCase, with one probability cranked:
+      // NULLs dominate every nullable column, or deletes dominate the event
+      // mix (pool permitting).
+      const bool null_heavy = t == BoundaryTemplate::kNullHeavy;
+      fuzz.mode = null_heavy && rng.Chance(50) ? FeedMode::kInsertOnlyPerfect
+                                               : FeedMode::kDeletesPerfect;
+      GenerateQueries(&rng, &fuzz);
+      const bool has_join = HasShape(fuzz, QueryShape::kJoin);
+      const bool need_k = NeedsK(fuzz);
+      const int null_pct = null_heavy ? 60 : 8;
+      const int delete_pct = null_heavy ? 25 : 65;
+      const int64_t num_events = rng.Range(16, 48);
+      const int64_t ts_lo =
+          fuzz.mode == FeedMode::kInsertOnlyPerfect ? 0 : -3'600'000;
+      const int64_t ts_hi =
+          fuzz.mode == FeedMode::kInsertOnlyPerfect ? 7'200'000 : 3'600'000;
+      int64_t ptime = 0;
+      std::map<std::string, std::vector<Row>> live;
+      for (int64_t i = 0; i < num_events; ++i) {
+        ptime += rng.Range(0, 5'000);
+        const std::string source =
+            has_join ? (rng.Chance(50) ? kFuzzStreamR : kFuzzStreamS)
+                     : (rng.Chance(20) ? kFuzzStreamR : kFuzzStreamS);
+        FeedEvent event;
+        event.source = source;
+        event.ptime = Timestamp(ptime);
+        std::vector<Row>& pool = live[source];
+        if (fuzz.mode == FeedMode::kDeletesPerfect && !pool.empty() &&
+            rng.Chance(delete_pct)) {
+          const size_t idx = static_cast<size_t>(
+              rng.Range(0, static_cast<int64_t>(pool.size()) - 1));
+          event.kind = FeedEvent::Kind::kDelete;
+          event.row = pool[idx];
+          pool.erase(pool.begin() + static_cast<int64_t>(idx));
+        } else {
+          event.kind = FeedEvent::Kind::kInsert;
+          event.row = {Value::Time(Timestamp(rng.Range(ts_lo, ts_hi))),
+                       RandomK(&rng, need_k, null_heavy ? 60 : 10),
+                       RandomV(&rng, null_pct), RandomD(&rng, null_pct),
+                       RandomItem(&rng, null_pct)};
+          pool.push_back(event.row);
+        }
+        fuzz.events.push_back(std::move(event));
+      }
+      break;
+    }
+  }
+
+  RegeneratePerfectWatermarks(&fuzz.events);
+  return fuzz;
 }
 
 void RepairFeed(std::vector<FeedEvent>* events) {

@@ -107,6 +107,43 @@ std::string RenderSql(const QuerySpec& spec);
 /// the smoke assertions in tests/fuzz).
 FuzzCase GenerateCase(uint64_t seed);
 
+/// Batch-boundary stress templates for the columnar hot path (DESIGN.md
+/// §14): each family shapes the feed so the ChangeBatch chunking degenerates
+/// in a specific way, and any scalar-vs-vectorized divergence at that seam
+/// shows up as an oracle disagreement.
+///  - kSingletonBatches: insert-only, event times strictly ascending per
+///    stream, so the perfect watermark schedule closes every rows-chunk
+///    after exactly one row. Exercises batch size 1 everywhere.
+///  - kOddRuns: insert-only runs of odd length (1/3/5/7/9) with descending
+///    event times inside each run; the perfect watermark only advances at
+///    run boundaries, so every chunk has an odd, >1-capable row count and
+///    is internally out of order.
+///  - kNullHeavy: ~60% NULLs in every nullable column, so the validity
+///    masks, not the value lanes, carry most of the information.
+///  - kRetractionDense: deletes-allowed mode with the delete probability
+///    raised to ~65%, so the weight column flips sign on most rows and
+///    accumulator retraction dominates.
+enum class BoundaryTemplate {
+  kSingletonBatches,
+  kOddRuns,
+  kNullHeavy,
+  kRetractionDense,
+};
+
+const char* BoundaryTemplateToString(BoundaryTemplate t);
+
+inline constexpr BoundaryTemplate kAllBoundaryTemplates[] = {
+    BoundaryTemplate::kSingletonBatches, BoundaryTemplate::kOddRuns,
+    BoundaryTemplate::kNullHeavy, BoundaryTemplate::kRetractionDense};
+
+/// Deterministically expands (seed, template) into a full case with the
+/// same validity guarantees as GenerateCase — deletes only target live
+/// rows, ptimes and watermarks monotone — so every oracle that applies to
+/// the case's mode can run on it unchanged. The seed stream is
+/// decorrelated from GenerateCase's, and GenerateCase's seed-to-case
+/// mapping is untouched.
+FuzzCase GenerateBoundaryCase(uint64_t seed, BoundaryTemplate t);
+
 /// Rebuilds the watermark schedule of `events` in place: strips every
 /// watermark event and re-inserts the perfect schedule (per stream, the
 /// minimum event time over all *future* insert/delete rows, minus 1ms),

@@ -1,10 +1,12 @@
 // Standalone differential-fuzzing driver (DESIGN.md §12). Sweeps a fixed
-// seed range through the four-oracle harness, minimizes every failure, and
-// writes the shrunk reproducer as a corpus file so it replays forever in
-// the tier-1 suite. Run under ASan/UBSan from ci.sh's fuzz leg.
+// seed range through the five-oracle harness — interleaving the
+// batch-boundary stress templates every Nth seed — minimizes every failure,
+// and writes the shrunk reproducer as a corpus file so it replays forever
+// in the tier-1 suite. Run under ASan/UBSan from ci.sh's fuzz leg.
 //
 //   fuzz_driver --seed-start=1 --seed-count=10000 --budget-seconds=300
-//               --corpus-out=tests/fuzz/corpus [--corpus=dir] [--wal-every=16]
+//               --corpus-out=tests/fuzz/corpus [--corpus=dir]
+//               [--wal-every=16] [--boundary-every=5]
 
 #include <chrono>
 #include <cstdio>
@@ -19,9 +21,12 @@
 
 namespace {
 
+using onesql::testing::BoundaryTemplateToString;
 using onesql::testing::CaseOutcome;
 using onesql::testing::FuzzCase;
+using onesql::testing::GenerateBoundaryCase;
 using onesql::testing::GenerateCase;
+using onesql::testing::kAllBoundaryTemplates;
 using onesql::testing::LoadCorpusDir;
 using onesql::testing::MinimizeCase;
 using onesql::testing::OracleOptions;
@@ -34,6 +39,8 @@ struct Args {
   uint64_t seed_count = 1000;
   double budget_seconds = 0;  // 0: no wall-clock limit
   int wal_every = 16;         // every Nth seed runs the crash oracle w/ WAL
+  int boundary_every = 5;     // every Nth seed adds one boundary-template
+                              // case (rotating through the templates)
   std::string corpus_out;
   std::string corpus_replay;
   std::string temp_dir;
@@ -57,6 +64,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->budget_seconds = std::strtod(value.c_str(), nullptr);
     } else if (ParseArg(argv[i], "--wal-every", &value)) {
       args->wal_every = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--boundary-every", &value)) {
+      args->boundary_every = std::atoi(value.c_str());
     } else if (ParseArg(argv[i], "--corpus-out", &value)) {
       args->corpus_out = value;
     } else if (ParseArg(argv[i], "--corpus", &value)) {
@@ -74,9 +83,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 /// Reports one failing case: the verbatim seed (the one-line repro), the
 /// oracle disagreements, and the minimized corpus rendering.
 void ReportFailure(const FuzzCase& failing, const CaseOutcome& outcome,
-                   const OracleOptions& opts, const std::string& corpus_out) {
-  std::printf("FUZZ FAILURE seed=%llu\n",
-              static_cast<unsigned long long>(failing.seed));
+                   const OracleOptions& opts, const std::string& corpus_out,
+                   const std::string& tag = "") {
+  std::printf("FUZZ FAILURE seed=%llu%s%s\n",
+              static_cast<unsigned long long>(failing.seed),
+              tag.empty() ? "" : " template=", tag.c_str());
   std::printf("%s", outcome.ToString().c_str());
 
   const FuzzCase minimized =
@@ -90,8 +101,9 @@ void ReportFailure(const FuzzCase& failing, const CaseOutcome& outcome,
   if (!corpus_out.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(corpus_out, ec);
-    const std::string path =
-        corpus_out + "/seed_" + std::to_string(failing.seed) + ".case";
+    const std::string path = corpus_out + "/seed_" +
+                             std::to_string(failing.seed) +
+                             (tag.empty() ? "" : "_" + tag) + ".case";
     const auto written = WriteCaseFile(minimized, path);
     if (written.ok()) {
       std::printf("reproducer written to %s\n", path.c_str());
@@ -178,6 +190,29 @@ int main(int argc, char** argv) {
     if (!outcome->ok()) {
       ReportFailure(fuzz, *outcome, case_opts, args.corpus_out);
       ++failures;
+    }
+    // Interleave the batch-boundary stress templates (DESIGN.md §14):
+    // every Nth seed also runs one template case, rotating through the
+    // four families so a long sweep covers each at many seeds.
+    if (args.boundary_every > 0 &&
+        seed % static_cast<uint64_t>(args.boundary_every) == 0) {
+      const auto t = kAllBoundaryTemplates
+          [(seed / static_cast<uint64_t>(args.boundary_every)) %
+           (sizeof(kAllBoundaryTemplates) / sizeof(kAllBoundaryTemplates[0]))];
+      const FuzzCase boundary = GenerateBoundaryCase(seed, t);
+      auto boundary_outcome = RunCase(boundary, case_opts);
+      ++ran;
+      if (!boundary_outcome.ok()) {
+        std::printf("HARNESS ERROR seed=%llu template=%s: %s\n",
+                    static_cast<unsigned long long>(seed),
+                    BoundaryTemplateToString(t),
+                    boundary_outcome.status().ToString().c_str());
+        ++failures;
+      } else if (!boundary_outcome->ok()) {
+        ReportFailure(boundary, *boundary_outcome, case_opts, args.corpus_out,
+                      BoundaryTemplateToString(t));
+        ++failures;
+      }
     }
     if (ran % 1000 == 0) {
       std::printf("... %llu cases, %.0f cases/sec\n",

@@ -36,6 +36,97 @@ TEST(FuzzSweepTest, FixedSeedsPassAllOracles) {
   }
 }
 
+// Row-run lengths per stream as the chunk builder will see them: the number
+// of consecutive row events of one stream between its own watermarks.
+std::vector<size_t> RunLengths(const FuzzCase& fuzz, const std::string& src) {
+  std::vector<size_t> runs;
+  size_t open = 0;
+  for (const FeedEvent& event : fuzz.events) {
+    if (event.source != src) continue;
+    if (event.kind == FeedEvent::Kind::kWatermark) {
+      if (open > 0) runs.push_back(open);
+      open = 0;
+    } else {
+      ++open;
+    }
+  }
+  if (open > 0) runs.push_back(open);
+  return runs;
+}
+
+TEST(FuzzBoundaryTest, TemplatesShapeTheFeedAsAdvertised) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    {
+      const FuzzCase s =
+          GenerateBoundaryCase(seed, BoundaryTemplate::kSingletonBatches);
+      for (const char* src : {kFuzzStreamS, kFuzzStreamR}) {
+        for (size_t run : RunLengths(s, src)) EXPECT_EQ(run, 1u) << src;
+      }
+    }
+    {
+      const FuzzCase o = GenerateBoundaryCase(seed, BoundaryTemplate::kOddRuns);
+      bool saw_multi = false;
+      for (const char* src : {kFuzzStreamS, kFuzzStreamR}) {
+        for (size_t run : RunLengths(o, src)) {
+          EXPECT_EQ(run % 2, 1u) << src << " run of " << run;
+          saw_multi |= run > 1;
+        }
+      }
+      EXPECT_TRUE(saw_multi) << "odd-runs case degenerated to singletons";
+    }
+    {
+      const FuzzCase n =
+          GenerateBoundaryCase(seed, BoundaryTemplate::kNullHeavy);
+      size_t nulls = 0, cells = 0;
+      for (const FeedEvent& event : n.events) {
+        if (event.kind == FeedEvent::Kind::kWatermark) continue;
+        for (size_t c = 1; c < event.row.size(); ++c) {
+          ++cells;
+          if (event.row[c].is_null()) ++nulls;
+        }
+      }
+      // ~60% per nullable cell by construction; 25% is the loose floor that
+      // still proves the knob is wired (k stays non-null for join/session
+      // cases, which drags the average down).
+      EXPECT_GT(nulls * 4, cells) << "expected NULL-dominated columns";
+    }
+    {
+      const FuzzCase r =
+          GenerateBoundaryCase(seed, BoundaryTemplate::kRetractionDense);
+      size_t deletes = 0, rows = 0;
+      for (const FeedEvent& event : r.events) {
+        if (event.kind == FeedEvent::Kind::kWatermark) continue;
+        ++rows;
+        if (event.kind == FeedEvent::Kind::kDelete) ++deletes;
+      }
+      EXPECT_GT(deletes * 10, rows * 2) << "expected retraction-dense feed";
+    }
+    // Same (seed, template) must reproduce the same case bit-for-bit.
+    EXPECT_EQ(
+        SerializeCase(GenerateBoundaryCase(seed, BoundaryTemplate::kOddRuns)),
+        SerializeCase(GenerateBoundaryCase(seed, BoundaryTemplate::kOddRuns)));
+  }
+}
+
+TEST(FuzzBoundaryTest, TemplatesPassAllOracles) {
+  OracleOptions opts;
+  opts.temp_dir = state::NewTempDir("fuzz_boundary");
+  for (BoundaryTemplate t : kAllBoundaryTemplates) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      SCOPED_TRACE(std::string(BoundaryTemplateToString(t)) +
+                   " seed=" + std::to_string(seed));
+      const FuzzCase fuzz = GenerateBoundaryCase(seed, t);
+      OracleOptions case_opts = opts;
+      case_opts.crash_use_wal = seed % 8 == 0;
+      auto outcome = RunCase(fuzz, case_opts);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_TRUE(outcome->ok())
+          << outcome->ToString() << "repro:\n" << SerializeCase(fuzz);
+    }
+  }
+}
+
 TEST(FuzzGeneratorTest, CoversEveryShapeAndMode) {
   // If the SQL templates drift from the grammar, the planner-rejection
   // fallback silently degrades every query to a plain projection; shape

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against the checked-in baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--warn=0.85] [--fail=0.5]
+
+Both files use the bench_util.h JSON schema: {"bench": ..., "benchmarks":
+[{"name", "items_per_second", "p50_ns", ...}, ...]}. For every benchmark
+present in the baseline, the current run's throughput (items_per_second when
+reported, else the inverse of p50_ns) must stay above `fail` x baseline or
+the script exits non-zero; between `fail` and `warn` it prints a warning and
+passes. Benchmarks that appear only on one side are reported but never fail
+the run (adding a bench must not require regenerating the baseline in the
+same commit).
+
+An empty "benchmarks" array on either side is a hard error: that is how a
+broken baseline silently disarms the comparison (bench_util.h now refuses to
+write one, and this guard catches files that predate that check).
+
+Thresholds are deliberately loose: CI boxes for this repo are single-core
+and noisy, so the leg locks in order-of-magnitude wins, not percent-level
+ones.
+"""
+
+import json
+import sys
+
+
+def throughput(entry):
+    ips = float(entry.get("items_per_second", 0) or 0)
+    if ips > 0:
+        return ips
+    p50 = float(entry.get("p50_ns", 0) or 0)
+    return 1e9 / p50 if p50 > 0 else 0.0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    benches = doc.get("benchmarks", [])
+    if not benches:
+        print(f"bench_compare: {path} holds zero benchmark entries", file=sys.stderr)
+        sys.exit(2)
+    return {e["name"]: e for e in benches}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = dict(a[2:].split("=", 1) for a in argv[1:] if a.startswith("--"))
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    warn_ratio = float(opts.get("warn", 0.85))
+    fail_ratio = float(opts.get("fail", 0.5))
+    baseline = load(args[0])
+    current = load(args[1])
+
+    failures = warnings = 0
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  [note] {name}: present in baseline only")
+            continue
+        base = throughput(baseline[name])
+        cur = throughput(current[name])
+        if base <= 0:
+            print(f"  [note] {name}: baseline has no throughput signal")
+            continue
+        ratio = cur / base
+        line = f"{name}: {cur:,.0f}/s vs baseline {base:,.0f}/s ({ratio:.2f}x)"
+        if ratio < fail_ratio:
+            print(f"  [FAIL] {line}")
+            failures += 1
+        elif ratio < warn_ratio:
+            print(f"  [warn] {line}")
+            warnings += 1
+        else:
+            print(f"  [ok]   {line}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  [note] {name}: new benchmark, not in baseline")
+
+    if failures:
+        print(
+            f"bench_compare: {failures} benchmark(s) regressed below "
+            f"{fail_ratio:.0%} of baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if warnings:
+        print(f"bench_compare: {warnings} benchmark(s) below {warn_ratio:.0%} of baseline (warn only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,12 +58,31 @@ run_leg "perf-nexmark-run" \
   env -C "${PERF_DIR}" ../bench/bench_nexmark --benchmark_min_time=0.1
 run_leg "perf-micro-run" \
   env -C "${PERF_DIR}" ../bench/bench_micro --benchmark_min_time=0.1
-# The e2e leg gets extra headroom: full-engine NEXMark runs swing harder
+# bench_profile carries its own hard gate (profiling overhead must stay
+# under 5% of the profiling-off feed path) and exits non-zero past budget;
+# the JSON it writes also joins the throughput comparison below.
+run_leg "perf-profile-run" \
+  env -C "${PERF_DIR}" ../bench/bench_profile --benchmark_min_time=0.1
+# The e2e legs get extra headroom: full-engine NEXMark runs swing harder
 # under co-tenant load than the kernel microbenches do.
-run_leg "perf-nexmark-compare" python3 tools/bench_compare.py \
-  BENCH_nexmark.json "${PERF_DIR}/BENCH_nexmark.json" --fail=0.35 --warn=0.7
+run_leg "perf-e2e-compare" python3 tools/bench_compare.py \
+  BENCH_nexmark.json "${PERF_DIR}/BENCH_nexmark.json" \
+  BENCH_profile.json "${PERF_DIR}/BENCH_profile.json" \
+  --fail=0.35 --warn=0.7
 run_leg "perf-micro-compare" python3 tools/bench_compare.py \
   BENCH_micro.json "${PERF_DIR}/BENCH_micro.json"
+
+echo "=== explain-analyze smoke: annotated plans over every NEXMark query ==="
+# Drives all six NEXMark queries through one profiled engine at one and two
+# shards, then validates every rendering: the driver itself fails on an
+# unannotated plan, and profile_report.py --check re-parses each JSON and
+# asserts the plan/sink/per-node shape the tooling depends on.
+EXPLAIN_DIR="build/explain-run"
+rm -rf "${EXPLAIN_DIR}"
+run_leg "explain-run-seq" ./build/tools/explain_nexmark "${EXPLAIN_DIR}/n1" 1
+run_leg "explain-run-sharded" ./build/tools/explain_nexmark "${EXPLAIN_DIR}/n2" 2
+run_leg "explain-check-seq" python3 tools/profile_report.py --check "${EXPLAIN_DIR}/n1"
+run_leg "explain-check-sharded" python3 tools/profile_report.py --check "${EXPLAIN_DIR}/n2"
 
 echo "=== ASan/UBSan: full test suite ==="
 # GCC-12 emits -Wmaybe-uninitialized false positives inside std::variant

@@ -460,6 +460,12 @@ Status Engine::Feed(const std::vector<FeedEvent>& events) {
   Status deferred = Status::OK();
   size_t accepted = 0;
   Timestamp batch_ptime = last_ptime_;
+  // Backpressure attribution (profiling only): total time this Feed call
+  // spent blocked on the feed log — every append plus the sync barrier —
+  // recorded as one sample so the histogram is per-feed-call stall time.
+  const bool profile_wal =
+      engine_profile_ != nullptr && wal_ != nullptr && !replaying_wal_;
+  uint64_t wal_stall_us = 0;
   for (const FeedEvent& event : events) {
     Status status = Status::OK();
     SourceFeedState* state = nullptr;
@@ -525,7 +531,15 @@ Status Engine::Feed(const std::vector<FeedEvent>& events) {
     }
     // Log before mutating engine state: an event the WAL never saw must not
     // become part of the replayable history.
-    if (status.ok()) status = AppendWal(event);
+    if (status.ok()) {
+      if (profile_wal) {
+        const uint64_t t0 = obs::TraceRecorder::NowMicros();
+        status = AppendWal(event);
+        wal_stall_us += obs::TraceRecorder::NowMicros() - t0;
+      } else {
+        status = AppendWal(event);
+      }
+    }
     if (!status.ok()) {
       deferred = std::move(status);
       break;
@@ -581,15 +595,28 @@ Status Engine::Feed(const std::vector<FeedEvent>& events) {
   if (accepted > 0) {
     // One durability barrier for the whole batch: every recorded event is on
     // disk before any query observes any of them.
-    ONESQL_RETURN_NOT_OK(SyncWal());
+    if (profile_wal) {
+      const uint64_t t0 = obs::TraceRecorder::NowMicros();
+      ONESQL_RETURN_NOT_OK(SyncWal());
+      wal_stall_us += obs::TraceRecorder::NowMicros() - t0;
+      engine_profile_->feed_wal_stall_us->Record(wal_stall_us);
+    } else {
+      ONESQL_RETURN_NOT_OK(SyncWal());
+    }
     std::vector<const exec::InputChunk*> chunks;
     chunks.reserve(history_.size() - first_chunk);
     for (size_t i = first_chunk; i < history_.size(); ++i) {
       chunks.push_back(&history_[i]);
     }
+    const uint64_t dispatch_t0 =
+        engine_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
     for (auto& query : queries_) {
       query->last_ptime_ = batch_ptime;
       ONESQL_RETURN_NOT_OK(query->flow_->PushChunks(chunks));
+    }
+    if (engine_profile_ != nullptr) {
+      engine_profile_->feed_dispatch_us->Record(
+          obs::TraceRecorder::NowMicros() - dispatch_t0);
     }
     MaybeCompactHistory();
   }
@@ -1090,9 +1117,14 @@ Status Engine::EnableObservability(const obs::ObsOptions& options) {
     return Status::InvalidArgument(
         "observability options enable neither metrics nor tracing");
   }
+  if (options.profiling && !options.metrics) {
+    return Status::InvalidArgument(
+        "profiling publishes through the metrics registry; enable metrics");
+  }
   obs_ = std::make_unique<obs::ObsContext>(options);
   if (obs_->registry() != nullptr) {
     engine_metrics_ = obs_->ForEngine();
+    engine_profile_ = obs_->ForEngineProfile();
     if (wal_ != nullptr) wal_->AttachMetrics(obs_->ForWal());
   }
   for (auto& query : queries_) AttachQueryObs(query.get());
@@ -1130,6 +1162,16 @@ obs::MetricsSnapshot Engine::MetricsSnapshot() {
   }
   engine_metrics_->queries->Set(static_cast<int64_t>(queries_.size()));
   engine_metrics_->operators->Set(static_cast<int64_t>(operators));
+  if (obs_->trace() != nullptr) {
+    // Ring saturation visibility: a truncated trace shows up as a nonzero
+    // dropped gauge in both expositions instead of a silently partial dump.
+    obs_->registry()
+        ->GetGauge("onesql_trace_spans_recorded")
+        ->Set(static_cast<int64_t>(obs_->trace()->recorded()));
+    obs_->registry()
+        ->GetGauge("onesql_trace_spans_dropped")
+        ->Set(static_cast<int64_t>(obs_->trace()->dropped()));
+  }
   return obs_->registry()->Snapshot();
 }
 

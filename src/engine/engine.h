@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/schema.h"
+#include "engine/explain.h"
 #include "exec/dataflow.h"
 #include "obs/instruments.h"
 #include "plan/catalog.h"
@@ -262,6 +263,16 @@ class Engine {
   /// chrome://tracing or Perfetto). "[]" when tracing is disabled.
   std::string DumpTraceJson() const;
 
+  /// EXPLAIN ANALYZE: the query's logical plan annotated with its live
+  /// metrics — per-operator rows in/out, batch counts and sizes, sampled
+  /// wall time, kernel path (vectorized vs scalar rows, fallback reasons),
+  /// state bytes, sink emission counters, and (sharded) stall attribution.
+  /// Returns both a human-readable text tree and a JSON document carrying
+  /// the same values. Requires observability with metrics enabled; the
+  /// profiling extras appear only when `ObsOptions::profiling` is on.
+  /// Samples gauges first, so call at a feed boundary.
+  Result<ExplainAnalysis> ExplainAnalyze(const ContinuousQuery* query);
+
   /// The observability context (nullptr until EnableObservability).
   obs::ObsContext* obs() { return obs_.get(); }
 
@@ -339,6 +350,9 @@ class Engine {
   // borrowed pointers into it.
   std::unique_ptr<obs::ObsContext> obs_;
   const obs::EngineMetrics* engine_metrics_ = nullptr;
+  /// Feed-path stall attribution (WAL append+fsync, dispatch fan-out); null
+  /// unless profiling is enabled.
+  const obs::EngineProfileMetrics* engine_profile_ = nullptr;
   std::unordered_map<std::string, const obs::SourceMetrics*> source_obs_;
 
   plan::Catalog catalog_;

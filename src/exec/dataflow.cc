@@ -15,11 +15,15 @@ void CompiledChain::AttachObs(obs::ObsContext* ctx,
                               const std::string& query_label) {
   if (ctx == nullptr || ctx->registry() == nullptr) return;
   std::unordered_map<std::string, int> seen;
+  const int sample_every = ctx->profile_sample_every();
   for (const auto& op : operators) {
     std::string label = op->Name();
     const int occurrence = ++seen[label];
     if (occurrence > 1) label += "_" + std::to_string(occurrence);
     op->AttachMetrics(ctx->ForOperator(query_label, label));
+    // Null unless profiling is enabled; shard copies share the bundle.
+    op->AttachProfile(ctx->ForOperatorProfile(query_label, label),
+                      sample_every);
   }
 }
 
@@ -426,13 +430,22 @@ void Dataflow::AttachObs(obs::ObsContext* ctx, const std::string& query_label,
   chain_.AttachObs(ctx, query_label);
   sink_->AttachSinkMetrics(ctx->ForSink(query_label));
   sink_->AttachTrace(ctx->trace(), query_index);
+  if (ctx->profiling_enabled()) {
+    profile_attach_us_ = obs::TraceRecorder::NowMicros();
+  }
 }
 
 void Dataflow::SampleObsGauges() {
+  const uint64_t now_us = obs::TraceRecorder::NowMicros();
   for (const auto& op : chain_.operators) {
     const obs::OperatorMetrics* m = op->metrics();
     if (m != nullptr) {
       m->state_bytes->Set(static_cast<int64_t>(op->StateBytes()));
+    }
+    const obs::OperatorProfileMetrics* p = op->profile();
+    if (p != nullptr && m != nullptr && now_us > profile_attach_us_) {
+      p->rows_per_sec->Set(static_cast<int64_t>(
+          m->rows_in->Value() * 1000000 / (now_us - profile_attach_us_)));
     }
   }
   sink_->SampleObs();
@@ -442,6 +455,8 @@ void Dataflow::ZeroObsGauges() {
   for (const auto& op : chain_.operators) {
     const obs::OperatorMetrics* m = op->metrics();
     if (m != nullptr) m->state_bytes->Set(0);
+    const obs::OperatorProfileMetrics* p = op->profile();
+    if (p != nullptr) p->rows_per_sec->Set(0);
   }
   sink_->ZeroObs();
 }

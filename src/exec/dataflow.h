@@ -214,6 +214,8 @@ class Dataflow : public DataflowRuntime {
   CompiledChain chain_;
   obs::TraceRecorder* trace_ = nullptr;
   int32_t query_tag_ = -1;
+  /// Steady-clock attach time, the denominator epoch for rows/s gauges.
+  uint64_t profile_attach_us_ = 0;
 };
 
 }  // namespace exec

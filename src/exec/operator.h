@@ -59,7 +59,17 @@ class Operator {
   /// checkpoints see the exact same operator chain with or without metrics.
   Status OnElement(int port, const Change& change) {
     if (metrics_ != nullptr) metrics_->rows_in->Increment();
-    return ProcessElement(port, change);
+    if (profile_ == nullptr) return ProcessElement(port, change);
+    profile_->elements->Increment();
+    profile_->batch_size->Record(1);
+    if (++profile_tick_ < profile_sample_every_) {
+      return ProcessElement(port, change);
+    }
+    profile_tick_ = 0;
+    const uint64_t t0 = obs::TraceRecorder::NowMicros();
+    Status status = ProcessElement(port, change);
+    profile_->wall_us->Record(obs::TraceRecorder::NowMicros() - t0);
+    return status;
   }
 
   /// Processes a whole columnar batch arriving on `port`. The counting
@@ -72,13 +82,33 @@ class Operator {
     if (metrics_ != nullptr && batch.num_rows > 0) {
       metrics_->rows_in->Add(batch.num_rows);
     }
-    return ProcessBatch(port, batch);
+    if (profile_ == nullptr) return ProcessBatch(port, batch);
+    profile_->batches->Increment();
+    profile_->batch_size->Record(batch.num_rows);
+    if (++profile_tick_ < profile_sample_every_) {
+      return ProcessBatch(port, batch);
+    }
+    profile_tick_ = 0;
+    const uint64_t t0 = obs::TraceRecorder::NowMicros();
+    Status status = ProcessBatch(port, batch);
+    profile_->wall_us->Record(obs::TraceRecorder::NowMicros() - t0);
+    return status;
   }
 
   /// Processes a watermark advance on `port`. Watermarks are monotonic per
-  /// port; multi-input operators forward the minimum across ports.
+  /// port; multi-input operators forward the minimum across ports. Watermark
+  /// work (pane firing, state expiry) shares the sampled wall-time histogram
+  /// but not the batch-size one.
   Status OnWatermark(int port, Timestamp watermark, Timestamp ptime) {
-    return ProcessWatermark(port, watermark, ptime);
+    if (profile_ == nullptr) return ProcessWatermark(port, watermark, ptime);
+    if (++profile_tick_ < profile_sample_every_) {
+      return ProcessWatermark(port, watermark, ptime);
+    }
+    profile_tick_ = 0;
+    const uint64_t t0 = obs::TraceRecorder::NowMicros();
+    Status status = ProcessWatermark(port, watermark, ptime);
+    profile_->wall_us->Record(obs::TraceRecorder::NowMicros() - t0);
+    return status;
   }
 
   /// Short stable operator-kind name, used as the `op` metric label.
@@ -91,6 +121,20 @@ class Operator {
     metrics_ = metrics;
   }
   const obs::OperatorMetrics* metrics() const { return metrics_; }
+
+  /// Attaches the profiling bundle (nullptr detaches — the default). Count
+  /// fields (batches, batch sizes, kernel paths) are recorded on every
+  /// dispatch; the wall-clock timer fires every `sample_every`-th dispatch
+  /// per instance, so the timing cost amortizes to ~two clock reads / N.
+  /// Operator instances are single-threaded (one per shard), so the tick is
+  /// a plain int; shard copies share the bundle itself (sharded counters).
+  void AttachProfile(const obs::OperatorProfileMetrics* profile,
+                     int sample_every) {
+    profile_ = profile;
+    profile_sample_every_ = sample_every < 1 ? 1 : sample_every;
+    profile_tick_ = 0;
+  }
+  const obs::OperatorProfileMetrics* profile() const { return profile_; }
 
   /// Approximate bytes of operator state (for the state-size benchmarks).
   virtual size_t StateBytes() const { return 0; }
@@ -161,10 +205,31 @@ class Operator {
     if (metrics_ != nullptr) metrics_->late_drops->Increment();
   }
 
+ protected:
+  /// Kernel-path accounting for operators with a native batch kernel
+  /// (Filter/Project/Aggregate). Row-denominated, so the totals are
+  /// shard-count-invariant: the vector/scalar decision depends only on the
+  /// expression and the batch's lane kinds, which sub-batch splitting
+  /// preserves. `reason_rows` lands on one of the fallback reason counters.
+  void CountVectorizedRows(size_t rows) {
+    if (profile_ == nullptr) return;
+    profile_->vector_batches->Increment();
+    profile_->vector_rows->Add(rows);
+  }
+  void CountScalarRows(size_t rows, obs::Counter* reason) {
+    if (profile_ == nullptr) return;
+    profile_->scalar_batches->Increment();
+    profile_->scalar_rows->Add(rows);
+    if (reason != nullptr) reason->Add(rows);
+  }
+
  private:
   Operator* out_ = nullptr;
   int out_port_ = 0;
   const obs::OperatorMetrics* metrics_ = nullptr;
+  const obs::OperatorProfileMetrics* profile_ = nullptr;
+  int profile_sample_every_ = 16;
+  int profile_tick_ = 0;
 };
 
 /// Helper for operators with `n` input ports: tracks per-port watermarks and

@@ -8,6 +8,29 @@
 namespace onesql {
 namespace exec {
 
+namespace {
+
+/// Maps a kernel fallback reason onto the matching profile counter (null
+/// bundle handled by the caller).
+obs::Counter* FallbackCounterFor(const obs::OperatorProfileMetrics* p,
+                                 KernelFallback why) {
+  if (p == nullptr) return nullptr;
+  switch (why) {
+    case KernelFallback::kDemotedLane:
+      return p->fallback_demoted_lane;
+    case KernelFallback::kDivision:
+      return p->fallback_division;
+    case KernelFallback::kGenericLane:
+      return p->fallback_generic_lane;
+    case KernelFallback::kNone:
+    case KernelFallback::kUnsupported:
+      return p->fallback_unsupported;
+  }
+  return p->fallback_unsupported;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Source
 // ---------------------------------------------------------------------------
@@ -37,7 +60,9 @@ Status FilterOperator::ProcessElement(int, const Change& change) {
 
 Status FilterOperator::ProcessBatch(int, const ChangeBatch& batch) {
   if (batch.num_rows == 0) return Status::OK();
-  if (EvalPredicateBatch(*predicate_, batch, &keep_)) {
+  KernelFallback why = KernelFallback::kNone;
+  if (EvalPredicateBatch(*predicate_, batch, &keep_, &why)) {
+    CountVectorizedRows(batch.num_rows);
     size_t kept = 0;
     for (size_t i = 0; i < batch.num_rows; ++i) kept += keep_[i];
     if (kept == batch.num_rows) return EmitBatch(batch);
@@ -52,6 +77,7 @@ Status FilterOperator::ProcessBatch(int, const ChangeBatch& batch) {
   // The predicate is outside the vectorizable subset for this batch: gather
   // passing rows with the scalar evaluator. On error, the passing prefix is
   // still emitted (exactly the rows the scalar path would have emitted).
+  CountScalarRows(batch.num_rows, FallbackCounterFor(profile(), why));
   out_batch_.ResetLike(batch);
   for (size_t i = 0; i < batch.num_rows; ++i) {
     batch.MaterializeRow(i, &scratch_row_);
@@ -94,13 +120,19 @@ Status ProjectOperator::ProcessBatch(int, const ChangeBatch& batch) {
   out_batch_.Clear();
   out_batch_.columns.resize(nexprs);
   // Vectorize each output column independently; columns outside the subset
-  // fall back to the scalar evaluator row by row below.
+  // fall back to the scalar evaluator row by row below. Kernel-path counters
+  // are per (row, expression): each output column contributes the batch
+  // cardinality to exactly one path, so mixed batches attribute per column.
   std::vector<size_t> fallback;
   for (size_t j = 0; j < nexprs; ++j) {
-    if (!EvalExprBatch(*(*exprs_)[j], batch, &out_batch_.columns[j])) {
+    KernelFallback why = KernelFallback::kNone;
+    if (!EvalExprBatch(*(*exprs_)[j], batch, &out_batch_.columns[j], &why)) {
+      CountScalarRows(batch.num_rows, FallbackCounterFor(profile(), why));
       out_batch_.columns[j].Reset((*exprs_)[j]->type);
       out_batch_.columns[j].Reserve(batch.num_rows);
       fallback.push_back(j);
+    } else {
+      CountVectorizedRows(batch.num_rows);
     }
   }
   if (!fallback.empty()) {
@@ -821,16 +853,21 @@ Status AggregateOperator::ProcessBatch(int port, const ChangeBatch& batch) {
   // Vectorize every key and argument expression, or decompose the whole
   // batch row by row (pre-evaluating args would reorder errors otherwise).
   bool vectorized = true;
+  KernelFallback why = KernelFallback::kNone;
   key_cols_.resize(keys.size());
   for (size_t k = 0; k < keys.size() && vectorized; ++k) {
-    vectorized = EvalExprBatch(*keys[k], batch, &key_cols_[k]);
+    vectorized = EvalExprBatch(*keys[k], batch, &key_cols_[k], &why);
   }
   arg_cols_.resize(aggs.size());
   for (size_t a = 0; a < aggs.size() && vectorized; ++a) {
     if (aggs[a].arg == nullptr) continue;  // COUNT(*): NULL placeholder
-    vectorized = EvalExprBatch(*aggs[a].arg, batch, &arg_cols_[a]);
+    vectorized = EvalExprBatch(*aggs[a].arg, batch, &arg_cols_[a], &why);
   }
-  if (!vectorized) return Operator::ProcessBatch(port, batch);
+  if (!vectorized) {
+    CountScalarRows(batch.num_rows, FallbackCounterFor(profile(), why));
+    return Operator::ProcessBatch(port, batch);
+  }
+  CountVectorizedRows(batch.num_rows);
 
   HashRowsBatch(batch, key_cols_, &hash_scratch_);
 

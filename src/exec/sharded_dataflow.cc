@@ -179,7 +179,16 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   // The pool's epoch handoff gives this thread a happens-before edge over
   // everything the workers wrote, so the merge below reads the capture
   // buffers and operator state without locks.
-  pool_->Run(work);
+  {
+    const uint64_t t0 = query_profile_ != nullptr
+                            ? obs::TraceRecorder::NowMicros()
+                            : 0;
+    pool_->Run(work);
+    if (query_profile_ != nullptr) {
+      query_profile_->shard_wait_us->Record(obs::TraceRecorder::NowMicros() -
+                                            t0);
+    }
+  }
 
   // The error the batch surfaces must be the one the *sequential* runtime
   // would hit: the earliest failing input event, not whichever failing
@@ -213,6 +222,8 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
   // delivers nothing at its own seq: no single shard's partial output
   // matches the partial walk of sequential's combined state map.
   obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
+  const uint64_t merge_t0 =
+      query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
   std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
   auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
     auto& records = shards_[static_cast<size_t>(s)].capture->records();
@@ -254,6 +265,10 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
     if (!merge_status.ok()) break;
   }
   for (Shard& shard : shards_) shard.capture->records().clear();
+  if (query_profile_ != nullptr) {
+    query_profile_->merge_us->Record(obs::TraceRecorder::NowMicros() -
+                                     merge_t0);
+  }
   if (!merge_status.ok()) return merge_status;
   if (failed_shard >= 0) {
     return std::move(statuses[static_cast<size_t>(failed_shard)]);
@@ -437,7 +452,16 @@ Status ShardedDataflow::PushChunks(
       fail_seq[static_cast<size_t>(s)] = fail;
     }
   };
-  pool_->Run(work);
+  {
+    const uint64_t t0 = query_profile_ != nullptr
+                            ? obs::TraceRecorder::NowMicros()
+                            : 0;
+    pool_->Run(work);
+    if (query_profile_ != nullptr) {
+      query_profile_->shard_wait_us->Record(obs::TraceRecorder::NowMicros() -
+                                            t0);
+    }
+  }
 
   int failed_shard = -1;
   uint64_t limit = kNoFailure;
@@ -452,6 +476,8 @@ Status ShardedDataflow::PushChunks(
   // deliver the owning shard's captures (shard 0's copy for watermarks), and
   // stop at the earliest failing event.
   obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
+  const uint64_t merge_t0 =
+      query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
   std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
   auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
     auto& records = shards_[static_cast<size_t>(s)].capture->records();
@@ -498,6 +524,10 @@ Status ShardedDataflow::PushChunks(
     if (!merge_status.ok()) break;
   }
   for (Shard& shard : shards_) shard.capture->records().clear();
+  if (query_profile_ != nullptr) {
+    query_profile_->merge_us->Record(obs::TraceRecorder::NowMicros() -
+                                     merge_t0);
+  }
   if (!merge_status.ok()) return merge_status;
   if (failed_shard >= 0) {
     return std::move(statuses[static_cast<size_t>(failed_shard)]);
@@ -604,9 +634,14 @@ void ShardedDataflow::AttachObs(obs::ObsContext* ctx,
   for (Shard& shard : shards_) shard.chain.AttachObs(ctx, query_label);
   sink_->AttachSinkMetrics(ctx->ForSink(query_label));
   sink_->AttachTrace(ctx->trace(), query_index);
+  query_profile_ = ctx->ForQueryProfile(query_label);
+  if (ctx->profiling_enabled()) {
+    profile_attach_us_ = obs::TraceRecorder::NowMicros();
+  }
 }
 
 void ShardedDataflow::SampleObsGauges() {
+  const uint64_t now_us = obs::TraceRecorder::NowMicros();
   if (!shards_.empty()) {
     const size_t num_ops = shards_[0].chain.operators.size();
     for (size_t pos = 0; pos < num_ops; ++pos) {
@@ -620,6 +655,14 @@ void ShardedDataflow::SampleObsGauges() {
         total += shard.chain.operators[pos]->StateBytes();
       }
       m->state_bytes->Set(static_cast<int64_t>(total));
+      // The shared rows_in counter already sums across shard copies, so one
+      // rows/s computation per chain position covers every shard.
+      const obs::OperatorProfileMetrics* p =
+          shards_[0].chain.operators[pos]->profile();
+      if (p != nullptr && now_us > profile_attach_us_) {
+        p->rows_per_sec->Set(static_cast<int64_t>(
+            m->rows_in->Value() * 1000000 / (now_us - profile_attach_us_)));
+      }
     }
   }
   sink_->SampleObs();
@@ -630,6 +673,8 @@ void ShardedDataflow::ZeroObsGauges() {
     for (const auto& op : shards_[0].chain.operators) {
       const obs::OperatorMetrics* m = op->metrics();
       if (m != nullptr) m->state_bytes->Set(0);
+      const obs::OperatorProfileMetrics* p = op->profile();
+      if (p != nullptr) p->rows_per_sec->Set(0);
     }
   }
   sink_->ZeroObs();

@@ -114,6 +114,10 @@ class ShardedDataflow : public DataflowRuntime {
   uint64_t next_seq_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   int32_t query_tag_ = -1;
+  /// Stall attribution (null unless profiling): fork-join wait and merge
+  /// time per pushed batch, plus the rows/s gauge epoch.
+  const obs::QueryProfileMetrics* query_profile_ = nullptr;
+  uint64_t profile_attach_us_ = 0;
 
   // Introspection flattened across shards (shard-major order).
   std::vector<AggregateOperator*> aggregates_;

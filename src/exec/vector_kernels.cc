@@ -49,6 +49,24 @@ bool IsNumericLane(const ColumnVector& c) {
          c.lane() == ColumnVector::Lane::kF64;
 }
 
+/// Records the *first* fallback reason and returns false, so every
+/// `return false` site can classify itself without threading state back up
+/// through the recursion.
+bool Fail(KernelFallback* why, KernelFallback reason) {
+  if (why != nullptr && *why == KernelFallback::kNone) *why = reason;
+  return false;
+}
+
+/// Lane-mismatch classification: a demoted/VARCHAR generic lane is a
+/// data-shape fallback (kGenericLane); anything else is an expression shape
+/// the kernels do not cover (kUnsupported).
+KernelFallback LaneReason(const ColumnVector& a, const ColumnVector& b) {
+  return a.lane() == ColumnVector::Lane::kGeneric ||
+                 b.lane() == ColumnVector::Lane::kGeneric
+             ? KernelFallback::kGenericLane
+             : KernelFallback::kUnsupported;
+}
+
 /// Splats a literal into a column of length n.
 bool SplatLiteral(const Value& v, size_t n, ColumnVector* out) {
   switch (v.type()) {
@@ -105,17 +123,20 @@ bool IsSafeLiteralDivisor(const BoundExpr& e) {
   return false;
 }
 
-bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t);
+bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t,
+             KernelFallback* why);
 
 /// Numeric binary arithmetic over typed lanes, replicating EvalArithmetic:
 /// both BIGINT -> int64 ops; either side DOUBLE -> both widened to double.
 /// Invalid (NULL) leaf entries are stored as 0, so every loop body is total
 /// — validity masks carry the NULL-propagation.
 bool ArithKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
-                 ColumnVector* out) {
+                 ColumnVector* out, KernelFallback* why) {
   const ColumnVector& a = l.col();
   const ColumnVector& b = r.col();
-  if (!IsNumericLane(a) || !IsNumericLane(b)) return false;
+  if (!IsNumericLane(a) || !IsNumericLane(b)) {
+    return Fail(why, LaneReason(a, b));
+  }
   const bool either_double = a.lane() == ColumnVector::Lane::kF64 ||
                              b.lane() == ColumnVector::Lane::kF64;
   const std::vector<uint8_t>& va = a.valid();
@@ -146,7 +167,7 @@ bool ArithKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
         for (size_t i = 0; i < n; ++i) (*xo)[i] = xa[i] % xb[i];
         break;
       default:
-        return false;
+        return Fail(why, KernelFallback::kUnsupported);
     }
     for (size_t i = 0; i < n; ++i) (*vo)[i] = va[i] & vb[i];
     return true;
@@ -178,7 +199,7 @@ bool ArithKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
       for (size_t i = 0; i < n; ++i) (*xo)[i] = at(a, i) / at(b, i);
       break;
     default:
-      return false;
+      return Fail(why, KernelFallback::kUnsupported);
   }
   for (size_t i = 0; i < n; ++i) (*vo)[i] = va[i] & vb[i];
   return true;
@@ -231,7 +252,7 @@ void CompareLoop(ScalarOp op, size_t n, const std::vector<uint8_t>& va,
 /// Same-representation or mixed-numeric comparison, replicating
 /// Value::Compare + EvalComparison ternary semantics.
 bool CompareKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
-                   ColumnVector* out) {
+                   ColumnVector* out, KernelFallback* why) {
   const ColumnVector& a = l.col();
   const ColumnVector& b = r.col();
   const auto& va = a.valid();
@@ -286,25 +307,31 @@ bool CompareKernel(ScalarOp op, const Temp& l, const Temp& r, size_t n,
         out);
     return true;
   }
-  return false;
+  return Fail(why, LaneReason(a, b));
 }
 
 bool BoolLane(const ColumnVector& c) {
   return c.lane() == ColumnVector::Lane::kBool;
 }
 
-bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
+bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t,
+             KernelFallback* why) {
   const size_t n = batch.num_rows;
   switch (expr.kind) {
     case BoundExpr::Kind::kLiteral:
-      return SplatLiteral(expr.literal, n, t->own());
+      if (!SplatLiteral(expr.literal, n, t->own())) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
+      return true;
     case BoundExpr::Kind::kInputRef: {
-      if (expr.input_index >= batch.columns.size()) return false;
+      if (expr.input_index >= batch.columns.size()) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       const ColumnVector& col = batch.columns[expr.input_index];
       if (col.lane() == ColumnVector::Lane::kGeneric &&
           col.decl() != DataType::kVarchar) {
         // Demoted column (mixed value tags) — per-batch scalar fallback.
-        return false;
+        return Fail(why, KernelFallback::kDemotedLane);
       }
       t->ptr = &col;
       return true;
@@ -316,36 +343,45 @@ bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
     case ScalarOp::kAdd:
     case ScalarOp::kSub:
     case ScalarOp::kMul: {
-      if (expr.children.size() != 2) return false;
+      if (expr.children.size() != 2) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       Temp l, r;
-      if (!EvalRec(*expr.children[0], batch, &l)) return false;
-      if (!EvalRec(*expr.children[1], batch, &r)) return false;
-      return ArithKernel(expr.op, l, r, n, t->own());
+      if (!EvalRec(*expr.children[0], batch, &l, why)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r, why)) return false;
+      return ArithKernel(expr.op, l, r, n, t->own(), why);
     }
     case ScalarOp::kDiv:
     case ScalarOp::kMod: {
-      if (expr.children.size() != 2) return false;
-      if (!IsSafeLiteralDivisor(*expr.children[1])) return false;
+      if (expr.children.size() != 2) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
+      if (!IsSafeLiteralDivisor(*expr.children[1])) {
+        return Fail(why, KernelFallback::kDivision);
+      }
       if (expr.op == ScalarOp::kMod &&
           expr.children[1]->literal.type() != DataType::kBigint) {
-        return false;  // scalar kMod is BIGINT % BIGINT only
+        // scalar kMod is BIGINT % BIGINT only
+        return Fail(why, KernelFallback::kDivision);
       }
       Temp l, r;
-      if (!EvalRec(*expr.children[0], batch, &l)) return false;
-      if (!EvalRec(*expr.children[1], batch, &r)) return false;
+      if (!EvalRec(*expr.children[0], batch, &l, why)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r, why)) return false;
       if (expr.op == ScalarOp::kMod &&
           (l.col().lane() != ColumnVector::Lane::kI64 ||
            l.col().decl() != DataType::kBigint)) {
-        return false;
+        return Fail(why, KernelFallback::kDivision);
       }
-      return ArithKernel(expr.op, l, r, n, t->own());
+      return ArithKernel(expr.op, l, r, n, t->own(), why);
     }
     case ScalarOp::kNeg: {
-      if (expr.children.size() != 1) return false;
+      if (expr.children.size() != 1) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       Temp c;
-      if (!EvalRec(*expr.children[0], batch, &c)) return false;
+      if (!EvalRec(*expr.children[0], batch, &c, why)) return false;
       const ColumnVector& a = c.col();
-      if (!IsNumericLane(a)) return false;
+      if (!IsNumericLane(a)) return Fail(why, LaneReason(a, a));
       ColumnVector* out = t->own();
       if (a.lane() == ColumnVector::Lane::kF64) {
         out->Reset(DataType::kDouble);
@@ -367,19 +403,25 @@ bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
     case ScalarOp::kLe:
     case ScalarOp::kGt:
     case ScalarOp::kGe: {
-      if (expr.children.size() != 2) return false;
+      if (expr.children.size() != 2) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       Temp l, r;
-      if (!EvalRec(*expr.children[0], batch, &l)) return false;
-      if (!EvalRec(*expr.children[1], batch, &r)) return false;
-      return CompareKernel(expr.op, l, r, n, t->own());
+      if (!EvalRec(*expr.children[0], batch, &l, why)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r, why)) return false;
+      return CompareKernel(expr.op, l, r, n, t->own(), why);
     }
     case ScalarOp::kAnd:
     case ScalarOp::kOr: {
-      if (expr.children.size() != 2) return false;
+      if (expr.children.size() != 2) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       Temp l, r;
-      if (!EvalRec(*expr.children[0], batch, &l)) return false;
-      if (!EvalRec(*expr.children[1], batch, &r)) return false;
-      if (!BoolLane(l.col()) || !BoolLane(r.col())) return false;
+      if (!EvalRec(*expr.children[0], batch, &l, why)) return false;
+      if (!EvalRec(*expr.children[1], batch, &r, why)) return false;
+      if (!BoolLane(l.col()) || !BoolLane(r.col())) {
+        return Fail(why, LaneReason(l.col(), r.col()));
+      }
       const auto& xa = l.col().b8();
       const auto& va = l.col().valid();
       const auto& xb = r.col().b8();
@@ -410,10 +452,12 @@ bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
       return true;
     }
     case ScalarOp::kNot: {
-      if (expr.children.size() != 1) return false;
+      if (expr.children.size() != 1) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       Temp c;
-      if (!EvalRec(*expr.children[0], batch, &c)) return false;
-      if (!BoolLane(c.col())) return false;
+      if (!EvalRec(*expr.children[0], batch, &c, why)) return false;
+      if (!BoolLane(c.col())) return Fail(why, LaneReason(c.col(), c.col()));
       ColumnVector* out = t->own();
       out->Reset(DataType::kBoolean);
       std::vector<uint8_t>* xo = out->mutable_b8();
@@ -425,7 +469,9 @@ bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
     }
     case ScalarOp::kIsNull:
     case ScalarOp::kIsNotNull: {
-      if (expr.children.size() != 1) return false;
+      if (expr.children.size() != 1) {
+        return Fail(why, KernelFallback::kUnsupported);
+      }
       // Validity is tracked in every lane (including generic), so NULL tests
       // vectorize over any directly referenced column; computed children go
       // through EvalRec (total by construction).
@@ -437,9 +483,9 @@ bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
         c.ptr = &batch.columns[child.input_index];
         have = true;
       } else {
-        have = EvalRec(child, batch, &c);
+        have = EvalRec(child, batch, &c, why);
       }
-      if (!have) return false;
+      if (!have) return Fail(why, KernelFallback::kUnsupported);
       const auto& vc = c.col().valid();
       ColumnVector* out = t->own();
       out->Reset(DataType::kBoolean);
@@ -453,18 +499,35 @@ bool EvalRec(const BoundExpr& expr, const ChangeBatch& batch, Temp* t) {
       return true;
     }
     default:
-      return false;
+      return Fail(why, KernelFallback::kUnsupported);
   }
-  return false;
+  return Fail(why, KernelFallback::kUnsupported);
 }
 
 }  // namespace
 
+const char* KernelFallbackName(KernelFallback reason) {
+  switch (reason) {
+    case KernelFallback::kNone:
+      return "none";
+    case KernelFallback::kDemotedLane:
+      return "demoted_lane";
+    case KernelFallback::kDivision:
+      return "division";
+    case KernelFallback::kGenericLane:
+      return "generic_lane";
+    case KernelFallback::kUnsupported:
+      return "unsupported";
+  }
+  return "unsupported";
+}
+
 bool EvalExprBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
-                   ColumnVector* out) {
+                   ColumnVector* out, KernelFallback* why) {
   g_scratch_used = 0;
+  if (why != nullptr) *why = KernelFallback::kNone;
   Temp t;
-  if (!EvalRec(expr, batch, &t)) return false;
+  if (!EvalRec(expr, batch, &t, why)) return false;
   // Copy (not move): pooled scratch keeps its capacity for the next batch,
   // and `out` reuses its own capacity across batches. Typed lanes are flat
   // memcpy.
@@ -473,12 +536,15 @@ bool EvalExprBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
 }
 
 bool EvalPredicateBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
-                        std::vector<uint8_t>* keep) {
+                        std::vector<uint8_t>* keep, KernelFallback* why) {
   g_scratch_used = 0;
+  if (why != nullptr) *why = KernelFallback::kNone;
   Temp t;
-  if (!EvalRec(expr, batch, &t)) return false;
+  if (!EvalRec(expr, batch, &t, why)) return false;
   const ColumnVector& c = t.col();
-  if (c.lane() != ColumnVector::Lane::kBool) return false;
+  if (c.lane() != ColumnVector::Lane::kBool) {
+    return Fail(why, KernelFallback::kUnsupported);
+  }
   const size_t n = batch.num_rows;
   keep->resize(n);
   const auto& v = c.valid();

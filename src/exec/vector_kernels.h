@@ -32,17 +32,34 @@ namespace exec {
 ///  - AND/OR/NOT (three-valued; short-circuit differences are unobservable
 ///    because kernels cannot fail), IS NULL / IS NOT NULL
 ///
+/// Why an expression left the vectorizable subset for a batch. The reason is
+/// a function of the expression and the batch's *lane kinds* only (never the
+/// cell values), and sub-batching preserves lane kinds, so per-row fallback
+/// attribution is shard-count-invariant. First failure encountered wins.
+enum class KernelFallback {
+  kNone = 0,
+  kDemotedLane,   ///< Referenced column demoted to the generic lane.
+  kDivision,      ///< / or % without a statically safe literal divisor.
+  kGenericLane,   ///< Non-numeric/generic lane where a typed lane is needed.
+  kUnsupported,   ///< Expression node outside the kernel subset.
+};
+
+const char* KernelFallbackName(KernelFallback reason);
+
 /// Returns false without touching `out` when the expression is outside the
 /// subset for this batch; returns true and fills `out` (one entry per batch
-/// row) otherwise. A true return never carries an error.
+/// row) otherwise. A true return never carries an error. `why`, when
+/// non-null, receives the first fallback reason on a false return (kNone on
+/// a true one).
 bool EvalExprBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
-                   ColumnVector* out);
+                   ColumnVector* out, KernelFallback* why = nullptr);
 
 /// Vectorized predicate: fills `keep` (one byte per row, 1 = row passes,
 /// i.e. the expression is non-NULL TRUE). Same fallback contract as
 /// EvalExprBatch.
 bool EvalPredicateBatch(const plan::BoundExpr& expr, const ChangeBatch& batch,
-                        std::vector<uint8_t>* keep);
+                        std::vector<uint8_t>* keep,
+                        KernelFallback* why = nullptr);
 
 /// Row-wise hash of `key_columns` over the batch, one hash per row. Matches
 /// HashRow over the materialized key row, so hash-aggregate probes can reuse

@@ -16,6 +16,7 @@ std::string RenderLabelsWithLe(const Labels& labels, const std::string& le) {
 }
 
 void AppendJsonString(std::string* out, std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
   *out += '"';
   for (char c : s) {
     switch (c) {
@@ -28,8 +29,23 @@ void AppendJsonString(std::string* out, std::string_view s) {
       case '\n':
         *out += "\\n";
         break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
       default:
-        *out += c;
+        // Remaining control characters (including \b, \f) must be \u-escaped
+        // or the output is not JSON — hostile query names reach this path via
+        // the {query=...} label.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += "\\u00";
+          *out += kHex[(c >> 4) & 0xf];
+          *out += kHex[c & 0xf];
+        } else {
+          *out += c;
+        }
     }
   }
   *out += '"';

@@ -29,6 +29,95 @@ const OperatorMetrics* ObsContext::ForOperator(const std::string& query,
   return operator_bundles_.back().second.get();
 }
 
+const OperatorProfileMetrics* ObsContext::ForOperatorProfile(
+    const std::string& query, const std::string& op) {
+  if (!profiling_enabled()) return nullptr;
+  const std::string key = query + '\0' + op;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, bundle] : operator_profile_bundles_) {
+    if (k == key) return bundle.get();
+  }
+  Labels labels = {{"query", query}, {"op", op}};
+  auto bundle = std::make_unique<OperatorProfileMetrics>();
+  bundle->batches =
+      registry_->GetCounter("onesql_profile_batches_total", labels);
+  bundle->elements =
+      registry_->GetCounter("onesql_profile_elements_total", labels);
+  bundle->batch_size =
+      registry_->GetHistogram("onesql_profile_batch_size", labels);
+  bundle->wall_us =
+      registry_->GetHistogram("onesql_profile_batch_wall_us", labels);
+  bundle->rows_per_sec =
+      registry_->GetGauge("onesql_profile_rows_per_sec", labels);
+  bundle->vector_rows = registry_->GetCounter(
+      "onesql_kernel_rows_total",
+      {{"query", query}, {"op", op}, {"path", "vectorized"}});
+  bundle->scalar_rows = registry_->GetCounter(
+      "onesql_kernel_rows_total",
+      {{"query", query}, {"op", op}, {"path", "scalar"}});
+  bundle->vector_batches = registry_->GetCounter(
+      "onesql_kernel_batches_total",
+      {{"query", query}, {"op", op}, {"path", "vectorized"}});
+  bundle->scalar_batches = registry_->GetCounter(
+      "onesql_kernel_batches_total",
+      {{"query", query}, {"op", op}, {"path", "scalar"}});
+  bundle->fallback_demoted_lane = registry_->GetCounter(
+      "onesql_kernel_fallback_rows_total",
+      {{"query", query}, {"op", op}, {"reason", "demoted_lane"}});
+  bundle->fallback_division = registry_->GetCounter(
+      "onesql_kernel_fallback_rows_total",
+      {{"query", query}, {"op", op}, {"reason", "division"}});
+  bundle->fallback_generic_lane = registry_->GetCounter(
+      "onesql_kernel_fallback_rows_total",
+      {{"query", query}, {"op", op}, {"reason", "generic_lane"}});
+  bundle->fallback_unsupported = registry_->GetCounter(
+      "onesql_kernel_fallback_rows_total",
+      {{"query", query}, {"op", op}, {"reason", "unsupported"}});
+  operator_profile_bundles_.emplace_back(key, std::move(bundle));
+  return operator_profile_bundles_.back().second.get();
+}
+
+const QueryProfileMetrics* ObsContext::ForQueryProfile(
+    const std::string& query) {
+  if (!profiling_enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, bundle] : query_profile_bundles_) {
+    if (k == query) return bundle.get();
+  }
+  Labels labels = {{"query", query}};
+  auto bundle = std::make_unique<QueryProfileMetrics>();
+  bundle->shard_wait_us =
+      registry_->GetHistogram("onesql_profile_shard_wait_us", labels);
+  bundle->merge_us =
+      registry_->GetHistogram("onesql_profile_merge_us", labels);
+  query_profile_bundles_.emplace_back(query, std::move(bundle));
+  return query_profile_bundles_.back().second.get();
+}
+
+const EngineProfileMetrics* ObsContext::ForEngineProfile() {
+  if (!profiling_enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_profile_bundle_ == nullptr) {
+    engine_profile_bundle_ = std::make_unique<EngineProfileMetrics>();
+    engine_profile_bundle_->feed_wal_stall_us =
+        registry_->GetHistogram("onesql_profile_feed_wal_stall_us");
+    engine_profile_bundle_->feed_dispatch_us =
+        registry_->GetHistogram("onesql_profile_feed_dispatch_us");
+  }
+  return engine_profile_bundle_.get();
+}
+
+const ServerProfileMetrics* ObsContext::ForServerProfile() {
+  if (!profiling_enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (server_profile_bundle_ == nullptr) {
+    server_profile_bundle_ = std::make_unique<ServerProfileMetrics>();
+    server_profile_bundle_->fanout_us =
+        registry_->GetHistogram("onesql_profile_server_fanout_us");
+  }
+  return server_profile_bundle_.get();
+}
+
 const SinkMetrics* ObsContext::ForSink(const std::string& query) {
   if (registry_ == nullptr) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);

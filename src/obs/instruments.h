@@ -20,6 +20,15 @@ struct ObsOptions {
   bool metrics = false;  ///< Counters, gauges, histograms.
   bool tracing = false;  ///< Span recording into per-thread rings.
   size_t trace_ring_capacity = 4096;  ///< Retained spans per thread.
+  /// Query-level profiling (DESIGN.md §15): per-operator wall-time sampling,
+  /// batch-size histograms, kernel-path counters, and pipeline-stall
+  /// attribution. Requires `metrics` (the profile is exported through the
+  /// same registry); implied-off otherwise.
+  bool profiling = false;
+  /// Sampling period for the wall-clock operator timers: every Nth dispatch
+  /// per operator instance is timed. Count-valued profile metrics (rows,
+  /// batches, kernel paths) are never sampled. Clamped to >= 1.
+  int profile_sample_every = 16;
 };
 
 // -- Typed instrument bundles ------------------------------------------------
@@ -36,6 +45,52 @@ struct OperatorMetrics {
   Counter* rows_out = nullptr;
   Counter* late_drops = nullptr;
   Gauge* state_bytes = nullptr;
+};
+
+/// Per-operator profile instruments (DESIGN.md §15), resolved only when
+/// `ObsOptions::profiling` is on. Like OperatorMetrics, one bundle is shared
+/// by every shard copy of a chain position, so count-valued fields sum to the
+/// sequential totals at any shard count. Row-denominated counters (kernel
+/// rows by path/reason) are shard-count-invariant; batch-denominated and
+/// time-valued fields are not (sub-batch splitting differs by N).
+struct OperatorProfileMetrics {
+  Counter* batches = nullptr;        ///< ProcessBatch dispatches.
+  Counter* elements = nullptr;       ///< Scalar ProcessElement dispatches.
+  Histogram* batch_size = nullptr;   ///< Rows per dispatched batch.
+  Histogram* wall_us = nullptr;      ///< Sampled per-dispatch wall time.
+  Gauge* rows_per_sec = nullptr;     ///< rows_in / seconds since attach.
+  Counter* vector_rows = nullptr;    ///< Rows through vectorized kernels.
+  Counter* scalar_rows = nullptr;    ///< Rows through the scalar fallback.
+  Counter* vector_batches = nullptr;
+  Counter* scalar_batches = nullptr;
+  /// Scalar-fallback rows by reason (shard-count-invariant: the reason
+  /// depends only on the expression and lane kinds, which sub-batching
+  /// preserves).
+  Counter* fallback_demoted_lane = nullptr;
+  Counter* fallback_division = nullptr;
+  Counter* fallback_generic_lane = nullptr;
+  Counter* fallback_unsupported = nullptr;
+};
+
+/// Per-query pipeline-stall attribution for the sharded runtime: where a
+/// pushed batch waits (worker fork-join) and how long the deterministic
+/// merge takes. Wall-clock valued; never shard-count-invariant.
+struct QueryProfileMetrics {
+  Histogram* shard_wait_us = nullptr;  ///< Fork-join wait per pushed batch.
+  Histogram* merge_us = nullptr;       ///< Input-order merge per pushed batch.
+};
+
+/// Engine-level stall attribution: time a Feed spends blocked on the
+/// write-ahead log (append + fsync) before dispatch.
+struct EngineProfileMetrics {
+  Histogram* feed_wal_stall_us = nullptr;  ///< WAL append+sync per feed.
+  Histogram* feed_dispatch_us = nullptr;   ///< Query dispatch per feed.
+};
+
+/// Server-side sink fan-out attribution: time spent pushing changelog lines
+/// to subscribers after a feed round.
+struct ServerProfileMetrics {
+  Histogram* fanout_us = nullptr;
 };
 
 /// Sink-side changelog and pane metrics for one query.
@@ -137,10 +192,26 @@ class ObsContext {
   MetricsRegistry* registry() { return registry_.get(); }
   TraceRecorder* trace() { return trace_.get(); }
 
+  /// True when the profiling factories hand out real bundles.
+  bool profiling_enabled() const {
+    return registry_ != nullptr && options_.profiling;
+  }
+  /// Sampling period for operator wall-clock timers (>= 1).
+  int profile_sample_every() const {
+    return options_.profile_sample_every < 1 ? 1
+                                             : options_.profile_sample_every;
+  }
+
   /// Bundle factories; cached per key, so repeated calls (e.g. a query
   /// rebuilt by Restore) return the same instruments.
   const OperatorMetrics* ForOperator(const std::string& query,
                                      const std::string& op);
+  /// Profiling bundles return nullptr unless `profiling_enabled()`.
+  const OperatorProfileMetrics* ForOperatorProfile(const std::string& query,
+                                                   const std::string& op);
+  const QueryProfileMetrics* ForQueryProfile(const std::string& query);
+  const EngineProfileMetrics* ForEngineProfile();
+  const ServerProfileMetrics* ForServerProfile();
   const SinkMetrics* ForSink(const std::string& query);
   const SourceMetrics* ForSource(const std::string& source);
   const WalMetrics* ForWal();
@@ -157,6 +228,10 @@ class ObsContext {
   std::mutex mu_;
   std::vector<std::pair<std::string, std::unique_ptr<OperatorMetrics>>>
       operator_bundles_;
+  std::vector<std::pair<std::string, std::unique_ptr<OperatorProfileMetrics>>>
+      operator_profile_bundles_;
+  std::vector<std::pair<std::string, std::unique_ptr<QueryProfileMetrics>>>
+      query_profile_bundles_;
   std::vector<std::pair<std::string, std::unique_ptr<SinkMetrics>>>
       sink_bundles_;
   std::vector<std::pair<std::string, std::unique_ptr<SourceMetrics>>>
@@ -167,7 +242,9 @@ class ObsContext {
       shared_plan_bundles_;
   std::unique_ptr<WalMetrics> wal_bundle_;
   std::unique_ptr<EngineMetrics> engine_bundle_;
+  std::unique_ptr<EngineProfileMetrics> engine_profile_bundle_;
   std::unique_ptr<ServerMetrics> server_bundle_;
+  std::unique_ptr<ServerProfileMetrics> server_profile_bundle_;
 };
 
 }  // namespace obs

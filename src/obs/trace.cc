@@ -63,6 +63,10 @@ void TraceRecorder::Record(const TraceEvent& event) {
   // Only this thread writes this ring, so the head load can be relaxed; the
   // store is release so a drainer that acquires the head sees the slot.
   uint64_t head = ring->head.load(std::memory_order_relaxed);
+  if (head >= ring->slots.size()) {
+    // Wrapping: the slot we are about to reuse still holds a retained span.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
   Slot& slot = ring->slots[head % ring->slots.size()];
   slot.name.store(event.name, std::memory_order_relaxed);
   slot.category.store(event.category, std::memory_order_relaxed);
@@ -107,6 +111,19 @@ std::string TraceRecorder::DumpChromeJson() const {
   std::vector<TraceEvent> events = Drain();
   std::string out = "[";
   bool first = true;
+  // Metadata event first so ring truncation is visible in the viewer: how
+  // many spans were recorded in total and how many wraparound discarded.
+  // Omitted while nothing has been recorded, so an idle dump stays "[]".
+  if (recorded() > 0) {
+    out +=
+        "\n{\"name\":\"trace_stats\",\"cat\":\"meta\",\"ph\":\"i\",\"pid\":1,"
+        "\"tid\":0,\"ts\":0,\"s\":\"g\",\"args\":{\"recorded\":";
+    out += std::to_string(recorded());
+    out += ",\"dropped\":";
+    out += std::to_string(dropped());
+    out += "}}";
+    first = false;
+  }
   for (const TraceEvent& ev : events) {
     if (!first) out += ",";
     first = false;

@@ -55,6 +55,14 @@ class TraceRecorder {
     return recorded_.load(std::memory_order_relaxed);
   }
 
+  /// Spans lost to ring wraparound: each Record() into a full ring overwrites
+  /// the oldest retained span, and that overwrite is counted here. Exposed in
+  /// both expositions (gauge) and in the Chrome trace dump metadata so a
+  /// truncated profile is visible instead of silently partial.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Microseconds on the steady clock (the span timebase).
   static uint64_t NowMicros();
 
@@ -81,6 +89,7 @@ class TraceRecorder {
   const size_t ring_capacity_;
   const uint64_t id_;  ///< Process-unique recorder id for the TLS cache.
   std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;  ///< Guards ring registration only.
   std::vector<std::unique_ptr<Ring>> rings_;
 };

@@ -19,6 +19,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--port N] [--durable-dir DIR] [--max-sessions N]\n"
       "          [--max-queries N] [--max-session-queue N] [--shards N]\n"
+      "          [--profiling]\n"
       "  --port N              listen port on 127.0.0.1 (default 7687;\n"
       "                        0 picks an ephemeral port)\n"
       "  --durable-dir DIR     restore from DIR, run with a write-ahead\n"
@@ -29,7 +30,10 @@ void Usage(const char* argv0) {
       "  --max-session-queue N outbound lines buffered per session before\n"
       "                        a slow subscriber is dropped (default 1024)\n"
       "  --shards N            shard count for submitted queries\n"
-      "                        (default 1; 0 = hardware concurrency)\n",
+      "                        (default 1; 0 = hardware concurrency)\n"
+      "  --profiling           query-level profiling: the explain\n"
+      "                        command's sampled wall-time / kernel-path\n"
+      "                        annotations (DESIGN.md §15)\n",
       argv0);
 }
 
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--shards") {
       options.default_shards = std::atoi(next());
+    } else if (arg == "--profiling") {
+      options.profiling = true;
     } else {
       Usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;

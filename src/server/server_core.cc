@@ -68,10 +68,14 @@ Status ServerCore::Init() {
   if (options_.metrics && !engine_->observability_enabled()) {
     obs::ObsOptions obs;
     obs.metrics = true;
+    obs.profiling = options_.profiling;
     ONESQL_RETURN_NOT_OK(engine_->EnableObservability(obs));
   }
   if (engine_->obs() != nullptr) {
     metrics_ = engine_->obs()->ForServer();
+    // Null unless the engine's observability has profiling on (either via
+    // options_.profiling above or pre-enabled on an injected engine).
+    profile_ = engine_->obs()->ForServerProfile();
   }
   if (!options_.durable_dir.empty()) {
     // Restore first (standing queries come back from the checkpoint with
@@ -391,6 +395,7 @@ Json ServerCore::Dispatch(Session* session, const Json& request) {
   if (name == "checkpoint") return CmdCheckpoint(session, request);
   if (name == "stats") return CmdStats(session, request);
   if (name == "metrics") return CmdMetrics(session, request);
+  if (name == "explain") return CmdExplain(session, request);
   return Error(request,
                Status::InvalidArgument("unknown command '" + name + "'"));
 }
@@ -733,6 +738,27 @@ Json ServerCore::CmdMetrics(Session* session, const Json& request) {
   return out;
 }
 
+Json ServerCore::CmdExplain(Session* session, const Json& request) {
+  (void)session;
+  Result<std::string> name = GetString(request, "query");
+  if (!name.ok()) return Error(request, name.status());
+  PlanEntry* entry = FindPlanByName(name.value());
+  if (entry == nullptr) {
+    return Error(request,
+                 Status::NotFound("unknown query '" + name.value() + "'"));
+  }
+  // Read-only diagnostics (like `metrics`): no plan handle required.
+  Result<ExplainAnalysis> analysis = engine_->ExplainAnalyze(entry->query);
+  if (!analysis.ok()) return Error(request, analysis.status());
+  Result<Json> encoded = EncodeExplainAnalysis(analysis.value());
+  if (!encoded.ok()) return Error(request, encoded.status());
+  Json out = Ok(request);
+  out.Set("query", Json::Str("p" + std::to_string(entry->id)));
+  out.Set("text", Json::Str(analysis.value().text));
+  out.Set("analysis", std::move(encoded).value());
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Subscription fan-out
 // ---------------------------------------------------------------------------
@@ -782,11 +808,15 @@ void ServerCore::Pump() {
   // touching its subscribers — a feed that moves one shared plan costs
   // O(its subscribers), not O(all subscriptions on the server).
   std::vector<uint64_t> overflowed;
+  bool fanned = false;
+  const uint64_t t0 =
+      profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
   for (auto& [plan_id, sub_ids] : plan_subs_) {
     auto plan_it = plans_.find(plan_id);
     if (plan_it == plans_.end()) continue;
     PlanEntry& entry = plan_it->second;
     if (entry.query->Emissions().size() == entry.fanned_out) continue;
+    fanned = true;
     PayloadCache payloads;
     for (uint64_t sub_id : sub_ids) {
       if (PushDeltas(entry, subs_.at(sub_id), &payloads)) {
@@ -794,6 +824,11 @@ void ServerCore::Pump() {
       }
     }
     entry.fanned_out = entry.query->Emissions().size();
+  }
+  // One sample per pump that actually fanned out: time spent encoding and
+  // queueing deltas is the sink-side backpressure a slow subscriber causes.
+  if (profile_ != nullptr && fanned) {
+    profile_->fanout_us->Record(obs::TraceRecorder::NowMicros() - t0);
   }
   TearDownOverflowed(overflowed);
 }

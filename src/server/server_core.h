@@ -43,6 +43,10 @@ struct ServerOptions {
   /// Attach the metrics registry (per-session / per-shared-plan labels in
   /// both expositions; the `metrics` command serves them).
   bool metrics = true;
+  /// Enable query-level profiling (DESIGN.md §15): the `explain` command's
+  /// sampled wall-time / batch-size / kernel-path annotations, plus the
+  /// fan-out stall histogram. Requires `metrics`; ignored without it.
+  bool profiling = false;
 };
 
 /// The transport-independent server: sessions, the wire-command dispatcher,
@@ -173,6 +177,7 @@ class ServerCore {
   Json CmdCheckpoint(Session* session, const Json& request);
   Json CmdStats(Session* session, const Json& request);
   Json CmdMetrics(Session* session, const Json& request);
+  Json CmdExplain(Session* session, const Json& request);
 
   /// Advances every subscription cursor over its query's changelog, fanning
   /// new emissions out to the subscribed sessions. Each emission's payload
@@ -236,6 +241,8 @@ class ServerCore {
   uint64_t next_sub_id_ = 1;
 
   const obs::ServerMetrics* metrics_ = nullptr;
+  /// Fan-out stall attribution; null unless profiling is enabled.
+  const obs::ServerProfileMetrics* profile_ = nullptr;
 };
 
 }  // namespace server

@@ -233,5 +233,14 @@ std::string EncodeDeltaLine(uint64_t sub, uint64_t seq,
   return EncodeDeltaLine(sub, seq, *EncodeDeltaPayload(e));
 }
 
+Result<Json> EncodeExplainAnalysis(const ExplainAnalysis& analysis) {
+  Result<Json> parsed = Json::Parse(analysis.json);
+  if (!parsed.ok()) {
+    return Status::Internal("EXPLAIN ANALYZE produced malformed JSON: " +
+                            parsed.status().message());
+  }
+  return parsed;
+}
+
 }  // namespace server
 }  // namespace onesql

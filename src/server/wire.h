@@ -63,6 +63,12 @@ std::string EncodeDeltaLine(uint64_t sub, uint64_t seq,
 std::string EncodeDeltaLine(uint64_t sub, uint64_t seq,
                             const exec::Emission& e);
 
+/// The `explain` response body: Engine::ExplainAnalyze's JSON rendering
+/// re-parsed into the wire document model, so clients receive a structured
+/// "analysis" object rather than a doubly-encoded string. Fails (Internal)
+/// if the analysis JSON is malformed — a renderer bug, not client error.
+Result<Json> EncodeExplainAnalysis(const ExplainAnalysis& analysis);
+
 }  // namespace server
 }  // namespace onesql
 

@@ -184,6 +184,70 @@ TEST(ObservabilityTest, MetricsAreExactAndShardCountInvariant) {
   }
 }
 
+TEST(ObservabilityTest, ProfileRowCountersAreShardCountInvariant) {
+  // The profiling determinism contract (DESIGN.md §15): row-denominated
+  // kernel counters are a function of the expression and the data — routing
+  // sub-batches a chunk but preserves per-row path attribution — so they are
+  // bit-identical across shard counts. Batch-denominated and time-valued
+  // profile metrics carry no such guarantee and are deliberately not
+  // compared here.
+  for (int shards : {1, 2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    Engine engine;
+    ASSERT_TRUE(engine.RegisterStream("Bid", BidSchema()).ok());
+    obs::ObsOptions options = MetricsAndTracing();
+    options.profiling = true;
+    ASSERT_TRUE(engine.EnableObservability(options).ok());
+    ExecutionOptions exec;
+    exec.shards = shards;
+    // One vectorized expression per path of interest: the filter and
+    // `price * 2` ride the kernels; `price / price` has a non-literal
+    // divisor and falls back per row with the `division` reason.
+    auto q = engine.Execute(
+        "SELECT item, price * 2 AS p2, price / price AS unit FROM Bid "
+        "WHERE price >= 2",
+        exec);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    ASSERT_TRUE(engine.Feed(PaperFeed()).ok());
+
+    const obs::MetricsSnapshot snap = engine.MetricsSnapshot();
+    const auto kernel_rows = [&](const std::string& op,
+                                 const std::string& path) {
+      return snap.CounterValue(
+          "onesql_kernel_rows_total",
+          {{"query", "q0"}, {"op", op}, {"path", path}});
+    };
+    // All six bids hit the filter vectorized; price 1 fails the predicate.
+    EXPECT_EQ(kernel_rows("filter", "vectorized"), 6u);
+    EXPECT_EQ(kernel_rows("filter", "scalar"), 0u);
+    // Five passing rows, three expressions: item + price*2 vectorize
+    // (10 rows), price/price goes scalar (5 rows), all blamed on division.
+    EXPECT_EQ(kernel_rows("project", "vectorized"), 10u);
+    EXPECT_EQ(kernel_rows("project", "scalar"), 5u);
+    EXPECT_EQ(snap.CounterValue(
+                  "onesql_kernel_fallback_rows_total",
+                  {{"query", "q0"}, {"op", "project"}, {"reason", "division"}}),
+              5u);
+    EXPECT_EQ(snap.CounterValue("onesql_kernel_fallback_rows_total",
+                                {{"query", "q0"},
+                                 {"op", "project"},
+                                 {"reason", "generic_lane"}}),
+              0u);
+    // Operator row counters share the guarantee.
+    EXPECT_EQ(snap.CounterValue("onesql_operator_rows_in_total",
+                                {{"query", "q0"}, {"op", "filter"}}),
+              6u);
+    EXPECT_EQ(snap.CounterValue("onesql_operator_rows_out_total",
+                                {{"query", "q0"}, {"op", "filter"}}),
+              5u);
+    // Profiling is live (batches flowed) without asserting how many: batch
+    // counts depend on the shard routing.
+    EXPECT_GT(snap.CounterValue("onesql_profile_batches_total",
+                                {{"query", "q0"}, {"op", "filter"}}),
+              0u);
+  }
+}
+
 TEST(ObservabilityTest, TraceSpansCoverFeedRouteOperatorSink) {
   Engine engine;
   ASSERT_TRUE(engine.RegisterStream("Bid", BidSchema()).ok());

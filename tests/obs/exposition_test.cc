@@ -127,6 +127,25 @@ TEST(ExpositionEscapingTest, LabelValuesAreEscaped) {
   EXPECT_NE(json.find("\"source\":\"a\\\"b\\\\c\""), std::string::npos);
 }
 
+TEST(ExpositionEscapingTest, ControlCharactersStayInsideTheStringLiteral) {
+  // A hostile label value (newline, tab, raw control byte) must not break
+  // either exposition: Prometheus escapes the newline, and JSON encodes
+  // every control character as an escape so the document stays parseable.
+  MetricsRegistry reg;
+  reg.GetCounter("onesql_test_total", {{"query", "q\n0\tx\x01"}})->Add(1);
+  const std::string prom = reg.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("query=\"q\\n0"), std::string::npos);
+  // The rendered text holds exactly one real newline per line; the label's
+  // newline must not have leaked through raw.
+  EXPECT_EQ(prom.find("q\n0"), std::string::npos);
+  // JSON escapes every control character inside the string literal (the
+  // document's own inter-element newlines are structural and fine).
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("q\\n0\\tx\\u0001"), std::string::npos);
+  EXPECT_EQ(json.find("q\n0"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
 TEST(ExpositionEmptyTest, EmptySnapshotRendersEmpty) {
   MetricsSnapshot snap;
   EXPECT_EQ(snap.ToPrometheus(), "");

@@ -59,6 +59,36 @@ TEST(TraceTest, RingKeepsTheNewestEventsWhenFull) {
   }
 }
 
+TEST(TraceTest, DroppedSpansAreCountedAndSurfacedInTheDump) {
+  // Each Record() into a full ring overwrites the oldest retained span and
+  // counts one drop, so a truncated profile announces itself instead of
+  // reading as complete.
+  TraceRecorder rec(16);
+  for (int i = 0; i < 21; ++i) {
+    TraceEvent e;
+    e.name = "op";
+    e.category = "test";
+    e.ts_us = static_cast<uint64_t>(i + 1);
+    rec.Record(e);
+  }
+  EXPECT_EQ(rec.recorded(), 21u);
+  EXPECT_EQ(rec.dropped(), 5u);
+  const std::string json = rec.DumpChromeJson();
+  EXPECT_NE(json.find("\"trace_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":21"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":5"), std::string::npos);
+
+  // A ring that never wrapped reports zero drops.
+  TraceRecorder intact(16);
+  TraceEvent e;
+  e.name = "op";
+  e.category = "test";
+  e.ts_us = 1;
+  intact.Record(e);
+  EXPECT_EQ(intact.dropped(), 0u);
+  EXPECT_NE(intact.DumpChromeJson().find("\"dropped\":0"), std::string::npos);
+}
+
 TEST(TraceTest, ConcurrentSpansFromManyThreads) {
   TraceRecorder rec(1024);
   constexpr int kThreads = 8;

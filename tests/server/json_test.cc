@@ -10,6 +10,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.h"
 #include "server/json.h"
 
 namespace onesql {
@@ -112,6 +113,26 @@ TEST(JsonTest, DepthLimitStopsRunawayNesting) {
   for (int i = 0; i < 100; ++i) deep += "]";
   EXPECT_FALSE(Json::Parse(deep).ok());
   EXPECT_TRUE(Json::Parse("[[[[[[[[1]]]]]]]]").ok());
+}
+
+TEST(JsonTest, MetricsExpositionRoundTripsHostileLabels) {
+  // The metrics JSON exposition must survive this parser with hostile label
+  // values intact: quotes, backslashes, newlines, tabs, and raw control
+  // bytes — the shapes a malicious query name would smuggle into the
+  // {query=...} label.
+  const std::string hostile = "q\"0\\x\n\t\x01{}";
+  obs::MetricsRegistry reg;
+  reg.GetCounter("onesql_test_total", {{"query", hostile}})->Add(3);
+  auto parsed = Json::Parse(reg.Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_array());
+  ASSERT_EQ(counters->items().size(), 1u);
+  const Json& counter = counters->items().front();
+  EXPECT_EQ(counter.Find("name")->AsString(), "onesql_test_total");
+  EXPECT_EQ(counter.Find("labels")->Find("query")->AsString(), hostile);
+  EXPECT_EQ(counter.Find("value")->AsInt(), 3);
 }
 
 }  // namespace

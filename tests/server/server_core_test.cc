@@ -487,6 +487,43 @@ TEST(ServerCoreTest, MetricsCommandServesBothExpositions) {
             std::string::npos);
 }
 
+TEST(ServerCoreTest, ExplainCommandReturnsAnnotatedPlanAndAnalysis) {
+  ServerOptions options;
+  options.profiling = true;
+  auto core = MakeServer(options);
+  const uint64_t s = Open(core.get());
+  RegisterBid(core.get(), s);
+  Json submitted = CallOk(
+      core.get(), s,
+      R"({"cmd":"submit","sql":")" + std::string(kPassThrough) + R"("})");
+  const std::string query = submitted.Find("query")->AsString();
+  CallOk(core.get(), s,
+         FeedCmd({InsertEvent(10, 100, 5, "A"), InsertEvent(20, 200, 9, "B"),
+                  WatermarkEvent(30, 600000)}));
+
+  // Like `metrics`, explain is read-only diagnostics: any session may call
+  // it by plan name without holding a handle.
+  Json response = CallOk(
+      core.get(), s, R"({"cmd":"explain","query":")" + query + R"("})");
+  EXPECT_EQ(response.Find("query")->AsString(), query);
+  const std::string& text = response.Find("text")->AsString();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("[op="), std::string::npos);
+  EXPECT_NE(text.find("profiling=on"), std::string::npos);
+  EXPECT_NE(text.find("[batches="), std::string::npos);
+  const Json* analysis = response.Find("analysis");
+  ASSERT_NE(analysis, nullptr);
+  const Json* plan = analysis->Find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Find("rows_in")->AsInt(), 2);
+  ASSERT_NE(analysis->Find("sink"), nullptr);
+  EXPECT_EQ(analysis->Find("sink")->Find("emissions")->AsInt(), 2);
+
+  Json unknown =
+      Call(core.get(), s, R"({"cmd":"explain","query":"p999"})");
+  EXPECT_FALSE(unknown.Find("ok")->AsBool());
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace onesql

@@ -1,9 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a freshly generated BENCH_*.json against the checked-in baseline.
+"""Compare freshly generated BENCH_*.json files against checked-in baselines.
 
-Usage: bench_compare.py BASELINE.json CURRENT.json [--warn=0.85] [--fail=0.5]
+Usage: bench_compare.py BASELINE.json CURRENT.json [BASELINE2 CURRENT2 ...]
+                        [--warn=0.85] [--fail=0.5]
 
-Both files use the bench_util.h JSON schema: {"bench": ..., "benchmarks":
+Positional arguments are (baseline, current) pairs — one pair gates one
+bench binary's output, and a single invocation can gate several (e.g. the
+NEXMark suite and the profiling-overhead suite together). All pairs share
+the same thresholds; every pair is evaluated even after one fails, so a red
+run reports the full picture.
+
+All files use the bench_util.h JSON schema: {"bench": ..., "benchmarks":
 [{"name", "items_per_second", "p50_ns", ...}, ...]}. For every benchmark
 present in the baseline, the current run's throughput (items_per_second when
 reported, else the inverse of p50_ns) must stay above `fail` x baseline or
@@ -43,17 +50,7 @@ def load(path):
     return {e["name"]: e for e in benches}
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    opts = dict(a[2:].split("=", 1) for a in argv[1:] if a.startswith("--"))
-    if len(args) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    warn_ratio = float(opts.get("warn", 0.85))
-    fail_ratio = float(opts.get("fail", 0.5))
-    baseline = load(args[0])
-    current = load(args[1])
-
+def compare_pair(baseline, current, warn_ratio, fail_ratio):
     failures = warnings = 0
     for name in sorted(baseline):
         if name not in current:
@@ -76,6 +73,26 @@ def main(argv):
             print(f"  [ok]   {line}")
     for name in sorted(set(current) - set(baseline)):
         print(f"  [note] {name}: new benchmark, not in baseline")
+    return failures, warnings
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = dict(a[2:].split("=", 1) for a in argv[1:] if a.startswith("--"))
+    if not args or len(args) % 2 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    warn_ratio = float(opts.get("warn", 0.85))
+    fail_ratio = float(opts.get("fail", 0.5))
+
+    failures = warnings = 0
+    for base_path, cur_path in zip(args[0::2], args[1::2]):
+        if len(args) > 2:
+            print(f"== {base_path} vs {cur_path}")
+        f, w = compare_pair(load(base_path), load(cur_path),
+                            warn_ratio, fail_ratio)
+        failures += f
+        warnings += w
 
     if failures:
         print(

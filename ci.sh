@@ -63,11 +63,21 @@ run_leg "perf-micro-run" \
 # the JSON it writes also joins the throughput comparison below.
 run_leg "perf-profile-run" \
   env -C "${PERF_DIR}" ../bench/bench_profile --benchmark_min_time=0.1
+# The sharded-runtime and durability benches guard the pipelined worker
+# epochs and the group-commit WAL: a scheduling regression (lost wakeup,
+# spin gone wrong, fsync no longer amortized) shows up here as a throughput
+# cliff long before anyone reads a latency histogram.
+run_leg "perf-parallel-run" \
+  env -C "${PERF_DIR}" ../bench/bench_parallel --benchmark_min_time=0.1
+run_leg "perf-checkpoint-run" \
+  env -C "${PERF_DIR}" ../bench/bench_checkpoint --benchmark_min_time=0.1
 # The e2e legs get extra headroom: full-engine NEXMark runs swing harder
 # under co-tenant load than the kernel microbenches do.
 run_leg "perf-e2e-compare" python3 tools/bench_compare.py \
   BENCH_nexmark.json "${PERF_DIR}/BENCH_nexmark.json" \
   BENCH_profile.json "${PERF_DIR}/BENCH_profile.json" \
+  BENCH_parallel.json "${PERF_DIR}/BENCH_parallel.json" \
+  BENCH_checkpoint.json "${PERF_DIR}/BENCH_checkpoint.json" \
   --fail=0.35 --warn=0.7
 run_leg "perf-micro-compare" python3 tools/bench_compare.py \
   BENCH_micro.json "${PERF_DIR}/BENCH_micro.json"
@@ -111,13 +121,20 @@ run_leg "tsan-configure" cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="${WARN_FLAGS} -fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 run_leg "tsan-build" cmake --build build-tsan -j"${JOBS}" \
-  --target engine_test recovery_test obs_test observability_test server_test
+  --target engine_test recovery_test group_commit_test obs_test \
+  observability_test server_test state_test
 run_leg "tsan-engine" ./build-tsan/tests/engine_test \
-  --gtest_filter='ParallelRuntimeTest.*:EngineTest.*'
+  --gtest_filter='ParallelRuntimeTest.*:EngineTest.*:SpscQueueTest.*'
 # The sharded restore path: SaveState/LoadState across worker threads, and
 # recovery-equivalence at N ∈ {1, 2, 8}.
 run_leg "tsan-recovery" ./build-tsan/tests/recovery_test \
   --gtest_filter='RecoveryEquivalenceTest.*:ShardCountChangingRestoreTest.*'
+# Group commit under real contention: N feeder threads racing the engine
+# feed lock, the dispatch turnstile, and the WAL appender thread — plus the
+# multi-producer log test at the state layer.
+run_leg "tsan-group-commit" ./build-tsan/tests/group_commit_test
+run_leg "tsan-wal" ./build-tsan/tests/state_test \
+  --gtest_filter='GroupCommitTest.*'
 # Observability primitives under contention: the sharded-counter /
 # histogram / registry hammer (8 threads racing registration, updates, and
 # snapshots) and the lock-free trace rings.

@@ -388,13 +388,17 @@ Result<std::unique_ptr<Engine>> Engine::CloneRegistrations() const {
 }
 
 Status Engine::AppendWal(const FeedEvent& event) {
-  if (wal_ == nullptr || replaying_wal_) return Status::OK();
-  return wal_->Append(ToWalRecord(feed_seq_, event));
+  if (replaying_wal_) return Status::OK();
+  if (gc_wal_ != nullptr) return gc_wal_->Append(ToWalRecord(feed_seq_, event));
+  if (wal_ != nullptr) return wal_->Append(ToWalRecord(feed_seq_, event));
+  return Status::OK();
 }
 
 Status Engine::SyncWal() {
-  if (wal_ == nullptr || replaying_wal_) return Status::OK();
-  return wal_->Sync();
+  if (replaying_wal_) return Status::OK();
+  if (gc_wal_ != nullptr) return gc_wal_->Sync();
+  if (wal_ != nullptr) return wal_->Sync();
+  return Status::OK();
 }
 
 Status Engine::Insert(const std::string& stream, Timestamp ptime, Row row) {
@@ -434,6 +438,15 @@ Status Engine::AdvanceWatermark(const std::string& stream, Timestamp ptime,
 Status Engine::Feed(const std::vector<FeedEvent>& events) {
   obs::Span span(obs_ != nullptr ? obs_->trace() : nullptr, "feed", "engine");
   span.set_aux(events.size());
+  // Feed calls serialize on feed_mu_. Under group commit the lock is dropped
+  // for the durability wait (below), so N feeder threads interleave
+  // validate/enqueue and share fsyncs; otherwise the lock is held end to end
+  // and concurrent Feed degenerates to strict turn-taking.
+  FeedSync& sync = *feed_sync_;
+  std::unique_lock<std::mutex> lock(sync.mu);
+  if (sync.feeds_in_flight == 0) sync.dispatch_next_seq = feed_seq_;
+  ++sync.feeds_in_flight;
+  const uint64_t base_seq = feed_seq_;
   // One fused pass: validate, WAL-append, and record each event straight
   // into the chunked history (validation is order-sensitive — watermark
   // monotonicity and ptime ordering — so it stays event by event). The new
@@ -463,8 +476,9 @@ Status Engine::Feed(const std::vector<FeedEvent>& events) {
   // Backpressure attribution (profiling only): total time this Feed call
   // spent blocked on the feed log — every append plus the sync barrier —
   // recorded as one sample so the histogram is per-feed-call stall time.
-  const bool profile_wal =
-      engine_profile_ != nullptr && wal_ != nullptr && !replaying_wal_;
+  const bool profile_wal = engine_profile_ != nullptr &&
+                           (wal_ != nullptr || gc_wal_ != nullptr) &&
+                           !replaying_wal_;
   uint64_t wal_stall_us = 0;
   for (const FeedEvent& event : events) {
     Status status = Status::OK();
@@ -592,34 +606,67 @@ Status Engine::Feed(const std::vector<FeedEvent>& events) {
   }
   builder.CloseAll();
   history_events_ += accepted;
-  if (accepted > 0) {
-    // One durability barrier for the whole batch: every recorded event is on
-    // disk before any query observes any of them.
-    if (profile_wal) {
-      const uint64_t t0 = obs::TraceRecorder::NowMicros();
-      ONESQL_RETURN_NOT_OK(SyncWal());
-      wal_stall_us += obs::TraceRecorder::NowMicros() - t0;
-      engine_profile_->feed_wal_stall_us->Record(wal_stall_us);
-    } else {
-      ONESQL_RETURN_NOT_OK(SyncWal());
-    }
+  if (accepted == 0) {
+    --sync.feeds_in_flight;
+    return deferred;
+  }
+  const size_t chunk_end = history_.size();
+  const uint64_t end_seq = base_seq + accepted;
+  // One durability barrier for the whole batch: every recorded event is on
+  // disk before any query observes any of them.
+  Status durable_status;
+  const uint64_t sync_t0 = profile_wal ? obs::TraceRecorder::NowMicros() : 0;
+  if (gc_wal_ != nullptr && !replaying_wal_) {
+    // Drop the engine lock for the wait: feeders arriving while this group's
+    // fsync is in flight validate and enqueue into the *next* group, which
+    // is exactly how group commit amortizes the sync cost.
+    lock.unlock();
+    durable_status = gc_wal_->WaitDurable(end_seq);
+    lock.lock();
+    // Dispatch turnstile: a shared group fsync wakes every member at once,
+    // but queries must observe feeds in seq order — park until every earlier
+    // feed has dispatched.
+    sync.dispatch_cv.wait(lock,
+                          [&] { return sync.dispatch_next_seq == base_seq; });
+  } else {
+    durable_status = SyncWal();
+  }
+  if (profile_wal) {
+    wal_stall_us += obs::TraceRecorder::NowMicros() - sync_t0;
+    engine_profile_->feed_wal_stall_us->Record(wal_stall_us);
+  }
+  Status dispatch_status = durable_status;
+  if (dispatch_status.ok()) {
+    // Chunk pointers are resolved only now, under the lock: while a group
+    // wait was in flight other feeders may have grown (and reallocated)
+    // history_. The [first_chunk, chunk_end) index range stays valid; raw
+    // pointers taken before the wait would not.
     std::vector<const exec::InputChunk*> chunks;
-    chunks.reserve(history_.size() - first_chunk);
-    for (size_t i = first_chunk; i < history_.size(); ++i) {
+    chunks.reserve(chunk_end - first_chunk);
+    for (size_t i = first_chunk; i < chunk_end; ++i) {
       chunks.push_back(&history_[i]);
     }
     const uint64_t dispatch_t0 =
         engine_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
     for (auto& query : queries_) {
       query->last_ptime_ = batch_ptime;
-      ONESQL_RETURN_NOT_OK(query->flow_->PushChunks(chunks));
+      dispatch_status = query->flow_->PushChunks(chunks);
+      if (!dispatch_status.ok()) break;
     }
     if (engine_profile_ != nullptr) {
       engine_profile_->feed_dispatch_us->Record(
           obs::TraceRecorder::NowMicros() - dispatch_t0);
     }
-    MaybeCompactHistory();
   }
+  // Open the turnstile on every path, including failures: a feeder waiting
+  // behind this one must not deadlock because this one errored out.
+  sync.dispatch_next_seq = end_seq;
+  sync.dispatch_cv.notify_all();
+  --sync.feeds_in_flight;
+  ONESQL_RETURN_NOT_OK(dispatch_status);
+  // Compaction rebuilds history_, so it must not run while another feeder
+  // still holds chunk indices into it.
+  if (sync.feeds_in_flight == 0) MaybeCompactHistory();
   return deferred;
 }
 
@@ -782,11 +829,35 @@ void Engine::CompactHistory() {
 // ---------------------------------------------------------------------------
 
 Status Engine::EnableDurability(const std::string& dir) {
-  if (wal_ != nullptr) {
-    return Status::InvalidArgument("durability is already enabled (log at '" +
-                                   wal_->path() + "')");
+  return EnableDurability(dir, DurabilityOptions{});
+}
+
+Status Engine::EnableDurability(const std::string& dir,
+                                const DurabilityOptions& options) {
+  if (durable()) {
+    return Status::InvalidArgument(
+        "durability is already enabled (log at '" +
+        (gc_wal_ != nullptr ? gc_wal_->path() : wal_->path()) + "')");
   }
   ONESQL_RETURN_NOT_OK(state::EnsureDirectory(dir));
+  if (options.group_commit) {
+    ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<state::GroupCommitLog> log,
+                            state::GroupCommitLog::Open(dir + kWalFile));
+    if (log->next_seq() != feed_seq_) {
+      const Status mismatch = Status::InvalidArgument(
+          "feed log at '" + log->path() + "' holds " +
+          std::to_string(log->next_seq()) + " events but the engine has fed " +
+          std::to_string(feed_seq_) +
+          " — Restore() from this directory first (or start a fresh one)");
+      (void)log->Close();
+      return mismatch;
+    }
+    gc_wal_ = std::move(log);
+    if (obs_ != nullptr && obs_->registry() != nullptr) {
+      gc_wal_->AttachMetrics(obs_->ForWal());
+    }
+    return Status::OK();
+  }
   ONESQL_ASSIGN_OR_RETURN(state::FeedLog log,
                           state::FeedLog::Open(dir + kWalFile));
   if (log.next_seq() != feed_seq_) {
@@ -807,7 +878,7 @@ void Engine::SaveEngineSection(state::Writer* w, uint64_t* num_queries) const {
   w->PutTimestamp(last_ptime_);
   w->PutVarint(feed_seq_);
   w->PutVarint(compact_at_);
-  w->PutBool(wal_ != nullptr);
+  w->PutBool(durable());
 
   // Catalog (std::map — already deterministic order).
   w->PutVarint(catalog_.tables().size());
@@ -1000,8 +1071,7 @@ Status Engine::RestoreQuerySection(state::Reader* r) {
 }
 
 Status Engine::Restore(const std::string& dir) {
-  if (feed_seq_ != 0 || !history_.empty() || !queries_.empty() ||
-      wal_ != nullptr) {
+  if (feed_seq_ != 0 || !history_.empty() || !queries_.empty() || durable()) {
     return Status::InvalidArgument(
         "Restore() requires an engine that has not fed events or started "
         "queries yet");
@@ -1086,15 +1156,18 @@ Status Engine::Restore(const std::string& dir) {
   }
 
   // Re-attach the log so the restored engine keeps appending where the
-  // crashed run left off.
+  // crashed run left off. Group commit (the default mode) is used; the file
+  // format is identical, so the mode the crashed run used does not matter.
   if (have_wal) {
-    ONESQL_ASSIGN_OR_RETURN(state::FeedLog log, state::FeedLog::Open(wal_path));
-    if (log.next_seq() != feed_seq_) {
+    ONESQL_ASSIGN_OR_RETURN(std::unique_ptr<state::GroupCommitLog> log,
+                            state::GroupCommitLog::Open(wal_path));
+    if (log->next_seq() != feed_seq_) {
+      (void)log->Close();
       return Status::Internal("feed log position diverged during restore");
     }
-    wal_ = std::make_unique<state::FeedLog>(std::move(log));
+    gc_wal_ = std::move(log);
     if (obs_ != nullptr && obs_->registry() != nullptr) {
-      wal_->AttachMetrics(obs_->ForWal());
+      gc_wal_->AttachMetrics(obs_->ForWal());
     }
   }
   if (engine_metrics_ != nullptr) {
@@ -1126,6 +1199,7 @@ Status Engine::EnableObservability(const obs::ObsOptions& options) {
     engine_metrics_ = obs_->ForEngine();
     engine_profile_ = obs_->ForEngineProfile();
     if (wal_ != nullptr) wal_->AttachMetrics(obs_->ForWal());
+    if (gc_wal_ != nullptr) gc_wal_->AttachMetrics(obs_->ForWal());
   }
   for (auto& query : queries_) AttachQueryObs(query.get());
   return Status::OK();

@@ -1,7 +1,9 @@
 #ifndef ONESQL_ENGINE_ENGINE_H_
 #define ONESQL_ENGINE_ENGINE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +30,18 @@ struct FeedEvent {
   Timestamp ptime;
   Row row;              // kInsert / kDelete
   Timestamp watermark;  // kWatermark
+};
+
+/// How the engine's write-ahead feed log commits (see DESIGN.md §16).
+struct DurabilityOptions {
+  /// Group commit (the default): feed records are appended and fsync'd by a
+  /// dedicated appender thread; a Feed call blocks only until the single
+  /// fsync covering its group of records completes, so concurrent feeders
+  /// share one fsync instead of paying one each. Off = the legacy
+  /// synchronous path: append + fsync on the feeding thread before
+  /// dispatch. Both modes write the identical file format and keep the same
+  /// guarantee — every accepted event is durable before any query sees it.
+  bool group_commit = true;
 };
 
 /// Per-query execution options that are not part of the SQL text.
@@ -195,11 +209,20 @@ class Engine {
                           Timestamp watermark);
 
   /// Feeds a whole recorded dataset. The batch is validated event by event
-  /// and then dispatched to every query wholesale (one PushBatch), so the
-  /// sharded runtime pays one fork-join barrier per Feed call rather than
-  /// one per event. On a validation error the valid prefix has already been
+  /// and then dispatched to every query wholesale (one PushChunks), so the
+  /// sharded runtime pays one epoch barrier per Feed call rather than one
+  /// per event. On a validation error the valid prefix has already been
   /// dispatched (matching the event-by-event semantics) and the error is
   /// returned.
+  ///
+  /// Feed (and Insert/Delete/AdvanceWatermark, which route through it) is
+  /// safe to call from multiple threads: calls serialize on an internal
+  /// mutex, and under group-commit durability the lock is released while a
+  /// feeder waits for its group's fsync — so N feeders validate/enqueue
+  /// interleaved and share fsyncs, while dispatch still happens in strict
+  /// feed order (events are seq-ordered across all callers). All *other*
+  /// engine entry points (Execute, Checkpoint, snapshots, …) remain
+  /// feed-boundary-only: call them while no Feed is in flight.
   Status Feed(const std::vector<FeedEvent>& events);
 
   /// Advances the processing-time clock of every query (fires AFTER DELAY
@@ -216,7 +239,10 @@ class Engine {
   /// to running queries, so a crash loses nothing the caller was told was
   /// accepted. The log's tail sequence number must match the engine's feed
   /// position (`feed_seq()`); restore first if the log already holds events.
+  /// The one-argument form uses default DurabilityOptions (group commit).
   Status EnableDurability(const std::string& dir);
+  Status EnableDurability(const std::string& dir,
+                          const DurabilityOptions& options);
 
   /// Writes a checkpoint of the full engine state — catalog, static table
   /// contents, stream watermarks, retained history, and every query's
@@ -283,7 +309,7 @@ class Engine {
   ContinuousQuery* query(size_t i) { return queries_[i].get(); }
 
   /// True when a write-ahead feed log is attached.
-  bool durable() const { return wal_ != nullptr; }
+  bool durable() const { return wal_ != nullptr || gc_wal_ != nullptr; }
 
   /// Number of recorded feed events retained for replaying into queries
   /// executed later. Compaction (see CompactHistory) keeps this bounded:
@@ -378,13 +404,39 @@ class Engine {
   size_t compact_at_ = 4096;
 
   // -- Durability state -----------------------------------------------------
+  /// Synchronous feed log (DurabilityOptions::group_commit == false). At most
+  /// one of wal_ / gc_wal_ is set.
   std::unique_ptr<state::FeedLog> wal_;
+  /// Group-commit feed log (the default durable mode, DESIGN.md §16).
+  std::unique_ptr<state::GroupCommitLog> gc_wal_;
   /// Sequence number of the next feed event (counted whether or not a log
   /// is attached, so checkpoints always record their feed position).
   uint64_t feed_seq_ = 0;
   /// Set while Restore replays the feed log, so the replayed events are not
   /// appended to it a second time.
   bool replaying_wal_ = false;
+
+  // -- Concurrent-feed state ------------------------------------------------
+  /// Heap-allocated so the Engine itself stays movable (moves only happen at
+  /// setup, never with a Feed in flight).
+  struct FeedSync {
+    /// Serializes Feed calls. Under group commit the lock is dropped while a
+    /// feeder waits for its group's fsync, so validation/enqueue of later
+    /// feeds overlaps the sync; everywhere else Feed holds it end to end.
+    std::mutex mu;
+    /// Turnstile: feed seq of the next batch allowed to dispatch. Feeders
+    /// whose durability wait finished out of order park on dispatch_cv until
+    /// their base seq comes up, keeping dispatch in strict feed order.
+    uint64_t dispatch_next_seq = 0;
+    std::condition_variable dispatch_cv;
+    /// Feed calls past validation but not yet dispatched. History compaction
+    /// is deferred while nonzero: compaction rebuilds history_, which would
+    /// invalidate the chunk ranges concurrent feeders hold (turnstile
+    /// waiters release the mutex inside dispatch_cv.wait, so holding the
+    /// lock alone does not prove exclusivity).
+    int feeds_in_flight = 0;
+  };
+  std::unique_ptr<FeedSync> feed_sync_ = std::make_unique<FeedSync>();
 };
 
 }  // namespace onesql

@@ -75,6 +75,7 @@ Result<std::unique_ptr<ShardedDataflow>> ShardedDataflow::Build(
     }
     flow->shards_.push_back(std::move(shard));
   }
+  flow->shard_epoch_.resize(static_cast<size_t>(shards));
   flow->pool_ = std::make_unique<WorkerPool>(shards);
   return flow;
 }
@@ -115,115 +116,198 @@ Status ShardedDataflow::PushWatermark(const std::string& source,
   return PushBatch(batch);
 }
 
-Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
-  if (events.empty()) return Status::OK();
-  obs::Span batch_span(trace_, "push_batch", "dataflow", query_tag_);
-  batch_span.set_aux(events.size());
-  const int num_shards = shard_count();
-  const uint64_t base = next_seq_;
-  next_seq_ += events.size();
+void ShardedDataflow::BeginPushEpoch() {
+  for (ShardEpochState& st : shard_epoch_) {
+    st.status = Status::OK();
+    st.fail_seq = kNoFailure;
+    st.failed = false;
+    st.started = false;
+    st.sub.Clear();
+    st.sub_ops = nullptr;
+  }
+}
 
-  // Routing decisions are made on the caller thread so they are a pure
-  // function of the input order: element events go to the shard owning
-  // their key partition, watermark events to every shard (each shard's
-  // operators keep their own WatermarkMerger, and all mergers see the same
-  // stream, so every shard forwards the same watermark values).
-  std::vector<std::string> lower(events.size());
-  std::vector<int> owner(events.size(), 0);
-  {
-    obs::Span route_span(trace_, "route", "dataflow", query_tag_);
-    route_span.set_aux(events.size());
-    for (size_t i = 0; i < events.size(); ++i) {
-      lower[i] = ToLower(events[i].source);
-      if (events[i].kind != InputEvent::Kind::kWatermark) {
-        owner[i] = RouteShard(spec_, lower[i], events[i].row, base + i,
-                              num_shards);
+void ShardedDataflow::RunBatchRangeTask(void* ctx, int worker, uint32_t begin,
+                                        uint32_t end) {
+  static_cast<ShardedDataflow*>(ctx)->ProcessBatchRange(worker, begin, end);
+}
+
+void ShardedDataflow::RunChunkRangeTask(void* ctx, int worker, uint32_t begin,
+                                        uint32_t end) {
+  static_cast<ShardedDataflow*>(ctx)->ProcessChunkRange(worker, begin, end);
+}
+
+void ShardedDataflow::RunChunkFlushTask(void* ctx, int worker,
+                                        uint32_t /*begin*/, uint32_t /*end*/) {
+  auto* self = static_cast<ShardedDataflow*>(ctx);
+  ShardEpochState& st = self->shard_epoch_[static_cast<size_t>(worker)];
+  if (st.failed) return;
+  self->FlushShardSub(&st);
+}
+
+void ShardedDataflow::ProcessBatchRange(int s, uint32_t begin, uint32_t end) {
+  ShardEpochState& st = shard_epoch_[static_cast<size_t>(s)];
+  if (st.failed) return;
+  // Worker-side span: one per shard per dispatched slice, recorded into the
+  // worker thread's own ring. Covers this shard's operator-chain processing
+  // of the slice.
+  obs::Span shard_span(trace_, "shard_worker", "dataflow", query_tag_, s);
+  shard_span.set_aux(end - begin);
+  Shard& shard = shards_[static_cast<size_t>(s)];
+  const std::vector<InputEvent>& events = *epoch_events_;
+  const std::vector<std::string>& lower = *epoch_lower_;
+  const std::vector<int>& owner = *epoch_owner_;
+  for (uint32_t i = begin; i < end; ++i) {
+    const InputEvent& event = events[i];
+    const bool is_watermark = event.kind == InputEvent::Kind::kWatermark;
+    if (!is_watermark && owner[i] != s) continue;
+    auto it = shard.chain.sources.find(lower[i]);
+    if (it == shard.chain.sources.end()) continue;
+    shard.capture->set_seq(epoch_base_ + i);
+    for (SourceOperator* op : it->second) {
+      Status status;
+      if (is_watermark) {
+        status = op->OnWatermark(0, event.watermark, event.ptime);
+      } else {
+        const ChangeKind kind = event.kind == InputEvent::Kind::kDelete
+                                    ? ChangeKind::kDelete
+                                    : ChangeKind::kInsert;
+        status = op->OnElement(0, Change{kind, event.row, event.ptime});
+      }
+      if (!status.ok()) {
+        st.status = std::move(status);
+        st.fail_seq = epoch_base_ + i;
+        st.failed = true;
+        return;
       }
     }
   }
+}
 
-  constexpr uint64_t kNoFailure = ~uint64_t{0};
-  std::vector<Status> statuses(static_cast<size_t>(num_shards), Status::OK());
-  std::vector<uint64_t> fail_seq(static_cast<size_t>(num_shards), kNoFailure);
-  auto work = [&](int s) {
-    // Worker-side span: one per shard per batch, recorded into the worker
-    // thread's own ring. Covers the full operator-chain processing of this
-    // shard's partition of the batch.
-    obs::Span shard_span(trace_, "shard_worker", "dataflow", query_tag_, s);
-    Shard& shard = shards_[static_cast<size_t>(s)];
-    for (size_t i = 0; i < events.size(); ++i) {
-      const InputEvent& event = events[i];
-      const bool is_watermark = event.kind == InputEvent::Kind::kWatermark;
-      if (!is_watermark && owner[i] != s) continue;
-      auto it = shard.chain.sources.find(lower[i]);
+void ShardedDataflow::FlushShardSub(ShardEpochState* st) {
+  if (st->sub.num_rows == 0) return;
+  for (SourceOperator* op : *st->sub_ops) {
+    Status status = op->OnBatch(0, st->sub);
+    if (!status.ok()) {
+      const BatchFailure& failure = GetBatchFailure();
+      st->fail_seq = failure.has ? failure.seq : st->sub.seqs.front();
+      st->status = std::move(status);
+      st->failed = true;
+      return;
+    }
+  }
+  st->sub.Clear();
+}
+
+void ShardedDataflow::ProcessChunkRange(int s, uint32_t begin, uint32_t end) {
+  ShardEpochState& st = shard_epoch_[static_cast<size_t>(s)];
+  if (st.failed) return;
+  if (!st.started) {
+    // Reset this worker's thread-local batch-failure slot once per epoch:
+    // FlushShardSub reads it to attribute OnBatch failures to a seq.
+    ClearBatchFailure();
+    st.started = true;
+  }
+  obs::Span shard_span(trace_, "shard_worker", "dataflow", query_tag_, s);
+  shard_span.set_aux(end - begin);
+  Shard& shard = shards_[static_cast<size_t>(s)];
+  const std::vector<ChunkRef>& refs = *epoch_refs_;
+  const std::vector<int>& owner = *epoch_owner_;
+  for (uint32_t i = begin; i < end; ++i) {
+    const ChunkRef& ref = refs[i];
+    const InputChunk* chunk = ref.chunk;
+    const uint64_t rseq = epoch_base_ + i;
+    if (chunk->kind == InputChunk::Kind::kWatermark) {
+      auto it = shard.chain.sources.find(chunk->source_lower);
       if (it == shard.chain.sources.end()) continue;
-      shard.capture->set_seq(base + i);
+      FlushShardSub(&st);
+      if (st.failed) return;
+      shard.capture->set_seq(rseq);
       for (SourceOperator* op : it->second) {
-        Status status;
-        if (is_watermark) {
-          status = op->OnWatermark(0, event.watermark, event.ptime);
-        } else {
-          const ChangeKind kind = event.kind == InputEvent::Kind::kDelete
-                                      ? ChangeKind::kDelete
-                                      : ChangeKind::kInsert;
-          status = op->OnElement(0, Change{kind, event.row, event.ptime});
-        }
+        Status status = op->OnWatermark(0, chunk->watermark, chunk->ptime);
         if (!status.ok()) {
-          statuses[static_cast<size_t>(s)] = std::move(status);
-          fail_seq[static_cast<size_t>(s)] = base + i;
+          st.status = std::move(status);
+          st.fail_seq = rseq;
+          st.failed = true;
           return;
         }
       }
+      continue;
     }
-  };
-  // The pool's epoch handoff gives this thread a happens-before edge over
-  // everything the workers wrote, so the merge below reads the capture
-  // buffers and operator state without locks.
-  {
-    const uint64_t t0 = query_profile_ != nullptr
-                            ? obs::TraceRecorder::NowMicros()
-                            : 0;
-    pool_->Run(work);
-    if (query_profile_ != nullptr) {
-      query_profile_->shard_wait_us->Record(obs::TraceRecorder::NowMicros() -
-                                            t0);
+    if (owner[i] != s) continue;
+    auto it = shard.chain.sources.find(chunk->source_lower);
+    if (it == shard.chain.sources.end()) continue;
+    if (epoch_batch_scatter_ && chunk->kind == InputChunk::Kind::kRows) {
+      if (st.sub_ops != nullptr && st.sub_ops != &it->second) {
+        FlushShardSub(&st);
+        if (st.failed) return;
+      }
+      st.sub_ops = &it->second;
+      if (st.sub.num_rows == 0) st.sub.ResetLike(chunk->batch);
+      st.sub.AppendRowFrom(chunk->batch, ref.row);
+      st.sub.seqs.back() = rseq;  // runtime seq: routing + merge attribution
+      continue;
+    }
+    FlushShardSub(&st);
+    if (st.failed) return;
+    shard.capture->set_seq(rseq);
+    Change change;
+    if (chunk->kind == InputChunk::Kind::kRows) {
+      chunk->batch.MaterializeChange(ref.row, &change);
+    } else {
+      change.kind = chunk->event_kind;
+      change.row = chunk->row;
+      change.ptime = chunk->ptime;
+    }
+    for (SourceOperator* op : it->second) {
+      Status status = op->OnElement(0, change);
+      if (!status.ok()) {
+        st.status = std::move(status);
+        st.fail_seq = rseq;
+        st.failed = true;
+        return;
+      }
     }
   }
+}
 
-  // The error the batch surfaces must be the one the *sequential* runtime
-  // would hit: the earliest failing input event, not whichever failing
-  // shard happens to come first in shard order. (On a watermark — which
-  // every shard processes — ties across shards break to the lowest shard
-  // id, which is deterministic even if sequential, walking one combined
-  // state map, could surface a different group's error first.)
+// The error a push surfaces must be the one the *sequential* runtime would
+// hit: the earliest failing input event, not whichever failing shard happens
+// to come first in shard order. (On a watermark — which every shard
+// processes — ties across shards break to the lowest shard id, which is
+// deterministic even if sequential, walking one combined state map, could
+// surface a different group's error first.)
+int ShardedDataflow::SelectFailedShard(uint64_t* limit) const {
   int failed_shard = -1;
-  uint64_t limit = kNoFailure;
-  for (int s = 0; s < num_shards; ++s) {
-    if (fail_seq[static_cast<size_t>(s)] < limit) {
-      limit = fail_seq[static_cast<size_t>(s)];
-      failed_shard = s;
+  *limit = kNoFailure;
+  for (size_t s = 0; s < shard_epoch_.size(); ++s) {
+    if (shard_epoch_[s].fail_seq < *limit) {
+      *limit = shard_epoch_[s].fail_seq;
+      failed_shard = static_cast<int>(s);
     }
   }
+  return failed_shard;
+}
 
-  // Deterministic merge: replay the batch in input order, advancing the
-  // sink's clock per event exactly as the sequential runtime's PushChange /
-  // PushWatermark would, then deliver the capture records attributed to
-  // that event's sequence number. Element outputs live on the owning shard
-  // only. Watermark outputs exist identically on every shard (watermarks
-  // are broadcast and the partitionable operator set emits no elements on
-  // watermarks), so shard 0's copy is delivered and the duplicates skipped.
-  //
-  // On failure the merge still runs, but only up to the failing event:
-  // sequential semantics are that everything before the first error has
-  // already reached the sink, and the failing element's own pre-error
-  // emissions (captured by its owning shard) have too. Discarding the
-  // captured prefix here — or delivering past the failure — would leave the
-  // sink shard-divergent from the sequential run. A failing *watermark*
-  // delivers nothing at its own seq: no single shard's partial output
-  // matches the partial walk of sequential's combined state map.
-  obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
-  const uint64_t merge_t0 =
-      query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
+// Deterministic merge: replay the epoch's input in order, advancing the
+// sink's clock per event exactly as the sequential runtime's PushChange /
+// PushWatermark would, then deliver the capture records attributed to that
+// event's sequence number. Element outputs live on the owning shard only.
+// Watermark outputs exist identically on every shard (watermarks are
+// broadcast and the partitionable operator set emits no elements on
+// watermarks), so shard 0's copy is delivered and the duplicates skipped.
+//
+// On failure the merge still runs, but only up to the failing event:
+// sequential semantics are that everything before the first error has
+// already reached the sink, and the failing element's own pre-error
+// emissions (captured by its owning shard) have too. Discarding the
+// captured prefix here — or delivering past the failure — would leave the
+// sink shard-divergent from the sequential run. A failing *watermark*
+// delivers nothing at its own seq: no single shard's partial output matches
+// the partial walk of sequential's combined state map.
+Status ShardedDataflow::MergeEpoch(size_t count, uint64_t limit) {
+  const int num_shards = shard_count();
+  const std::vector<int>& owner = *epoch_owner_;
   std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
   auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
     auto& records = shards_[static_cast<size_t>(s)].capture->records();
@@ -243,18 +327,31 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
     return Status::OK();
   };
   Status merge_status = Status::OK();
-  for (size_t i = 0; i < events.size(); ++i) {
-    const uint64_t seq = base + i;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t seq = epoch_base_ + i;
     if (seq > limit) break;
-    merge_status = sink_->AdvanceTo(events[i].ptime, /*inclusive=*/false);
+    bool is_watermark;
+    Timestamp ptime;
+    if (epoch_events_ != nullptr) {
+      const InputEvent& event = (*epoch_events_)[i];
+      is_watermark = event.kind == InputEvent::Kind::kWatermark;
+      ptime = event.ptime;
+    } else {
+      const ChunkRef& ref = (*epoch_refs_)[i];
+      is_watermark = ref.chunk->kind == InputChunk::Kind::kWatermark;
+      ptime = ref.chunk->kind == InputChunk::Kind::kRows
+                  ? ref.chunk->batch.ptimes[ref.row]
+                  : ref.chunk->ptime;
+    }
+    merge_status = sink_->AdvanceTo(ptime, /*inclusive=*/false);
     if (!merge_status.ok()) break;
     if (seq == limit) {
-      if (events[i].kind != InputEvent::Kind::kWatermark) {
+      if (!is_watermark) {
         merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
       }
       break;
     }
-    if (events[i].kind == InputEvent::Kind::kWatermark) {
+    if (is_watermark) {
       for (int s = 0; s < num_shards; ++s) {
         merge_status = deliver(s, seq, /*deliver_records=*/s == 0);
         if (!merge_status.ok()) break;
@@ -265,13 +362,87 @@ Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
     if (!merge_status.ok()) break;
   }
   for (Shard& shard : shards_) shard.capture->records().clear();
+  return merge_status;
+}
+
+Status ShardedDataflow::PushBatch(const std::vector<InputEvent>& events) {
+  if (events.empty()) return Status::OK();
+  obs::Span batch_span(trace_, "push_batch", "dataflow", query_tag_);
+  batch_span.set_aux(events.size());
+  const int num_shards = shard_count();
+  const uint64_t base = next_seq_;
+  next_seq_ += events.size();
+  const uint32_t n = static_cast<uint32_t>(events.size());
+
+  // Routing decisions are made on the caller thread so they are a pure
+  // function of the input order: element events go to the shard owning
+  // their key partition, watermark events to every shard (each shard's
+  // operators keep their own WatermarkMerger, and all mergers see the same
+  // stream, so every shard forwards the same watermark values). The routed
+  // vectors are sized up front — workers only ever read indices of slices
+  // already dispatched, and the backing arrays never reallocate under them.
+  std::vector<std::string> lower(events.size());
+  std::vector<int> owner(events.size(), 0);
+
+  BeginPushEpoch();
+  epoch_events_ = &events;
+  epoch_refs_ = nullptr;
+  epoch_lower_ = &lower;
+  epoch_owner_ = &owner;
+  epoch_base_ = base;
+  const bool inline_run = events.size() <= kInlineEventThreshold;
+
+  {
+    obs::Span route_span(trace_, "route", "dataflow", query_tag_);
+    route_span.set_aux(events.size());
+    for (uint32_t block = 0; block < n; block += kRouteBlockEvents) {
+      const uint32_t block_end = std::min(n, block + kRouteBlockEvents);
+      for (uint32_t i = block; i < block_end; ++i) {
+        lower[i] = ToLower(events[i].source);
+        if (events[i].kind != InputEvent::Kind::kWatermark) {
+          owner[i] = RouteShard(spec_, lower[i], events[i].row, base + i,
+                                num_shards);
+        }
+      }
+      // Pipelining: each routed slice is dispatched immediately, so the
+      // workers chew on slice k while this thread routes slice k+1.
+      if (!inline_run) {
+        pool_->DispatchAll(&RunBatchRangeTask, this, block, block_end);
+      }
+    }
+  }
+  if (inline_run) {
+    for (int s = 0; s < num_shards; ++s) ProcessBatchRange(s, 0, n);
+  } else {
+    // The epoch barrier gives this thread a happens-before edge over
+    // everything the workers wrote, so the merge below reads the capture
+    // buffers and operator state without locks.
+    const uint64_t t0 =
+        query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
+    pool_->EndEpoch();
+    if (query_profile_ != nullptr) {
+      query_profile_->shard_wait_us->Record(obs::TraceRecorder::NowMicros() -
+                                            t0);
+    }
+  }
+
+  uint64_t limit = kNoFailure;
+  const int failed_shard = SelectFailedShard(&limit);
+
+  obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
+  const uint64_t merge_t0 =
+      query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
+  Status merge_status = MergeEpoch(events.size(), limit);
   if (query_profile_ != nullptr) {
     query_profile_->merge_us->Record(obs::TraceRecorder::NowMicros() -
                                      merge_t0);
   }
+  epoch_events_ = nullptr;
+  epoch_lower_ = nullptr;
+  epoch_owner_ = nullptr;
   if (!merge_status.ok()) return merge_status;
   if (failed_shard >= 0) {
-    return std::move(statuses[static_cast<size_t>(failed_shard)]);
+    return std::move(shard_epoch_[static_cast<size_t>(failed_shard)].status);
   }
   return Status::OK();
 }
@@ -284,11 +455,7 @@ Status ShardedDataflow::PushChunks(
   // element payloads stay columnar: stateless chains receive whole per-shard
   // sub-batches through the vectorized kernels, and keyed chains materialize
   // rows on the owning worker instead of on the caller.
-  struct Ref {
-    const InputChunk* chunk;
-    uint32_t row = 0;  // kRows row index
-  };
-  std::vector<Ref> refs;
+  std::vector<ChunkRef> refs;
   {
     size_t total = 0;
     for (const InputChunk* chunk : chunks) total += chunk->NumEvents();
@@ -320,7 +487,7 @@ Status ShardedDataflow::PushChunks(
       }
       if (best == active.size()) break;
       Cursor& cursor = active[best];
-      refs.push_back(Ref{cursor.chunk, static_cast<uint32_t>(cursor.row)});
+      refs.push_back(ChunkRef{cursor.chunk, static_cast<uint32_t>(cursor.row)});
       ++cursor.row;
       const bool done = cursor.chunk->kind != InputChunk::Kind::kRows ||
                         cursor.row >= cursor.chunk->batch.num_rows;
@@ -337,28 +504,7 @@ Status ShardedDataflow::PushChunks(
   const int num_shards = shard_count();
   const uint64_t base = next_seq_;
   next_seq_ += refs.size();
-
-  std::vector<int> owner(refs.size(), 0);
-  {
-    obs::Span route_span(trace_, "route", "dataflow", query_tag_);
-    route_span.set_aux(refs.size());
-    for (size_t i = 0; i < refs.size(); ++i) {
-      const Ref& ref = refs[i];
-      switch (ref.chunk->kind) {
-        case InputChunk::Kind::kRows:
-          owner[i] = RouteShardBatch(spec_, ref.chunk->source_lower,
-                                     ref.chunk->batch, ref.row, base + i,
-                                     num_shards);
-          break;
-        case InputChunk::Kind::kSingle:
-          owner[i] = RouteShard(spec_, ref.chunk->source_lower,
-                                ref.chunk->row, base + i, num_shards);
-          break;
-        case InputChunk::Kind::kWatermark:
-          break;
-      }
-    }
-  }
+  const uint32_t n = static_cast<uint32_t>(refs.size());
 
   // Whole sub-batches can only flow into chains whose capture re-attributes
   // per row (one scan per source: a second scan of the same source would
@@ -370,107 +516,66 @@ Status ShardedDataflow::PushChunks(
     if (ops.size() != 1) batch_scatter = false;
   }
 
-  constexpr uint64_t kNoFailure = ~uint64_t{0};
-  std::vector<Status> statuses(static_cast<size_t>(num_shards), Status::OK());
-  std::vector<uint64_t> fail_seq(static_cast<size_t>(num_shards), kNoFailure);
-  auto work = [&](int s) {
-    obs::Span shard_span(trace_, "shard_worker", "dataflow", query_tag_, s);
-    Shard& shard = shards_[static_cast<size_t>(s)];
-    ClearBatchFailure();
-    ChangeBatch sub;  // batch_scatter: owned rows awaiting delivery
-    const std::vector<SourceOperator*>* sub_ops = nullptr;
-    uint64_t fail = kNoFailure;
-    auto flush = [&]() -> Status {
-      if (sub.num_rows == 0) return Status::OK();
-      for (SourceOperator* op : *sub_ops) {
-        Status status = op->OnBatch(0, sub);
-        if (!status.ok()) {
-          const BatchFailure& failure = GetBatchFailure();
-          fail = failure.has ? failure.seq : sub.seqs.front();
-          return status;
-        }
-      }
-      sub.Clear();
-      return Status::OK();
-    };
-    Status status;
-    for (size_t i = 0; i < refs.size() && status.ok(); ++i) {
-      const Ref& ref = refs[i];
-      const InputChunk* chunk = ref.chunk;
-      const uint64_t rseq = base + i;
-      if (chunk->kind == InputChunk::Kind::kWatermark) {
-        auto it = shard.chain.sources.find(chunk->source_lower);
-        if (it == shard.chain.sources.end()) continue;
-        status = flush();
-        if (!status.ok()) break;
-        shard.capture->set_seq(rseq);
-        for (SourceOperator* op : it->second) {
-          status = op->OnWatermark(0, chunk->watermark, chunk->ptime);
-          if (!status.ok()) {
-            fail = rseq;
-            break;
-          }
-        }
-        continue;
-      }
-      if (owner[i] != s) continue;
-      auto it = shard.chain.sources.find(chunk->source_lower);
-      if (it == shard.chain.sources.end()) continue;
-      if (batch_scatter && chunk->kind == InputChunk::Kind::kRows) {
-        if (sub_ops != nullptr && sub_ops != &it->second) {
-          status = flush();
-          if (!status.ok()) break;
-        }
-        sub_ops = &it->second;
-        if (sub.num_rows == 0) sub.ResetLike(chunk->batch);
-        sub.AppendRowFrom(chunk->batch, ref.row);
-        sub.seqs.back() = rseq;  // runtime seq: routing + merge attribution
-        continue;
-      }
-      status = flush();
-      if (!status.ok()) break;
-      shard.capture->set_seq(rseq);
-      Change change;
-      if (chunk->kind == InputChunk::Kind::kRows) {
-        chunk->batch.MaterializeChange(ref.row, &change);
-      } else {
-        change.kind = chunk->event_kind;
-        change.row = chunk->row;
-        change.ptime = chunk->ptime;
-      }
-      for (SourceOperator* op : it->second) {
-        status = op->OnElement(0, change);
-        if (!status.ok()) {
-          fail = rseq;
-          break;
-        }
-      }
-    }
-    if (status.ok()) status = flush();
-    if (!status.ok()) {
-      statuses[static_cast<size_t>(s)] = std::move(status);
-      fail_seq[static_cast<size_t>(s)] = fail;
-    }
-  };
+  std::vector<int> owner(refs.size(), 0);
+
+  BeginPushEpoch();
+  epoch_events_ = nullptr;
+  epoch_refs_ = &refs;
+  epoch_lower_ = nullptr;
+  epoch_owner_ = &owner;
+  epoch_base_ = base;
+  epoch_batch_scatter_ = batch_scatter;
+  const bool inline_run = refs.size() <= kInlineEventThreshold;
+
   {
-    const uint64_t t0 = query_profile_ != nullptr
-                            ? obs::TraceRecorder::NowMicros()
-                            : 0;
-    pool_->Run(work);
+    obs::Span route_span(trace_, "route", "dataflow", query_tag_);
+    route_span.set_aux(refs.size());
+    for (uint32_t block = 0; block < n; block += kRouteBlockEvents) {
+      const uint32_t block_end = std::min(n, block + kRouteBlockEvents);
+      for (uint32_t i = block; i < block_end; ++i) {
+        const ChunkRef& ref = refs[i];
+        switch (ref.chunk->kind) {
+          case InputChunk::Kind::kRows:
+            owner[i] = RouteShardBatch(spec_, ref.chunk->source_lower,
+                                       ref.chunk->batch, ref.row, base + i,
+                                       num_shards);
+            break;
+          case InputChunk::Kind::kSingle:
+            owner[i] = RouteShard(spec_, ref.chunk->source_lower,
+                                  ref.chunk->row, base + i, num_shards);
+            break;
+          case InputChunk::Kind::kWatermark:
+            break;
+        }
+      }
+      if (!inline_run) {
+        pool_->DispatchAll(&RunChunkRangeTask, this, block, block_end);
+      }
+    }
+  }
+  if (inline_run) {
+    for (int s = 0; s < num_shards; ++s) {
+      ProcessChunkRange(s, 0, n);
+      ShardEpochState& st = shard_epoch_[static_cast<size_t>(s)];
+      if (!st.failed) FlushShardSub(&st);
+    }
+  } else {
+    // Trailing per-shard flush (accumulated scatter sub-batches), then the
+    // epoch barrier: FIFO queue order guarantees the flush runs after every
+    // range slice on its worker, and the barrier gives this thread the
+    // happens-before edge the lock-free merge depends on.
+    pool_->DispatchAll(&RunChunkFlushTask, this, 0, 0);
+    const uint64_t t0 =
+        query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
+    pool_->EndEpoch();
     if (query_profile_ != nullptr) {
       query_profile_->shard_wait_us->Record(obs::TraceRecorder::NowMicros() -
                                             t0);
     }
   }
 
-  int failed_shard = -1;
   uint64_t limit = kNoFailure;
-  for (int s = 0; s < num_shards; ++s) {
-    if (fail_seq[static_cast<size_t>(s)] < limit) {
-      limit = fail_seq[static_cast<size_t>(s)];
-      failed_shard = s;
-    }
-  }
+  const int failed_shard = SelectFailedShard(&limit);
 
   // Deterministic merge, exactly as PushBatch: advance the sink per event,
   // deliver the owning shard's captures (shard 0's copy for watermarks), and
@@ -478,59 +583,16 @@ Status ShardedDataflow::PushChunks(
   obs::Span merge_span(trace_, "merge", "dataflow", query_tag_);
   const uint64_t merge_t0 =
       query_profile_ != nullptr ? obs::TraceRecorder::NowMicros() : 0;
-  std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
-  auto deliver = [&](int s, uint64_t seq, bool deliver_records) -> Status {
-    auto& records = shards_[static_cast<size_t>(s)].capture->records();
-    size_t& c = cursor[static_cast<size_t>(s)];
-    while (c < records.size() && records[c].seq == seq) {
-      const CaptureOperator::Record& record = records[c];
-      if (deliver_records) {
-        if (record.is_watermark) {
-          ONESQL_RETURN_NOT_OK(
-              sink_->OnWatermark(0, record.watermark, record.ptime));
-        } else {
-          ONESQL_RETURN_NOT_OK(sink_->OnElement(0, record.change));
-        }
-      }
-      ++c;
-    }
-    return Status::OK();
-  };
-  Status merge_status = Status::OK();
-  for (size_t i = 0; i < refs.size(); ++i) {
-    const uint64_t seq = base + i;
-    if (seq > limit) break;
-    const Ref& ref = refs[i];
-    const bool is_watermark = ref.chunk->kind == InputChunk::Kind::kWatermark;
-    const Timestamp ptime = ref.chunk->kind == InputChunk::Kind::kRows
-                                ? ref.chunk->batch.ptimes[ref.row]
-                                : ref.chunk->ptime;
-    merge_status = sink_->AdvanceTo(ptime, /*inclusive=*/false);
-    if (!merge_status.ok()) break;
-    if (seq == limit) {
-      if (!is_watermark) {
-        merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
-      }
-      break;
-    }
-    if (is_watermark) {
-      for (int s = 0; s < num_shards; ++s) {
-        merge_status = deliver(s, seq, /*deliver_records=*/s == 0);
-        if (!merge_status.ok()) break;
-      }
-    } else {
-      merge_status = deliver(owner[i], seq, /*deliver_records=*/true);
-    }
-    if (!merge_status.ok()) break;
-  }
-  for (Shard& shard : shards_) shard.capture->records().clear();
+  Status merge_status = MergeEpoch(refs.size(), limit);
   if (query_profile_ != nullptr) {
     query_profile_->merge_us->Record(obs::TraceRecorder::NowMicros() -
                                      merge_t0);
   }
+  epoch_refs_ = nullptr;
+  epoch_owner_ = nullptr;
   if (!merge_status.ok()) return merge_status;
   if (failed_shard >= 0) {
-    return std::move(statuses[static_cast<size_t>(failed_shard)]);
+    return std::move(shard_epoch_[static_cast<size_t>(failed_shard)].status);
   }
   return Status::OK();
 }
@@ -665,6 +727,10 @@ void ShardedDataflow::SampleObsGauges() {
       }
     }
   }
+  if (query_profile_ != nullptr) {
+    query_profile_->shard_queue_high_water->Set(
+        static_cast<int64_t>(pool_->queue_depth_high_water()));
+  }
   sink_->SampleObs();
 }
 
@@ -677,6 +743,7 @@ void ShardedDataflow::ZeroObsGauges() {
       if (p != nullptr) p->rows_per_sec->Set(0);
     }
   }
+  if (query_profile_ != nullptr) query_profile_->shard_queue_high_water->Set(0);
   sink_->ZeroObs();
 }
 

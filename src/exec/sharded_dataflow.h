@@ -53,6 +53,15 @@ class CaptureOperator : public Operator {
 /// order — into the single MaterializationSink, so the emission stream and
 /// all snapshots are bit-identical to the sequential `Dataflow` run.
 ///
+/// Execution is pipelined (DESIGN.md §16): each push opens one epoch, the
+/// router streams fixed-size slices of the routed input into the per-shard
+/// worker queues as it produces them — so routing of slice k+1 overlaps
+/// shard processing of slice k — and the epoch barrier (WorkerPool::
+/// EndEpoch) closes the epoch before the deterministic input-order merge
+/// runs on the caller thread. Batches at or below the inline threshold skip
+/// the queues entirely and run shard-by-shard on the caller, which is both
+/// faster for tiny batches and trivially produces the same output.
+///
 /// Construction is via `BuildDataflowRuntime`, which falls back to the
 /// sequential runtime when the plan is not key-partitionable or N == 1.
 class ShardedDataflow : public DataflowRuntime {
@@ -104,7 +113,60 @@ class ShardedDataflow : public DataflowRuntime {
     CompiledChain chain;
   };
 
+  /// A position in the flattened chunk list: one input event, living either
+  /// as a row of a columnar chunk or as a scalar/watermark chunk.
+  struct ChunkRef {
+    const InputChunk* chunk = nullptr;
+    uint32_t row = 0;  // kRows row index
+  };
+
+  static constexpr uint64_t kNoFailure = ~uint64_t{0};
+  /// Pushes at or below this many events run inline on the caller thread;
+  /// above it the per-shard queues pipeline routing against processing.
+  static constexpr size_t kInlineEventThreshold = 32;
+  /// Events routed per dispatched slice. Small enough that a multi-block
+  /// push overlaps routing with processing, large enough that the per-slice
+  /// queue handoff amortizes.
+  static constexpr uint32_t kRouteBlockEvents = 256;
+
+  /// Per-shard worker-side state for the epoch in flight. Reused across
+  /// epochs (reset at push entry), so steady-state dispatch allocates
+  /// nothing beyond what the sub-batch accumulator retains.
+  struct ShardEpochState {
+    Status status;
+    uint64_t fail_seq = kNoFailure;
+    bool failed = false;
+    bool started = false;  ///< per-epoch worker init done (failure slot)
+    ChangeBatch sub;       ///< chunk scatter: owned rows awaiting delivery
+    const std::vector<SourceOperator*>* sub_ops = nullptr;
+  };
+
   ShardedDataflow() = default;
+
+  // WorkerPool task trampolines (ctx is the ShardedDataflow).
+  static void RunBatchRangeTask(void* ctx, int worker, uint32_t begin,
+                                uint32_t end);
+  static void RunChunkRangeTask(void* ctx, int worker, uint32_t begin,
+                                uint32_t end);
+  static void RunChunkFlushTask(void* ctx, int worker, uint32_t begin,
+                                uint32_t end);
+
+  /// Processes events [begin, end) of the epoch's event list for shard `s`
+  /// (PushBatch mode). No-op once the shard has failed this epoch.
+  void ProcessBatchRange(int s, uint32_t begin, uint32_t end);
+  /// Same for the epoch's flattened chunk-ref list (PushChunks mode).
+  void ProcessChunkRange(int s, uint32_t begin, uint32_t end);
+  /// Delivers shard `s`'s accumulated sub-batch to its source operators
+  /// (batch-scatter mode); records failure state on error.
+  void FlushShardSub(ShardEpochState* st);
+  /// Resets per-shard epoch state at push entry.
+  void BeginPushEpoch();
+  /// Earliest failing input seq across shards; the deterministic error.
+  int SelectFailedShard(uint64_t* limit) const;
+  /// The input-order merge into the sink, up to (and at, for elements)
+  /// `limit`. `ptime_at(i)` / `is_watermark_at(i)` abstract over the two
+  /// epoch input shapes.
+  Status MergeEpoch(size_t count, uint64_t limit);
 
   plan::QueryPlan plan_;
   PartitionSpec spec_;
@@ -112,10 +174,22 @@ class ShardedDataflow : public DataflowRuntime {
   std::vector<Shard> shards_;
   std::unique_ptr<WorkerPool> pool_;
   uint64_t next_seq_ = 0;
+
+  // Epoch inputs: set by PushBatch/PushChunks before the first dispatch,
+  // read by the workers until the epoch barrier, cleared after the merge.
+  // Exactly one of epoch_events_ / epoch_refs_ is non-null per epoch.
+  const std::vector<InputEvent>* epoch_events_ = nullptr;
+  const std::vector<ChunkRef>* epoch_refs_ = nullptr;
+  const std::vector<std::string>* epoch_lower_ = nullptr;
+  const std::vector<int>* epoch_owner_ = nullptr;
+  uint64_t epoch_base_ = 0;
+  bool epoch_batch_scatter_ = false;
+  std::vector<ShardEpochState> shard_epoch_;
   obs::TraceRecorder* trace_ = nullptr;
   int32_t query_tag_ = -1;
-  /// Stall attribution (null unless profiling): fork-join wait and merge
-  /// time per pushed batch, plus the rows/s gauge epoch.
+  /// Stall attribution (null unless profiling): epoch-barrier wait and merge
+  /// time per pushed batch, plus the rows/s gauge epoch and the worker-queue
+  /// depth high-water gauge.
   const obs::QueryProfileMetrics* query_profile_ = nullptr;
   uint64_t profile_attach_us_ = 0;
 

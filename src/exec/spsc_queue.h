@@ -1,0 +1,167 @@
+#ifndef ONESQL_EXEC_SPSC_QUEUE_H_
+#define ONESQL_EXEC_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace onesql {
+namespace exec {
+
+/// A bounded single-producer/single-consumer ring buffer with hybrid
+/// spin-then-sleep blocking on both ends.
+///
+/// The fast path is two atomics per operation: the producer publishes a slot
+/// with a release store of `tail_`, the consumer claims it with an acquire
+/// load — that pairing is the happens-before edge that makes the slot's
+/// contents (and anything the producer wrote before pushing) visible to the
+/// consumer without locks. Head works symmetrically for slot reuse. Each
+/// side caches the other's last observed position so the uncontended path
+/// does not even read the remote index.
+///
+/// When a side would block (queue full / empty) it spins briefly, then
+/// parks on a condition variable. Parking uses a timed wait, so a missed
+/// notification costs one wakeup period rather than a hang; the notifying
+/// side only touches the mutex when the `*_waiting_` flag says someone is
+/// actually parked, keeping the steady-state path syscall-free.
+///
+/// Exactly one producer thread and one consumer thread; either may also be
+/// the thread that constructed the queue.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Number of queued items. Approximate under concurrency — exact only for
+  /// the producer (for the consumer it can under-count by an in-flight
+  /// push). Intended for depth gauges, not for synchronization.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  /// Producer side: blocks while the ring is full.
+  void Push(T item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) WaitNotFull(tail);
+    }
+    slots_[static_cast<size_t>(tail) & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_empty_.notify_one();
+    }
+  }
+
+  /// Consumer side: blocks while the ring is empty.
+  void Pop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) WaitNotEmpty(head);
+    }
+    *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    if (producer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_one();
+    }
+  }
+
+  /// Consumer side, non-blocking. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    if (producer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_one();
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kSpinIterations = 256;
+  static constexpr auto kParkTimeout = std::chrono::milliseconds(1);
+
+  void WaitNotFull(uint64_t tail) {
+    for (int i = 0; i < kSpinIterations; ++i) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ < slots_.size()) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    producer_waiting_.store(true, std::memory_order_seq_cst);
+    // Timed wait: even if the flag store above races a consumer's check, the
+    // park self-expires — a lost notification degrades to 1ms latency, never
+    // a hang.
+    while (true) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ < slots_.size()) break;
+      not_full_.wait_for(lock, kParkTimeout);
+    }
+    producer_waiting_.store(false, std::memory_order_seq_cst);
+  }
+
+  void WaitNotEmpty(uint64_t head) {
+    for (int i = 0; i < kSpinIterations; ++i) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head != tail_cache_) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    consumer_waiting_.store(true, std::memory_order_seq_cst);
+    while (true) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head != tail_cache_) break;
+      not_empty_.wait_for(lock, kParkTimeout);
+    }
+    consumer_waiting_.store(false, std::memory_order_seq_cst);
+  }
+
+  std::vector<T> slots_;
+  size_t mask_ = 1;
+
+  // Producer and consumer indices on separate cache lines so the two sides
+  // do not false-share; each side's cache of the remote index lives next to
+  // the index only that side writes.
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to produce
+  uint64_t head_cache_ = 0;                    // producer's view of head_
+  alignas(64) std::atomic<uint64_t> head_{0};  // next slot to consume
+  uint64_t tail_cache_ = 0;                    // consumer's view of tail_
+
+  alignas(64) std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<bool> producer_waiting_{false};
+};
+
+}  // namespace exec
+}  // namespace onesql
+
+#endif  // ONESQL_EXEC_SPSC_QUEUE_H_

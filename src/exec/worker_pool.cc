@@ -1,51 +1,96 @@
 #include "exec/worker_pool.h"
 
+#include <chrono>
+
 namespace onesql {
 namespace exec {
 
-WorkerPool::WorkerPool(int workers) {
-  threads_.reserve(workers > 0 ? workers : 0);
-  for (int i = 0; i < workers; ++i) {
+WorkerPool::WorkerPool(int workers, size_t queue_capacity) {
+  const int n = workers > 0 ? workers : 0;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<PerWorker>(queue_capacity));
+  }
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  for (auto& w : workers_) {
+    Task stop;
+    stop.fn = nullptr;
+    stop.ctx = this;  // self-pointer marks "stop", distinct from epoch end
+    w->queue.Push(stop);
   }
-  work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::Run(const std::function<void(int)>& fn) {
-  if (threads_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  fn_ = &fn;
-  remaining_ = static_cast<int>(threads_.size());
-  ++epoch_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  fn_ = nullptr;
+void WorkerPool::Dispatch(int worker, TaskFn fn, void* ctx, uint32_t begin,
+                          uint32_t end) {
+  PerWorker& w = *workers_[static_cast<size_t>(worker)];
+  Task task;
+  task.fn = fn;
+  task.ctx = ctx;
+  task.begin = begin;
+  task.end = end;
+  w.queue.Push(std::move(task));
+  const uint64_t depth = w.queue.SizeApprox();
+  if (depth > depth_high_water_.load(std::memory_order_relaxed)) {
+    depth_high_water_.store(depth, std::memory_order_relaxed);
+  }
+}
+
+void WorkerPool::DispatchAll(TaskFn fn, void* ctx, uint32_t begin,
+                             uint32_t end) {
+  for (int i = 0; i < size(); ++i) Dispatch(i, fn, ctx, begin, end);
+}
+
+void WorkerPool::EndEpoch() {
+  if (workers_.empty()) return;
+  for (auto& w : workers_) {
+    Task marker;  // fn == nullptr, ctx == nullptr: epoch end
+    w->queue.Push(marker);
+  }
+  const uint64_t target = ++epochs_closed_;
+  // Drain barrier: spin briefly (workers typically finish within the
+  // router's own tail work), then park on the done_cv_ with a timed wait so
+  // a racing notification can never strand the caller.
+  auto all_done = [&] {
+    for (const auto& w : workers_) {
+      if (w->epochs_done.load(std::memory_order_acquire) < target) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int i = 0; i < 1024; ++i) {
+    if (all_done()) return;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(done_mu_);
+  while (!all_done()) {
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
 }
 
 void WorkerPool::WorkerLoop(int index) {
-  uint64_t seen_epoch = 0;
+  PerWorker& self = *workers_[static_cast<size_t>(index)];
   for (;;) {
-    const std::function<void(int)>* fn = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || epoch_ != seen_epoch; });
-      if (stop_) return;
-      seen_epoch = epoch_;
-      fn = fn_;
+    Task task;
+    self.queue.Pop(&task);
+    if (task.fn != nullptr) {
+      task.fn(task.ctx, index, task.begin, task.end);
+      continue;
     }
-    (*fn)(index);
+    if (task.ctx == this) return;  // stop marker
+    // Epoch-end marker: publish the drained epoch (release pairs with the
+    // barrier's acquire) and wake the caller if it parked.
+    self.epochs_done.fetch_add(1, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--remaining_ == 0) done_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_one();
     }
   }
 }

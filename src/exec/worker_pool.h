@@ -1,27 +1,41 @@
 #ifndef ONESQL_EXEC_WORKER_POOL_H_
 #define ONESQL_EXEC_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "exec/spsc_queue.h"
+
 namespace onesql {
 namespace exec {
 
-/// A fixed pool of persistent worker threads executing fork-join epochs:
-/// `Run(fn)` invokes `fn(worker_index)` on every worker concurrently and
-/// blocks until all workers finish. Threads persist across epochs so the
-/// per-batch cost is two condition-variable rounds, not thread creation.
+/// A fixed pool of persistent per-shard worker threads, each fed by its own
+/// bounded SPSC queue, executing *pipelined epochs*: the caller streams task
+/// slices into the queues as it produces them (`Dispatch` / `DispatchAll`)
+/// and workers drain asynchronously, so routing of slice k+1 overlaps the
+/// processing of slice k. `EndEpoch` closes the epoch — it enqueues a marker
+/// per worker and blocks until every worker has drained past it, giving the
+/// caller an acquire edge over everything the workers wrote (operator state,
+/// capture buffers), so a post-epoch merge may read shard output without
+/// locks.
 ///
-/// The mutex handoff at the epoch boundaries gives the caller a
-/// happens-before edge over everything the workers wrote (operator state,
-/// capture buffers), so the merge step may read shard output without locks.
+/// Tasks are plain function-pointer + context descriptors (16 bytes of
+/// payload), not type-erased callables: steady-state dispatch allocates
+/// nothing and copies nothing beyond the descriptor into the ring.
+///
+/// Single caller thread; not reentrant. Workers never call back into the
+/// pool.
 class WorkerPool {
  public:
-  explicit WorkerPool(int workers);
+  /// `fn(ctx, worker, begin, end)` — the caller-supplied slice processor.
+  using TaskFn = void (*)(void* ctx, int worker, uint32_t begin, uint32_t end);
+
+  explicit WorkerPool(int workers, size_t queue_capacity = 64);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -29,20 +43,49 @@ class WorkerPool {
 
   int size() const { return static_cast<int>(threads_.size()); }
 
-  /// Runs `fn(i)` for every worker index i in [0, size()), returning once
-  /// every invocation completed. Not reentrant; single caller thread.
-  void Run(const std::function<void(int)>& fn);
+  /// Enqueues one slice for one worker; blocks only if that worker's queue
+  /// is full (natural backpressure on the router).
+  void Dispatch(int worker, TaskFn fn, void* ctx, uint32_t begin,
+                uint32_t end);
+
+  /// Enqueues the same slice for every worker.
+  void DispatchAll(TaskFn fn, void* ctx, uint32_t begin, uint32_t end);
+
+  /// Closes the current epoch: after every worker has executed all slices
+  /// dispatched since the previous EndEpoch, returns with an acquire edge
+  /// over their writes. Calling with no intervening Dispatch is legal (an
+  /// empty epoch).
+  void EndEpoch();
+
+  /// Deepest any worker queue has been at dispatch time since construction
+  /// (in tasks). Single-writer (the caller thread) but readable from any
+  /// thread — feeds the backpressure gauge.
+  uint64_t queue_depth_high_water() const {
+    return depth_high_water_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Task {
+    TaskFn fn = nullptr;  ///< null = control marker (see ctx)
+    void* ctx = nullptr;  ///< for markers: null = epoch end, self = stop
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  struct PerWorker {
+    explicit PerWorker(size_t capacity) : queue(capacity) {}
+    SpscQueue<Task> queue;
+    /// Epochs this worker has fully drained; release-stored by the worker,
+    /// acquire-read by EndEpoch — the barrier's happens-before edge.
+    alignas(64) std::atomic<uint64_t> epochs_done{0};
+  };
+
   void WorkerLoop(int index);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
+  std::vector<std::unique_ptr<PerWorker>> workers_;
+  uint64_t epochs_closed_ = 0;  // caller thread only
+  std::atomic<uint64_t> depth_high_water_{0};
+  std::mutex done_mu_;
   std::condition_variable done_cv_;
-  const std::function<void(int)>* fn_ = nullptr;
-  uint64_t epoch_ = 0;
-  int remaining_ = 0;
-  bool stop_ = false;
   std::vector<std::thread> threads_;
 };
 

@@ -90,6 +90,8 @@ const QueryProfileMetrics* ObsContext::ForQueryProfile(
       registry_->GetHistogram("onesql_profile_shard_wait_us", labels);
   bundle->merge_us =
       registry_->GetHistogram("onesql_profile_merge_us", labels);
+  bundle->shard_queue_high_water =
+      registry_->GetGauge("onesql_profile_shard_queue_high_water", labels);
   query_profile_bundles_.emplace_back(query, std::move(bundle));
   return query_profile_bundles_.back().second.get();
 }
@@ -183,6 +185,10 @@ const WalMetrics* ObsContext::ForWal() {
         registry_->GetHistogram("onesql_wal_append_latency_us");
     wal_bundle_->sync_latency_us =
         registry_->GetHistogram("onesql_wal_sync_latency_us");
+    wal_bundle_->group_size =
+        registry_->GetHistogram("onesql_wal_group_size");
+    wal_bundle_->group_wait_us =
+        registry_->GetHistogram("onesql_wal_group_wait_us");
   }
   return wal_bundle_.get();
 }

@@ -73,11 +73,16 @@ struct OperatorProfileMetrics {
 };
 
 /// Per-query pipeline-stall attribution for the sharded runtime: where a
-/// pushed batch waits (worker fork-join) and how long the deterministic
-/// merge takes. Wall-clock valued; never shard-count-invariant.
+/// pushed batch waits (the epoch barrier closing the pipelined dispatch) and
+/// how long the deterministic merge takes. Wall-clock valued; never
+/// shard-count-invariant.
 struct QueryProfileMetrics {
-  Histogram* shard_wait_us = nullptr;  ///< Fork-join wait per pushed batch.
-  Histogram* merge_us = nullptr;       ///< Input-order merge per pushed batch.
+  Histogram* shard_wait_us = nullptr;  ///< Epoch-barrier wait per push.
+  Histogram* merge_us = nullptr;       ///< Input-order merge per push.
+  /// Deepest any shard's worker queue has been at dispatch time (tasks) —
+  /// the backpressure signal of the pipelined runtime. Sampled at feed
+  /// boundaries like every gauge.
+  Gauge* shard_queue_high_water = nullptr;
 };
 
 /// Engine-level stall attribution: time a Feed spends blocked on the
@@ -129,6 +134,11 @@ struct WalMetrics {
   Counter* bytes_written = nullptr;
   Histogram* append_latency_us = nullptr;
   Histogram* sync_latency_us = nullptr;
+  /// Group commit (DESIGN.md §16): records covered by each fsync, and how
+  /// long a feeder blocked waiting for its group's commit. Zero-valued under
+  /// the synchronous (non-group) WAL mode.
+  Histogram* group_size = nullptr;
+  Histogram* group_wait_us = nullptr;
 };
 
 /// Engine-level feed and checkpoint metrics.

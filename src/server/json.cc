@@ -1,6 +1,7 @@
 #include "server/json.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,40 +33,107 @@ Json& Json::Set(const std::string& key, Json v) {
   return *this;
 }
 
+namespace {
+
+// Length of the well-formed UTF-8 sequence starting at s[i], or 0 if the
+// bytes there are not valid UTF-8 (bad lead byte, truncated or malformed
+// continuation, overlong encoding, surrogate code point, or > U+10FFFF).
+size_t Utf8SequenceLength(const std::string& s, size_t i) {
+  const auto byte = [&](size_t k) -> unsigned char {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  if (lead < 0x80) return 1;
+  size_t len;
+  uint32_t cp;
+  if ((lead & 0xE0) == 0xC0) {
+    len = 2;
+    cp = lead & 0x1F;
+  } else if ((lead & 0xF0) == 0xE0) {
+    len = 3;
+    cp = lead & 0x0F;
+  } else if ((lead & 0xF8) == 0xF0) {
+    len = 4;
+    cp = lead & 0x07;
+  } else {
+    return 0;  // continuation byte or 0xF8..0xFF lead
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (byte(i + k) & 0x3F);
+  }
+  // Overlong encodings re-encode a code point with more bytes than needed;
+  // accepting them lets one code point take several byte spellings, the
+  // classic smuggling vector.
+  static constexpr uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMinForLen[len]) return 0;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;  // unpaired surrogate
+  if (cp > 0x10FFFF) return 0;
+  return len;
+}
+
+}  // namespace
+
 void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
-  for (unsigned char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
       case '"':
         *out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         *out += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\b':
         *out += "\\b";
-        break;
+        ++i;
+        continue;
       case '\f':
         *out += "\\f";
-        break;
+        ++i;
+        continue;
       case '\n':
         *out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         *out += "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         *out += "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(static_cast<char>(c));
-        }
+        break;
     }
+    if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {
+      out->push_back(static_cast<char>(c));
+      ++i;
+      continue;
+    }
+    const size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      // Invalid byte: substitute U+FFFD (one per bad byte) rather than
+      // emitting the raw byte — the wire would otherwise carry a JSON
+      // document that is not valid UTF-8, which strict peers reject whole.
+      *out += "\\ufffd";
+      ++i;
+      continue;
+    }
+    out->append(s, i, len);
+    i += len;
   }
   out->push_back('"');
 }

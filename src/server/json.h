@@ -110,8 +110,12 @@ class Json {
 };
 
 /// Appends `s` to `out` as a quoted JSON string, escaping as required
-/// (control characters to \uXXXX; non-UTF-8 bytes pass through verbatim so
-/// arbitrary VARCHAR payloads survive a round-trip with a matching parser).
+/// (control characters to \uXXXX). Well-formed UTF-8 passes through
+/// verbatim; every byte that is not part of a valid sequence — bad lead,
+/// truncated/malformed continuation, overlong encoding, surrogate, or
+/// beyond U+10FFFF — is replaced with an escaped U+FFFD, so the emitted
+/// document is always valid UTF-8 (hostile VARCHAR payloads cannot smuggle
+/// raw bytes onto the wire).
 void AppendJsonString(const std::string& s, std::string* out);
 
 }  // namespace server

@@ -10,6 +10,7 @@
 #include <direct.h>
 #include <io.h>
 #else
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -112,16 +113,50 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
     std::remove(tmp.c_str());
     return Status::DataLoss("failed to rename '" + tmp + "' into place");
   }
-  return Status::OK();
+  // The rename only becomes crash-durable once the directory entry itself is
+  // on disk: fsync'ing the file alone leaves a window where recovery finds
+  // neither the old file nor the new one.
+  return FsyncParentDir(path);
 }
 
 Status EnsureDirectory(const std::string& path) {
 #ifdef _WIN32
-  if (_mkdir(path.c_str()) == 0 || errno == EEXIST) return Status::OK();
+  if (_mkdir(path.c_str()) == 0) return Status::OK();
+  if (errno == EEXIST) return Status::OK();
 #else
-  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  if (::mkdir(path.c_str(), 0755) == 0) {
+    // Persist the new directory's own entry, matching the file story above.
+    return FsyncParentDir(path);
+  }
+  if (errno == EEXIST) return Status::OK();
 #endif
   return Status::InvalidArgument("cannot create directory '" + path + "'");
+}
+
+Status FsyncDir(const std::string& dir) {
+#ifdef _WIN32
+  (void)dir;
+  return Status::OK();
+#else
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open directory '" + dir +
+                            "' for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::DataLoss("failed to fsync directory '" + dir + "'");
+  }
+  return Status::OK();
+#endif
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return FsyncDir(".");
+  if (slash == 0) return FsyncDir("/");
+  return FsyncDir(path.substr(0, slash));
 }
 
 }  // namespace state

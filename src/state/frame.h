@@ -37,11 +37,23 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes `data` to `path` atomically: the bytes are written to a temporary
 /// sibling, flushed and fsync'd, then renamed into place — a crash during
 /// the write leaves either the old file or the new one, never a torn mix.
+/// The parent directory is fsync'd after the rename: without it the new
+/// directory entry itself may not be durable, and a crash can make the
+/// just-"committed" file vanish (or resurrect the old one).
 Status WriteFileAtomic(const std::string& path, std::string_view data);
 
 /// Creates directory `path` if it does not exist (one level; parents must
-/// already exist). Succeeds if the directory is already present.
+/// already exist). Succeeds if the directory is already present. A freshly
+/// created directory's entry is made durable by fsync'ing its parent.
 Status EnsureDirectory(const std::string& path);
+
+/// Fsyncs the directory at `dir`, making previously created/renamed entries
+/// inside it durable. No-op on Windows (directory handles cannot be
+/// committed there; NTFS metadata journaling covers the rename).
+Status FsyncDir(const std::string& dir);
+
+/// FsyncDir on the directory containing `path` ("." for a bare filename).
+Status FsyncParentDir(const std::string& path);
 
 }  // namespace state
 }  // namespace onesql

@@ -183,6 +183,9 @@ Result<FeedLog> FeedLog::Open(const std::string& path) {
     }
     log.dirty_ = true;
     ONESQL_RETURN_NOT_OK(log.Sync());
+    // The freshly created file's directory entry must be durable too, or a
+    // crash right after "durability enabled" can leave no log at all.
+    ONESQL_RETURN_NOT_OK(FsyncParentDir(path));
   }
   return log;
 }
@@ -242,6 +245,129 @@ Status FeedLog::Close() {
   file_ = nullptr;
   dirty_ = false;
   return sync;
+}
+
+// ---------------------------------------------------------------------------
+// GroupCommitLog
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<GroupCommitLog>> GroupCommitLog::Open(
+    const std::string& path) {
+  ONESQL_ASSIGN_OR_RETURN(FeedLog log, FeedLog::Open(path));
+  return std::unique_ptr<GroupCommitLog>(new GroupCommitLog(std::move(log)));
+}
+
+GroupCommitLog::GroupCommitLog(FeedLog log) : log_(std::move(log)) {
+  path_ = log_.path();
+  enqueued_seq_ = log_.next_seq();
+  durable_seq_ = log_.next_seq();
+  appender_ = std::thread([this] { AppenderLoop(); });
+}
+
+GroupCommitLog::~GroupCommitLog() { (void)Close(); }
+
+Status GroupCommitLog::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Internal("group-commit log is closed");
+  if (!error_.ok()) return error_;
+  if (record.seq != enqueued_seq_) {
+    return Status::Internal("feed log append out of order: expected seq " +
+                            std::to_string(enqueued_seq_) + ", got " +
+                            std::to_string(record.seq));
+  }
+  pending_.push_back(std::move(record));
+  ++enqueued_seq_;
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status GroupCommitLog::WaitDurable(uint64_t up_to_seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const obs::WalMetrics* metrics = metrics_;
+  const uint64_t start = metrics != nullptr ? MonotonicMicros() : 0;
+  durable_cv_.wait(
+      lock, [&] { return durable_seq_ >= up_to_seq || !error_.ok(); });
+  Status result = error_;
+  lock.unlock();
+  if (metrics != nullptr) {
+    metrics->group_wait_us->Record(MonotonicMicros() - start);
+  }
+  return result;
+}
+
+Status GroupCommitLog::Sync() {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = enqueued_seq_;
+  }
+  return WaitDurable(target);
+}
+
+Status GroupCommitLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return error_;
+    stop_ = true;
+    work_cv_.notify_one();
+  }
+  if (appender_.joinable()) appender_.join();
+  // The appender has exited; this thread owns the inner log now.
+  Status close_status = log_.Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_.ok() && !close_status.ok()) error_ = close_status;
+  durable_cv_.notify_all();
+  return error_;
+}
+
+uint64_t GroupCommitLog::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueued_seq_;
+}
+
+void GroupCommitLog::AttachMetrics(const obs::WalMetrics* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  // The inner log picks the pointer up on the appender thread at the top of
+  // its next group (it is the only thread touching log_ while running).
+}
+
+void GroupCommitLog::AppenderLoop() {
+  std::vector<WalRecord> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Swap out everything enqueued so far: records arriving while the
+    // append+fsync below runs unlocked pile into the *next* group — that
+    // accumulation is what amortizes the fsync across concurrent feeders.
+    batch.clear();
+    batch.swap(pending_);
+    Status status = error_;
+    const obs::WalMetrics* metrics = metrics_;
+    log_.AttachMetrics(metrics);
+    lock.unlock();
+    if (status.ok()) {
+      for (const WalRecord& record : batch) {
+        status = log_.Append(record);
+        if (!status.ok()) break;
+      }
+      if (status.ok()) status = log_.Sync();
+    }
+    lock.lock();
+    if (status.ok()) {
+      durable_seq_ = batch.back().seq + 1;
+      if (metrics != nullptr) {
+        metrics->group_size->Record(batch.size());
+      }
+    } else if (error_.ok()) {
+      error_ = status;
+    }
+    durable_cv_.notify_all();
+  }
 }
 
 }  // namespace state

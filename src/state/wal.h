@@ -1,9 +1,13 @@
 #ifndef ONESQL_STATE_WAL_H_
 #define ONESQL_STATE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -97,6 +101,86 @@ class FeedLog {
   uint64_t next_seq_ = 0;
   bool dirty_ = false;
   const obs::WalMetrics* metrics_ = nullptr;
+};
+
+/// Asynchronous group-commit front end over a FeedLog (DESIGN.md §16).
+///
+/// A single appender thread owns the underlying log. Producers enqueue
+/// records with Append (cheap: one mutex-protected vector push) and block in
+/// WaitDurable until the appender's next fsync covers their sequence number.
+/// While one fsync is in flight every newly enqueued record accumulates into
+/// the next group, so the fsync cost is amortized across all feeders that
+/// arrived during it — under contention the log pays one fsync per *group*,
+/// not one per feed, while each caller still gets the same guarantee as the
+/// synchronous path: its records are durable before WaitDurable returns.
+///
+/// The file format is exactly FeedLog's; a log written under group commit is
+/// read back by FeedLog::ReadAll / replayed by recovery unchanged, and a
+/// crash at any point leaves a valid prefix of whole groups.
+///
+/// Errors are sticky: once an append or sync fails, that status is returned
+/// to every current and future waiter (the log's contents past the error are
+/// undefined on disk, so pretending later groups committed would lie about
+/// durability).
+///
+/// Thread-safe: any number of producer threads may call Append/WaitDurable
+/// concurrently; Sync/Close serialize against them.
+class GroupCommitLog {
+ public:
+  /// Opens (creating/validating) the log at `path` — see FeedLog::Open —
+  /// and starts the appender thread.
+  static Result<std::unique_ptr<GroupCommitLog>> Open(const std::string& path);
+
+  ~GroupCommitLog();
+
+  GroupCommitLog(const GroupCommitLog&) = delete;
+  GroupCommitLog& operator=(const GroupCommitLog&) = delete;
+
+  /// Enqueues one record. `record.seq` must equal next_seq() (enqueue
+  /// order). Returns immediately; durability comes from WaitDurable.
+  Status Append(WalRecord record);
+
+  /// Blocks until every record with seq < `up_to_seq` is fsync'd (or the
+  /// log has failed; the sticky error is returned).
+  Status WaitDurable(uint64_t up_to_seq);
+
+  /// Full barrier: waits until everything enqueued so far is durable.
+  Status Sync();
+
+  /// Drains, syncs, and stops the appender thread. Idempotent.
+  Status Close();
+
+  /// Sequence number the next Append must carry (enqueue position).
+  uint64_t next_seq() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Attaches durability instruments (nullptr detaches). The inner log
+  /// records append/sync latencies on the appender thread; the group-size
+  /// and group-wait histograms are recorded here.
+  void AttachMetrics(const obs::WalMetrics* metrics);
+
+ private:
+  explicit GroupCommitLog(FeedLog log);
+
+  void AppenderLoop();
+
+  std::string path_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     ///< appender waits for records
+  std::condition_variable durable_cv_;  ///< feeders wait for their group
+  std::vector<WalRecord> pending_;      ///< enqueued, not yet appended
+  uint64_t enqueued_seq_ = 0;           ///< next seq to enqueue
+  uint64_t durable_seq_ = 0;            ///< seqs below this are fsync'd
+  Status error_;                        ///< sticky failure
+  bool stop_ = false;
+  const obs::WalMetrics* metrics_ = nullptr;
+
+  /// Owned by the appender thread between start and join; guarded by mu_
+  /// only around Close's handover.
+  FeedLog log_;
+  std::thread appender_;
 };
 
 }  // namespace state

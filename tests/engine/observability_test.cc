@@ -299,7 +299,12 @@ TEST(ObservabilityTest, CountersAreCoherentAcrossCheckpointRestore) {
     options.shards = 2;
     auto q = a.Execute(kKeyedAggAfterWatermark, options);
     ASSERT_TRUE(q.ok()) << q.status().ToString();
-    ASSERT_TRUE(a.EnableDurability(dir).ok());
+    // Synchronous WAL mode: the exact-count assertions below depend on one
+    // fsync per Feed call. Group commit fsyncs per *group*, and the number
+    // of groups a batch splits into depends on appender-thread timing.
+    DurabilityOptions durability;
+    durability.group_commit = false;
+    ASSERT_TRUE(a.EnableDurability(dir, durability).ok());
     ASSERT_TRUE(a.EnableObservability(MetricsAndTracing()).ok());
 
     ASSERT_TRUE(a.Feed(prefix).ok());

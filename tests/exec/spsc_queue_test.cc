@@ -1,0 +1,84 @@
+// The bounded SPSC ring under the per-shard workers: FIFO order, capacity
+// blocking, and a producer/consumer pair racing through wraparound many
+// times (the TSan leg runs this to vet the release/acquire slot handoff).
+
+#include "exec/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace onesql {
+namespace exec {
+namespace {
+
+TEST(SpscQueueTest, FifoWithinCapacity) {
+  SpscQueue<int> q(8);
+  EXPECT_EQ(q.SizeApprox(), 0u);
+  for (int i = 0; i < 8; ++i) q.Push(i);
+  EXPECT_EQ(q.SizeApprox(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    q.Pop(&v);
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.SizeApprox(), 0u);
+}
+
+TEST(SpscQueueTest, TryPopOnEmptyFails) {
+  SpscQueue<int> q(4);
+  int v = 0;
+  EXPECT_FALSE(q.TryPop(&v));
+  q.Push(42);
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  // Capacity 5 rounds to 8: nine pushes with no consumer would block, eight
+  // must not. Probe via TryPop bookkeeping instead of blocking.
+  SpscQueue<int> q(5);
+  for (int i = 0; i < 8; ++i) q.Push(i);
+  EXPECT_EQ(q.SizeApprox(), 8u);
+  int v = -1;
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(SpscQueueTest, MovesNonTrivialPayloads) {
+  SpscQueue<std::string> q(4);
+  q.Push(std::string(200, 'x'));
+  std::string out;
+  q.Pop(&out);
+  EXPECT_EQ(out, std::string(200, 'x'));
+}
+
+TEST(SpscQueueTest, ProducerConsumerRaceThroughWraparound) {
+  // A small ring forces constant wraparound and both blocking paths (full
+  // producer, empty consumer); every value must arrive exactly once, in
+  // order — and under TSan, with a clean happens-before for each slot.
+  constexpr uint64_t kCount = 200000;
+  SpscQueue<uint64_t> q(16);
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount; ++i) q.Push(i);
+  });
+  uint64_t next = 0;
+  uint64_t sum = 0;
+  while (next < kCount) {
+    uint64_t v = 0;
+    q.Pop(&v);
+    ASSERT_EQ(v, next);
+    sum += v;
+    ++next;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace onesql

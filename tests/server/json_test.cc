@@ -79,6 +79,79 @@ TEST(JsonTest, StringEscapes) {
   EXPECT_EQ(ParseOk("\"\\uD83D\\uDE00\"").AsString(), "\xF0\x9F\x98\x80");
 }
 
+// U+FFFD as UTF-8 — what a sanitized byte parses back to.
+constexpr const char* kReplacement = "\xEF\xBF\xBD";
+
+TEST(JsonTest, ValidUtf8PassesThroughVerbatim) {
+  // 2-, 3-, and 4-byte sequences at their range boundaries.
+  const std::string utf8 =
+      "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80 \xC2\x80 \xE0\xA0\x80 "
+      "\xF4\x8F\xBF\xBF";
+  const std::string wire = Json::Str(utf8).Serialize();
+  EXPECT_EQ(wire, "\"" + utf8 + "\"");
+  EXPECT_EQ(ParseOk(wire).AsString(), utf8);
+}
+
+TEST(JsonTest, InvalidBytesBecomeReplacementCharacter) {
+  struct Case {
+    const char* name;
+    std::string input;
+    size_t bad_bytes;  // each becomes one U+FFFD
+  };
+  const Case cases[] = {
+      {"lone continuation", std::string("a\x80z", 3), 1},
+      {"stray 0xFF", std::string("a\xFFz", 3), 1},
+      {"truncated 2-byte", std::string("a\xC3", 2), 1},
+      {"truncated 4-byte at end", std::string("ab\xF0\x9F\x98", 5), 3},
+      {"overlong slash C0 AF", std::string("a\xC0\xAFz", 4), 2},
+      {"overlong NUL E0 80 80", std::string("\xE0\x80\x80", 3), 3},
+      {"surrogate ED A0 80", std::string("x\xED\xA0\x80y", 5), 3},
+      {"beyond U+10FFFF F4 90 80 80", std::string("\xF4\x90\x80\x80", 4), 4},
+      {"lead then ASCII", std::string("\xC3(", 2), 1},
+  };
+  for (const Case& c : cases) {
+    std::string wire;
+    AppendJsonString(c.input, &wire);
+    // The wire bytes themselves must be pure ASCII-or-valid-UTF-8: every
+    // invalid input byte shows up as the six-char escape "�".
+    size_t escapes = 0;
+    for (size_t pos = 0; (pos = wire.find("\\ufffd", pos)) != std::string::npos;
+         pos += 6) {
+      ++escapes;
+    }
+    EXPECT_EQ(escapes, c.bad_bytes) << c.name << " wire=" << wire;
+    // Round-trip through the wire parser: hostile bytes land as U+FFFD, the
+    // well-formed neighbors are untouched.
+    const std::string parsed = ParseOk(wire).AsString();
+    EXPECT_EQ(parsed.find('\xFF'), std::string::npos) << c.name;
+    size_t replacements = 0;
+    for (size_t pos = 0;
+         (pos = parsed.find(kReplacement, pos)) != std::string::npos;
+         pos += 3) {
+      ++replacements;
+    }
+    EXPECT_EQ(replacements, c.bad_bytes) << c.name << " parsed=" << parsed;
+  }
+}
+
+TEST(JsonTest, HostileBytesRoundTripInsideDocument) {
+  // A full wire document whose string field carries every byte value once:
+  // serialize, parse back, re-serialize — the second pass must be a fixed
+  // point (sanitizing is idempotent) and always valid UTF-8.
+  std::string all_bytes;
+  for (int b = 1; b < 256; ++b) all_bytes.push_back(static_cast<char>(b));
+  Json doc = Json::Object();
+  doc.Set("cmd", Json::Str("feed"));
+  doc.Set("payload", Json::Str(all_bytes));
+  const std::string wire = doc.Serialize();
+  const Json parsed = ParseOk(wire);
+  ASSERT_NE(parsed.Find("payload"), nullptr);
+  const std::string sanitized = parsed.Find("payload")->AsString();
+  const std::string second = Json::Str(sanitized).Serialize();
+  EXPECT_EQ(ParseOk(second).AsString(), sanitized);
+  EXPECT_EQ(Json::Str(ParseOk(second).AsString()).Serialize(), second);
+}
+
 TEST(JsonTest, NestedDocumentRoundTrips) {
   Json doc = Json::Object();
   doc.Set("cmd", Json::Str("feed"));

@@ -101,6 +101,47 @@ TEST(FileTest, EnsureDirectoryIsIdempotent) {
   EXPECT_TRUE(WriteFileAtomic(dir + "/f", "x").ok());
 }
 
+TEST(FileTest, FsyncDirCommitsExistingDirectory) {
+  const std::string dir = NewTempDir("frame");
+  Status s = FsyncDir(dir);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(FileTest, FsyncDirOnMissingPathIsNotFound) {
+  const std::string dir = NewTempDir("frame") + "/does_not_exist";
+  const Status s = FsyncDir(dir);
+#ifndef _WIN32
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+#else
+  EXPECT_TRUE(s.ok());  // no-op platform
+#endif
+}
+
+#ifndef _WIN32
+TEST(FileTest, FsyncDirOnRegularFileFails) {
+  // A regular file is not a directory handle: O_DIRECTORY must reject it,
+  // so a caller that accidentally passes the file instead of its parent
+  // hears about it rather than "durably" syncing the wrong object.
+  const std::string dir = NewTempDir("frame");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/f", "x").ok());
+  EXPECT_FALSE(FsyncDir(dir + "/f").ok());
+}
+#endif
+
+TEST(FileTest, FsyncParentDirResolvesContainingDirectory) {
+  const std::string dir = NewTempDir("frame");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/blob", "x").ok());
+  // Nested path -> its directory; the file itself need not exist for the
+  // parent to be committable (that is the pre-rename window).
+  EXPECT_TRUE(FsyncParentDir(dir + "/blob").ok());
+  EXPECT_TRUE(FsyncParentDir(dir + "/not_written_yet").ok());
+  // A bare filename commits the working directory.
+  EXPECT_TRUE(FsyncParentDir("bare_name").ok());
+  // A root-level path commits "/".
+  EXPECT_TRUE(FsyncParentDir("/tmp").ok());
+}
+
 }  // namespace
 }  // namespace state
 }  // namespace onesql
